@@ -1,0 +1,146 @@
+//! 1D-b: the mesh post-processing of Boman, Devine & Rajamanickam (2013)
+//! — the paper's `1D-b` baseline.
+//!
+//! Given a 1D rowwise K-way partition, processors are laid on a
+//! `Pr × Pc` mesh and the off-diagonal block `A_ℓk` is reassigned to the
+//! processor at `(row(ℓ), col(k))`. Expand traffic then stays inside mesh
+//! columns and fold traffic inside mesh rows (≤ `Pr + Pc − 2` messages
+//! per processor), but the nonzero loads are disturbed with no mechanism
+//! to control the damage — the paper's Table VI shows the imbalance
+//! blowing up, and so does ours.
+
+use s2d_core::mesh::mesh_dims;
+use s2d_core::partition::SpmvPartition;
+use s2d_sparse::Csr;
+
+/// Applies the 1D-b post-processing to a 1D rowwise partition given by
+/// `row_part` (vector partition symmetric: `x` follows `row_part` too).
+///
+/// # Panics
+/// Panics if `a` is not square or `row_part` is the wrong length.
+pub fn partition_1d_b(a: &Csr, row_part: &[u32], k: usize) -> SpmvPartition {
+    assert_eq!(a.nrows(), a.ncols(), "1D-b assumes a square matrix");
+    assert_eq!(row_part.len(), a.nrows());
+    let (pr, pc) = mesh_dims(k);
+    let _ = pr;
+    let mesh_row = |p: u32| p / pc as u32;
+    let mesh_col = |p: u32| p % pc as u32;
+
+    let mut nz_owner = vec![0u32; a.nnz()];
+    for i in 0..a.nrows() {
+        let l = row_part[i];
+        for e in a.row_range(i) {
+            let kp = row_part[a.colind()[e] as usize];
+            nz_owner[e] = if l == kp {
+                l // diagonal block stays
+            } else {
+                mesh_row(l) * pc as u32 + mesh_col(kp)
+            };
+        }
+    }
+    SpmvPartition { k, x_part: row_part.to_vec(), y_part: row_part.to_vec(), nz_owner }
+}
+
+/// Checks the 1D-b latency bound (per-processor expand sends ≤ `Pr − 1`,
+/// fold sends ≤ `Pc − 1`).
+pub fn latency_bound_ok(a: &Csr, p: &SpmvPartition) -> bool {
+    let (pr, pc) = mesh_dims(p.k);
+    let reqs = s2d_core::comm::comm_requirements(a, p);
+    let mut e_pairs = std::collections::BTreeSet::new();
+    for &(src, dst, _) in &reqs.x_reqs {
+        e_pairs.insert((src, dst));
+    }
+    let mut f_pairs = std::collections::BTreeSet::new();
+    for &(src, dst, _) in &reqs.y_reqs {
+        f_pairs.insert((src, dst));
+    }
+    let mut e_cnt = vec![0usize; p.k];
+    for &(s, _) in &e_pairs {
+        e_cnt[s as usize] += 1;
+    }
+    let mut f_cnt = vec![0usize; p.k];
+    for &(s, _) in &f_pairs {
+        f_cnt[s as usize] += 1;
+    }
+    e_cnt.iter().all(|&c| c < pr.max(1)) && f_cnt.iter().all(|&c| c < pc.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use s2d_sparse::Coo;
+
+    fn random_sparse(n: usize, per_row: usize, seed: u64) -> Csr {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 1.0);
+            for _ in 0..per_row {
+                m.push(i, rng.random_range(0..n), 1.0);
+            }
+        }
+        m.compress();
+        m.to_csr()
+    }
+
+    fn block_row_part(n: usize, k: usize) -> Vec<u32> {
+        (0..n).map(|i| (i * k / n) as u32).collect()
+    }
+
+    #[test]
+    fn diagonal_blocks_untouched() {
+        let a = random_sparse(64, 3, 1);
+        let rp = block_row_part(64, 4);
+        let p = partition_1d_b(&a, &rp, 4);
+        for i in 0..a.nrows() {
+            for e in a.row_range(i) {
+                let j = a.colind()[e] as usize;
+                if rp[i] == rp[j] {
+                    assert_eq!(p.nz_owner[e], rp[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_bound_holds() {
+        let a = random_sparse(256, 6, 2);
+        let rp = block_row_part(256, 16);
+        let p = partition_1d_b(&a, &rp, 16);
+        assert!(latency_bound_ok(&a, &p));
+    }
+
+    #[test]
+    fn execution_is_correct_two_phase() {
+        let a = random_sparse(80, 4, 3);
+        let rp = block_row_part(80, 4);
+        let p = partition_1d_b(&a, &rp, 4);
+        let plan = s2d_spmv::SpmvPlan::two_phase(&a, &p);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 7) as f64).collect();
+        let y = plan.execute_mailbox(&x);
+        let y_ref = a.spmv_alloc(&x);
+        for (u, v) in y.iter().zip(&y_ref) {
+            assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn off_diagonal_lands_on_mesh_intersection() {
+        let a = random_sparse(64, 4, 4);
+        let rp = block_row_part(64, 4); // 2x2 mesh
+        let p = partition_1d_b(&a, &rp, 4);
+        for i in 0..a.nrows() {
+            let l = rp[i];
+            for e in a.row_range(i) {
+                let j = a.colind()[e] as usize;
+                let kp = rp[j];
+                if l != kp {
+                    let expect = (l / 2) * 2 + (kp % 2);
+                    assert_eq!(p.nz_owner[e], expect, "nnz ({i},{j})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation: s2D-b's intermediate aggregation.
+//!
+//! Two-hop mesh routing doubles raw volume; the design recovers much of
+//! it by (a) sending an `x_j` needed by several processors in one mesh
+//! row across phase 1 once, and (b) summing partial `ȳ_i` words meeting
+//! at an intermediate into one word. This harness compares the routed
+//! volume with aggregation (the shipped `MeshRouting`) against a naive
+//! router forwarding every requirement independently.
+
+use s2d_baselines::partition_1d_rowwise;
+use s2d_bench::{fmt_e, fmt_ratio};
+use s2d_core::comm::comm_requirements;
+use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d_core::mesh::{mesh_dims, MeshRouting};
+use s2d_gen::{suite_b, Scale};
+
+fn main() {
+    s2d_bench::banner("Ablation: mesh aggregation", "s2D-b with and without intermediate aggregation");
+    let scale = Scale::from_env();
+    let k = 256;
+    let (pr, pc) = mesh_dims(k);
+
+    println!(
+        "\n{:<12} | {:>9} {:>9} {:>9} | {:>7} {:>7}",
+        "name", "direct", "agg", "naive", "agg/dir", "nai/dir"
+    );
+    for spec in suite_b() {
+        let a = spec.generate(scale, 1);
+        let oned = partition_1d_rowwise(&a, k, 0.03, 1);
+        let s2d = s2d_from_vector_partition(
+            &a,
+            &oned.row_part,
+            &oned.col_part,
+            &HeuristicConfig::default(),
+        );
+        let reqs = comm_requirements(&a, &s2d);
+        let direct = reqs.total_volume();
+
+        let routed = MeshRouting::build(k, pr, pc, &reqs);
+        let agg = routed.stats(k).total_volume;
+
+        // Naive two-hop router: every requirement travels 1 word per hop,
+        // no dedup, no aggregation.
+        let row = |p: u32| p / pc as u32;
+        let col = |p: u32| p % pc as u32;
+        let naive: u64 = reqs
+            .x_reqs
+            .iter()
+            .chain(&reqs.y_reqs)
+            .map(|&(src, dst, _)| {
+                let mid = row(dst) * pc as u32 + col(src);
+                1 + u64::from(mid != src && mid != dst)
+            })
+            .sum();
+
+        println!(
+            "{:<12} | {:>9} {:>9} {:>9} | {:>7} {:>7}",
+            spec.name,
+            fmt_e(direct as f64),
+            fmt_e(agg as f64),
+            fmt_e(naive as f64),
+            fmt_ratio(agg as f64, direct as f64),
+            fmt_ratio(naive as f64, direct as f64),
+        );
+        assert!(agg <= naive, "aggregation can only reduce routed volume");
+    }
+    println!("\nExpected shape: naive routing costs close to 2x the direct volume;");
+    println!("aggregation pulls the routed volume well below that, and on matrices");
+    println!("with popular x entries / hot y rows it approaches 1x.");
+}

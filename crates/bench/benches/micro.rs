@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the building blocks: matching, DM
+//! decomposition, the optimal split, Algorithm 1, hypergraph bisection
+//! and the SpMV executors.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use s2d_baselines::partition_1d_rowwise;
+use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d_core::optimal::s2d_optimal;
+use s2d_dm::{dm_decompose, hopcroft_karp};
+use s2d_gen::rmat::{rmat, RmatConfig};
+use s2d_hypergraph::models::column_net_model;
+use s2d_hypergraph::{partition_kway, PartitionConfig};
+use s2d_spmv::SpmvPlan;
+
+fn bench_matching(c: &mut Criterion) {
+    let m = rmat(&RmatConfig::graph500(12, 8), 1).to_csr();
+    let edges: Vec<(u32, u32)> = m.iter().map(|(i, j, _)| (i as u32, j as u32)).collect();
+    c.bench_function("hopcroft_karp/rmat12", |b| {
+        b.iter(|| black_box(hopcroft_karp(m.nrows(), m.ncols(), &edges).size))
+    });
+    c.bench_function("dm_decompose/rmat12", |b| {
+        b.iter(|| black_box(dm_decompose(m.nrows(), m.ncols(), &edges).min_cover()))
+    });
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(12, 8), 2).to_csr();
+    let hg = column_net_model(&a, true);
+    c.bench_function("partition_kway/k16/rmat12", |b| {
+        b.iter(|| {
+            black_box(partition_kway(&hg, 16, &PartitionConfig::default()).parts.len())
+        })
+    });
+    let oned = partition_1d_rowwise(&a, 16, 0.03, 1);
+    c.bench_function("s2d_optimal/k16/rmat12", |b| {
+        b.iter(|| black_box(s2d_optimal(&a, &oned.row_part, &oned.col_part, 16).nz_owner.len()))
+    });
+    c.bench_function("algorithm1/k16/rmat12", |b| {
+        b.iter(|| {
+            black_box(
+                s2d_from_vector_partition(
+                    &a,
+                    &oned.row_part,
+                    &oned.col_part,
+                    &HeuristicConfig::default(),
+                )
+                .nz_owner
+                .len(),
+            )
+        })
+    });
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(11, 8), 3).to_csr();
+    let oned = partition_1d_rowwise(&a, 8, 0.03, 1);
+    let s2d = s2d_from_vector_partition(
+        &a,
+        &oned.row_part,
+        &oned.col_part,
+        &HeuristicConfig::default(),
+    );
+    let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 * 0.25).collect();
+    let mut y = vec![0.0; a.nrows()];
+    c.bench_function("spmv/serial/rmat11", |b| {
+        b.iter(|| {
+            a.spmv(&x, &mut y);
+            black_box(y[0])
+        })
+    });
+    let single = SpmvPlan::single_phase(&a, &s2d);
+    c.bench_function("spmv/mailbox_single_phase/rmat11", |b| {
+        b.iter_batched(
+            || single.clone(),
+            |plan| black_box(plan.execute_mailbox(&x)),
+            BatchSize::LargeInput,
+        )
+    });
+    let two = SpmvPlan::two_phase(&a, &s2d);
+    c.bench_function("spmv/mailbox_two_phase/rmat11", |b| {
+        b.iter_batched(
+            || two.clone(),
+            |plan| black_box(plan.execute_mailbox(&x)),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("plan_build/single_phase/rmat11", |b| {
+        b.iter(|| black_box(SpmvPlan::single_phase(&a, &s2d).total_ops()))
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("gen/rmat12", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(rmat(&RmatConfig::graph500(12, 8), seed).nnz())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matching, bench_partitioners, bench_executors, bench_generators
+}
+criterion_main!(benches);

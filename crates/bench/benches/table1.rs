@@ -1,0 +1,33 @@
+//! Regenerates **Table I**: properties of the suite-A test matrices
+//! (n, nnz, davg, dmax) — paper values next to the generated doubles.
+
+use s2d_gen::{suite_a, Scale};
+use s2d_sparse::MatrixStats;
+
+fn main() {
+    s2d_bench::banner("Table I", "properties of the test matrices (suite A)");
+    let scale = Scale::from_env();
+    println!(
+        "\n{:<12} | {:>8} {:>9} {:>7} {:>7} | {:>8} {:>9} {:>7} {:>7} | {}",
+        "name", "n", "nnz", "davg", "dmax", "n'", "nnz'", "davg'", "dmax'", "application"
+    );
+    println!("{:-<12}-+-{:-<34}-+-{:-<34}-+------------", "", "", "");
+    for spec in suite_a() {
+        let a = spec.generate(scale, 1);
+        let s = MatrixStats::of(&a);
+        println!(
+            "{:<12} | {:>8} {:>9} {:>7.1} {:>7} | {:>8} {:>9} {:>7.1} {:>7} | {}",
+            spec.name,
+            spec.paper.n,
+            spec.paper.nnz,
+            spec.paper.davg,
+            spec.paper.dmax,
+            s.nrows,
+            s.nnz,
+            s.row_davg,
+            s.row_dmax,
+            spec.application,
+        );
+    }
+    println!("\n(left block: paper; right block: generated double at {scale:?} scale)");
+}

@@ -1,0 +1,114 @@
+//! Regenerates **Table II**: 1D rowwise vs 2D fine-grain vs s2D on suite
+//! A, `K ∈ {16, 64, 256}` — load imbalance, message counts, communication
+//! volume (normalized to 1D) and modelled speedups.
+//!
+//! Method mapping (as in the paper): `1D` = column-net hypergraph
+//! partitioning; `2D` = fine-grain hypergraph partitioning; `s2D` =
+//! Algorithm 1 run on the vector partition induced by the 1D run, so 1D
+//! and s2D share communication patterns. Speedups come from the α–β–γ
+//! model instead of a Cray XE6 (DESIGN.md §2).
+
+use s2d_baselines::{partition_1d_rowwise, partition_2d_fine_grain};
+use s2d_bench::{evaluate, fmt_e, fmt_li, fmt_ratio, geomean_eval, Alg, Evaluation};
+use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d_gen::{suite_a, Scale};
+
+/// Paper geomean rows (K, 1D LI, 1D avg, 1D max, λ1D, 1D Sp, 2D LI,
+/// 2D avg, 2D max, 2D λ ratio, 2D Sp, s2D LI, s2D λ ratio, s2D Sp).
+const PAPER_GEOMEAN: [(usize, &str); 3] = [
+    (16, "1D: 1.9%  6/10  3.34e4 Sp 13.7 | 2D: 0.1% 13/18 0.36 Sp 16.0 | s2D: 1.5% 0.51 Sp 16.4"),
+    (64, "1D: 2.6% 10/23  7.09e4 Sp 35.5 | 2D: 0.1% 20/39 0.40 Sp 41.2 | s2D: 1.8% 0.54 Sp 49.2"),
+    (256, "1D: 10.6% 15/54 1.38e5 Sp 34.4 | 2D: 0.1% 25/85 0.43 Sp 37.2 | s2D: 4.8% 0.52 Sp 43.5"),
+];
+
+fn main() {
+    s2d_bench::banner("Table II", "1D vs 2D fine-grain vs s2D (suite A)");
+    let scale = Scale::from_env();
+    let seeds = s2d_bench::seeds_from_env();
+    let ks = scale.ks_suite_a();
+
+    println!(
+        "\n{:<12} {:>5} | {:>6} {:>4}/{:>4} {:>8} {:>7} | {:>6} {:>4}/{:>4} {:>6} {:>7} | {:>6} {:>6} {:>7}",
+        "name", "K", "1D-LI", "avg", "max", "lam1D", "Sp", "2D-LI", "avg", "max", "lam", "Sp",
+        "s2D-LI", "lam", "Sp"
+    );
+
+    let mut per_k: std::collections::BTreeMap<usize, [Vec<Evaluation>; 3]> =
+        std::collections::BTreeMap::new();
+
+    for spec in suite_a() {
+        let a = spec.generate(scale, 1);
+        for &k in &ks {
+            let mut e1 = Vec::new();
+            let mut e2 = Vec::new();
+            let mut e3 = Vec::new();
+            for seed in 0..seeds {
+                let oned = partition_1d_rowwise(&a, k, 0.03, seed + 1);
+                e1.push(evaluate(&a, &oned.partition, Alg::SinglePhase));
+                let fg = partition_2d_fine_grain(&a, k, 0.03, seed + 1);
+                e2.push(evaluate(&a, &fg, Alg::TwoPhase));
+                let s2d = s2d_from_vector_partition(
+                    &a,
+                    &oned.row_part,
+                    &oned.col_part,
+                    &HeuristicConfig::default(),
+                );
+                e3.push(evaluate(&a, &s2d, Alg::SinglePhase));
+            }
+            let (g1, g2, g3) = (geomean_eval(&e1), geomean_eval(&e2), geomean_eval(&e3));
+            println!(
+                "{:<12} {:>5} | {:>6} {:>4.0}/{:>4} {:>8} {:>7.1} | {:>6} {:>4.0}/{:>4} {:>6} {:>7.1} | {:>6} {:>6} {:>7.1}",
+                spec.name,
+                k,
+                fmt_li(g1.li),
+                g1.avg_msgs,
+                g1.max_msgs,
+                fmt_e(g1.volume as f64),
+                g1.speedup,
+                fmt_li(g2.li),
+                g2.avg_msgs,
+                g2.max_msgs,
+                fmt_ratio(g2.volume as f64, g1.volume as f64),
+                g2.speedup,
+                fmt_li(g3.li),
+                fmt_ratio(g3.volume as f64, g1.volume as f64),
+                g3.speedup,
+            );
+            let entry = per_k.entry(k).or_default();
+            entry[0].push(g1);
+            entry[1].push(g2);
+            entry[2].push(g3);
+        }
+        println!();
+    }
+
+    println!("geometric means over the suite:");
+    for (&k, [v1, v2, v3]) in &per_k {
+        let (g1, g2, g3) = (geomean_eval(v1), geomean_eval(v2), geomean_eval(v3));
+        println!(
+            "{:<12} {:>5} | {:>6} {:>4.0}/{:>4} {:>8} {:>7.1} | {:>6} {:>4.0}/{:>4} {:>6} {:>7.1} | {:>6} {:>6} {:>7.1}",
+            "geomean",
+            k,
+            fmt_li(g1.li),
+            g1.avg_msgs,
+            g1.max_msgs,
+            fmt_e(g1.volume as f64),
+            g1.speedup,
+            fmt_li(g2.li),
+            g2.avg_msgs,
+            g2.max_msgs,
+            fmt_ratio(g2.volume as f64, g1.volume as f64),
+            g2.speedup,
+            fmt_li(g3.li),
+            fmt_ratio(g3.volume as f64, g1.volume as f64),
+            g3.speedup,
+        );
+    }
+    println!("\npaper geomean rows (for shape comparison):");
+    for (k, row) in PAPER_GEOMEAN {
+        println!("  K={k:<4} {row}");
+    }
+    println!("\nExpected shape: s2D volume well below 1D (ratio < 1), s2D load");
+    println!("imbalance <= 1D, 2D best balance but highest message counts,");
+    println!("s2D best average speedup.");
+}

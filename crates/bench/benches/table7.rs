@@ -1,0 +1,92 @@
+//! Regenerates **Table VII**: s2D (Algorithm 1 on a 1D vector partition)
+//! vs s2D-mg (medium-grain composite hypergraph, Pelt & Bisseling adapted)
+//! on suite B.
+//!
+//! The paper's finding: s2D-mg balances much better (the partitioner
+//! controls the decoded loads directly) while s2D achieves markedly less
+//! volume and latency; the gap closes as K grows.
+
+use s2d_baselines::{partition_1d_rowwise, partition_s2d_mg};
+use s2d_bench::{evaluate, fmt_e, fmt_li, fmt_ratio, geomean_eval, Alg, Evaluation};
+use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d_gen::{suite_b, Scale};
+
+/// Paper geomean rows.
+const PAPER_GEOMEAN: [(usize, &str); 3] = [
+    (256, "s2D-mg: 4.8% lat 39 6.54e4 | s2D: 52.3% lat 26 ratio 0.52"),
+    (1024, "s2D-mg: 9.4% lat 50 1.24e5 | s2D: 71.7% lat 32 ratio 0.61"),
+    (4096, "s2D-mg: 11.9% lat 38 2.42e5 | s2D: 83.8% lat 30 ratio 0.74"),
+];
+
+fn main() {
+    s2d_bench::banner("Table VII", "s2D-mg (medium-grain) vs s2D (suite B)");
+    let scale = Scale::from_env();
+    let seeds = s2d_bench::seeds_from_env();
+    let ks = scale.ks_suite_b();
+
+    println!(
+        "\n{:<12} {:>5} | {:>6} {:>5} {:>9} | {:>6} {:>5} {:>6}",
+        "name", "K", "mg-LI", "lat", "lam-mg", "s2D-LI", "lat", "lam"
+    );
+
+    let mut per_k: std::collections::BTreeMap<usize, [Vec<Evaluation>; 2]> =
+        std::collections::BTreeMap::new();
+
+    for spec in suite_b() {
+        let a = spec.generate(scale, 1);
+        for &k in &ks {
+            let mut emg = Vec::new();
+            let mut es2 = Vec::new();
+            for seed in 0..seeds {
+                let mg = partition_s2d_mg(&a, k, 0.03, seed + 1);
+                emg.push(evaluate(&a, &mg, Alg::SinglePhase));
+                let oned = partition_1d_rowwise(&a, k, 0.03, seed + 1);
+                let s2d = s2d_from_vector_partition(
+                    &a,
+                    &oned.row_part,
+                    &oned.col_part,
+                    &HeuristicConfig::default(),
+                );
+                es2.push(evaluate(&a, &s2d, Alg::SinglePhase));
+            }
+            let (gmg, gs2) = (geomean_eval(&emg), geomean_eval(&es2));
+            println!(
+                "{:<12} {:>5} | {:>6} {:>5.0} {:>9} | {:>6} {:>5.0} {:>6}",
+                spec.name,
+                k,
+                fmt_li(gmg.li),
+                gmg.avg_msgs,
+                fmt_e(gmg.volume as f64),
+                fmt_li(gs2.li),
+                gs2.avg_msgs,
+                fmt_ratio(gs2.volume as f64, gmg.volume as f64),
+            );
+            let entry = per_k.entry(k).or_default();
+            entry[0].push(gmg);
+            entry[1].push(gs2);
+        }
+        println!();
+    }
+
+    println!("geometric means over the suite:");
+    for (&k, [vmg, vs2]) in &per_k {
+        let (gmg, gs2) = (geomean_eval(vmg), geomean_eval(vs2));
+        println!(
+            "{:<12} {:>5} | {:>6} {:>5.0} {:>9} | {:>6} {:>5.0} {:>6}",
+            "geomean",
+            k,
+            fmt_li(gmg.li),
+            gmg.avg_msgs,
+            fmt_e(gmg.volume as f64),
+            fmt_li(gs2.li),
+            gs2.avg_msgs,
+            fmt_ratio(gs2.volume as f64, gmg.volume as f64),
+        );
+    }
+    println!("\npaper geomean rows (for shape comparison):");
+    for (k, row) in PAPER_GEOMEAN {
+        println!("  K={k:<4} {row}");
+    }
+    println!("\nExpected shape: s2D-mg clearly better balanced; s2D clearly");
+    println!("lower volume (ratio < 1) and fewer messages; gap narrows with K.");
+}

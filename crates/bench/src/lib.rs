@@ -1,0 +1,169 @@
+//! Shared infrastructure for the table-regeneration bench harnesses.
+//!
+//! Every `benches/tableN.rs` target reproduces one table (or figure) of
+//! the paper: it generates the suite doubles at the scale selected by
+//! `S2D_SCALE`, runs the partitioning methods involved, and prints the
+//! paper's columns next to the measured ones. `S2D_SEEDS` (default 1,
+//! the paper used 3) controls how many randomized runs are averaged
+//! geometrically, mirroring the paper's PaToH averaging.
+
+use s2d_core::comm::CommStats;
+use s2d_core::partition::SpmvPartition;
+use s2d_sim::MachineModel;
+use s2d_sparse::Csr;
+use s2d_spmv::{simulate_plan, SpmvPlan};
+
+/// Which SpMV algorithm evaluates a partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Alg {
+    /// Fused Expand-and-Fold (s2D and 1D partitions).
+    SinglePhase,
+    /// Expand → compute → fold (general 2D partitions).
+    TwoPhase,
+    /// Mesh-routed two-phase (s2D-b).
+    Mesh,
+}
+
+/// Quality metrics of one partition under one algorithm — the columns the
+/// paper reports.
+#[derive(Clone, Copy, Debug)]
+pub struct Evaluation {
+    /// Load imbalance (fraction; paper prints `LI%`).
+    pub li: f64,
+    /// Average messages sent per processor.
+    pub avg_msgs: f64,
+    /// Maximum messages sent by one processor.
+    pub max_msgs: u32,
+    /// Total communication volume in words (λ).
+    pub volume: u64,
+    /// Modelled speedup over serial (`Sp`).
+    pub speedup: f64,
+}
+
+/// Builds the plan for `alg`, collects its statistics and simulates it on
+/// the XE6-flavoured machine model.
+pub fn evaluate(a: &Csr, p: &SpmvPartition, alg: Alg) -> Evaluation {
+    let plan = match alg {
+        Alg::SinglePhase => SpmvPlan::single_phase(a, p),
+        Alg::TwoPhase => SpmvPlan::two_phase(a, p),
+        Alg::Mesh => SpmvPlan::mesh_default(a, p),
+    };
+    let stats: CommStats = plan.comm_stats();
+    let report = simulate_plan(&plan, &MachineModel::cray_xe6());
+    Evaluation {
+        li: p.load_imbalance(),
+        avg_msgs: stats.avg_send_msgs(),
+        max_msgs: stats.max_send_msgs(),
+        volume: stats.total_volume,
+        speedup: report.speedup(),
+    }
+}
+
+/// Number of randomized runs to average (env `S2D_SEEDS`, default 1; the
+/// paper used 3 PaToH runs).
+pub fn seeds_from_env() -> u64 {
+    std::env::var("S2D_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+}
+
+/// Geometric mean of positive values (values are clamped away from zero
+/// so occasional exact-zero entries don't collapse the mean).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Averages evaluations geometrically, component-wise (the paper's
+/// geomean rows).
+pub fn geomean_eval(evals: &[Evaluation]) -> Evaluation {
+    Evaluation {
+        // LI is averaged as geomean(1+LI) − 1 to stay meaningful across
+        // mixed magnitudes.
+        li: geomean(&evals.iter().map(|e| 1.0 + e.li).collect::<Vec<_>>()) - 1.0,
+        avg_msgs: geomean(&evals.iter().map(|e| e.avg_msgs).collect::<Vec<_>>()),
+        max_msgs: geomean(&evals.iter().map(|e| e.max_msgs as f64).collect::<Vec<_>>()).round()
+            as u32,
+        volume: geomean(&evals.iter().map(|e| e.volume as f64).collect::<Vec<_>>()).round() as u64,
+        speedup: geomean(&evals.iter().map(|e| e.speedup).collect::<Vec<_>>()),
+    }
+}
+
+/// Formats a load imbalance the way the paper does: `12.9%`, or `1.6*`
+/// meaning 160% when it exceeds 100%.
+pub fn fmt_li(li: f64) -> String {
+    if li >= 1.0 {
+        format!("{li:.1}*")
+    } else {
+        format!("{:.1}%", li * 100.0)
+    }
+}
+
+/// Formats a volume like the paper's `2.30e5`.
+pub fn fmt_e(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let exp = v.abs().log10().floor() as i32;
+    let mant = v / 10f64.powi(exp);
+    format!("{mant:.2}e{exp}")
+}
+
+/// Formats a ratio column (`λ/λ_ref`) like the paper (two decimals).
+pub fn fmt_ratio(v: f64, reference: f64) -> String {
+    if reference == 0.0 {
+        return "-".to_string();
+    }
+    format!("{:.2}", v / reference)
+}
+
+/// Prints a standard harness banner with the scale in effect.
+pub fn banner(experiment: &str, what: &str) {
+    let scale = s2d_gen::Scale::from_env();
+    println!("================================================================");
+    println!("{experiment} — {what}");
+    println!(
+        "scale: {scale:?} (S2D_SCALE=tiny|small|paper), seeds: {} (S2D_SEEDS)",
+        seeds_from_env()
+    );
+    println!("Paper reference values are reprinted from the publication; the");
+    println!("measured values come from the synthetic doubles (DESIGN.md §2).");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 9.0]) - 6.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn li_formatting_follows_paper_convention() {
+        assert_eq!(fmt_li(0.129), "12.9%");
+        assert_eq!(fmt_li(1.6), "1.6*");
+        assert_eq!(fmt_li(0.0), "0.0%");
+    }
+
+    #[test]
+    fn scientific_formatting() {
+        assert_eq!(fmt_e(230_000.0), "2.30e5");
+        assert_eq!(fmt_e(0.0), "0");
+        assert_eq!(fmt_e(8_060.0), "8.06e3");
+    }
+
+    #[test]
+    fn evaluate_on_figure1() {
+        let a = s2d_core::fig1::fig1_matrix();
+        let p = s2d_core::fig1::fig1_partition();
+        let e = evaluate(&a, &p, Alg::SinglePhase);
+        assert!(e.volume > 0);
+        assert!(e.speedup > 0.0);
+        let e2 = evaluate(&a, &p, Alg::TwoPhase);
+        assert_eq!(e.volume, e2.volume);
+    }
+}

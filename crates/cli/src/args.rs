@@ -1,0 +1,106 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments and `--flag value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--flag value` pairs (flags given without a value map to `""`).
+    pub options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Splits raw arguments into positionals and options. A token
+    /// starting with `--` consumes the next token as its value unless
+    /// that token also starts with `--` (then it is a bare flag).
+    pub fn parse(raw: &[String]) -> Args {
+        let mut args = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        it.next().expect("peeked").clone()
+                    }
+                    _ => String::new(),
+                };
+                args.options.insert(name.to_string(), value);
+            } else {
+                args.positional.push(tok.clone());
+            }
+        }
+        args
+    }
+
+    /// The option's value, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// The option's value or a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// Parses the option as `T`, with a default when absent.
+    ///
+    /// # Panics
+    /// Exits the process with a message when the value does not parse —
+    /// appropriate for a CLI front end.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{name} expects a {}, got {v:?}", std::any::type_name::<T>());
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// True if the bare flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn splits_positionals_and_options() {
+        let a = parse(&["partition", "m.mtx", "--k", "16", "--method", "s2d"]);
+        assert_eq!(a.positional, vec!["partition", "m.mtx"]);
+        assert_eq!(a.get("k"), Some("16"));
+        assert_eq!(a.get("method"), Some("s2d"));
+    }
+
+    #[test]
+    fn bare_flags_have_empty_value() {
+        let a = parse(&["analyze", "--verbose", "--k", "4"]);
+        assert!(a.has("verbose"));
+        assert_eq!(a.get("verbose"), Some(""));
+        assert_eq!(a.parse_or("k", 0usize), 4);
+    }
+
+    #[test]
+    fn parse_or_uses_default() {
+        let a = parse(&["gen"]);
+        assert_eq!(a.parse_or("seed", 42u64), 42);
+        assert_eq!(a.get_or("scale", "small"), "small");
+    }
+
+    #[test]
+    fn consecutive_flags_do_not_eat_each_other() {
+        let a = parse(&["--quiet", "--k", "8"]);
+        assert!(a.has("quiet"));
+        assert_eq!(a.get("quiet"), Some(""));
+        assert_eq!(a.get("k"), Some("8"));
+    }
+}

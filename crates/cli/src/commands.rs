@@ -1,0 +1,296 @@
+//! Subcommand dispatch and implementations.
+
+use s2d_baselines::{
+    partition_1d_b, partition_1d_colwise, partition_1d_rowwise, partition_2d_fine_grain,
+    partition_checkerboard, partition_s2d_mg,
+};
+use s2d_core::comm::{comm_requirements, single_phase_messages, two_phase_messages, CommStats};
+use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d_core::optimal::s2d_optimal;
+use s2d_core::partition::SpmvPartition;
+use s2d_gen::{suite_a, suite_b, Scale};
+use s2d_sim::MachineModel;
+use s2d_sparse::{read_matrix_market_file, write_matrix_market_file, Csr, MatrixStats};
+use s2d_spmv::{simulate_plan, SpmvPlan};
+
+use crate::args::Args;
+use crate::partfile::{read_partition_file, write_partition_file};
+
+const HELP: &str = "\
+s2d — semi-two-dimensional sparse matrix partitioning
+
+USAGE
+  s2d gen       --name <suite matrix> [--scale tiny|small|paper] [--seed N] --out m.mtx
+  s2d gen       --list
+  s2d partition <m.mtx> --method <M> --k <K> [--epsilon E] [--seed N] --out p.s2dpart
+  s2d analyze   <m.mtx> <p.s2dpart> [--alg single|two|mesh]
+  s2d spmv      <m.mtx> <p.s2dpart> [--alg single|two|mesh]
+  s2d help
+
+METHODS (--method)
+  1d | 1d-col | 2d | s2d | s2d-opt | s2d-mg | 2d-b | 1d-b
+
+Matrices for `gen --name` come from the paper's two suites (Table I and
+Table IV); `gen --list` prints them. Partition files are plain text
+(see crates/cli/src/partfile.rs).
+";
+
+/// Entry point: dispatches `raw` to a subcommand. Exits the process on
+/// user error (bad flags, missing files) with a diagnostic.
+pub fn run(raw: Vec<String>) {
+    let args = Args::parse(&raw);
+    let cmd = args.positional.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "gen" => cmd_gen(&args),
+        "partition" => cmd_partition(&args),
+        "analyze" => cmd_analyze(&args),
+        "spmv" => cmd_spmv(&args),
+        "help" | "--help" | "-h" => print!("{HELP}"),
+        other => {
+            eprintln!("error: unknown subcommand {other:?}\n");
+            eprint!("{HELP}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn load_matrix(path: &str) -> Csr {
+    match read_matrix_market_file(path) {
+        Ok(coo) => coo.to_csr(),
+        Err(e) => fail(format!("cannot read {path}: {e}")),
+    }
+}
+
+fn cmd_gen(args: &Args) {
+    let specs: Vec<_> = suite_a().into_iter().chain(suite_b()).collect();
+    if args.has("list") {
+        println!("{:<14} {:>9} {:>10} {:>7} {:>8}  source", "name", "n", "nnz", "davg", "dmax");
+        for s in &specs {
+            println!(
+                "{:<14} {:>9} {:>10} {:>7.1} {:>8}  {}",
+                s.name, s.paper.n, s.paper.nnz, s.paper.davg, s.paper.dmax, s.application
+            );
+        }
+        return;
+    }
+    let name = args.get("name").unwrap_or_else(|| fail("gen requires --name (or --list)"));
+    let out = args.get("out").unwrap_or_else(|| fail("gen requires --out <file.mtx>"));
+    let scale = match args.get_or("scale", "small") {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "paper" => Scale::Paper,
+        other => fail(format!("unknown scale {other:?}")),
+    };
+    let seed = args.parse_or("seed", 1u64);
+    let spec = specs
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| fail(format!("unknown matrix {name:?}; try `s2d gen --list`")));
+    let a = spec.generate(scale, seed);
+    let stats = MatrixStats::of(&a);
+    if let Err(e) = write_matrix_market_file(&a.to_coo(), out) {
+        fail(format!("cannot write {out}: {e}"));
+    }
+    println!(
+        "{}: wrote {} ({}x{}, {} nnz, davg {:.1}, dmax {})",
+        spec.name, out, stats.nrows, stats.ncols, stats.nnz, stats.row_davg, stats.row_dmax
+    );
+}
+
+fn cmd_partition(args: &Args) {
+    let path = args
+        .positional
+        .get(1)
+        .unwrap_or_else(|| fail("partition requires a matrix file argument"));
+    let method = args.get_or("method", "s2d");
+    let k = args.parse_or("k", 16usize);
+    let epsilon = args.parse_or("epsilon", 0.03f64);
+    let seed = args.parse_or("seed", 1u64);
+    let out = args.get("out").unwrap_or_else(|| fail("partition requires --out <file>"));
+
+    let a = load_matrix(path);
+    let p = build_partition(&a, method, k, epsilon, seed);
+    if let Err(e) = write_partition_file(&p, out) {
+        fail(format!("cannot write {out}: {e}"));
+    }
+    let reqs = comm_requirements(&a, &p);
+    println!(
+        "{method}: K={k}, LI {:.1}%, volume {} words, s2D {}",
+        p.load_imbalance() * 100.0,
+        reqs.total_volume(),
+        if p.is_s2d(&a) { "yes" } else { "no" }
+    );
+}
+
+/// Builds a partition by method name — shared by `partition` and tests.
+pub fn build_partition(a: &Csr, method: &str, k: usize, epsilon: f64, seed: u64) -> SpmvPartition {
+    match method {
+        "1d" => partition_1d_rowwise(a, k, epsilon, seed).partition,
+        "1d-col" => partition_1d_colwise(a, k, epsilon, seed).partition,
+        "2d" => partition_2d_fine_grain(a, k, epsilon, seed),
+        "s2d" => {
+            let oned = partition_1d_rowwise(a, k, epsilon, seed);
+            s2d_from_vector_partition(
+                a,
+                &oned.row_part,
+                &oned.col_part,
+                &HeuristicConfig { epsilon, ..Default::default() },
+            )
+        }
+        "s2d-opt" => {
+            let oned = partition_1d_rowwise(a, k, epsilon, seed);
+            s2d_optimal(a, &oned.row_part, &oned.col_part, k)
+        }
+        "s2d-mg" => partition_s2d_mg(a, k, epsilon, seed),
+        "2d-b" => partition_checkerboard(a, k, epsilon, seed).partition,
+        "1d-b" => {
+            let oned = partition_1d_rowwise(a, k, epsilon, seed);
+            partition_1d_b(a, &oned.row_part, k)
+        }
+        other => fail(format!("unknown method {other:?}")),
+    }
+}
+
+/// Compiles the plan named by `--alg` (default: the best legal one).
+fn plan_for(a: &Csr, p: &SpmvPartition, alg: &str) -> SpmvPlan {
+    match alg {
+        "auto" => {
+            if p.is_s2d(a) {
+                SpmvPlan::single_phase(a, p)
+            } else {
+                SpmvPlan::two_phase(a, p)
+            }
+        }
+        "single" => SpmvPlan::single_phase(a, p),
+        "two" => SpmvPlan::two_phase(a, p),
+        "mesh" => SpmvPlan::mesh_default(a, p),
+        other => fail(format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn cmd_analyze(args: &Args) {
+    let mpath =
+        args.positional.get(1).unwrap_or_else(|| fail("analyze requires a matrix file"));
+    let ppath =
+        args.positional.get(2).unwrap_or_else(|| fail("analyze requires a partition file"));
+    let a = load_matrix(mpath);
+    let p = match read_partition_file(ppath) {
+        Ok(p) => p,
+        Err(e) => fail(format!("cannot read {ppath}: {e}")),
+    };
+    p.assert_shape(&a);
+    let alg = args.get_or("alg", "auto");
+    let plan = plan_for(&a, &p, alg);
+    let stats: CommStats = plan.comm_stats();
+    let report = simulate_plan(&plan, &MachineModel::cray_xe6());
+
+    println!("matrix      : {} x {}, {} nnz", a.nrows(), a.ncols(), a.nnz());
+    println!("partition   : K = {}, s2D = {}", p.k, p.is_s2d(&a));
+    println!("load        : LI {:.1}%  (max {} avg {:.1})",
+        p.load_imbalance() * 100.0,
+        p.loads().iter().max().copied().unwrap_or(0),
+        a.nnz() as f64 / p.k as f64);
+    println!(
+        "comm        : volume {} words, messages {} (avg {:.1} / max {} per proc)",
+        stats.total_volume,
+        stats.total_messages,
+        stats.avg_send_msgs(),
+        stats.max_send_msgs()
+    );
+    let reqs = comm_requirements(&a, &p);
+    let single = single_phase_messages(&reqs).len();
+    let [e, f] = two_phase_messages(&reqs);
+    println!("fusion      : {} fused messages vs {} unfused (expand {} + fold {})",
+        single, e.len() + f.len(), e.len(), f.len());
+    println!(
+        "model (XE6) : parallel {:.1} us, speedup {:.1} over serial",
+        report.parallel_time * 1e6,
+        report.speedup()
+    );
+}
+
+fn cmd_spmv(args: &Args) {
+    let mpath = args.positional.get(1).unwrap_or_else(|| fail("spmv requires a matrix file"));
+    let ppath =
+        args.positional.get(2).unwrap_or_else(|| fail("spmv requires a partition file"));
+    let a = load_matrix(mpath);
+    let p = match read_partition_file(ppath) {
+        Ok(p) => p,
+        Err(e) => fail(format!("cannot read {ppath}: {e}")),
+    };
+    let alg = args.get_or("alg", "auto");
+    let plan = plan_for(&a, &p, alg);
+    let x: Vec<f64> = (0..a.ncols()).map(|j| ((j * 37) % 19) as f64 - 9.0).collect();
+    let want = a.spmv_alloc(&x);
+    let got = plan.execute_threaded(&x);
+    let max_err = got
+        .iter()
+        .zip(&want)
+        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0f64, f64::max);
+    println!(
+        "executed {} plan on {} ranks: max relative error {max_err:.2e} {}",
+        alg,
+        p.k,
+        if max_err < 1e-9 { "(ok)" } else { "(FAILED)" }
+    );
+    if max_err >= 1e-9 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_sparse::Coo;
+
+    fn grid(n: usize) -> Csr {
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 4.0);
+            if i + 1 < n {
+                m.push(i, i + 1, -1.0);
+                m.push(i + 1, i, -1.0);
+            }
+        }
+        m.compress();
+        m.to_csr()
+    }
+
+    #[test]
+    fn build_partition_every_method_is_valid() {
+        let a = grid(64);
+        for method in ["1d", "1d-col", "2d", "s2d", "s2d-opt", "s2d-mg", "2d-b", "1d-b"] {
+            let p = build_partition(&a, method, 4, 0.10, 3);
+            p.assert_shape(&a);
+            assert_eq!(p.k, 4, "{method}");
+        }
+    }
+
+    #[test]
+    fn s2d_methods_produce_s2d_partitions() {
+        let a = grid(48);
+        for method in ["1d", "s2d", "s2d-opt", "s2d-mg"] {
+            let p = build_partition(&a, method, 4, 0.10, 5);
+            assert!(p.is_s2d(&a), "{method} must satisfy the s2D property");
+        }
+    }
+
+    #[test]
+    fn partition_file_roundtrip_through_cli_types() {
+        let a = grid(32);
+        let p = build_partition(&a, "s2d", 4, 0.10, 7);
+        let dir = std::env::temp_dir().join("s2d-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("grid.s2dpart");
+        crate::partfile::write_partition_file(&p, &path).expect("write");
+        let back = crate::partfile::read_partition_file(&path).expect("read");
+        assert_eq!(back, p);
+        std::fs::remove_file(&path).ok();
+    }
+}

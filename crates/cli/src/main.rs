@@ -1,0 +1,5 @@
+//! `s2d` — command-line front end. See `s2d help`.
+
+fn main() {
+    s2d_cli::run(std::env::args().skip(1).collect());
+}

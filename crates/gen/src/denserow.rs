@@ -1,0 +1,135 @@
+//! Background-sparse matrices with dense rows (and optionally columns).
+//!
+//! Optimization and circuit-simulation matrices (c-big, ASIC_680k, boyd2,
+//! lp1, ins2, rajat30, pattern1) combine a low-degree background with a
+//! geometric tail of very dense rows — `dmax` reaching a large fraction
+//! of `n`. That tail is exactly what breaks 1D partitioning in the paper
+//! (a row's nonzeros cannot be split), so reproducing it faithfully is
+//! what makes Tables IV–VII meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2d_sparse::{Coo, Csr};
+
+/// Configuration for [`dense_row_matrix`].
+#[derive(Clone, Debug)]
+pub struct DenseRowConfig {
+    /// Matrix order.
+    pub n: usize,
+    /// Target nonzero count (approximate; duplicates are summed away).
+    pub nnz: usize,
+    /// Maximum row degree — the densest row.
+    pub dmax: usize,
+    /// Ratio between consecutive tail-row degrees (e.g. 0.5 halves).
+    pub tail_decay: f64,
+    /// Also mirror each dense row into a dense column (circuit matrices
+    /// have both).
+    pub mirror_cols: bool,
+}
+
+/// Generates the matrix: a diagonal, a uniform background filling the
+/// budget left by the tail, and dense rows of degrees
+/// `dmax, dmax·decay, dmax·decay², …` while budget remains.
+pub fn dense_row_matrix(cfg: &DenseRowConfig, seed: u64) -> Csr {
+    let DenseRowConfig { n, nnz, dmax, tail_decay, mirror_cols } = *cfg;
+    assert!(n >= 4 && nnz >= n, "need at least a diagonal");
+    assert!(dmax < n, "a row cannot exceed n-1 off-diagonal entries");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Coo::with_capacity(n, n, nnz + n);
+
+    // Diagonal (keeps every row/column nonempty; typical for these
+    // application classes).
+    for i in 0..n {
+        m.push(i, i, 1.0);
+    }
+
+    // Dense tail: spend at most half the budget on it. Columns of a dense
+    // row are sampled *without* replacement (partial Fisher–Yates) so the
+    // densest row really has `dmax` distinct entries.
+    let tail_budget = (nnz - n) / 2;
+    let mut deck: Vec<u32> = (0..n as u32).collect();
+    let mut deg = dmax;
+    let mut tail_nnz = 0usize;
+    while deg >= 16 && tail_nnz + deg <= tail_budget.max(dmax) {
+        let r = rng.random_range(0..n);
+        for t in 0..deg {
+            let pick = rng.random_range(t..n);
+            deck.swap(t, pick);
+            let c = deck[t] as usize;
+            m.push(r, c, 1.0);
+            if mirror_cols {
+                m.push(c, r, 1.0);
+            }
+        }
+        tail_nnz += if mirror_cols { 2 * deg } else { deg };
+        if tail_nnz >= tail_budget {
+            break;
+        }
+        let next = (deg as f64 * tail_decay) as usize;
+        if next == deg {
+            break;
+        }
+        deg = next;
+    }
+
+    // Background: fill the remaining budget uniformly.
+    let remaining = nnz.saturating_sub(n + tail_nnz);
+    for _ in 0..remaining {
+        let r = rng.random_range(0..n);
+        let c = rng.random_range(0..n);
+        m.push(r, c, 1.0);
+    }
+    m.compress();
+    m.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_sparse::MatrixStats;
+
+    fn cfg(n: usize, nnz: usize, dmax: usize) -> DenseRowConfig {
+        DenseRowConfig { n, nnz, dmax, tail_decay: 0.5, mirror_cols: false }
+    }
+
+    #[test]
+    fn hits_dmax_and_nnz_targets() {
+        let c = cfg(10_000, 60_000, 5_000);
+        let a = dense_row_matrix(&c, 1);
+        let s = MatrixStats::of(&a);
+        // Duplicates shrink both a little.
+        assert!(s.row_dmax > 4_000, "dmax {}", s.row_dmax);
+        assert!(s.nnz > 50_000 && s.nnz <= 61_000, "nnz {}", s.nnz);
+    }
+
+    #[test]
+    fn background_keeps_low_average() {
+        let c = cfg(10_000, 40_000, 3_000);
+        let a = dense_row_matrix(&c, 2);
+        let s = MatrixStats::of(&a);
+        assert!(s.row_davg < 6.0, "davg {}", s.row_davg);
+        assert!((s.row_dmax as f64) > 100.0 * 1.0, "skew expected");
+    }
+
+    #[test]
+    fn mirrored_columns_create_dense_columns() {
+        let c = DenseRowConfig { mirror_cols: true, ..cfg(5_000, 30_000, 2_000) };
+        let a = dense_row_matrix(&c, 3);
+        let s = MatrixStats::of(&a);
+        assert!(s.col_dmax > 1_500, "col dmax {}", s.col_dmax);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = cfg(2_000, 10_000, 500);
+        assert_eq!(dense_row_matrix(&c, 7), dense_row_matrix(&c, 7));
+    }
+
+    #[test]
+    fn no_empty_rows_or_cols() {
+        let c = cfg(1_000, 5_000, 300);
+        let a = dense_row_matrix(&c, 4);
+        assert_eq!(s2d_sparse::stats::nonempty_rows(&a), 1_000);
+        assert_eq!(s2d_sparse::stats::nonempty_cols(&a), 1_000);
+    }
+}

@@ -1,0 +1,94 @@
+//! Chung–Lu scale-free graphs (the com-Youtube double).
+//!
+//! Vertices get power-law weights capped at `dmax`; edges sample both
+//! endpoints proportionally to weight, giving expected degrees close to
+//! the weights. Symmetrized and deduplicated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2d_sparse::{Coo, Csr};
+
+/// Generates an undirected scale-free graph with `n` vertices, about
+/// `nnz` nonzeros, power-law exponent `gamma` (typically 2–3) and a
+/// degree cap of `dmax`.
+pub fn power_law(n: usize, nnz: usize, gamma: f64, dmax: usize, seed: u64) -> Csr {
+    assert!(n >= 4);
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Weights w_i = c · (i + i0)^(-1/(gamma-1)), capped.
+    let exponent = -1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 10) as f64).powf(exponent)).collect();
+    let sum: f64 = weights.iter().sum();
+    let target_sum = nnz as f64; // ~2 endpoints per (directed) sample below
+    for w in &mut weights {
+        *w = (*w / sum * target_sum).min(dmax as f64);
+    }
+    // Cumulative distribution for endpoint sampling.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let total = acc;
+    let sample = |rng: &mut StdRng| -> usize {
+        let t: f64 = rng.random_range(0.0..total);
+        cdf.partition_point(|&c| c < t).min(n - 1)
+    };
+
+    let m_edges = nnz / 2;
+    let mut m = Coo::with_capacity(n, n, 2 * m_edges + n);
+    for i in 0..n {
+        m.push(i, i, 1.0); // diagonal keeps rows nonempty (adjacency+I)
+    }
+    for _ in 0..m_edges {
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        if u != v {
+            m.push(u, v, 1.0);
+            m.push(v, u, 1.0);
+        }
+    }
+    m.compress();
+    m.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_sparse::MatrixStats;
+
+    #[test]
+    fn shape_and_symmetry() {
+        let a = power_law(5_000, 40_000, 2.3, 1_000, 1);
+        assert!(a.is_pattern_symmetric());
+        let s = MatrixStats::of(&a);
+        assert!(s.nnz > 25_000, "nnz {}", s.nnz);
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let a = power_law(10_000, 80_000, 2.2, 3_000, 2);
+        let s = MatrixStats::of(&a);
+        assert!(
+            (s.row_dmax as f64) > 10.0 * s.row_davg,
+            "dmax {} davg {}",
+            s.row_dmax,
+            s.row_davg
+        );
+    }
+
+    #[test]
+    fn cap_limits_hub_degree() {
+        let a = power_law(10_000, 80_000, 2.2, 200, 3);
+        let s = MatrixStats::of(&a);
+        // Cap plus symmetrization slack.
+        assert!(s.row_dmax <= 450, "dmax {}", s.row_dmax);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(power_law(1_000, 8_000, 2.5, 300, 5), power_law(1_000, 8_000, 2.5, 300, 5));
+    }
+}

@@ -1,0 +1,145 @@
+//! R-MAT recursive matrix generator (Chakrabarti, Zhan & Faloutsos 2004).
+//!
+//! Used by the paper for `rmat_20`: a scale-20 graph with
+//! `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`, edges made undirected —
+//! Graph500-style parameters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2d_sparse::Coo;
+
+/// R-MAT parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// `log2` of the vertex count.
+    pub scale: u32,
+    /// Directed edges to sample per vertex (before symmetrization and
+    /// deduplication).
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to 1.
+    pub a: f64,
+    /// Quadrant probabilities; must sum to 1.
+    pub b: f64,
+    /// Quadrant probabilities; must sum to 1.
+    pub c: f64,
+    /// Quadrant probabilities; must sum to 1.
+    pub d: f64,
+    /// Make the pattern symmetric (paper: "edges made undirected").
+    pub symmetric: bool,
+}
+
+impl RmatConfig {
+    /// The paper's parameters: `a=0.57, b=c=0.19, d=0.05`, undirected.
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        RmatConfig { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, d: 0.05, symmetric: true }
+    }
+}
+
+/// Generates an R-MAT matrix. Duplicate edges are summed away by the
+/// triplet compression, so the nonzero count is slightly below
+/// `edge_factor · 2^scale` (times 2 when symmetric).
+pub fn rmat(cfg: &RmatConfig, seed: u64) -> Coo {
+    let total = cfg.a + cfg.b + cfg.c + cfg.d;
+    assert!((total - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    let n = 1usize << cfg.scale;
+    let nedges = cfg.edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Coo::with_capacity(n, n, if cfg.symmetric { 2 * nedges } else { nedges });
+    for _ in 0..nedges {
+        let (mut r, mut c) = (0usize, 0usize);
+        for level in (0..cfg.scale).rev() {
+            let p: f64 = rng.random();
+            let bit = 1usize << level;
+            if p < cfg.a {
+                // top-left: nothing set
+            } else if p < cfg.a + cfg.b {
+                c |= bit;
+            } else if p < cfg.a + cfg.b + cfg.c {
+                r |= bit;
+            } else {
+                r |= bit;
+                c |= bit;
+            }
+        }
+        m.push(r, c, 1.0);
+        if cfg.symmetric && r != c {
+            m.push(c, r, 1.0);
+        }
+    }
+    m.compress();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_sparse::MatrixStats;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = RmatConfig::graph500(10, 8);
+        let m1 = rmat(&cfg, 42);
+        let m2 = rmat(&cfg, 42);
+        assert_eq!(m1.nrows(), 1024);
+        assert_eq!(
+            m1.iter().collect::<Vec<_>>(),
+            m2.iter().collect::<Vec<_>>(),
+            "same seed must reproduce the same matrix"
+        );
+        let m3 = rmat(&cfg, 43);
+        assert_ne!(
+            m1.iter().collect::<Vec<_>>().len(),
+            0,
+        );
+        assert_ne!(
+            m1.iter().collect::<Vec<_>>(),
+            m3.iter().collect::<Vec<_>>(),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn symmetric_output_is_symmetric() {
+        let m = rmat(&RmatConfig::graph500(8, 8), 7).to_csr();
+        assert!(m.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn skewed_parameters_produce_skewed_degrees() {
+        // Graph500 parameters concentrate mass in the top-left quadrant:
+        // the max degree should far exceed the average.
+        let m = rmat(&RmatConfig::graph500(12, 8), 1).to_csr();
+        let s = MatrixStats::of(&m);
+        assert!(
+            (s.row_dmax as f64) > 8.0 * s.row_davg,
+            "dmax {} vs davg {}",
+            s.row_dmax,
+            s.row_davg
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_are_not_skewed() {
+        let cfg = RmatConfig {
+            scale: 12,
+            edge_factor: 8,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+            symmetric: false,
+        };
+        let m = rmat(&cfg, 1).to_csr();
+        let s = MatrixStats::of(&m);
+        assert!((s.row_dmax as f64) < 6.0 * s.row_davg);
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let cfg = RmatConfig { symmetric: false, ..RmatConfig::graph500(12, 8) };
+        let m = rmat(&cfg, 3);
+        let target = 8 * 4096;
+        assert!(m.nnz() <= target);
+        assert!(m.nnz() > target * 8 / 10, "{} of {target}", m.nnz());
+    }
+}

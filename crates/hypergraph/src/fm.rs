@@ -1,0 +1,430 @@
+//! Fiduccia–Mattheyses bisection refinement.
+//!
+//! Classic FM with the textbook delta-gain rules, a lazy max-heap
+//! (entries carry a per-vertex version stamp; stale entries are skipped on
+//! pop), hill climbing with best-prefix rollback, and a balance mode that
+//! lets infeasible partitions walk back into the balance envelope by
+//! accepting overweight-reducing moves regardless of gain.
+
+use std::collections::BinaryHeap;
+
+use crate::hg::Hypergraph;
+
+/// Incremental state of a bisection: side of every vertex, per-net pin
+/// counts per side, per-side weights and the current cut-net cutsize.
+pub struct BisectState<'a> {
+    hg: &'a Hypergraph,
+    /// Side (0 or 1) of every vertex.
+    pub side: Vec<u8>,
+    pins: [Vec<u32>; 2],
+    /// Per-side, per-constraint weights.
+    pub part_w: [Vec<u64>; 2],
+    /// Per-side vertex counts (moves must never empty a side — an empty
+    /// part is always a worse partition than any balanced one).
+    pub count: [usize; 2],
+    /// Current cut-net cutsize.
+    pub cut: u64,
+}
+
+impl<'a> BisectState<'a> {
+    /// Builds the incremental state for an assignment.
+    pub fn new(hg: &'a Hypergraph, side: Vec<u8>) -> Self {
+        assert_eq!(side.len(), hg.nvtx());
+        let ncon = hg.ncon();
+        let mut part_w = [vec![0u64; ncon], vec![0u64; ncon]];
+        for v in 0..hg.nvtx() {
+            for c in 0..ncon {
+                part_w[side[v] as usize][c] += hg.vweight(v)[c];
+            }
+        }
+        let mut pins = [vec![0u32; hg.nnets()], vec![0u32; hg.nnets()]];
+        for n in 0..hg.nnets() {
+            for &p in hg.pins_of(n) {
+                pins[side[p as usize] as usize][n] += 1;
+            }
+        }
+        let cut = (0..hg.nnets())
+            .filter(|&n| pins[0][n] > 0 && pins[1][n] > 0)
+            .map(|n| hg.ncost(n))
+            .sum();
+        let mut count = [0usize; 2];
+        for &s in &side {
+            count[s as usize] += 1;
+        }
+        BisectState { hg, side, pins, part_w, count, cut }
+    }
+
+    /// Pin count of net `n` on side `s`.
+    #[inline]
+    pub fn pins_on(&self, n: usize, s: u8) -> u32 {
+        self.pins[s as usize][n]
+    }
+
+    /// FM gain of moving `v` to the other side (cut reduction, may be
+    /// negative).
+    pub fn gain(&self, v: usize) -> i64 {
+        let from = self.side[v] as usize;
+        let to = 1 - from;
+        let mut g = 0i64;
+        for &n in self.hg.nets_of(v) {
+            let n = n as usize;
+            let c = self.hg.ncost(n) as i64;
+            if self.pins[from][n] == 1 && self.pins[to][n] > 0 {
+                g += c;
+            } else if self.pins[to][n] == 0 && self.pins[from][n] > 1 {
+                g -= c;
+            }
+        }
+        g
+    }
+
+    /// Moves `v` to the other side, updating pin counts, weights and cut.
+    /// Applying the same move twice restores the previous state.
+    pub fn apply_move(&mut self, v: usize) {
+        let from = self.side[v] as usize;
+        let to = 1 - from;
+        for &n in self.hg.nets_of(v) {
+            let n = n as usize;
+            let f = self.pins[from][n];
+            let t = self.pins[to][n];
+            if t == 0 && f > 1 {
+                self.cut += self.hg.ncost(n); // newly cut
+            } else if f == 1 && t > 0 {
+                self.cut -= self.hg.ncost(n); // newly uncut
+            }
+            self.pins[from][n] -= 1;
+            self.pins[to][n] += 1;
+        }
+        for c in 0..self.hg.ncon() {
+            let w = self.hg.vweight(v)[c];
+            self.part_w[from][c] -= w;
+            self.part_w[to][c] += w;
+        }
+        self.count[from] -= 1;
+        self.count[to] += 1;
+        self.side[v] = to as u8;
+    }
+
+    /// Total amount by which the two sides exceed `maxw` (0 = feasible).
+    pub fn overweight(&self, maxw: &[Vec<u64>; 2]) -> u64 {
+        let mut over = 0u64;
+        for s in 0..2 {
+            for c in 0..self.hg.ncon() {
+                over += self.part_w[s][c].saturating_sub(maxw[s][c]);
+            }
+        }
+        over
+    }
+}
+
+/// Runs up to `passes` FM passes on `side`, respecting the per-side,
+/// per-constraint weight limits `maxw`. Returns the final cut-net cutsize.
+///
+/// The refined assignment is written back into `side`.
+pub fn fm_refine(hg: &Hypergraph, side: &mut [u8], maxw: &[Vec<u64>; 2], passes: usize) -> u64 {
+    let mut state = BisectState::new(hg, side.to_vec());
+    for _ in 0..passes {
+        if !fm_pass(&mut state, maxw) {
+            break;
+        }
+    }
+    side.copy_from_slice(&state.side);
+    state.cut
+}
+
+/// One FM pass. Returns true if the pass improved (cut or overweight).
+fn fm_pass(state: &mut BisectState<'_>, maxw: &[Vec<u64>; 2]) -> bool {
+    let hg = state.hg;
+    let nvtx = hg.nvtx();
+    if nvtx == 0 {
+        return false;
+    }
+
+    // Initial gains in one sweep over nets.
+    let mut gain = vec![0i64; nvtx];
+    for n in 0..hg.nnets() {
+        let (p0, p1) = (state.pins_on(n, 0), state.pins_on(n, 1));
+        let c = hg.ncost(n) as i64;
+        if p0 > 0 && p1 > 0 {
+            if p0 == 1 || p1 == 1 {
+                for &u in hg.pins_of(n) {
+                    let s = state.side[u as usize];
+                    if (s == 0 && p0 == 1) || (s == 1 && p1 == 1) {
+                        gain[u as usize] += c;
+                    }
+                }
+            }
+        } else if hg.net_size(n) > 1 {
+            for &u in hg.pins_of(n) {
+                gain[u as usize] -= c;
+            }
+        }
+    }
+
+    let mut version = vec![0u32; nvtx];
+    let mut locked = vec![false; nvtx];
+    // Max-heap of (gain, vertex, version); stale versions skipped on pop.
+    let mut heap: BinaryHeap<(i64, u32, u32)> = BinaryHeap::new();
+
+    // Seed with boundary vertices; in infeasible states also seed the
+    // overweight side so balance can be restored even with zero cut.
+    let infeasible_side = |state: &BisectState<'_>| -> Option<u8> {
+        for s in 0..2u8 {
+            for c in 0..hg.ncon() {
+                if state.part_w[s as usize][c] > maxw[s as usize][c] {
+                    return Some(s);
+                }
+            }
+        }
+        None
+    };
+    let mut seeded = vec![false; nvtx];
+    for n in 0..hg.nnets() {
+        if state.pins_on(n, 0) > 0 && state.pins_on(n, 1) > 0 {
+            for &u in hg.pins_of(n) {
+                if !seeded[u as usize] {
+                    seeded[u as usize] = true;
+                    heap.push((gain[u as usize], u, 0));
+                }
+            }
+        }
+    }
+    if let Some(heavy) = infeasible_side(state) {
+        for v in 0..nvtx {
+            if state.side[v] == heavy && !seeded[v] {
+                seeded[v] = true;
+                heap.push((gain[v], v as u32, 0));
+            }
+        }
+    }
+
+    // Move loop with best-prefix tracking.
+    let start_cut = state.cut;
+    let start_over = state.overweight(maxw);
+    let mut best_key = (start_over, start_cut);
+    let mut history: Vec<u32> = Vec::new();
+    let mut best_len = 0usize;
+    let abort_limit = 300.max(nvtx / 8);
+    let mut deferred: Vec<(i64, u32, u32)> = Vec::new();
+
+    while let Some((g, v, ver)) = heap.pop() {
+        let v = v as usize;
+        if version[v] != ver || locked[v] {
+            continue;
+        }
+        debug_assert_eq!(g, state.gain(v), "stale gain for vertex {v}");
+        let from = state.side[v];
+        let to = 1 - from;
+        // A move may never empty a side: with both sides nonempty on
+        // entry, any all-on-one-side assignment is strictly worse for the
+        // recursive K-way driver (an empty part), whatever its cut.
+        if state.count[from as usize] == 1 {
+            continue;
+        }
+        // Feasibility: target side must stay within limits, or the move
+        // must strictly reduce total overweight (rebalancing mode).
+        let to_fits = (0..hg.ncon())
+            .all(|c| state.part_w[to as usize][c] + hg.vweight(v)[c] <= maxw[to as usize][c]);
+        let cur_over = state.overweight(maxw);
+        let reduces_over = if cur_over == 0 {
+            false
+        } else {
+            let mut new_over = 0u64;
+            for c in 0..hg.ncon() {
+                let w = hg.vweight(v)[c];
+                new_over += (state.part_w[from as usize][c] - w)
+                    .saturating_sub(maxw[from as usize][c]);
+                new_over +=
+                    (state.part_w[to as usize][c] + w).saturating_sub(maxw[to as usize][c]);
+            }
+            new_over < cur_over
+        };
+        if !to_fits && !reduces_over {
+            deferred.push((g, v as u32, ver));
+            continue;
+        }
+
+        // Delta-gain updates (textbook FM rules), before and after the move.
+        for &n in hg.nets_of(v) {
+            let n = n as usize;
+            let c = hg.ncost(n) as i64;
+            let t = state.pins_on(n, to);
+            if t == 0 {
+                for &u in hg.pins_of(n) {
+                    let u = u as usize;
+                    if u != v && !locked[u] {
+                        gain[u] += c;
+                        bump(&mut version, &mut heap, &mut seeded, &gain, u);
+                    }
+                }
+            } else if t == 1 {
+                for &u in hg.pins_of(n) {
+                    let u = u as usize;
+                    if u != v && !locked[u] && state.side[u] == to {
+                        gain[u] -= c;
+                        bump(&mut version, &mut heap, &mut seeded, &gain, u);
+                        break;
+                    }
+                }
+            }
+        }
+        state.apply_move(v);
+        locked[v] = true;
+        history.push(v as u32);
+        for &n in hg.nets_of(v) {
+            let n = n as usize;
+            let c = hg.ncost(n) as i64;
+            let f = state.pins_on(n, from);
+            if f == 0 {
+                for &u in hg.pins_of(n) {
+                    let u = u as usize;
+                    if u != v && !locked[u] {
+                        gain[u] -= c;
+                        bump(&mut version, &mut heap, &mut seeded, &gain, u);
+                    }
+                }
+            } else if f == 1 {
+                for &u in hg.pins_of(n) {
+                    let u = u as usize;
+                    if u != v && !locked[u] && state.side[u] == from {
+                        gain[u] += c;
+                        bump(&mut version, &mut heap, &mut seeded, &gain, u);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Weight distribution changed: deferred moves may fit now.
+        heap.extend(deferred.drain(..));
+
+        let key = (state.overweight(maxw), state.cut);
+        if key < best_key {
+            best_key = key;
+            best_len = history.len();
+        } else if history.len() - best_len > abort_limit {
+            break;
+        }
+    }
+
+    // Roll back to the best prefix (apply_move is an involution).
+    for &v in history[best_len..].iter().rev() {
+        state.apply_move(v as usize);
+    }
+    best_key < (start_over, start_cut)
+}
+
+#[inline]
+fn bump(
+    version: &mut [u32],
+    heap: &mut BinaryHeap<(i64, u32, u32)>,
+    seeded: &mut [bool],
+    gain: &[i64],
+    u: usize,
+) {
+    version[u] += 1;
+    seeded[u] = true;
+    heap.push((gain[u], u as u32, version[u]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_hg(n: usize) -> Hypergraph {
+        let nets: Vec<Vec<u32>> = (0..n as u32 - 1).map(|i| vec![i, i + 1]).collect();
+        let costs = vec![1u64; nets.len()];
+        Hypergraph::new(n, 1, vec![1; n], &nets, costs)
+    }
+
+    fn limits(hg: &Hypergraph, eps: f64) -> [Vec<u64>; 2] {
+        let w: Vec<u64> = hg
+            .total_weights()
+            .iter()
+            .map(|&t| ((t as f64 / 2.0) * (1.0 + eps)).ceil() as u64)
+            .collect();
+        [w.clone(), w]
+    }
+
+    #[test]
+    fn state_tracks_cut_incrementally() {
+        let hg = path_hg(4);
+        let mut st = BisectState::new(&hg, vec![0, 1, 0, 1]);
+        assert_eq!(st.cut, 3); // all three path nets cut
+        st.apply_move(1); // -> 0,0,0,1
+        assert_eq!(st.cut, 1);
+        let reference = BisectState::new(&hg, st.side.clone());
+        assert_eq!(st.cut, reference.cut);
+    }
+
+    #[test]
+    fn apply_move_is_involution() {
+        let hg = path_hg(6);
+        let mut st = BisectState::new(&hg, vec![0, 1, 0, 1, 0, 1]);
+        let (cut0, w0) = (st.cut, st.part_w.clone());
+        st.apply_move(2);
+        st.apply_move(2);
+        assert_eq!(st.cut, cut0);
+        assert_eq!(st.part_w, w0);
+    }
+
+    #[test]
+    fn gain_matches_recompute_after_moves() {
+        let hg = path_hg(8);
+        let mut st = BisectState::new(&hg, vec![0, 0, 1, 1, 0, 1, 0, 1]);
+        for v in [0usize, 3, 5] {
+            st.apply_move(v);
+        }
+        let fresh = BisectState::new(&hg, st.side.clone());
+        for v in 0..8 {
+            assert_eq!(st.gain(v), fresh.gain(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn fm_untangles_alternating_path() {
+        let hg = path_hg(8);
+        let mut side = vec![0u8, 1, 0, 1, 0, 1, 0, 1];
+        // Slack of one unit: FM needs headroom >= max vertex weight to
+        // hill-climb (with zero slack no single move is ever feasible).
+        let maxw = limits(&hg, 0.26); // ceil(4 * 1.26) = 6... capped below
+        let maxw = [vec![maxw[0][0].min(5)], vec![maxw[1][0].min(5)]];
+        let cut = fm_refine(&hg, &mut side, &maxw, 8);
+        assert_eq!(cut, 1, "a path bisects with a single cut net: {side:?}");
+        let w0 = side.iter().filter(|&&s| s == 0).count();
+        assert!((3..=5).contains(&w0), "balance within slack: {side:?}");
+    }
+
+    #[test]
+    fn fm_restores_balance_when_infeasible() {
+        let hg = path_hg(10);
+        let mut side = vec![0u8; 10]; // everything on side 0: infeasible
+        fm_refine(&hg, &mut side, &limits(&hg, 0.05), 8);
+        let w0 = side.iter().filter(|&&s| s == 0).count();
+        assert!((4..=6).contains(&w0), "rebalanced to ~half: {side:?}");
+    }
+
+    #[test]
+    fn fm_respects_weight_limits() {
+        let hg = path_hg(12);
+        let maxw = limits(&hg, 0.0);
+        let mut side: Vec<u8> = (0..12).map(|i| (i % 2) as u8).collect();
+        fm_refine(&hg, &mut side, &maxw, 8);
+        let w0 = side.iter().filter(|&&s| s == 0).count() as u64;
+        assert!(w0 <= maxw[0][0] && (12 - w0) <= maxw[1][0]);
+    }
+
+    #[test]
+    fn fm_never_worsens_cut() {
+        // Random-ish fixed assignment on a grid of overlapping nets.
+        let nets: Vec<Vec<u32>> =
+            vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 0], vec![1, 3, 5], vec![0, 3]];
+        let hg = Hypergraph::new(6, 1, vec![1; 6], &nets, vec![1, 2, 3, 4, 5]);
+        let start = vec![0u8, 1, 1, 0, 1, 0];
+        let start_cut = BisectState::new(&hg, start.clone()).cut;
+        let mut side = start;
+        let cut = fm_refine(&hg, &mut side, &limits(&hg, 0.1), 4);
+        assert!(cut <= start_cut);
+        assert_eq!(cut, BisectState::new(&hg, side).cut);
+    }
+}

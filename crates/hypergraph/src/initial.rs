@@ -1,0 +1,191 @@
+//! Initial bisection of the coarsest hypergraph.
+//!
+//! Two generators, both cheap because the coarsest level is small:
+//! greedy hypergraph growing (grow side 0 from a random seed by FM gain)
+//! and random balanced assignment. Each candidate is FM-refined; the best
+//! (feasibility, cut) wins.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fm::{fm_refine, BisectState};
+use crate::hg::Hypergraph;
+
+/// Produces a bisection of `hg` with target side-0 weight fraction
+/// `ratio0`, trying `tries` GHG and `tries` random starts, refining each.
+pub fn initial_bisection<R: Rng>(
+    hg: &Hypergraph,
+    maxw: &[Vec<u64>; 2],
+    tries: usize,
+    fm_passes: usize,
+    ratio0: f64,
+    rng: &mut R,
+) -> Vec<u8> {
+    let mut best: Option<(u64, u64, Vec<u8>)> = None; // (overweight, cut, side)
+    for t in 0..tries.max(1) * 2 {
+        let mut side = if t % 2 == 0 {
+            greedy_growing(hg, ratio0, rng)
+        } else {
+            random_balanced(hg, ratio0, rng)
+        };
+        let cut = fm_refine(hg, &mut side, maxw, fm_passes);
+        let over = BisectState::new(hg, side.clone()).overweight(maxw);
+        if best.as_ref().map(|(bo, bc, _)| (over, cut) < (*bo, *bc)).unwrap_or(true) {
+            best = Some((over, cut, side));
+        }
+    }
+    best.expect("at least one candidate").2
+}
+
+/// Greedy hypergraph growing: start from a random seed on side 0 and
+/// repeatedly pull in the highest-gain vertex until the side-0 weight
+/// target is reached. Remaining vertices stay on side 1.
+pub fn greedy_growing<R: Rng>(hg: &Hypergraph, ratio0: f64, rng: &mut R) -> Vec<u8> {
+    let nvtx = hg.nvtx();
+    if nvtx == 0 {
+        return Vec::new();
+    }
+    let total0: u64 = hg.total_weight(0);
+    let target = (total0 as f64 * ratio0).round() as u64;
+    let mut side = vec![1u8; nvtx];
+    let mut w0 = 0u64;
+
+    let mut state = BisectState::new(hg, side.clone());
+    let mut heap: std::collections::BinaryHeap<(i64, u32)> = std::collections::BinaryHeap::new();
+    let mut in_side0 = vec![false; nvtx];
+
+    let seed = rng.random_range(0..nvtx);
+    heap.push((0, seed as u32));
+    let mut pulled = 0usize;
+    // Pull until the weight target, but always at least one vertex and
+    // never the whole hypergraph — both sides must end nonempty.
+    while (w0 < target || pulled == 0) && pulled + 1 < nvtx.max(2) {
+        // Grab the best frontier vertex, or a fresh random seed if the
+        // frontier dried up (disconnected hypergraphs).
+        let v = loop {
+            match heap.pop() {
+                Some((g, v)) => {
+                    if in_side0[v as usize] {
+                        continue;
+                    }
+                    // Stale gains are fine for a constructive heuristic, but
+                    // skip grossly stale entries when a fresh gain differs.
+                    let fresh = state.gain(v as usize);
+                    if fresh != g {
+                        heap.push((fresh, v));
+                        continue;
+                    }
+                    break v as usize;
+                }
+                None => {
+                    match (0..nvtx).find(|&u| !in_side0[u]) {
+                        Some(u) => break u,
+                        None => return state.side,
+                    }
+                }
+            }
+        };
+        in_side0[v] = true;
+        state.apply_move(v); // side 1 -> side 0
+        w0 += hg.vweight(v)[0];
+        pulled += 1;
+        for &n in hg.nets_of(v) {
+            for &u in hg.pins_of(n as usize) {
+                if !in_side0[u as usize] {
+                    heap.push((state.gain(u as usize), u));
+                }
+            }
+        }
+    }
+    side.copy_from_slice(&state.side);
+    side
+}
+
+/// Random balanced assignment: shuffle, fill side 0 to its weight target,
+/// rest to side 1.
+pub fn random_balanced<R: Rng>(hg: &Hypergraph, ratio0: f64, rng: &mut R) -> Vec<u8> {
+    let nvtx = hg.nvtx();
+    let total0: u64 = hg.total_weight(0);
+    let target = (total0 as f64 * ratio0).round() as u64;
+    let mut order: Vec<u32> = (0..nvtx as u32).collect();
+    order.shuffle(rng);
+    let mut side = vec![1u8; nvtx];
+    let mut w0 = 0u64;
+    let mut taken = 0usize;
+    for &v in &order {
+        // Fill to the weight target, but keep both sides nonempty.
+        if (w0 >= target && taken > 0) || taken + 1 >= nvtx.max(2) {
+            break;
+        }
+        side[v as usize] = 0;
+        w0 += hg.vweight(v as usize)[0];
+        taken += 1;
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clique_pair() -> Hypergraph {
+        // Two 4-cliques joined by one net: natural bisection cuts 1 net.
+        let mut nets: Vec<Vec<u32>> = Vec::new();
+        for a in 0..4u32 {
+            for b in a + 1..4 {
+                nets.push(vec![a, b]);
+                nets.push(vec![a + 4, b + 4]);
+            }
+        }
+        nets.push(vec![3, 4]);
+        let costs = vec![1u64; nets.len()];
+        Hypergraph::new(8, 1, vec![1; 8], &nets, costs)
+    }
+
+    fn limits(hg: &Hypergraph, eps: f64) -> [Vec<u64>; 2] {
+        let w: Vec<u64> = hg
+            .total_weights()
+            .iter()
+            .map(|&t| ((t as f64 / 2.0) * (1.0 + eps)).ceil() as u64)
+            .collect();
+        [w.clone(), w]
+    }
+
+    #[test]
+    fn initial_bisection_finds_natural_cut() {
+        let hg = clique_pair();
+        let mut rng = StdRng::seed_from_u64(11);
+        let side = initial_bisection(&hg, &limits(&hg, 0.05), 4, 4, 0.5, &mut rng);
+        let cut = BisectState::new(&hg, side.clone()).cut;
+        assert_eq!(cut, 1, "cliques should separate: {side:?}");
+    }
+
+    #[test]
+    fn random_balanced_hits_target() {
+        let hg = clique_pair();
+        let mut rng = StdRng::seed_from_u64(2);
+        let side = random_balanced(&hg, 0.5, &mut rng);
+        let w0 = side.iter().filter(|&&s| s == 0).count();
+        assert_eq!(w0, 4);
+    }
+
+    #[test]
+    fn greedy_growing_respects_ratio() {
+        let hg = clique_pair();
+        let mut rng = StdRng::seed_from_u64(3);
+        let side = greedy_growing(&hg, 0.25, &mut rng);
+        let w0 = side.iter().filter(|&&s| s == 0).count();
+        assert_eq!(w0, 2); // 25% of weight 8
+    }
+
+    #[test]
+    fn handles_disconnected_hypergraph() {
+        let hg = Hypergraph::new(6, 1, vec![1; 6], &[vec![0, 1]], vec![1]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let side = greedy_growing(&hg, 0.5, &mut rng);
+        let w0 = side.iter().filter(|&&s| s == 0).count();
+        assert_eq!(w0, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Multilevel hypergraph partitioning — the PaToH substitute.
+//!
+//! The paper partitions with PaToH (closed source). This crate implements
+//! the same algorithmic family so every experiment can run offline:
+//!
+//! * [`hg`] — pin/net CSR hypergraph structure with multi-constraint
+//!   vertex weights;
+//! * [`coarsen`] — randomized heavy-connectivity matching coarsening with
+//!   identical-net merging;
+//! * [`initial`] — greedy hypergraph growing + random initial bisections;
+//! * [`fm`] — Fiduccia–Mattheyses boundary refinement with delta-gain
+//!   updates, hill climbing and rollback;
+//! * [`bisect`] / [`kway`] — multilevel bisection and recursive K-way
+//!   driver with net splitting (so the sum of bisection cuts equals the
+//!   connectivity−1 metric of the final K-way partition);
+//! * [`metrics`] — cut-net and connectivity−1 cutsizes, imbalance;
+//! * [`models`] — the column-net, row-net, fine-grain and medium-grain
+//!   hypergraph models of sparse matrices used by the paper.
+
+pub mod bisect;
+pub mod coarsen;
+pub mod fm;
+pub mod hg;
+pub mod initial;
+pub mod kway;
+pub mod metrics;
+pub mod models;
+
+pub use hg::Hypergraph;
+pub use kway::{partition_kway, KwayPartition, PartitionConfig};
+pub use metrics::{connectivity_minus_one, cut_net, imbalance};

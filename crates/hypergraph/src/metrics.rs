@@ -1,0 +1,131 @@
+//! Partition quality metrics: cutsize and balance.
+
+use crate::hg::Hypergraph;
+
+/// Connectivity−1 cutsize: `Σ_nets cost(n) · (λ(n) − 1)` where `λ(n)` is
+/// the number of parts net `n` touches. For the column-net and
+/// medium-grain models this equals the total SpMV communication volume.
+pub fn connectivity_minus_one(hg: &Hypergraph, parts: &[u32], k: usize) -> u64 {
+    assert_eq!(parts.len(), hg.nvtx());
+    let mut mark = vec![u32::MAX; k];
+    let mut cut = 0u64;
+    for n in 0..hg.nnets() {
+        let mut lambda = 0u64;
+        for &p in hg.pins_of(n) {
+            let part = parts[p as usize] as usize;
+            if mark[part] != n as u32 {
+                mark[part] = n as u32;
+                lambda += 1;
+            }
+        }
+        cut += hg.ncost(n) * lambda.saturating_sub(1);
+    }
+    cut
+}
+
+/// Cut-net cutsize: `Σ_{cut nets} cost(n)` (a net is cut if it touches
+/// more than one part).
+pub fn cut_net(hg: &Hypergraph, parts: &[u32], k: usize) -> u64 {
+    assert_eq!(parts.len(), hg.nvtx());
+    let mut mark = vec![u32::MAX; k];
+    let mut cut = 0u64;
+    for n in 0..hg.nnets() {
+        let mut lambda = 0u32;
+        for &p in hg.pins_of(n) {
+            let part = parts[p as usize] as usize;
+            if mark[part] != n as u32 {
+                mark[part] = n as u32;
+                lambda += 1;
+                if lambda > 1 {
+                    cut += hg.ncost(n);
+                    break;
+                }
+            }
+        }
+    }
+    cut
+}
+
+/// Per-part weights for constraint `c`.
+pub fn part_weights(hg: &Hypergraph, parts: &[u32], k: usize, c: usize) -> Vec<u64> {
+    let mut w = vec![0u64; k];
+    for v in 0..hg.nvtx() {
+        w[parts[v] as usize] += hg.vweight(v)[c];
+    }
+    w
+}
+
+/// Load imbalance of a weight vector: `max(w)/avg(w) − 1`, the paper's
+/// `LI%` when multiplied by 100. Returns 0 for an empty or zero vector.
+pub fn imbalance_of(weights: &[u64]) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let avg = total as f64 / weights.len() as f64;
+    let max = *weights.iter().max().expect("nonempty") as f64;
+    max / avg - 1.0
+}
+
+/// Load imbalance of constraint `c` of a partition.
+pub fn imbalance(hg: &Hypergraph, parts: &[u32], k: usize, c: usize) -> f64 {
+    imbalance_of(&part_weights(hg, parts, k, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        Hypergraph::new(
+            4,
+            1,
+            vec![1, 1, 1, 1],
+            &[vec![0, 1, 2], vec![2, 3], vec![0, 3]],
+            vec![1, 5, 2],
+        )
+    }
+
+    #[test]
+    fn uncut_partition_has_zero_cut() {
+        let h = sample();
+        let parts = vec![0, 0, 0, 0];
+        assert_eq!(connectivity_minus_one(&h, &parts, 1), 0);
+        assert_eq!(cut_net(&h, &parts, 1), 0);
+    }
+
+    #[test]
+    fn cut_metrics_hand_checked() {
+        let h = sample();
+        // parts: {0,1} vs {2,3}: net0 spans both (λ=2), net1 internal to 1,
+        // net2 spans both.
+        let parts = vec![0, 0, 1, 1];
+        assert_eq!(connectivity_minus_one(&h, &parts, 2), 1 + 0 + 2);
+        assert_eq!(cut_net(&h, &parts, 2), 1 + 2);
+    }
+
+    #[test]
+    fn lambda_exceeding_two_counts_multiply() {
+        let h = Hypergraph::new(3, 1, vec![1, 1, 1], &[vec![0, 1, 2]], vec![4]);
+        let parts = vec![0, 1, 2];
+        assert_eq!(connectivity_minus_one(&h, &parts, 3), 8); // 4 * (3-1)
+        assert_eq!(cut_net(&h, &parts, 3), 4);
+    }
+
+    #[test]
+    fn imbalance_values() {
+        assert_eq!(imbalance_of(&[5, 5]), 0.0);
+        assert!((imbalance_of(&[6, 4]) - 0.2).abs() < 1e-12);
+        assert_eq!(imbalance_of(&[]), 0.0);
+        assert_eq!(imbalance_of(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn part_weight_accumulation() {
+        let h = Hypergraph::new(3, 1, vec![2, 3, 5], &[vec![0, 1]], vec![1]);
+        assert_eq!(part_weights(&h, &[0, 1, 1], 2, 0), vec![2, 8]);
+    }
+}

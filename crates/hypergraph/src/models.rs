@@ -1,0 +1,253 @@
+//! Hypergraph models of sparse matrices for SpMV partitioning.
+//!
+//! * **Column-net** model [Catalyurek & Aykanat 1999]: vertices = rows,
+//!   nets = columns. A K-way partition gives a 1D rowwise distribution
+//!   whose total expand volume equals the connectivity−1 cutsize.
+//! * **Row-net** model: the transpose dual, for columnwise distributions.
+//! * **Fine-grain** model [Catalyurek & Aykanat 2001]: vertices =
+//!   nonzeros, nets = rows and columns; gives the fully general 2D
+//!   distribution used as the paper's `2D` baseline.
+//! * **Medium-grain** model [Pelt & Bisseling 2014]: the composite model
+//!   the paper adapts to produce s2D partitions (`s2D-mg`): the matrix is
+//!   split `A = Ar + Ac`, a combined vertex `u_i` amalgamates row `i` of
+//!   `Ar`, column `i` of `Ac` and the vector entries `x_i, y_i`, so the
+//!   partition decodes directly to an s2D distribution with a symmetric
+//!   vector partition.
+
+use s2d_sparse::Csr;
+
+use crate::hg::Hypergraph;
+
+/// Column-net model: vertex per row (weight = row nnz), net per column
+/// (cost 1, pins = rows with a nonzero in the column).
+///
+/// With `include_diagonal`, row `j` is added to column-net `j` (square
+/// matrices only) — this models the symmetric vector partition where `x_j`
+/// resides with row `j`, making connectivity−1 the exact expand volume.
+pub fn column_net_model(a: &Csr, include_diagonal: bool) -> Hypergraph {
+    if include_diagonal {
+        assert_eq!(a.nrows(), a.ncols(), "diagonal pins require a square matrix");
+    }
+    let csc = a.to_csc();
+    let mut nets: Vec<Vec<u32>> = Vec::with_capacity(a.ncols());
+    for j in 0..a.ncols() {
+        let mut pins: Vec<u32> = csc.col_rows(j).to_vec();
+        if include_diagonal && !pins.contains(&(j as u32)) {
+            pins.push(j as u32);
+        }
+        nets.push(pins);
+    }
+    let vwgt: Vec<u64> = (0..a.nrows()).map(|i| a.row_nnz(i) as u64).collect();
+    let ncost = vec![1u64; nets.len()];
+    Hypergraph::new(a.nrows(), 1, vwgt, &nets, ncost)
+}
+
+/// Row-net model: vertex per column (weight = column nnz), net per row.
+/// The dual of [`column_net_model`]; used for 1D columnwise partitions.
+pub fn row_net_model(a: &Csr, include_diagonal: bool) -> Hypergraph {
+    column_net_model(&a.transpose(), include_diagonal)
+}
+
+/// Fine-grain model: vertex per nonzero (unit weight, ordered as in the
+/// CSR arrays), one net per row and one per column (cost 1).
+///
+/// Nets `0..nrows` are row nets; nets `nrows..nrows+ncols` are column
+/// nets. Empty rows/columns produce empty nets (harmless).
+pub fn fine_grain_model(a: &Csr) -> Hypergraph {
+    let nnz = a.nnz();
+    let nnets = a.nrows() + a.ncols();
+    // Row nets are contiguous ranges of the CSR order; column nets are
+    // gathered through the transpose.
+    let mut xpins = Vec::with_capacity(nnets + 1);
+    let mut pins: Vec<u32> = Vec::with_capacity(2 * nnz);
+    xpins.push(0usize);
+    for i in 0..a.nrows() {
+        pins.extend(a.row_range(i).map(|e| e as u32));
+        xpins.push(pins.len());
+    }
+    // Column nets: counting sort of nonzero ids by column.
+    let mut colcnt = vec![0usize; a.ncols() + 1];
+    for &c in a.colind() {
+        colcnt[c as usize + 1] += 1;
+    }
+    for j in 0..a.ncols() {
+        colcnt[j + 1] += colcnt[j];
+    }
+    let base = pins.len();
+    pins.resize(base + nnz, 0);
+    let mut next = colcnt.clone();
+    for (e, &c) in a.colind().iter().enumerate() {
+        pins[base + next[c as usize]] = e as u32;
+        next[c as usize] += 1;
+    }
+    for j in 0..a.ncols() {
+        xpins.push(base + colcnt[j + 1]);
+    }
+    let ncost = vec![1u64; nnets];
+    Hypergraph::from_csr(nnz, 1, vec![1u64; nnz], ncost, xpins, pins)
+}
+
+/// Output of [`medium_grain_model`].
+pub struct MediumGrainModel {
+    /// The composite hypergraph: vertex `u_i` per row/column pair `i`.
+    pub hg: Hypergraph,
+    /// Per nonzero (CSR order): `true` if assigned to `Ar` (row side),
+    /// `false` if assigned to `Ac` (column side).
+    pub in_ar: Vec<bool>,
+}
+
+/// Medium-grain composite model for a square matrix.
+///
+/// The split rule follows Pelt & Bisseling: `a_ij` joins `Ac` when column
+/// `j` has strictly fewer nonzeros than row `i`, otherwise `Ar`.
+/// Net `j` (column net over `Ar`) and net `nrows + i` (row net over `Ac`)
+/// both carry cost 1; `u_j` is a pin of column-net `j` and `u_i` of
+/// row-net `i`, so connectivity−1 equals the decoded s2D partition's
+/// communication volume.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn medium_grain_model(a: &Csr) -> MediumGrainModel {
+    assert_eq!(a.nrows(), a.ncols(), "medium-grain amalgamated model requires a square matrix");
+    let n = a.nrows();
+    let col_deg = s2d_sparse::stats::col_degrees(a);
+
+    let mut in_ar = vec![false; a.nnz()];
+    let mut vwgt = vec![0u64; n];
+    // Nets: index j in 0..n = column-net over Ar; n + i = row-net over Ac.
+    let mut nets: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
+    for i in 0..n {
+        let row_deg = a.row_nnz(i);
+        for e in a.row_range(i) {
+            let j = a.colind()[e] as usize;
+            let ar = col_deg[j] >= row_deg; // Ac iff col strictly shorter
+            in_ar[e] = ar;
+            if ar {
+                vwgt[i] += 1;
+                nets[j].push(i as u32);
+            } else {
+                vwgt[j] += 1;
+                nets[n + i].push(j as u32);
+            }
+        }
+    }
+    for j in 0..n {
+        if !nets[j].contains(&(j as u32)) {
+            nets[j].push(j as u32);
+        }
+        if !nets[n + j].contains(&(j as u32)) {
+            nets[n + j].push(j as u32);
+        }
+    }
+    let ncost = vec![1u64; 2 * n];
+    let hg = Hypergraph::new(n, 1, vwgt, &nets, ncost);
+    MediumGrainModel { hg, in_ar }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::connectivity_minus_one;
+    use s2d_sparse::Coo;
+
+    fn arrow(n: usize) -> Csr {
+        // Arrowhead: dense first row and column plus diagonal.
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(0, i, 1.0);
+            m.push(i, 0, 1.0);
+            m.push(i, i, 1.0);
+        }
+        m.compress();
+        m.to_csr()
+    }
+
+    #[test]
+    fn column_net_shape() {
+        let a = arrow(5);
+        let hg = column_net_model(&a, false);
+        assert_eq!(hg.nvtx(), 5);
+        assert_eq!(hg.nnets(), 5);
+        // Column 0 is dense: net 0 has all rows as pins.
+        assert_eq!(hg.net_size(0), 5);
+        // Vertex weight = row nnz.
+        assert_eq!(hg.vweight(0), &[5]);
+    }
+
+    #[test]
+    fn column_net_diagonal_pin_added() {
+        let a = Coo::from_pattern(3, 3, &[(0, 1), (1, 1), (2, 2)]).to_csr();
+        let hg = column_net_model(&a, true);
+        // Column 0 is empty but gains the diagonal pin {0}.
+        assert_eq!(hg.net_size(0), 1);
+        // Column 1 has rows {0,1}; 1 is the diagonal, already there.
+        assert_eq!(hg.net_size(1), 2);
+    }
+
+    #[test]
+    fn column_net_cut_equals_expand_volume() {
+        // 4x4: row pairs {0,1} and {2,3}; column 2 accessed by both parts.
+        let a = Coo::from_pattern(
+            4,
+            4,
+            &[(0, 0), (0, 2), (1, 1), (2, 2), (3, 3), (3, 2)],
+        )
+        .to_csr();
+        let hg = column_net_model(&a, true);
+        let parts = vec![0u32, 0, 1, 1];
+        // Nets: col0 {r0}+diag0 -> {0}; col1 {r1}+d1 {1}; col2 {0,2,3}+d2;
+        // col3 {3}+d3. Only net 2 is cut with lambda=2.
+        assert_eq!(connectivity_minus_one(&hg, &parts, 2), 1);
+    }
+
+    #[test]
+    fn fine_grain_nets_index_rows_then_cols() {
+        let a = arrow(4);
+        let hg = fine_grain_model(&a);
+        assert_eq!(hg.nvtx(), a.nnz());
+        assert_eq!(hg.nnets(), 8);
+        // Row net 0 = nonzeros of row 0 (4 of them: cols 0..3).
+        assert_eq!(hg.net_size(0), 4);
+        // Column net (4 + 0) = nonzeros of column 0.
+        assert_eq!(hg.net_size(4), 4);
+        // Every nonzero appears in exactly one row net and one col net.
+        for v in 0..hg.nvtx() {
+            assert_eq!(hg.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn medium_grain_splits_by_shorter_dimension() {
+        let a = arrow(6);
+        let mg = medium_grain_model(&a);
+        // Row 0 and column 0 are both dense (weight 7 each with diagonal);
+        // for nonzero (0, j) with j > 0: column j has 2 nonzeros, row 0 has
+        // 6: column is shorter -> Ac.
+        for e in a.row_range(0) {
+            let j = a.colind()[e] as usize;
+            if j > 0 {
+                assert!(!mg.in_ar[e], "(0,{j}) should go to Ac");
+            }
+        }
+        // Nonzero (i, 0) with i > 0: row i has 2 nonzeros, column 0 has 6:
+        // row is shorter -> Ar.
+        for i in 1..6 {
+            let e = a.row_range(i).next().unwrap();
+            assert_eq!(a.colind()[e], 0);
+            assert!(mg.in_ar[e], "({i},0) should go to Ar");
+        }
+        // Weights count assigned nonzeros and sum to nnz.
+        let total: u64 = (0..mg.hg.nvtx()).map(|v| mg.hg.vweight(v)[0]).sum();
+        assert_eq!(total, a.nnz() as u64);
+    }
+
+    #[test]
+    fn medium_grain_nets_contain_own_vertex() {
+        let a = arrow(5);
+        let mg = medium_grain_model(&a);
+        for j in 0..5 {
+            assert!(mg.hg.pins_of(j).contains(&(j as u32)), "col net {j}");
+            assert!(mg.hg.pins_of(5 + j).contains(&(j as u32)), "row net {j}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Cluster construction and the scoped SPMD driver.
+//!
+//! A [`Cluster`] wires `K` [`Endpoint`]s into a fully-connected group.
+//! [`spmd`] runs one closure per rank on its own OS thread — the shape
+//! of an MPI program (`mpirun -np K`) without the process boundary.
+
+use crate::chaos::ChaosConfig;
+use crate::endpoint::{Endpoint, Envelope, Words};
+
+/// A fully-connected group of `K` endpoints, ready to be claimed by
+/// worker threads.
+pub struct Cluster<T> {
+    endpoints: Vec<Endpoint<T>>,
+}
+
+impl<T: Words> Cluster<T> {
+    /// Builds a cluster of `k` ranks with default (no-chaos) delivery.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        Self::with_chaos(k, ChaosConfig::off())
+    }
+
+    /// Builds a cluster whose sends pass through `chaos` (delivery-delay
+    /// injection; see [`crate::chaos`]).
+    pub fn with_chaos(k: usize, chaos: ChaosConfig) -> Self {
+        assert!(k > 0, "a cluster needs at least one rank");
+        let mut txs = Vec::with_capacity(k);
+        let mut rxs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = crossbeam::channel::unbounded::<Envelope<T>>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let endpoints = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                Endpoint::new(rank as u32, txs.clone(), inbox, chaos.for_rank(rank as u32))
+            })
+            .collect();
+        Cluster { endpoints }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Consumes the cluster into its endpoints (rank order).
+    pub fn into_endpoints(self) -> Vec<Endpoint<T>> {
+        self.endpoints
+    }
+}
+
+/// Runs `body` once per rank, each on its own thread, and returns the
+/// per-rank results in rank order. Panics in any rank propagate.
+///
+/// This is the SPMD entry point every parallel algorithm in this
+/// workspace is written against; porting to MPI means replacing this
+/// driver with `MPI_Init` and the endpoint with the real communicator.
+pub fn spmd<T, R, F>(cluster: Cluster<T>, body: F) -> Vec<R>
+where
+    T: Words + Send,
+    R: Send,
+    F: Fn(&mut Endpoint<T>) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = Vec::new();
+    for _ in 0..cluster.size() {
+        results.push(None);
+    }
+    std::thread::scope(|scope| {
+        let body = &body;
+        let mut handles = Vec::with_capacity(cluster.size());
+        for mut ep in cluster.into_endpoints() {
+            handles.push(scope.spawn(move || {
+                let r = body(&mut ep);
+                // Endpoints must survive until every rank stops sending;
+                // returning (r, ep) keeps the senders alive through join.
+                (r, ep)
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            let (r, _ep) = h.join().expect("SPMD rank panicked");
+            results[rank] = Some(r);
+        }
+    });
+    results.into_iter().map(|r| r.expect("every rank returns")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_dense_and_ordered() {
+        let out = spmd(Cluster::<()>::new(5), |ep| (ep.rank(), ep.size()));
+        assert_eq!(out, (0..5).map(|r| (r, 5)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each rank adds its id and forwards around the ring.
+        let k = 6u64;
+        let out = spmd(Cluster::<u64>::new(k as usize), |ep| {
+            let rank = ep.rank() as u64;
+            let next = ((rank + 1) % k) as u32;
+            if rank == 0 {
+                // Head of the line: inject the token and return.
+                ep.send(next, 0, 0);
+                return 0;
+            }
+            let v = ep.recv_tag(0).payload + rank;
+            if rank != k - 1 {
+                ep.send(next, 0, v);
+            }
+            v
+        });
+        assert_eq!(out[k as usize - 1], (0..k).sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_cluster_is_rejected() {
+        let _ = Cluster::<()>::new(0);
+    }
+
+    #[test]
+    fn single_rank_cluster_runs() {
+        let out = spmd(Cluster::<()>::new(1), |ep| ep.size());
+        assert_eq!(out, vec![1]);
+    }
+}

@@ -1,0 +1,272 @@
+//! The per-rank communication handle.
+//!
+//! An [`Endpoint`] is one rank's view of the interconnect: senders to
+//! every peer and a single inbox. Receives match on `(source, tag)` like
+//! MPI envelopes; messages that arrive before they are asked for are
+//! parked in a pending buffer, so programs may post receives in any order
+//! relative to actual arrival.
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::chaos::ChaosConfig;
+
+/// Message tag, used to separate logical streams (phases, iterations).
+pub type Tag = u32;
+
+/// Wildcard source for [`Endpoint::recv_match`]: accept any sender.
+pub const ANY_SOURCE: u32 = u32::MAX;
+
+/// A delivered message with its envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<T> {
+    /// Sending rank.
+    pub src: u32,
+    /// Logical stream tag.
+    pub tag: Tag,
+    /// The payload.
+    pub payload: T,
+}
+
+/// Traffic counters of one endpoint — inspected after an SPMD run to
+/// cross-check analytic communication statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Messages sent by this rank.
+    pub sent_msgs: u64,
+    /// Payload words sent (as reported by the payload's [`Words`] impl).
+    pub sent_words: u64,
+    /// Messages received by this rank.
+    pub recv_msgs: u64,
+    /// Payload words received.
+    pub recv_words: u64,
+}
+
+/// Payloads that know their size in machine words, for traffic
+/// accounting. A "word" is one 8-byte value, matching the paper's
+/// communication-volume unit (one vector entry).
+pub trait Words {
+    /// Size of the payload in 8-byte words.
+    fn words(&self) -> u64;
+}
+
+impl Words for Vec<f64> {
+    fn words(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl Words for Vec<u64> {
+    fn words(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl Words for f64 {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Words for u64 {
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+impl Words for () {
+    fn words(&self) -> u64 {
+        0
+    }
+}
+
+impl<A: Words, B: Words> Words for (A, B) {
+    fn words(&self) -> u64 {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<T> Words for Vec<(u32, T)> {
+    fn words(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+/// One rank's communication handle. `T` is the payload type; all ranks
+/// of a cluster share it.
+pub struct Endpoint<T> {
+    rank: u32,
+    size: usize,
+    peers: Vec<Sender<Envelope<T>>>,
+    inbox: Receiver<Envelope<T>>,
+    pending: VecDeque<Envelope<T>>,
+    stats: EndpointStats,
+    chaos: ChaosConfig,
+}
+
+impl<T: Words> Endpoint<T> {
+    /// Assembles an endpoint from its parts (used by [`crate::cluster`]).
+    pub(crate) fn new(
+        rank: u32,
+        peers: Vec<Sender<Envelope<T>>>,
+        inbox: Receiver<Envelope<T>>,
+        chaos: ChaosConfig,
+    ) -> Self {
+        let size = peers.len();
+        Endpoint { rank, size, peers, inbox, pending: VecDeque::new(), stats: EndpointStats::default(), chaos }
+    }
+
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// Sends `payload` to `dst` under `tag`. Sends are buffered and never
+    /// block. Self-sends are legal and delivered through the same inbox.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or the destination endpoint was
+    /// dropped mid-run (an SPMD harness bug, not a recoverable error).
+    pub fn send(&mut self, dst: u32, tag: Tag, payload: T) {
+        assert!((dst as usize) < self.size, "destination rank {dst} out of range");
+        self.chaos.maybe_delay(self.rank, dst, tag);
+        self.stats.sent_msgs += 1;
+        self.stats.sent_words += payload.words();
+        self.peers[dst as usize]
+            .send(Envelope { src: self.rank, tag, payload })
+            .expect("peer endpoint alive for the whole SPMD region");
+    }
+
+    /// Receives the next message regardless of source or tag, in arrival
+    /// order (pending buffer first).
+    pub fn recv_any(&mut self) -> Envelope<T> {
+        let env = if let Some(env) = self.pending.pop_front() {
+            env
+        } else {
+            self.inbox.recv().expect("senders alive for the whole SPMD region")
+        };
+        self.stats.recv_msgs += 1;
+        self.stats.recv_words += env.payload.words();
+        env
+    }
+
+    /// Receives the next message matching `(src, tag)`; `src` may be
+    /// [`ANY_SOURCE`]. Non-matching arrivals are parked and later receives
+    /// see them, so matching is insensitive to delivery interleaving.
+    pub fn recv_match(&mut self, src: u32, tag: Tag) -> Envelope<T> {
+        let matches =
+            |env: &Envelope<T>| (src == ANY_SOURCE || env.src == src) && env.tag == tag;
+        if let Some(pos) = self.pending.iter().position(matches) {
+            let env = self.pending.remove(pos).expect("position valid");
+            self.stats.recv_msgs += 1;
+            self.stats.recv_words += env.payload.words();
+            return env;
+        }
+        loop {
+            let env = self.inbox.recv().expect("senders alive for the whole SPMD region");
+            if matches(&env) {
+                self.stats.recv_msgs += 1;
+                self.stats.recv_words += env.payload.words();
+                return env;
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    /// Receives a message with `tag` from any source.
+    pub fn recv_tag(&mut self, tag: Tag) -> Envelope<T> {
+        self.recv_match(ANY_SOURCE, tag)
+    }
+
+    /// True if no unconsumed message is parked in the pending buffer.
+    /// SPMD programs should end drained; tests assert this.
+    pub fn drained(&self) -> bool {
+        self.pending.is_empty() && self.inbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::{spmd, Cluster};
+
+    #[test]
+    fn envelope_matching_survives_reordering() {
+        // Rank 0 sends tags 7 then 3; rank 1 receives tag 3 first.
+        let out = spmd(Cluster::<Vec<f64>>::new(2), |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 7, vec![7.0]);
+                ep.send(1, 3, vec![3.0]);
+                Vec::new()
+            } else {
+                let a = ep.recv_match(0, 3).payload;
+                let b = ep.recv_match(0, 7).payload;
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[1], vec![3.0, 7.0]);
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let out = spmd(Cluster::<f64>::new(1), |ep| {
+            ep.send(0, 0, 42.0);
+            ep.recv_tag(0).payload
+        });
+        assert_eq!(out, vec![42.0]);
+    }
+
+    #[test]
+    fn any_source_accepts_first_arrival() {
+        let out = spmd(Cluster::<u64>::new(3), |ep| {
+            if ep.rank() != 2 {
+                ep.send(2, 1, ep.rank() as u64);
+                0
+            } else {
+                let a = ep.recv_tag(1);
+                let b = ep.recv_tag(1);
+                assert_ne!(a.src, b.src);
+                a.payload + b.payload
+            }
+        });
+        assert_eq!(out[2], 1);
+    }
+
+    #[test]
+    fn stats_count_messages_and_words() {
+        let out = spmd(Cluster::<Vec<f64>>::new(2), |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 0, vec![1.0, 2.0, 3.0]);
+            } else {
+                let _ = ep.recv_tag(0);
+            }
+            ep.stats()
+        });
+        assert_eq!(out[0].sent_msgs, 1);
+        assert_eq!(out[0].sent_words, 3);
+        assert_eq!(out[1].recv_msgs, 1);
+        assert_eq!(out[1].recv_words, 3);
+    }
+
+    #[test]
+    fn endpoints_end_drained() {
+        let out = spmd(Cluster::<u64>::new(2), |ep| {
+            let peer = 1 - ep.rank();
+            ep.send(peer, 0, 5);
+            let _ = ep.recv_tag(0);
+            ep.drained()
+        });
+        assert_eq!(out, vec![true, true]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Process topologies: 2D meshes for the bounded-latency partitionings
+//! and a 3D torus modelling the Cray XE6 Gemini interconnect.
+//!
+//! The s2D-b / 2D-b / 1D-b methods (paper §VI-B) place the `K` processors
+//! on a `Pr × Pc` mesh and confine traffic to mesh rows and columns;
+//! [`Mesh2d`] provides the rank ↔ coordinate maps they share. The
+//! [`Torus3d`] hop metric feeds the topology-aware variant of the
+//! `s2d-sim` cost model (an XE6 ablation, not used by the headline
+//! tables).
+
+/// A `Pr × Pc` process mesh with row-major rank numbering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mesh2d {
+    /// Number of mesh rows.
+    pub pr: usize,
+    /// Number of mesh columns.
+    pub pc: usize,
+}
+
+impl Mesh2d {
+    /// Builds a mesh; `pr·pc` is the processor count.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0, "mesh dimensions must be positive");
+        Mesh2d { pr, pc }
+    }
+
+    /// The most-square mesh for `k` processors: `pr` is the largest
+    /// divisor of `k` with `pr ≤ √k`, so `pr·pc = k` exactly.
+    pub fn squarest(k: usize) -> Self {
+        assert!(k > 0, "mesh needs at least one processor");
+        let mut pr = (k as f64).sqrt().floor() as usize;
+        while k % pr != 0 {
+            pr -= 1;
+        }
+        Mesh2d { pr, pc: k / pr }
+    }
+
+    /// Total processors on the mesh.
+    pub fn size(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Mesh row of `rank`.
+    pub fn row(&self, rank: u32) -> u32 {
+        debug_assert!((rank as usize) < self.size());
+        rank / self.pc as u32
+    }
+
+    /// Mesh column of `rank`.
+    pub fn col(&self, rank: u32) -> u32 {
+        debug_assert!((rank as usize) < self.size());
+        rank % self.pc as u32
+    }
+
+    /// Rank at mesh coordinates `(r, c)`.
+    pub fn rank(&self, r: u32, c: u32) -> u32 {
+        debug_assert!((r as usize) < self.pr && (c as usize) < self.pc);
+        r * self.pc as u32 + c
+    }
+
+    /// The intermediate rank that routes traffic `src → dst` in the
+    /// two-hop row/column scheme of Boman et al. [2]: the processor on
+    /// `dst`'s mesh row and `src`'s mesh column.
+    pub fn via(&self, src: u32, dst: u32) -> u32 {
+        self.rank(self.row(dst), self.col(src))
+    }
+
+    /// Ranks sharing `rank`'s mesh row (including itself).
+    pub fn row_members(&self, rank: u32) -> impl Iterator<Item = u32> + '_ {
+        let r = self.row(rank);
+        (0..self.pc as u32).map(move |c| self.rank(r, c))
+    }
+
+    /// Ranks sharing `rank`'s mesh column (including itself).
+    pub fn col_members(&self, rank: u32) -> impl Iterator<Item = u32> + '_ {
+        let c = self.col(rank);
+        (0..self.pr as u32).map(move |r| self.rank(r, c))
+    }
+}
+
+/// A 3D torus of dimensions `dx × dy × dz` — the shape of the Cray
+/// Gemini network the paper's timings were taken on. Ranks map to torus
+/// coordinates in row-major order; the hop count between two ranks is
+/// the L1 distance with wraparound per axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus3d {
+    /// Extent along x.
+    pub dx: usize,
+    /// Extent along y.
+    pub dy: usize,
+    /// Extent along z.
+    pub dz: usize,
+}
+
+impl Torus3d {
+    /// Builds a torus.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(dx: usize, dy: usize, dz: usize) -> Self {
+        assert!(dx > 0 && dy > 0 && dz > 0, "torus dimensions must be positive");
+        Torus3d { dx, dy, dz }
+    }
+
+    /// A roughly-cubic torus holding at least `k` nodes.
+    pub fn cubic_for(k: usize) -> Self {
+        assert!(k > 0, "torus needs at least one node");
+        let side = (k as f64).cbrt().ceil() as usize;
+        let mut t = Torus3d { dx: side.max(1), dy: side.max(1), dz: side.max(1) };
+        // Trim excess planes while capacity stays ≥ k.
+        while t.dx > 1 && (t.dx - 1) * t.dy * t.dz >= k {
+            t.dx -= 1;
+        }
+        while t.dy > 1 && t.dx * (t.dy - 1) * t.dz >= k {
+            t.dy -= 1;
+        }
+        while t.dz > 1 && t.dx * t.dy * (t.dz - 1) >= k {
+            t.dz -= 1;
+        }
+        t
+    }
+
+    /// Node count.
+    pub fn size(&self) -> usize {
+        self.dx * self.dy * self.dz
+    }
+
+    /// Torus coordinates of `rank`.
+    pub fn coords(&self, rank: u32) -> (u32, u32, u32) {
+        debug_assert!((rank as usize) < self.size());
+        let r = rank as usize;
+        let x = r / (self.dy * self.dz);
+        let y = (r / self.dz) % self.dy;
+        let z = r % self.dz;
+        (x as u32, y as u32, z as u32)
+    }
+
+    /// Minimal hop count between `a` and `b` (wraparound L1 distance).
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        let (ax, ay, az) = self.coords(a);
+        let (bx, by, bz) = self.coords(b);
+        let axis = |u: u32, v: u32, d: usize| -> u32 {
+            let diff = u.abs_diff(v);
+            diff.min(d as u32 - diff)
+        };
+        axis(ax, bx, self.dx) + axis(ay, by, self.dy) + axis(az, bz, self.dz)
+    }
+
+    /// The largest hop count between any two nodes (network diameter).
+    pub fn diameter(&self) -> u32 {
+        (self.dx as u32 / 2) + (self.dy as u32 / 2) + (self.dz as u32 / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_roundtrips_rank_coords() {
+        let m = Mesh2d::new(3, 5);
+        for rank in 0..m.size() as u32 {
+            assert_eq!(m.rank(m.row(rank), m.col(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn squarest_mesh_divides_evenly() {
+        for k in [1usize, 2, 4, 6, 12, 16, 36, 256, 1024, 4096, 30] {
+            let m = Mesh2d::squarest(k);
+            assert_eq!(m.size(), k, "k={k}");
+            assert!(m.pr <= m.pc);
+        }
+        // Primes degenerate to 1×k.
+        assert_eq!(Mesh2d::squarest(13), Mesh2d::new(1, 13));
+    }
+
+    #[test]
+    fn via_lies_on_dst_row_and_src_col() {
+        let m = Mesh2d::new(4, 4);
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                let via = m.via(src, dst);
+                assert_eq!(m.row(via), m.row(dst));
+                assert_eq!(m.col(via), m.col(src));
+            }
+        }
+    }
+
+    #[test]
+    fn row_and_col_members_cover_the_mesh() {
+        let m = Mesh2d::new(3, 4);
+        let rank = m.rank(1, 2);
+        let row: Vec<u32> = m.row_members(rank).collect();
+        let col: Vec<u32> = m.col_members(rank).collect();
+        assert_eq!(row.len(), 4);
+        assert_eq!(col.len(), 3);
+        assert!(row.contains(&rank) && col.contains(&rank));
+        // A row and a column intersect exactly once.
+        let common: Vec<&u32> = row.iter().filter(|r| col.contains(r)).collect();
+        assert_eq!(common, vec![&rank]);
+    }
+
+    #[test]
+    fn torus_hops_wrap_around() {
+        let t = Torus3d::new(4, 4, 4);
+        // (0,0,0) to (3,0,0): wraparound makes it 1 hop, not 3.
+        let a = 0u32;
+        let b = t
+            .coords_to_rank(3, 0, 0);
+        assert_eq!(t.hops(a, b), 1);
+        assert_eq!(t.hops(a, a), 0);
+        // Symmetry.
+        for x in 0..t.size() as u32 {
+            assert_eq!(t.hops(a, x), t.hops(x, a));
+        }
+    }
+
+    #[test]
+    fn torus_diameter_bounds_hops() {
+        let t = Torus3d::new(3, 4, 5);
+        let d = t.diameter();
+        for a in 0..t.size() as u32 {
+            for b in 0..t.size() as u32 {
+                assert!(t.hops(a, b) <= d);
+            }
+        }
+    }
+
+    #[test]
+    fn cubic_for_covers_k() {
+        for k in [1usize, 7, 16, 64, 100, 256, 1000] {
+            let t = Torus3d::cubic_for(k);
+            assert!(t.size() >= k, "k={k} got {}", t.size());
+        }
+    }
+}
+
+#[cfg(test)]
+impl Torus3d {
+    /// Test helper: rank at coordinates.
+    fn coords_to_rank(&self, x: u32, y: u32, z: u32) -> u32 {
+        (x as usize * self.dy * self.dz + y as usize * self.dz + z as usize) as u32
+    }
+}

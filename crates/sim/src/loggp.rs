@@ -1,0 +1,129 @@
+//! Simplified LogGP cost model.
+//!
+//! LogGP decomposes message cost into network latency `L`, per-message
+//! CPU overhead `o` (paid on *both* endpoints), per-message gap `g` and
+//! per-byte gap `G`. We use the common bulk-synchronous simplification:
+//! a phase costs each processor `o·(sends + recvs) + g·max(0, msgs − 1)
+//! + G·words`, and the phase ends `L` after the busiest processor
+//! finishes. Unlike α–β, overhead here is charged on both sides — a
+//! processor receiving hundreds of messages (the paper's dense-row 1D
+//! pathology) is penalized twice over, so if the method ranking holds
+//! under LogGP too, it is robust to how message cost is attributed.
+
+use crate::alpha_beta::{PhaseSpec, SimReport};
+
+/// LogGP machine parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LogGpModel {
+    /// Network latency per phase (seconds).
+    pub l: f64,
+    /// Per-message CPU overhead, each endpoint (seconds).
+    pub o: f64,
+    /// Inter-message gap (seconds).
+    pub g: f64,
+    /// Per-word gap (seconds; 8-byte words).
+    pub big_g: f64,
+    /// Per multiply-add compute time (seconds).
+    pub gamma: f64,
+}
+
+impl LogGpModel {
+    /// XE6-flavoured defaults: o ≈ 1 µs, g ≈ 0.5 µs, G ≈ 2 ns/word.
+    pub fn cray_xe6() -> Self {
+        LogGpModel { l: 1.0e-6, o: 1.0e-6, g: 5.0e-7, big_g: 2.0e-9, gamma: 1.0e-9 }
+    }
+}
+
+/// Simulates `phases` under the simplified LogGP model.
+///
+/// # Panics
+/// Panics on malformed phases (wrong compute length, endpoint range).
+pub fn simulate_loggp(
+    k: usize,
+    phases: &[PhaseSpec],
+    serial_ops: u64,
+    m: &LogGpModel,
+) -> SimReport {
+    let mut phase_times = Vec::with_capacity(phases.len());
+    for phase in phases {
+        assert_eq!(phase.compute.len(), k, "compute vector must cover all processors");
+        let max_flops = phase.compute.iter().copied().max().unwrap_or(0);
+        let mut msgs = vec![0u64; k]; // sends + recvs per proc
+        let mut words = vec![0u64; k];
+        for &(src, dst, w) in &phase.messages {
+            assert!((src as usize) < k && (dst as usize) < k, "message endpoint out of range");
+            msgs[src as usize] += 1;
+            msgs[dst as usize] += 1;
+            words[src as usize] += w;
+            words[dst as usize] += w;
+        }
+        let busiest = (0..k)
+            .map(|p| {
+                m.o * msgs[p] as f64
+                    + m.g * msgs[p].saturating_sub(1) as f64
+                    + m.big_g * words[p] as f64
+            })
+            .fold(0.0f64, f64::max);
+        let latency = if phase.messages.is_empty() { 0.0 } else { m.l };
+        phase_times.push(m.gamma * max_flops as f64 + busiest + latency);
+    }
+    SimReport {
+        k,
+        serial_time: m.gamma * serial_ops as f64,
+        parallel_time: phase_times.iter().sum(),
+        phase_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_charged_on_both_endpoints() {
+        let m = LogGpModel { l: 0.0, o: 1.0, g: 0.0, big_g: 0.0, gamma: 0.0 };
+        // One message: sender pays o, receiver pays o; busiest proc = 1.
+        let r = simulate_loggp(2, &[PhaseSpec::comm_only(2, vec![(0, 1, 4)])], 0, &m);
+        assert!((r.parallel_time - 1.0).abs() < 1e-12);
+        // A hub receiving from 3 peers pays 3o — worse than any sender.
+        let hub = simulate_loggp(
+            4,
+            &[PhaseSpec::comm_only(4, vec![(1, 0, 1), (2, 0, 1), (3, 0, 1)])],
+            0,
+            &m,
+        );
+        assert!((hub.parallel_time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_applies_between_messages() {
+        let m = LogGpModel { l: 0.0, o: 0.0, g: 2.0, big_g: 0.0, gamma: 0.0 };
+        let r = simulate_loggp(
+            3,
+            &[PhaseSpec::comm_only(3, vec![(0, 1, 1), (0, 2, 1)])],
+            0,
+            &m,
+        );
+        // Proc 0 sends 2 messages: one gap.
+        assert!((r.parallel_time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_comm_pays_no_latency() {
+        let m = LogGpModel::cray_xe6();
+        let r = simulate_loggp(2, &[PhaseSpec::compute_only(vec![1000, 1000])], 2000, &m);
+        assert!((r.parallel_time - 1000.0 * m.gamma).abs() < 1e-15);
+        assert!((r.speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_receiver_dominates_under_loggp() {
+        // The same traffic under α–β (send-side max) vs LogGP: LogGP makes
+        // the fan-in receiver the bottleneck.
+        let msgs: Vec<(u32, u32, u64)> = (1..64u32).map(|s| (s, 0, 1)).collect();
+        let phases = vec![PhaseSpec::comm_only(64, msgs)];
+        let lg = simulate_loggp(64, &phases, 0, &LogGpModel::cray_xe6());
+        // 63 messages * (o + g) ≈ 94.5 µs plus L.
+        assert!(lg.parallel_time > 9.0e-5, "fan-in must dominate: {}", lg.parallel_time);
+    }
+}

@@ -1,0 +1,465 @@
+//! The per-rank distributed compute engine.
+//!
+//! [`spmd_compute`] spawns one rank per processor of a partition, hands
+//! each a [`RankCtx`], and runs a user closure SPMD-style. The context
+//! owns the rank's compiled slice of the SpMV plan and its share of every
+//! distributed vector, and provides:
+//!
+//! * `spmv` — execute the plan's phases for this rank (tags are drawn
+//!   from a per-context allocator, so repeated calls never cross-talk);
+//! * `dot`, `norm2`, `sum`, `max` — global reductions over the runtime's
+//!   binomial-tree collectives;
+//! * local vector helpers (`axpy`, `scale`) that need no communication.
+//!
+//! Distributed vectors are plain `Vec<f64>` aligned with the rank's
+//! sorted list of owned global indices ([`RankCtx::owned`]).
+
+use std::collections::HashMap;
+
+use s2d_core::partition::SpmvPartition;
+use s2d_runtime::collectives::allreduce;
+use s2d_runtime::{spmd, Cluster, Endpoint};
+use s2d_sparse::Csr;
+use s2d_spmv::{MsgSpec, MultTask, PlanPhase, SpmvPlan};
+
+/// Message payload: `x` values and partial-`y` values keyed by global
+/// index.
+pub type Payload = (Vec<(u32, f64)>, Vec<(u32, f64)>);
+
+/// One rank's owned slice of a compiled communication phase.
+struct CommPhase {
+    outgoing: Vec<MsgSpec>,
+    expected: usize,
+}
+
+/// One rank's compiled plan phase.
+enum EnginePhase {
+    Compute(Vec<MultTask>),
+    Comm(CommPhase),
+}
+
+/// Hands out unique message tags; every rank draws the same sequence
+/// because SPMD ranks execute the same call sites in the same order.
+struct TagAlloc {
+    next: u32,
+}
+
+impl TagAlloc {
+    fn take(&mut self, n: u32) -> u32 {
+        let t = self.next;
+        self.next = self.next.checked_add(n).expect("tag space exhausted");
+        t
+    }
+}
+
+/// The per-rank compute context passed to [`spmd_compute`] closures.
+pub struct RankCtx {
+    ep: Endpoint<Payload>,
+    phases: Vec<EnginePhase>,
+    comm_phases: u32,
+    tags: TagAlloc,
+    /// Sorted global indices owned by this rank (`x` and `y` coincide —
+    /// symmetric vector partition).
+    pub owned: Vec<u32>,
+    /// Reusable buffers for the plan walk.
+    xbuf: HashMap<u32, f64>,
+    ybuf: HashMap<u32, f64>,
+}
+
+impl RankCtx {
+    fn compile(plan: &SpmvPlan, rank: u32, owned: Vec<u32>, ep: Endpoint<Payload>) -> Self {
+        let k = plan.k;
+        let mut phases = Vec::with_capacity(plan.phases.len());
+        let mut comm_phases = 0u32;
+        for phase in &plan.phases {
+            match phase {
+                PlanPhase::Compute(tasks) => {
+                    phases.push(EnginePhase::Compute(tasks[rank as usize].clone()));
+                }
+                PlanPhase::Comm(msgs) => {
+                    let mut outgoing = Vec::new();
+                    let mut expected = 0usize;
+                    for m in msgs {
+                        if m.src == rank {
+                            outgoing.push(m.clone());
+                        }
+                        if m.dst == rank {
+                            expected += 1;
+                        }
+                    }
+                    let _ = k;
+                    phases.push(EnginePhase::Comm(CommPhase { outgoing, expected }));
+                    comm_phases += 1;
+                }
+            }
+        }
+        RankCtx {
+            ep,
+            phases,
+            comm_phases,
+            tags: TagAlloc { next: 0 },
+            owned,
+            xbuf: HashMap::new(),
+            ybuf: HashMap::new(),
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> u32 {
+        self.ep.rank()
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.ep.size()
+    }
+
+    /// Number of vector entries owned by this rank.
+    pub fn local_len(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Executes one distributed SpMV: `v` holds the values of the owned
+    /// `x` entries (aligned with [`RankCtx::owned`]); the result holds
+    /// the owned `y` entries in the same alignment.
+    pub fn spmv(&mut self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.owned.len(), "local vector length mismatch");
+        let tag0 = self.tags.take(self.comm_phases.max(1));
+        self.xbuf.clear();
+        self.ybuf.clear();
+        for (&g, &val) in self.owned.iter().zip(v) {
+            self.xbuf.insert(g, val);
+        }
+        let mut comm_idx = 0u32;
+        for phase in &self.phases {
+            match phase {
+                EnginePhase::Compute(tasks) => {
+                    for t in tasks {
+                        let xv = *self.xbuf.get(&t.col).unwrap_or_else(|| {
+                            panic!("rank {} lacks x[{}]: plan bug", self.ep.rank(), t.col)
+                        });
+                        *self.ybuf.entry(t.row).or_insert(0.0) += t.val * xv;
+                    }
+                }
+                EnginePhase::Comm(cp) => {
+                    let tag = tag0 + comm_idx;
+                    comm_idx += 1;
+                    for m in &cp.outgoing {
+                        let xs: Vec<(u32, f64)> = m
+                            .x_cols
+                            .iter()
+                            .map(|&j| {
+                                (j, *self.xbuf.get(&j).unwrap_or_else(|| {
+                                    panic!("rank {} lacks x[{j}] to send", self.ep.rank())
+                                }))
+                            })
+                            .collect();
+                        let ys: Vec<(u32, f64)> = m
+                            .y_rows
+                            .iter()
+                            .map(|&i| {
+                                (i, self.ybuf.remove(&i).unwrap_or_else(|| {
+                                    panic!("rank {} lacks partial y[{i}]", self.ep.rank())
+                                }))
+                            })
+                            .collect();
+                        self.ep.send(m.dst, tag, (xs, ys));
+                    }
+                    for _ in 0..cp.expected {
+                        let (xs, ys) = self.ep.recv_tag(tag).payload;
+                        for (j, val) in xs {
+                            self.xbuf.insert(j, val);
+                        }
+                        for (i, val) in ys {
+                            *self.ybuf.entry(i).or_insert(0.0) += val;
+                        }
+                    }
+                }
+            }
+        }
+        self.owned.iter().map(|g| self.ybuf.get(g).copied().unwrap_or(0.0)).collect()
+    }
+
+    /// Global dot product `⟨u, v⟩` over all ranks' owned entries.
+    pub fn dot(&mut self, u: &[f64], v: &[f64]) -> f64 {
+        debug_assert_eq!(u.len(), v.len());
+        let local: f64 = u.iter().zip(v).map(|(a, b)| a * b).sum();
+        self.sum(local)
+    }
+
+    /// Global Euclidean norm of `v`.
+    pub fn norm2(&mut self, v: &[f64]) -> f64 {
+        self.dot_self(v).sqrt()
+    }
+
+    /// Global `⟨v, v⟩`.
+    pub fn dot_self(&mut self, v: &[f64]) -> f64 {
+        let local: f64 = v.iter().map(|a| a * a).sum();
+        self.sum(local)
+    }
+
+    /// Global sum of a per-rank scalar.
+    pub fn sum(&mut self, local: f64) -> f64 {
+        let tag = self.tags.take(2);
+        let out = allreduce(&mut self.ep, tag, (vec![(0u32, local)], Vec::new()), |a, b| {
+            (vec![(0, a.0[0].1 + b.0[0].1)], Vec::new())
+        });
+        out.0[0].1
+    }
+
+    /// Global max of a per-rank scalar.
+    pub fn max(&mut self, local: f64) -> f64 {
+        let tag = self.tags.take(2);
+        let out = allreduce(&mut self.ep, tag, (vec![(0u32, local)], Vec::new()), |a, b| {
+            (vec![(0, a.0[0].1.max(b.0[0].1))], Vec::new())
+        });
+        out.0[0].1
+    }
+
+    /// Global elementwise-sum allreduce of a small dense vector (every
+    /// rank contributes and receives `vals.len()` entries). Used for
+    /// fused multi-scalar reductions (e.g. CG's `(r·r, p·Ap)` pair).
+    pub fn sum_vec(&mut self, vals: Vec<f64>) -> Vec<f64> {
+        let tag = self.tags.take(2);
+        let wrapped: Vec<(u32, f64)> =
+            vals.into_iter().enumerate().map(|(i, v)| (i as u32, v)).collect();
+        let out = allreduce(&mut self.ep, tag, (wrapped, Vec::new()), |mut a, b| {
+            for ((_, av), (_, bv)) in a.0.iter_mut().zip(&b.0) {
+                *av += *bv;
+            }
+            a
+        });
+        out.0.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// `y += alpha · x`, purely local.
+    pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len());
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    /// `v *= alpha`, purely local.
+    pub fn scale(alpha: f64, v: &mut [f64]) {
+        for vi in v.iter_mut() {
+            *vi *= alpha;
+        }
+    }
+}
+
+/// Validates the solver preconditions and derives per-rank owned-index
+/// lists from the (symmetric) vector partition.
+fn owned_indices(plan: &SpmvPlan, p: &SpmvPartition) -> Vec<Vec<u32>> {
+    assert_eq!(
+        plan.nrows, plan.ncols,
+        "iterative solvers need a square matrix (got {}x{})",
+        plan.nrows, plan.ncols
+    );
+    assert_eq!(
+        p.x_part, p.y_part,
+        "iterative solvers need a symmetric vector partition (x_part == y_part)"
+    );
+    let mut owned: Vec<Vec<u32>> = vec![Vec::new(); plan.k];
+    for (j, &o) in p.x_part.iter().enumerate() {
+        owned[o as usize].push(j as u32);
+    }
+    owned
+}
+
+/// Runs `body` SPMD on `plan.k` ranks, each with a [`RankCtx`] compiled
+/// from `plan`; returns the per-rank results in rank order.
+///
+/// `a` is used only for shape checks; `plan` must have been built from
+/// `(a, p)`.
+///
+/// # Panics
+/// Panics if the matrix is not square or the vector partition is not
+/// symmetric (`x_part != y_part`).
+pub fn spmd_compute<R, F>(a: &Csr, p: &SpmvPartition, plan: &SpmvPlan, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    assert_eq!(a.nrows(), plan.nrows);
+    assert_eq!(a.ncols(), plan.ncols);
+    let owned = owned_indices(plan, p);
+    let owned_ref = parking_lot::Mutex::new(owned);
+    spmd(Cluster::<Payload>::new(plan.k), |ep| {
+        let rank = ep.rank();
+        let my_owned = std::mem::take(&mut owned_ref.lock()[rank as usize]);
+        // Endpoint moves into the context; the context lives for the
+        // whole body.
+        let ep = std::mem::replace(ep, dummy_endpoint());
+        let mut ctx = RankCtx::compile(plan, rank, my_owned, ep);
+        body(&mut ctx)
+    })
+}
+
+/// A placeholder endpoint used to move the real one into [`RankCtx`]
+/// (rank 0 of a private single-rank cluster; never communicated on).
+fn dummy_endpoint() -> Endpoint<Payload> {
+    Cluster::new(1).into_endpoints().remove(0)
+}
+
+/// Scatters a global vector into per-rank local slices (aligned with the
+/// sorted owned indices that [`spmd_compute`] hands each rank).
+pub fn scatter(global: &[f64], p: &SpmvPartition) -> Vec<Vec<f64>> {
+    let mut parts: Vec<Vec<f64>> = vec![Vec::new(); p.k];
+    for (j, &v) in global.iter().enumerate() {
+        parts[p.x_part[j] as usize].push(v);
+    }
+    parts
+}
+
+/// Gathers per-rank local slices back into a global vector.
+pub fn gather_global(locals: &[(Vec<u32>, Vec<f64>)], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for (idx, vals) in locals {
+        for (&g, &v) in idx.iter().zip(vals) {
+            out[g as usize] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_core::partition::SpmvPartition;
+    use s2d_sparse::Coo;
+
+    /// 1D Laplacian (SPD, diagonally dominant).
+    fn laplacian(n: usize) -> Csr {
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 2.0);
+            if i + 1 < n {
+                m.push(i, i + 1, -1.0);
+                m.push(i + 1, i, -1.0);
+            }
+        }
+        m.compress();
+        m.to_csr()
+    }
+
+    fn block_partition(n: usize, k: usize) -> SpmvPartition {
+        let per = n.div_ceil(k);
+        let part: Vec<u32> = (0..n).map(|i| (i / per) as u32).collect();
+        SpmvPartition {
+            k,
+            x_part: part.clone(),
+            y_part: part.clone(),
+            nz_owner: Vec::new(), // filled by rowwise below
+        }
+    }
+
+    fn setup(n: usize, k: usize) -> (Csr, SpmvPartition, SpmvPlan) {
+        let a = laplacian(n);
+        let base = block_partition(n, k);
+        let p = SpmvPartition::rowwise(&a, base.y_part.clone(), base.x_part.clone(), k);
+        let plan = SpmvPlan::single_phase(&a, &p);
+        (a, p, plan)
+    }
+
+    #[test]
+    fn distributed_spmv_matches_serial() {
+        let (a, p, plan) = setup(40, 4);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64).cos()).collect();
+        let want = a.spmv_alloc(&x);
+        let locals = scatter(&x, &p);
+        let locals = parking_lot::Mutex::new(locals);
+        let out = spmd_compute(&a, &p, &plan, |ctx| {
+            let v = std::mem::take(&mut locals.lock()[ctx.rank() as usize]);
+            let y = ctx.spmv(&v);
+            (ctx.owned.clone(), y)
+        });
+        let got = gather_global(&out, 40);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn repeated_spmv_calls_are_independent() {
+        let (a, p, plan) = setup(24, 3);
+        let x: Vec<f64> = (0..24).map(|i| i as f64 * 0.1).collect();
+        let want = a.spmv_alloc(&x);
+        let locals = scatter(&x, &p);
+        let locals = parking_lot::Mutex::new(locals);
+        let out = spmd_compute(&a, &p, &plan, |ctx| {
+            let v = std::mem::take(&mut locals.lock()[ctx.rank() as usize]);
+            let y1 = ctx.spmv(&v);
+            let y2 = ctx.spmv(&v);
+            assert_eq!(y1, y2, "same input, same output");
+            // And chaining: y3 = A(Ax) must differ from Ax in general.
+            let y3 = ctx.spmv(&y1);
+            (ctx.owned.clone(), y1, y3)
+        });
+        let got = gather_global(
+            &out.iter().map(|(o, y1, _)| (o.clone(), y1.clone())).collect::<Vec<_>>(),
+            24,
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+        let got3 = gather_global(
+            &out.into_iter().map(|(o, _, y3)| (o, y3)).collect::<Vec<_>>(),
+            24,
+        );
+        let want3 = a.spmv_alloc(&want);
+        for (g, w) in got3.iter().zip(&want3) {
+            assert!((g - w).abs() < 1e-12, "A²x: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn dot_and_norm_reduce_globally() {
+        let (a, p, plan) = setup(30, 5);
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let serial_dot: f64 = x.iter().map(|v| v * v).sum();
+        let locals = scatter(&x, &p);
+        let locals = parking_lot::Mutex::new(locals);
+        let out = spmd_compute(&a, &p, &plan, |ctx| {
+            let v = std::mem::take(&mut locals.lock()[ctx.rank() as usize]);
+            (ctx.dot(&v, &v), ctx.norm2(&v), ctx.max(v.iter().copied().fold(0.0, f64::max)))
+        });
+        for (dot, norm, max) in out {
+            assert!((dot - serial_dot).abs() < 1e-9);
+            assert!((norm - serial_dot.sqrt()).abs() < 1e-9);
+            assert!((max - 29.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_vec_fuses_multiple_reductions() {
+        let (a, p, plan) = setup(16, 4);
+        let out = spmd_compute(&a, &p, &plan, |ctx| {
+            let r = ctx.rank() as f64;
+            ctx.sum_vec(vec![r, 2.0 * r, 1.0])
+        });
+        for v in out {
+            assert_eq!(v, vec![6.0, 12.0, 4.0]); // Σr, 2Σr, K
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric vector partition")]
+    fn asymmetric_partition_is_rejected() {
+        let a = laplacian(8);
+        let y_part = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let x_part = vec![1, 1, 1, 1, 0, 0, 0, 0];
+        let p = SpmvPartition::rowwise(&a, y_part, x_part, 2);
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let _ = spmd_compute(&a, &p, &plan, |_| ());
+    }
+
+    #[test]
+    fn local_axpy_and_scale() {
+        let mut y = vec![1.0, 2.0];
+        RankCtx::axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 42.0]);
+        RankCtx::scale(0.5, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+    }
+}

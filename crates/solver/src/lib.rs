@@ -1,0 +1,35 @@
+//! Distributed iterative solvers on partitioned SpMV.
+//!
+//! The reason partition quality matters at all is that real applications
+//! perform **many** multiplications with the same matrix: Krylov solvers,
+//! stationary iterations, eigensolvers, PageRank. This crate provides
+//! those downstream workloads, running SPMD on the `s2d-runtime`
+//! substrate with the SpMV plans of `s2d-spmv`:
+//!
+//! * [`engine`] — the per-rank SpMV engine (compile a plan once, execute
+//!   it every iteration with fresh tags) and the rank-local vector/
+//!   reduction toolkit;
+//! * [`cg`] — conjugate gradients for symmetric positive definite
+//!   systems;
+//! * [`jacobi`] — the Jacobi stationary iteration;
+//! * [`power`] — power iteration for the dominant eigenpair, and
+//!   PageRank on column-stochastic link matrices.
+//!
+//! All solvers require a **symmetric vector partition** (`x_part ==
+//! y_part`), which every square-matrix partitioning method in this
+//! workspace produces: iterates live where the matrix expects its input,
+//! so vector updates (`axpy`, scaling) are purely local and only dot
+//! products and the SpMV itself communicate.
+
+pub mod cg;
+pub mod engine;
+pub mod jacobi;
+pub mod power;
+
+pub use cg::{cg_solve, CgOptions, CgResult};
+pub use engine::{spmd_compute, RankCtx};
+pub use jacobi::{jacobi_solve, JacobiOptions, JacobiResult};
+pub use power::{
+    pagerank, power_iteration, to_column_stochastic, PagerankOptions, PagerankResult,
+    PowerOptions, PowerResult,
+};

@@ -1,0 +1,176 @@
+//! The `K × K` block structure a pair of vector partitions induces on a
+//! matrix (Section III of the paper: `A_ℓk = {a_ij : y_i ∈ y(ℓ), x_j ∈ x(k)}`).
+//!
+//! Only nonempty blocks are materialized — for `K = 4096` the full grid has
+//! 16.7 M cells while real matrices touch a tiny fraction of them.
+
+use crate::Csr;
+
+/// Identifier of a block: `(row_part ℓ, col_part k)`.
+pub type BlockId = (u32, u32);
+
+/// Sparse representation of the block structure: for every nonempty block,
+/// the list of nonzero ids (indices into the CSR arrays) that fall in it.
+#[derive(Clone, Debug)]
+pub struct BlockStructure {
+    nparts: usize,
+    /// Sorted, deduplicated keys of nonempty blocks.
+    keys: Vec<BlockId>,
+    /// `nz[ptr[b]..ptr[b+1]]` are the nonzero ids of block `keys[b]`.
+    ptr: Vec<usize>,
+    nz: Vec<u32>,
+}
+
+impl BlockStructure {
+    /// Builds the block structure of `a` under the given vector partitions.
+    ///
+    /// `row_part[i]` is the owner of `y_i`; `col_part[j]` the owner of `x_j`.
+    ///
+    /// # Panics
+    /// Panics if the partition arrays do not match the matrix shape or a
+    /// part id is `>= nparts`.
+    pub fn build(a: &Csr, row_part: &[u32], col_part: &[u32], nparts: usize) -> Self {
+        assert_eq!(row_part.len(), a.nrows(), "row partition length mismatch");
+        assert_eq!(col_part.len(), a.ncols(), "column partition length mismatch");
+        assert!(row_part.iter().all(|&p| (p as usize) < nparts));
+        assert!(col_part.iter().all(|&p| (p as usize) < nparts));
+
+        // Tag every nonzero with its block key, then sort by key. The sort
+        // is the dominant cost: O(nnz log nnz) with a u64 key.
+        let mut tagged: Vec<(u64, u32)> = Vec::with_capacity(a.nnz());
+        for i in 0..a.nrows() {
+            let l = row_part[i] as u64;
+            for e in a.row_range(i) {
+                let k = col_part[a.colind()[e] as usize] as u64;
+                tagged.push(((l << 32) | k, e as u32));
+            }
+        }
+        tagged.sort_unstable();
+
+        let mut keys = Vec::new();
+        let mut ptr = vec![0usize];
+        let mut nz = Vec::with_capacity(tagged.len());
+        for (key, e) in tagged {
+            let id = ((key >> 32) as u32, key as u32);
+            if keys.last() != Some(&id) {
+                keys.push(id);
+                ptr.push(nz.len());
+            }
+            nz.push(e);
+            *ptr.last_mut().expect("ptr nonempty") = nz.len();
+        }
+        BlockStructure { nparts, keys, ptr, nz }
+    }
+
+    /// Number of parts `K`.
+    pub fn nparts(&self) -> usize {
+        self.nparts
+    }
+
+    /// Number of nonempty blocks.
+    pub fn nblocks(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Iterates over `(block_id, nonzero_ids)` for every nonempty block.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &[u32])> + '_ {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(move |(b, &id)| (id, &self.nz[self.ptr[b]..self.ptr[b + 1]]))
+    }
+
+    /// Iterates over nonempty *off-diagonal* blocks only (`ℓ != k`).
+    pub fn iter_off_diagonal(&self) -> impl Iterator<Item = (BlockId, &[u32])> + '_ {
+        self.iter().filter(|((l, k), _)| l != k)
+    }
+
+    /// The nonzero ids of block `(l, k)`, empty if the block is empty.
+    pub fn block(&self, l: u32, k: u32) -> &[u32] {
+        match self.keys.binary_search(&(l, k)) {
+            Ok(b) => &self.nz[self.ptr[b]..self.ptr[b + 1]],
+            Err(_) => &[],
+        }
+    }
+
+    /// Number of nonzeros in block `(l, k)`.
+    pub fn block_nnz(&self, l: u32, k: u32) -> usize {
+        self.block(l, k).len()
+    }
+
+    /// Total nonzeros across diagonal blocks.
+    pub fn diagonal_nnz(&self) -> usize {
+        self.iter().filter(|((l, k), _)| l == k).map(|(_, nz)| nz.len()).sum()
+    }
+
+    /// Per-part nonzero count of the *rowwise* assignment (every nonzero
+    /// charged to its row part) — the starting loads of Algorithm 1.
+    pub fn rowwise_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.nparts];
+        for ((l, _), nz) in self.iter() {
+            loads[l as usize] += nz.len() as u64;
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr {
+        // 4x4, parts rows [0,0,1,1], cols [0,1,1,0]
+        Coo::from_pattern(4, 4, &[(0, 0), (0, 1), (1, 3), (2, 2), (3, 0), (3, 1)]).to_csr()
+    }
+
+    #[test]
+    fn blocks_partition_all_nonzeros() {
+        let a = sample();
+        let bs = BlockStructure::build(&a, &[0, 0, 1, 1], &[0, 1, 1, 0], 2);
+        let total: usize = bs.iter().map(|(_, nz)| nz.len()).sum();
+        assert_eq!(total, a.nnz());
+        let mut seen: Vec<u32> = bs.iter().flat_map(|(_, nz)| nz.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..a.nnz() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn block_lookup_matches_hand_count() {
+        let a = sample();
+        let bs = BlockStructure::build(&a, &[0, 0, 1, 1], &[0, 1, 1, 0], 2);
+        // (0,0): a00 and a13 (col 3 is part 0) -> 2 nonzeros
+        assert_eq!(bs.block_nnz(0, 0), 2);
+        // (0,1): a01 -> 1
+        assert_eq!(bs.block_nnz(0, 1), 1);
+        // (1,0): a30 -> 1
+        assert_eq!(bs.block_nnz(1, 0), 1);
+        // (1,1): a22, a31 -> 2
+        assert_eq!(bs.block_nnz(1, 1), 2);
+        assert_eq!(bs.nblocks(), 4);
+    }
+
+    #[test]
+    fn off_diagonal_iterator_skips_diagonal() {
+        let a = sample();
+        let bs = BlockStructure::build(&a, &[0, 0, 1, 1], &[0, 1, 1, 0], 2);
+        let off: Vec<_> = bs.iter_off_diagonal().map(|(id, _)| id).collect();
+        assert_eq!(off, vec![(0, 1), (1, 0)]);
+        assert_eq!(bs.diagonal_nnz(), 4);
+    }
+
+    #[test]
+    fn rowwise_loads_sum_to_nnz() {
+        let a = sample();
+        let bs = BlockStructure::build(&a, &[0, 0, 1, 1], &[0, 1, 1, 0], 2);
+        assert_eq!(bs.rowwise_loads(), vec![3, 3]);
+    }
+
+    #[test]
+    fn empty_block_lookup_returns_empty() {
+        let a = Coo::from_pattern(2, 2, &[(0, 0)]).to_csr();
+        let bs = BlockStructure::build(&a, &[0, 1], &[0, 1], 2);
+        assert!(bs.block(0, 1).is_empty());
+        assert_eq!(bs.nblocks(), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Triplet (coordinate) sparse matrix format.
+
+use crate::{idx, Csr, Idx};
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// Triplets may be unsorted and may contain duplicates until
+/// [`Coo::compress`] or [`Coo::to_csr`] is called; duplicates are summed,
+/// matching Matrix Market semantics.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<Idx>,
+    cols: Vec<Idx>,
+    vals: Vec<f64>,
+}
+
+impl Coo {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty matrix with capacity for `cap` nonzeros.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a matrix from parallel triplet arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays have different lengths or an index is out of
+    /// bounds.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<Idx>,
+        cols: Vec<Idx>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        for (&r, &c) in rows.iter().zip(&cols) {
+            assert!((r as usize) < nrows && (c as usize) < ncols, "entry ({r},{c}) out of bounds");
+        }
+        Coo { nrows, ncols, rows, cols, vals }
+    }
+
+    /// Builds a pattern matrix (all values 1.0) from `(row, col)` pairs.
+    pub fn from_pattern(nrows: usize, ncols: usize, entries: &[(usize, usize)]) -> Self {
+        let mut m = Coo::with_capacity(nrows, ncols, entries.len());
+        for &(r, c) in entries {
+            m.push(r, c, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (may include duplicates before compression).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a triplet.
+    ///
+    /// # Panics
+    /// Panics if the position is out of bounds.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(row < self.nrows && col < self.ncols, "entry ({row},{col}) out of bounds");
+        self.rows.push(idx(row));
+        self.cols.push(idx(col));
+        self.vals.push(val);
+    }
+
+    /// Iterates over stored triplets as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Sorts triplets by `(row, col)` and sums duplicates in place.
+    pub fn compress(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        order.sort_unstable_by_key(|&e| ((self.rows[e] as u64) << 32) | self.cols[e] as u64);
+        let mut rows = Vec::with_capacity(order.len());
+        let mut cols = Vec::with_capacity(order.len());
+        let mut vals = Vec::with_capacity(order.len());
+        for &e in &order {
+            let (r, c, v) = (self.rows[e], self.cols[e], self.vals[e]);
+            if rows.last() == Some(&r) && cols.last() == Some(&c) {
+                *vals.last_mut().expect("vals nonempty alongside rows") += v;
+            } else {
+                rows.push(r);
+                cols.push(c);
+                vals.push(v);
+            }
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Converts to CSR, summing duplicate entries.
+    pub fn to_csr(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            rowptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colind = vec![0 as Idx; self.nnz()];
+        let mut vals = vec![0.0f64; self.nnz()];
+        let mut next = rowptr.clone();
+        for ((&r, &c), &v) in self.rows.iter().zip(&self.cols).zip(&self.vals) {
+            let slot = next[r as usize];
+            colind[slot] = c;
+            vals[slot] = v;
+            next[r as usize] += 1;
+        }
+        let mut csr = Csr::from_raw(self.nrows, self.ncols, rowptr, colind, vals);
+        csr.sort_and_sum_duplicates();
+        csr
+    }
+
+    /// Returns the transpose (rows and columns swapped).
+    pub fn transpose(&self) -> Coo {
+        Coo {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Makes the pattern symmetric by adding the transpose of every
+    /// off-diagonal entry (values duplicated, duplicates later summed).
+    pub fn symmetrize(&mut self) {
+        let n = self.nnz();
+        for e in 0..n {
+            if self.rows[e] != self.cols[e] {
+                self.rows.push(self.cols[e]);
+                self.cols.push(self.rows[e]);
+                self.vals.push(self.vals[e]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iter_roundtrip() {
+        let mut m = Coo::new(3, 4);
+        m.push(0, 1, 2.0);
+        m.push(2, 3, -1.0);
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(0, 1, 2.0), (2, 3, -1.0)]);
+    }
+
+    #[test]
+    fn compress_sums_duplicates() {
+        let mut m = Coo::new(2, 2);
+        m.push(1, 1, 1.0);
+        m.push(0, 0, 2.0);
+        m.push(1, 1, 3.0);
+        m.compress();
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(0, 0, 2.0), (1, 1, 4.0)]);
+    }
+
+    #[test]
+    fn symmetrize_adds_mirror_entries() {
+        let mut m = Coo::from_pattern(3, 3, &[(0, 1), (1, 1)]);
+        m.symmetrize();
+        m.compress();
+        let pat: Vec<_> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(pat, vec![(0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut m = Coo::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn transpose_swaps_shape() {
+        let m = Coo::from_pattern(2, 5, &[(1, 4)]);
+        let t = m.transpose();
+        assert_eq!((t.nrows(), t.ncols()), (5, 2));
+        assert_eq!(t.iter().next(), Some((4, 1, 1.0)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Compressed sparse column format.
+
+use crate::{Csr, Idx};
+
+/// A sparse matrix in compressed sparse column (CSC) format.
+///
+/// Used where column access dominates: building row-net models, computing
+/// column covers in Dulmage–Mendelsohn splits, and checkerboard column
+/// partitioning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowind: Vec<Idx>,
+    vals: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix from raw arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are structurally inconsistent.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowind: Vec<Idx>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(colptr.len(), ncols + 1, "colptr length must be ncols+1");
+        assert_eq!(*colptr.last().expect("colptr nonempty"), rowind.len());
+        assert_eq!(rowind.len(), vals.len());
+        assert!(colptr.windows(2).all(|w| w[0] <= w[1]), "colptr must be nondecreasing");
+        assert!(rowind.iter().all(|&r| (r as usize) < nrows), "row index out of bounds");
+        Csc { nrows, ncols, colptr, rowind, vals }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowind.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    #[inline]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row indices, column by column.
+    #[inline]
+    pub fn rowind(&self) -> &[Idx] {
+        &self.rowind
+    }
+
+    /// Nonzero values, aligned with [`Csc::rowind`].
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Row indices of column `j`.
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[Idx] {
+        &self.rowind[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Values of column `j`.
+    #[inline]
+    pub fn col_vals(&self, j: usize) -> &[f64] {
+        &self.vals[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Number of nonzeros in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rowind {
+            rowptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colind = vec![0 as Idx; self.nnz()];
+        let mut vals = vec![0.0; self.nnz()];
+        let mut next = rowptr.clone();
+        for j in 0..self.ncols {
+            for (&r, &v) in self.col_rows(j).iter().zip(self.col_vals(j)) {
+                let slot = next[r as usize];
+                colind[slot] = j as Idx;
+                vals[slot] = v;
+                next[r as usize] += 1;
+            }
+        }
+        // Columns are visited in increasing order, so rows come out sorted.
+        Csr::from_raw(self.nrows, self.ncols, rowptr, colind, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Coo;
+
+    #[test]
+    fn col_access() {
+        let a = Coo::from_triplets(3, 2, vec![0, 2, 1], vec![0, 0, 1], vec![1.0, 3.0, 2.0])
+            .to_csr()
+            .to_csc();
+        assert_eq!(a.col_rows(0), &[0, 2]);
+        assert_eq!(a.col_vals(0), &[1.0, 3.0]);
+        assert_eq!(a.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_matrix() {
+        let a = Coo::from_pattern(4, 4, &[(0, 3), (1, 0), (3, 3), (2, 2)]).to_csr();
+        assert_eq!(a.to_csc().to_csr(), a);
+    }
+}

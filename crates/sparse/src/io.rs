@@ -1,0 +1,222 @@
+//! Matrix Market (`.mtx`) reader and writer.
+//!
+//! Supports the `matrix coordinate` object with `real`, `integer` and
+//! `pattern` fields and `general`, `symmetric` and `skew-symmetric`
+//! symmetry, which covers every matrix class referenced by the paper.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::Coo;
+
+/// Errors produced by the Matrix Market parser.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic violation, with a human-readable message.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market stream into triplet form.
+///
+/// Symmetric inputs are expanded (the strict lower triangle is mirrored), so
+/// the returned matrix always stores the full pattern.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))??;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() != 5 || !tokens[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(parse_err(format!("bad header line: {header:?}")));
+    }
+    if !tokens[1].eq_ignore_ascii_case("matrix") || !tokens[2].eq_ignore_ascii_case("coordinate") {
+        return Err(parse_err("only `matrix coordinate` objects are supported"));
+    }
+    let field = match tokens[3].to_ascii_lowercase().as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(parse_err(format!("unsupported field {other:?}"))),
+    };
+    let symmetry = match tokens[4].to_ascii_lowercase().as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(parse_err(format!("unsupported symmetry {other:?}"))),
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| parse_err(format!("bad size token {t:?}: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must contain `nrows ncols nnz`"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let cap = if symmetry == Symmetry::General { nnz } else { 2 * nnz };
+    let mut coo = Coo::with_capacity(nrows, ncols, cap);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad row index: {e}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing column index"))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad column index: {e}")))?;
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(parse_err(format!("entry ({r},{c}) outside 1..={nrows} x 1..={ncols}")));
+        }
+        let v = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse::<f64>()
+                .map_err(|e| parse_err(format!("bad value: {e}")))?,
+        };
+        let (r, c) = (r - 1, c - 1);
+        coo.push(r, c, v);
+        if r != c {
+            match symmetry {
+                Symmetry::General => {}
+                Symmetry::Symmetric => coo.push(c, r, v),
+                Symmetry::SkewSymmetric => coo.push(c, r, -v),
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("size line promised {nnz} entries, found {seen}")));
+    }
+    coo.compress();
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file from `path`.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Coo, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes `m` as a `matrix coordinate real general` Matrix Market stream.
+pub fn write_matrix_market<W: Write>(m: &Coo, writer: W) -> Result<(), MmError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {v:?}", r + 1, c + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes `m` to the file at `path` in Matrix Market format.
+pub fn write_matrix_market_file(m: &Coo, path: impl AsRef<Path>) -> Result<(), MmError> {
+    write_matrix_market(m, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_general_real() {
+        let src = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 2 5.0\n3 3 -1\n";
+        let m = read_matrix_market(src.as_bytes()).expect("parse");
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(0, 1, 5.0), (2, 2, -1.0)]);
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n2 1\n2 2\n";
+        let m = read_matrix_market(src.as_bytes()).expect("parse");
+        let pat: Vec<_> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(pat, vec![(0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn skew_symmetric_negates() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
+        let m = read_matrix_market(src.as_bytes()).expect("parse");
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(0, 1, -3.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let m = Coo::from_triplets(3, 4, vec![0, 2], vec![3, 1], vec![1.5, -2.25]);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).expect("write");
+        let back = read_matrix_market(buf.as_slice()).expect("read");
+        assert_eq!(back.iter().collect::<Vec<_>>(), m.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+}

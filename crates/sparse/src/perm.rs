@@ -1,0 +1,157 @@
+//! Permutations of rows and columns.
+
+use crate::{Coo, Csr, Idx};
+
+/// A permutation of `0..n`, stored as `new = perm[old]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<Idx>,
+}
+
+impl Permutation {
+    /// Identity permutation of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation { forward: (0..n as Idx).collect() }
+    }
+
+    /// Builds a permutation from `new = map[old]`.
+    ///
+    /// # Panics
+    /// Panics if `map` is not a bijection of `0..map.len()`.
+    pub fn from_forward(map: Vec<Idx>) -> Self {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &v in &map {
+            assert!((v as usize) < n, "permutation image {v} out of range");
+            assert!(!seen[v as usize], "permutation image {v} duplicated");
+            seen[v as usize] = true;
+        }
+        Permutation { forward: map }
+    }
+
+    /// Builds the permutation that sorts items into the order given by
+    /// `order` (i.e. `order[new] = old`).
+    pub fn from_order(order: &[usize]) -> Self {
+        let mut forward = vec![0 as Idx; order.len()];
+        for (new, &old) in order.iter().enumerate() {
+            forward[old] = new as Idx;
+        }
+        Self::from_forward(forward)
+    }
+
+    /// Groups items by their part id (stable within a part) — the
+    /// permutation that block-orders a matrix according to a partition.
+    pub fn from_parts(parts: &[u32], nparts: usize) -> Self {
+        let mut count = vec![0usize; nparts + 1];
+        for &p in parts {
+            assert!((p as usize) < nparts, "part id {p} out of range");
+            count[p as usize + 1] += 1;
+        }
+        for p in 0..nparts {
+            count[p + 1] += count[p];
+        }
+        let mut forward = vec![0 as Idx; parts.len()];
+        for (old, &p) in parts.iter().enumerate() {
+            forward[old] = count[p as usize] as Idx;
+            count[p as usize] += 1;
+        }
+        Permutation { forward }
+    }
+
+    /// Size of the permuted set.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True if the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// New position of `old`.
+    #[inline]
+    pub fn apply(&self, old: usize) -> usize {
+        self.forward[old] as usize
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0 as Idx; self.forward.len()];
+        for (old, &new) in self.forward.iter().enumerate() {
+            inv[new as usize] = old as Idx;
+        }
+        Permutation { forward: inv }
+    }
+
+    /// Applies the permutation to a slice, returning the reordered copy
+    /// (`out[perm[i]] = data[i]`).
+    pub fn permute_slice<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len());
+        let mut out = data.to_vec();
+        for (old, item) in data.iter().enumerate() {
+            out[self.forward[old] as usize] = item.clone();
+        }
+        out
+    }
+}
+
+/// Returns `P_r A P_c^T`: row `i` moves to `row_perm.apply(i)`, column `j`
+/// to `col_perm.apply(j)`.
+///
+/// # Panics
+/// Panics if the permutation sizes do not match the matrix shape.
+pub fn permute(a: &Csr, row_perm: &Permutation, col_perm: &Permutation) -> Csr {
+    assert_eq!(row_perm.len(), a.nrows());
+    assert_eq!(col_perm.len(), a.ncols());
+    let mut out = Coo::with_capacity(a.nrows(), a.ncols(), a.nnz());
+    for (i, j, v) in a.iter() {
+        out.push(row_perm.apply(i), col_perm.apply(j), v);
+    }
+    out.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_forward(vec![2, 0, 1]);
+        let inv = p.inverse();
+        for i in 0..3 {
+            assert_eq!(inv.apply(p.apply(i)), i);
+        }
+    }
+
+    #[test]
+    fn from_parts_orders_by_part() {
+        // parts: item0 -> 1, item1 -> 0, item2 -> 1, item3 -> 0
+        let p = Permutation::from_parts(&[1, 0, 1, 0], 2);
+        // part 0 items (1, 3) first, stable; then part 1 items (0, 2).
+        assert_eq!(p.apply(1), 0);
+        assert_eq!(p.apply(3), 1);
+        assert_eq!(p.apply(0), 2);
+        assert_eq!(p.apply(2), 3);
+    }
+
+    #[test]
+    fn permute_matrix_moves_entries() {
+        let a = Coo::from_pattern(2, 2, &[(0, 0), (1, 1)]).to_csr();
+        let swap = Permutation::from_forward(vec![1, 0]);
+        let b = permute(&a, &swap, &Permutation::identity(2));
+        let pat: Vec<_> = b.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(pat, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicated")]
+    fn rejects_non_bijection() {
+        Permutation::from_forward(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn permute_slice_places_items() {
+        let p = Permutation::from_forward(vec![2, 0, 1]);
+        assert_eq!(p.permute_slice(&['a', 'b', 'c']), vec!['b', 'c', 'a']);
+    }
+}

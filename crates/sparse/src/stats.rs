@@ -1,0 +1,107 @@
+//! Degree statistics — the `n`, `nnz`, `davg`, `dmax` columns of the
+//! paper's Tables I and IV.
+
+use crate::Csr;
+
+/// Summary statistics of a sparse matrix, as reported in the paper's
+/// matrix-property tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of nonzeros.
+    pub nnz: usize,
+    /// Average number of nonzeros per row (`davg` in the paper).
+    pub row_davg: f64,
+    /// Maximum number of nonzeros in a row (`dmax` in the paper).
+    pub row_dmax: usize,
+    /// Average number of nonzeros per column.
+    pub col_davg: f64,
+    /// Maximum number of nonzeros in a column.
+    pub col_dmax: usize,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `a`.
+    pub fn of(a: &Csr) -> Self {
+        let row_dmax = (0..a.nrows()).map(|i| a.row_nnz(i)).max().unwrap_or(0);
+        let mut col_deg = vec![0usize; a.ncols()];
+        for &c in a.colind() {
+            col_deg[c as usize] += 1;
+        }
+        let col_dmax = col_deg.iter().copied().max().unwrap_or(0);
+        MatrixStats {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            row_davg: a.nnz() as f64 / a.nrows().max(1) as f64,
+            row_dmax,
+            col_davg: a.nnz() as f64 / a.ncols().max(1) as f64,
+            col_dmax,
+        }
+    }
+}
+
+/// Number of nonempty rows of `a` — `m̂(A)` in the paper's notation.
+pub fn nonempty_rows(a: &Csr) -> usize {
+    (0..a.nrows()).filter(|&i| a.row_nnz(i) > 0).count()
+}
+
+/// Number of nonempty columns of `a` — `n̂(A)` in the paper's notation.
+pub fn nonempty_cols(a: &Csr) -> usize {
+    let mut seen = vec![false; a.ncols()];
+    for &c in a.colind() {
+        seen[c as usize] = true;
+    }
+    seen.iter().filter(|&&s| s).count()
+}
+
+/// Row degrees of `a`.
+pub fn row_degrees(a: &Csr) -> Vec<usize> {
+    (0..a.nrows()).map(|i| a.row_nnz(i)).collect()
+}
+
+/// Column degrees of `a`.
+pub fn col_degrees(a: &Csr) -> Vec<usize> {
+    let mut deg = vec![0usize; a.ncols()];
+    for &c in a.colind() {
+        deg[c as usize] += 1;
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr {
+        Coo::from_pattern(3, 4, &[(0, 0), (0, 1), (0, 2), (2, 2)]).to_csr()
+    }
+
+    #[test]
+    fn stats_match_hand_count() {
+        let s = MatrixStats::of(&sample());
+        assert_eq!(s.nnz, 4);
+        assert_eq!(s.row_dmax, 3);
+        assert_eq!(s.col_dmax, 2);
+        assert!((s.row_davg - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.col_davg, 1.0);
+    }
+
+    #[test]
+    fn nonempty_counts() {
+        let a = sample();
+        assert_eq!(nonempty_rows(&a), 2); // row 1 is empty
+        assert_eq!(nonempty_cols(&a), 3); // col 3 is empty
+    }
+
+    #[test]
+    fn degree_vectors() {
+        let a = sample();
+        assert_eq!(row_degrees(&a), vec![3, 0, 1]);
+        assert_eq!(col_degrees(&a), vec![1, 1, 2, 0]);
+    }
+}

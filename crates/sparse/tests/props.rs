@@ -1,0 +1,194 @@
+//! Property tests for the sparse matrix substrate: format conversions,
+//! Matrix Market round-trips, permutations, SpMV linearity, and the
+//! block-structure partition invariants.
+
+use proptest::prelude::*;
+use s2d_sparse::{read_matrix_market, write_matrix_market, BlockStructure, Coo, Csr, Permutation};
+
+/// Random COO matrix (duplicates summed by `compress`).
+fn coo_strategy(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(m, n)| {
+        let entry = (0..m, 0..n, -8i32..=8);
+        proptest::collection::vec(entry, 0..=max_nnz).prop_map(move |es| {
+            let mut coo = Coo::new(m, n);
+            for (r, c, v) in es {
+                coo.push(r, c, f64::from(v) * 0.5);
+            }
+            coo.compress();
+            coo
+        })
+    })
+}
+
+/// Random permutation of `0..n` derived from a seed.
+fn random_perm(n: usize, seed: u64) -> Permutation {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        order.swap(i, (state as usize) % (i + 1));
+    }
+    Permutation::from_order(&order)
+}
+
+fn dense_of(a: &Csr) -> Vec<Vec<f64>> {
+    let mut d = vec![vec![0.0; a.ncols()]; a.nrows()];
+    for (r, c, v) in a.iter() {
+        d[r][c] += v;
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// COO → CSR → COO preserves the entry set.
+    #[test]
+    fn coo_csr_roundtrip(coo in coo_strategy(24, 96)) {
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.nnz(), coo.nnz());
+        let back = csr.to_coo();
+        prop_assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            coo.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// CSR → CSC → CSR is the identity.
+    #[test]
+    fn csr_csc_roundtrip(coo in coo_strategy(24, 96)) {
+        let csr = coo.to_csr();
+        let back = csr.to_csc().to_csr();
+        prop_assert_eq!(back, csr);
+    }
+
+    /// Transposing twice is the identity; the transpose swaps (r, c).
+    #[test]
+    fn transpose_involution(coo in coo_strategy(20, 80)) {
+        let csr = coo.to_csr();
+        let t = csr.transpose();
+        prop_assert_eq!(t.nrows(), csr.ncols());
+        prop_assert_eq!(&t.transpose(), &csr);
+        let mut swapped: Vec<(usize, usize, f64)> =
+            csr.iter().map(|(r, c, v)| (c, r, v)).collect();
+        swapped.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        prop_assert_eq!(t.iter().collect::<Vec<_>>(), swapped);
+    }
+
+    /// Matrix Market write → read round-trips exactly.
+    #[test]
+    fn matrix_market_roundtrip(coo in coo_strategy(20, 60)) {
+        let mut buf = Vec::new();
+        write_matrix_market(&coo, &mut buf).expect("write");
+        let back = read_matrix_market(buf.as_slice()).expect("read");
+        prop_assert_eq!(back.nrows(), coo.nrows());
+        prop_assert_eq!(back.ncols(), coo.ncols());
+        prop_assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            coo.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// SpMV agrees with the dense reference.
+    #[test]
+    fn spmv_matches_dense(coo in coo_strategy(16, 64), seed in 0u64..100) {
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|j| ((j as u64 + seed).wrapping_mul(2654435761) % 17) as f64 - 8.0)
+            .collect();
+        let y = a.spmv_alloc(&x);
+        let d = dense_of(&a);
+        for (i, row) in d.iter().enumerate() {
+            let want: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            prop_assert!((y[i] - want).abs() < 1e-9, "row {i}: {} vs {want}", y[i]);
+        }
+    }
+
+    /// SpMV is linear: A(αx + βz) = αAx + βAz.
+    #[test]
+    fn spmv_linearity(coo in coo_strategy(16, 64)) {
+        let a = coo.to_csr();
+        let n = a.ncols();
+        let x: Vec<f64> = (0..n).map(|j| (j as f64).sin()).collect();
+        let z: Vec<f64> = (0..n).map(|j| (j as f64 * 0.7).cos()).collect();
+        let (alpha, beta) = (2.5, -0.75);
+        let combo: Vec<f64> = x.iter().zip(&z).map(|(u, v)| alpha * u + beta * v).collect();
+        let lhs = a.spmv_alloc(&combo);
+        let ax = a.spmv_alloc(&x);
+        let az = a.spmv_alloc(&z);
+        for i in 0..a.nrows() {
+            let want = alpha * ax[i] + beta * az[i];
+            prop_assert!((lhs[i] - want).abs() < 1e-9);
+        }
+    }
+
+    /// Row permutation reorders SpMV output; column permutation reorders
+    /// its input.
+    #[test]
+    fn permutation_commutes_with_spmv(coo in coo_strategy(12, 48), seed in 0u64..50) {
+        let a = coo.to_csr();
+        let rp = random_perm(a.nrows(), seed);
+        let cp = random_perm(a.ncols(), seed ^ 0xabcdef);
+        let b = s2d_sparse::perm::permute(&a, &rp, &cp);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 + 1.0).collect();
+        // x permuted for b: xb[cp(j)] = x[j].
+        let mut xb = vec![0.0; a.ncols()];
+        for j in 0..a.ncols() {
+            xb[cp.apply(j)] = x[j];
+        }
+        let y = a.spmv_alloc(&x);
+        let yb = b.spmv_alloc(&xb);
+        for i in 0..a.nrows() {
+            prop_assert!((yb[rp.apply(i)] - y[i]).abs() < 1e-12);
+        }
+    }
+
+    /// Permutation inverse really inverts.
+    #[test]
+    fn permutation_inverse(n in 1usize..64, seed in 0u64..100) {
+        let p = random_perm(n, seed);
+        let inv = p.inverse();
+        for i in 0..n {
+            prop_assert_eq!(inv.apply(p.apply(i)), i);
+            prop_assert_eq!(p.apply(inv.apply(i)), i);
+        }
+    }
+
+    /// The block structure tiles the nonzeros exactly: every CSR id in
+    /// exactly one block, and each block's ids match their parts.
+    #[test]
+    fn block_structure_tiles_nonzeros(
+        coo in coo_strategy(20, 80),
+        k in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let a = coo.to_csr();
+        let row_part: Vec<u32> = (0..a.nrows())
+            .map(|i| ((i as u64 * 31 + seed) % k as u64) as u32)
+            .collect();
+        let col_part: Vec<u32> = (0..a.ncols())
+            .map(|j| ((j as u64 * 17 + seed / 2) % k as u64) as u32)
+            .collect();
+        let bs = BlockStructure::build(&a, &row_part, &col_part, k);
+        let mut seen = vec![false; a.nnz()];
+        for ((l, kk), nz) in bs.iter() {
+            for &e in nz {
+                prop_assert!(!seen[e as usize], "nonzero {e} in two blocks");
+                seen[e as usize] = true;
+                let i = a.row_of_nnz(e as usize);
+                let j = a.colind()[e as usize] as usize;
+                prop_assert_eq!(row_part[i], l);
+                prop_assert_eq!(col_part[j], kk);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "all nonzeros covered");
+        // Rowwise loads agree with a direct count.
+        let mut want = vec![0u64; k];
+        for i in 0..a.nrows() {
+            want[row_part[i] as usize] += a.row_nnz(i) as u64;
+        }
+        prop_assert_eq!(bs.rowwise_loads(), want);
+    }
+}

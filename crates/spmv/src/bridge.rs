@@ -1,0 +1,68 @@
+//! Bridge from executable plans to the machine model.
+
+use s2d_sim::{simulate, MachineModel, PhaseSpec, SimReport};
+
+use crate::plan::{PlanPhase, SpmvPlan};
+
+/// Converts a plan into machine-model phase specifications: compute
+/// phases become per-processor multiply-add counts, communication phases
+/// become `(src, dst, words)` message lists.
+pub fn to_phase_specs(plan: &SpmvPlan) -> Vec<PhaseSpec> {
+    plan.phases
+        .iter()
+        .map(|phase| match phase {
+            PlanPhase::Compute(tasks) => {
+                PhaseSpec::compute_only(tasks.iter().map(|t| t.len() as u64).collect())
+            }
+            PlanPhase::Comm(msgs) => PhaseSpec::comm_only(
+                plan.k,
+                msgs.iter().map(|m| (m.src, m.dst, m.words())).collect(),
+            ),
+        })
+        .collect()
+}
+
+/// Simulates the plan on `model`; the serial reference is one multiply-add
+/// per nonzero.
+pub fn simulate_plan(plan: &SpmvPlan, model: &MachineModel) -> SimReport {
+    simulate(plan.k, &to_phase_specs(plan), plan.total_ops(), model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_core::fig1::{fig1_matrix, fig1_partition};
+    use crate::plan::SpmvPlan;
+
+    #[test]
+    fn phase_specs_mirror_plan_shape() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let specs = to_phase_specs(&plan);
+        assert_eq!(specs.len(), 3);
+        let total: u64 = specs.iter().flat_map(|s| s.compute.iter()).sum();
+        assert_eq!(total, a.nnz() as u64);
+    }
+
+    #[test]
+    fn fused_plan_is_never_slower_than_two_phase_in_latency() {
+        // With a latency-only machine the single-phase plan cannot lose:
+        // it sends the same words in at most as many messages.
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let m = MachineModel { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let single = simulate_plan(&SpmvPlan::single_phase(&a, &p), &m);
+        let two = simulate_plan(&SpmvPlan::two_phase(&a, &p), &m);
+        assert!(single.parallel_time <= two.parallel_time + 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_finite_and_positive() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let r = simulate_plan(&SpmvPlan::single_phase(&a, &p), &MachineModel::cray_xe6());
+        assert!(r.speedup() > 0.0);
+        assert!(r.speedup().is_finite());
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic mailbox executor.
+//!
+//! Interprets a plan phase by phase on `K` virtual processor memories.
+//! Communication phases are simultaneous: every send captures the
+//! pre-phase state, then all deliveries land. Partial-`y` words are
+//! *moved* (drained at the sender, accumulated at the receiver), which is
+//! what makes intermediate aggregation in s2D-b work for free.
+
+use std::collections::HashMap;
+
+use crate::plan::{PlanPhase, SpmvPlan};
+
+/// Executes `plan` on input `x`, returning the assembled `y`.
+///
+/// # Panics
+/// Panics if a multiply-add needs an `x` value its processor does not
+/// hold — that is a plan construction bug, not a data error.
+pub fn execute_mailbox(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), plan.ncols, "input length mismatch");
+    let k = plan.k;
+    let mut xbuf: Vec<HashMap<u32, f64>> = vec![HashMap::new(); k];
+    let mut ybuf: Vec<HashMap<u32, f64>> = vec![HashMap::new(); k];
+    for (j, &xj) in x.iter().enumerate() {
+        xbuf[plan.x_part[j] as usize].insert(j as u32, xj);
+    }
+
+    for (phase_idx, phase) in plan.phases.iter().enumerate() {
+        match phase {
+            PlanPhase::Compute(tasks) => {
+                for (p, list) in tasks.iter().enumerate() {
+                    for t in list {
+                        let xv = *xbuf[p].get(&t.col).unwrap_or_else(|| {
+                            panic!(
+                                "processor {p} lacks x[{}] in phase {phase_idx}: plan bug",
+                                t.col
+                            )
+                        });
+                        *ybuf[p].entry(t.row).or_insert(0.0) += t.val * xv;
+                    }
+                }
+            }
+            PlanPhase::Comm(msgs) => {
+                // Capture all payloads first (simultaneous exchange).
+                let mut deliveries: Vec<(u32, Vec<(u32, f64)>, Vec<(u32, f64)>)> =
+                    Vec::with_capacity(msgs.len());
+                for m in msgs {
+                    let src = m.src as usize;
+                    let xs: Vec<(u32, f64)> = m
+                        .x_cols
+                        .iter()
+                        .map(|&j| {
+                            let v = *xbuf[src].get(&j).unwrap_or_else(|| {
+                                panic!(
+                                    "processor {src} lacks x[{j}] to send in phase {phase_idx}"
+                                )
+                            });
+                            (j, v)
+                        })
+                        .collect();
+                    let ys: Vec<(u32, f64)> = m
+                        .y_rows
+                        .iter()
+                        .map(|&i| {
+                            let v = ybuf[src].remove(&i).unwrap_or_else(|| {
+                                panic!(
+                                    "processor {src} lacks partial y[{i}] to send in phase {phase_idx}"
+                                )
+                            });
+                            (i, v)
+                        })
+                        .collect();
+                    deliveries.push((m.dst, xs, ys));
+                }
+                for (dst, xs, ys) in deliveries {
+                    let dst = dst as usize;
+                    for (j, v) in xs {
+                        xbuf[dst].insert(j, v);
+                    }
+                    for (i, v) in ys {
+                        *ybuf[dst].entry(i).or_insert(0.0) += v;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut y = vec![0.0f64; plan.nrows];
+    for (i, yi) in y.iter_mut().enumerate() {
+        *yi = *ybuf[plan.y_part[i] as usize].get(&(i as u32)).unwrap_or(&0.0);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SpmvPlan;
+    use s2d_core::fig1::{fig1_matrix, fig1_partition};
+    use s2d_core::partition::SpmvPartition;
+    use s2d_sparse::{Coo, Csr};
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (idx, (u, v)) in a.iter().zip(b).enumerate() {
+            assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0), "y[{idx}]: {u} vs {v}");
+        }
+    }
+
+    fn x_for(n: usize) -> Vec<f64> {
+        (0..n).map(|j| (j as f64) * 0.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn fig1_single_phase_matches_serial() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x = x_for(a.ncols());
+        let y = execute_mailbox(&SpmvPlan::single_phase(&a, &p), &x);
+        assert_close(&y, &a.spmv_alloc(&x));
+    }
+
+    #[test]
+    fn fig1_two_phase_matches_serial() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x = x_for(a.ncols());
+        let y = execute_mailbox(&SpmvPlan::two_phase(&a, &p), &x);
+        assert_close(&y, &a.spmv_alloc(&x));
+    }
+
+    #[test]
+    fn fig1_mesh_matches_serial() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x = x_for(a.ncols());
+        for (pr, pc) in [(1, 3), (3, 1)] {
+            let y = execute_mailbox(&SpmvPlan::mesh(&a, &p, pr, pc), &x);
+            assert_close(&y, &a.spmv_alloc(&x));
+        }
+    }
+
+    #[test]
+    fn empty_rows_yield_zero() {
+        let a = Coo::from_pattern(3, 3, &[(0, 0)]).to_csr();
+        let p = SpmvPartition::rowwise(&a, vec![0, 1, 1], vec![0, 0, 1], 2);
+        let x = vec![2.0, 3.0, 4.0];
+        let y = execute_mailbox(&SpmvPlan::single_phase(&a, &p), &x);
+        assert_eq!(y, vec![2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_under_scattered_partition() {
+        let a = Csr::identity(8);
+        let y_part: Vec<u32> = (0..8).map(|i| (i % 4) as u32).collect();
+        let x_part: Vec<u32> = (0..8).map(|i| ((i + 1) % 4) as u32).collect();
+        // Identity nonzero (i,i): owner must be y_part[i] or x_part[i].
+        let p = SpmvPartition::rowwise(&a, y_part, x_part, 4);
+        let x = x_for(8);
+        let y = execute_mailbox(&SpmvPlan::single_phase(&a, &p), &x);
+        assert_close(&y, &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan bug")]
+    fn missing_x_value_is_a_plan_bug() {
+        use crate::plan::{MultTask, PlanPhase};
+        // Hand-build a broken plan: proc 0 multiplies with x[1] it never
+        // receives.
+        let plan = SpmvPlan {
+            k: 2,
+            nrows: 2,
+            ncols: 2,
+            x_part: vec![0, 1],
+            y_part: vec![0, 1],
+            phases: vec![PlanPhase::Compute(vec![
+                vec![MultTask { row: 0, col: 1, val: 1.0 }],
+                vec![],
+            ])],
+        };
+        let _ = execute_mailbox(&plan, &[1.0, 2.0]);
+    }
+}

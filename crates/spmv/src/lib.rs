@@ -1,0 +1,26 @@
+//! Parallel SpMV plans and executors.
+//!
+//! A [`plan::SpmvPlan`] is a bulk-synchronous program: an alternating
+//! sequence of per-processor compute phases (multiply-add task lists) and
+//! communication phases (messages carrying `x` values and partial-`y`
+//! values). One plan language expresses every algorithm in the paper:
+//!
+//! * **row-parallel 1D** — expand `x`, compute (a degenerate s2D plan);
+//! * **two-phase 2D** — expand `x`, compute, fold `ȳ` (Section I);
+//! * **single-phase s2D** — precompute, fused Expand-and-Fold, compute
+//!   (Section III);
+//! * **mesh-routed s2D-b** — precompute, two mesh hops with partial-sum
+//!   aggregation at intermediates, compute (Section VI-B).
+//!
+//! Executors: [`exec::execute_mailbox`] (deterministic, sequential
+//! interpretation — works for any `K`) and [`threaded::execute_threaded`]
+//! (one OS thread per virtual processor, crossbeam channels — the
+//! concurrent validation path).
+
+pub mod bridge;
+pub mod exec;
+pub mod plan;
+pub mod threaded;
+
+pub use bridge::{simulate_plan, to_phase_specs};
+pub use plan::{MsgSpec, MultTask, PlanPhase, SpmvPlan};

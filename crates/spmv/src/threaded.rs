@@ -1,0 +1,237 @@
+//! Multi-threaded executor: one rank per virtual processor on the
+//! `s2d-runtime` message-passing substrate.
+//!
+//! This is the concurrent validation path: the same plans the mailbox
+//! executor interprets sequentially run here with real message passing.
+//! Every message is tagged with its **phase index** and receives match on
+//! `(source ANY, tag = phase)` — without the tag, a fast rank's phase-2
+//! message can reach a peer still waiting in phase 1, which (for mesh
+//! plans that forward data between consecutive communication phases)
+//! makes the peer ship an incomplete partial sum and panic, deadlocking
+//! the remaining ranks. The runtime's envelope matching parks early
+//! arrivals until their phase starts, which is exactly MPI's cure for
+//! the same disease.
+
+use std::collections::HashMap;
+
+use s2d_runtime::{spmd, ChaosConfig, Cluster, Endpoint};
+
+use crate::plan::{MsgSpec, MultTask, PlanPhase, SpmvPlan};
+
+/// Payload of one message: `x` values and partial-`y` values.
+type Payload = (Vec<(u32, f64)>, Vec<(u32, f64)>);
+
+/// Per-rank view of one phase.
+enum RankPhase<'a> {
+    Compute(&'a [MultTask]),
+    /// `tag` is the phase index; `expected` the number of incoming
+    /// messages of this phase.
+    Comm { tag: u32, outgoing: Vec<&'a MsgSpec>, expected: usize },
+}
+
+/// Compiles the per-rank scripts of `plan` (phase tags = phase indices).
+fn rank_scripts(plan: &SpmvPlan) -> Vec<Vec<RankPhase<'_>>> {
+    let k = plan.k;
+    let mut scripts: Vec<Vec<RankPhase<'_>>> = (0..k).map(|_| Vec::new()).collect();
+    for (idx, phase) in plan.phases.iter().enumerate() {
+        match phase {
+            PlanPhase::Compute(tasks) => {
+                for (p, list) in tasks.iter().enumerate() {
+                    scripts[p].push(RankPhase::Compute(list));
+                }
+            }
+            PlanPhase::Comm(msgs) => {
+                let mut outgoing: Vec<Vec<&MsgSpec>> = vec![Vec::new(); k];
+                let mut expected = vec![0usize; k];
+                for m in msgs {
+                    outgoing[m.src as usize].push(m);
+                    expected[m.dst as usize] += 1;
+                }
+                for (p, out) in outgoing.into_iter().enumerate() {
+                    scripts[p].push(RankPhase::Comm {
+                        tag: idx as u32,
+                        outgoing: out,
+                        expected: expected[p],
+                    });
+                }
+            }
+        }
+    }
+    scripts
+}
+
+/// Executes `plan` on input `x` with `plan.k` ranks (OS threads).
+pub fn execute_threaded(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+    execute_on_cluster(plan, x, ChaosConfig::off())
+}
+
+/// [`execute_threaded`] with delivery-delay injection — used by tests to
+/// shake out ordering assumptions.
+pub fn execute_chaotic(plan: &SpmvPlan, x: &[f64], chaos: ChaosConfig) -> Vec<f64> {
+    execute_on_cluster(plan, x, chaos)
+}
+
+fn execute_on_cluster(plan: &SpmvPlan, x: &[f64], chaos: ChaosConfig) -> Vec<f64> {
+    assert_eq!(x.len(), plan.ncols, "input length mismatch");
+    let k = plan.k;
+    let scripts = rank_scripts(plan);
+
+    // Initial x placement per rank.
+    let mut init_x: Vec<Vec<(u32, f64)>> = vec![Vec::new(); k];
+    for (j, &xj) in x.iter().enumerate() {
+        init_x[plan.x_part[j] as usize].push((j as u32, xj));
+    }
+    let init_x = parking_lot::Mutex::new(init_x);
+
+    let results = spmd(Cluster::<Payload>::with_chaos(k, chaos), |ep| {
+        let p = ep.rank() as usize;
+        let my_x = std::mem::take(&mut init_x.lock()[p]);
+        let final_y = run_rank(ep, &scripts[p], my_x);
+        debug_assert!(ep.drained(), "rank {p} exits with unconsumed messages");
+        final_y
+    });
+
+    // Assemble y from each owner's final accumulator.
+    let mut y = vec![0.0f64; plan.nrows];
+    let mut owner_y: Vec<HashMap<u32, f64>> =
+        results.into_iter().map(|pairs| pairs.into_iter().collect()).collect();
+    for (i, yi) in y.iter_mut().enumerate() {
+        *yi = owner_y[plan.y_part[i] as usize].remove(&(i as u32)).unwrap_or(0.0);
+    }
+    y
+}
+
+/// One rank's SPMD body: walk the phase script, multiply-accumulate,
+/// exchange phase-tagged messages. Returns the rank's final partial-`y`
+/// accumulators.
+fn run_rank(
+    ep: &mut Endpoint<Payload>,
+    script: &[RankPhase<'_>],
+    my_x: Vec<(u32, f64)>,
+) -> Vec<(u32, f64)> {
+    let p = ep.rank();
+    let mut xbuf: HashMap<u32, f64> = my_x.into_iter().collect();
+    let mut ybuf: HashMap<u32, f64> = HashMap::new();
+    for phase in script {
+        match phase {
+            RankPhase::Compute(tasks) => {
+                for t in *tasks {
+                    let xv = *xbuf
+                        .get(&t.col)
+                        .unwrap_or_else(|| panic!("rank {p} lacks x[{}]: plan bug", t.col));
+                    *ybuf.entry(t.row).or_insert(0.0) += t.val * xv;
+                }
+            }
+            RankPhase::Comm { tag, outgoing, expected } => {
+                for m in outgoing {
+                    let xs: Vec<(u32, f64)> = m
+                        .x_cols
+                        .iter()
+                        .map(|&j| {
+                            (j, *xbuf.get(&j).unwrap_or_else(|| {
+                                panic!("rank {p} lacks x[{j}] to send: plan bug")
+                            }))
+                        })
+                        .collect();
+                    let ys: Vec<(u32, f64)> = m
+                        .y_rows
+                        .iter()
+                        .map(|&i| {
+                            (i, ybuf.remove(&i).unwrap_or_else(|| {
+                                panic!("rank {p} lacks partial y[{i}] to send: plan bug")
+                            }))
+                        })
+                        .collect();
+                    ep.send(m.dst, *tag, (xs, ys));
+                }
+                for _ in 0..*expected {
+                    let (xs, ys) = ep.recv_tag(*tag).payload;
+                    for (j, v) in xs {
+                        xbuf.insert(j, v);
+                    }
+                    for (i, v) in ys {
+                        *ybuf.entry(i).or_insert(0.0) += v;
+                    }
+                }
+            }
+        }
+    }
+    ybuf.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_core::fig1::{fig1_matrix, fig1_partition};
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        for (idx, (u, v)) in a.iter().zip(b).enumerate() {
+            assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0), "y[{idx}]: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_mailbox_on_all_plan_kinds() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 - 6.0).collect();
+        let reference = a.spmv_alloc(&x);
+        for plan in [
+            SpmvPlan::single_phase(&a, &p),
+            SpmvPlan::two_phase(&a, &p),
+            SpmvPlan::mesh(&a, &p, 3, 1),
+        ] {
+            let y_threaded = execute_threaded(&plan, &x);
+            let y_mailbox = plan.execute_mailbox(&x);
+            assert_close(&y_threaded, &reference);
+            assert_close(&y_mailbox, &reference);
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_consistent() {
+        // Accumulation order may differ between runs; results must agree
+        // within floating-point tolerance.
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 / (j + 1) as f64).collect();
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let y1 = execute_threaded(&plan, &x);
+        for _ in 0..4 {
+            let y2 = execute_threaded(&plan, &x);
+            assert_close(&y1, &y2);
+        }
+    }
+
+    #[test]
+    fn mesh_plan_survives_chaotic_delivery() {
+        // Regression: the pre-runtime executor matched messages by
+        // arrival order only; a rank racing ahead into the second mesh
+        // hop could starve a slower peer of a phase-1 contribution, which
+        // then shipped an incomplete partial sum (or panicked, wedging
+        // the remaining ranks). Phase tags make every interleaving —
+        // here aggressively randomized — deliver the exact result.
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64).sin() + 2.0).collect();
+        let reference = a.spmv_alloc(&x);
+        let plan = SpmvPlan::mesh(&a, &p, 3, 1);
+        for seed in 0..8 {
+            let y = execute_chaotic(&plan, &x, ChaosConfig::with_delays(200, seed));
+            assert_close(&y, &reference);
+        }
+    }
+
+    #[test]
+    fn two_phase_plan_survives_chaotic_delivery() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 * 0.25 - 1.0).collect();
+        let reference = a.spmv_alloc(&x);
+        let plan = SpmvPlan::two_phase(&a, &p);
+        for seed in 0..4 {
+            let y = execute_chaotic(&plan, &x, ChaosConfig::with_delays(150, seed));
+            assert_close(&y, &reference);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! A small command-line partitioner for Matrix Market files.
+//!
+//! ```text
+//! cargo run --release --example mm_partition -- <matrix.mtx> [K] [method]
+//! ```
+//!
+//! `method` is one of `1d`, `2d`, `s2d` (default), `s2d-opt`, `mg`, `cb`.
+//! Without arguments a demo matrix is generated and partitioned. Prints
+//! per-processor loads and communication statistics; writes
+//! `<matrix>.part.<K>` with one owner id per nonzero (CSR order).
+
+use std::io::Write;
+
+use s2d::baselines::{
+    partition_1d_rowwise, partition_2d_fine_grain, partition_checkerboard, partition_s2d_mg,
+};
+use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d::core::optimal::s2d_optimal;
+use s2d::core::partition::SpmvPartition;
+use s2d::sparse::io::read_matrix_market_file;
+use s2d::sparse::Csr;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (a, name): (Csr, String) = match args.get(1) {
+        Some(path) => {
+            let coo = read_matrix_market_file(path).unwrap_or_else(|e| {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(1);
+            });
+            (coo.to_csr(), path.clone())
+        }
+        None => {
+            println!("no input file given; generating a demo R-MAT matrix\n");
+            let a = s2d::gen::rmat::rmat(&s2d::gen::rmat::RmatConfig::graph500(11, 8), 1).to_csr();
+            (a, "demo-rmat11".to_string())
+        }
+    };
+    let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let method = args.get(3).map(String::as_str).unwrap_or("s2d");
+
+    println!("matrix {name}: {} x {}, nnz {}", a.nrows(), a.ncols(), a.nnz());
+    println!("partitioning into K = {k} parts with method `{method}`\n");
+
+    let p: SpmvPartition = match method {
+        "1d" => partition_1d_rowwise(&a, k, 0.03, 1).partition,
+        "2d" => partition_2d_fine_grain(&a, k, 0.03, 1),
+        "s2d" => {
+            let oned = partition_1d_rowwise(&a, k, 0.03, 1);
+            s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default())
+        }
+        "s2d-opt" => {
+            let oned = partition_1d_rowwise(&a, k, 0.03, 1);
+            s2d_optimal(&a, &oned.row_part, &oned.col_part, k)
+        }
+        "mg" => partition_s2d_mg(&a, k, 0.03, 1),
+        "cb" => partition_checkerboard(&a, k, 0.03, 1).partition,
+        other => {
+            eprintln!("unknown method {other:?} (use 1d|2d|s2d|s2d-opt|mg|cb)");
+            std::process::exit(2);
+        }
+    };
+
+    let loads = p.loads();
+    let stats = s2d::core::comm::two_phase_comm_stats(&a, &p);
+    println!("load imbalance: {:.1}%", p.load_imbalance() * 100.0);
+    println!("total comm volume: {} words", stats.total_volume);
+    println!("messages: avg {:.1} / max {} per processor", stats.avg_send_msgs(), stats.max_send_msgs());
+    println!("s2D property: {}", if p.is_s2d(&a) { "satisfied" } else { "not satisfied (general 2D)" });
+    println!("\nper-processor loads (nonzeros):");
+    for (proc_id, load) in loads.iter().enumerate() {
+        println!("  P{proc_id:<3} {load:>10}");
+        if proc_id >= 15 && loads.len() > 17 {
+            println!("  ... ({} more)", loads.len() - proc_id - 1);
+            break;
+        }
+    }
+
+    let base = name.rsplit('/').next().unwrap_or(&name);
+    let out = format!("{base}.part.{k}");
+    let mut f = std::fs::File::create(&out).expect("create partition file");
+    for owner in &p.nz_owner {
+        writeln!(f, "{owner}").expect("write partition file");
+    }
+    println!("\nwrote nonzero owners to {out}");
+}

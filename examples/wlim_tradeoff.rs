@@ -1,0 +1,70 @@
+//! The volume/balance dial of Algorithm 1 — what ε actually buys.
+//!
+//! Algorithm 1 flips off-diagonal blocks to the column owner only while
+//! the destination stays under `W_lim = (1+ε)·nnz/K`. Small ε keeps
+//! balance and refuses flips (volume stays near 1D); large ε approaches
+//! the DM-optimal volume at the price of imbalance. This example prints
+//! the whole frontier for one dense-row matrix, with the DM optimum and
+//! plain 1D as the two anchors.
+//!
+//! ```text
+//! cargo run --release --example wlim_tradeoff
+//! ```
+
+use s2d::baselines::partition_1d_rowwise;
+use s2d::core::comm::comm_requirements;
+use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d::core::heuristic2::{s2d_generalized, Heuristic2Config};
+use s2d::core::optimal::s2d_optimal;
+use s2d::gen::denserow::{dense_row_matrix, DenseRowConfig};
+
+fn main() {
+    // A dense-row matrix: the structure where the dial matters most.
+    let a = dense_row_matrix(
+        &DenseRowConfig { n: 6000, nnz: 48_000, dmax: 900, tail_decay: 0.5, mirror_cols: true },
+        42,
+    );
+    println!("matrix: {} x {}, nnz {}", a.nrows(), a.ncols(), a.nnz());
+
+    let k = 32;
+    let oned = partition_1d_rowwise(&a, k, 0.03, 42);
+    let v_1d = comm_requirements(&a, &oned.partition).total_volume();
+    let opt = s2d_optimal(&a, &oned.row_part, &oned.col_part, k);
+    let v_opt = comm_requirements(&a, &opt).total_volume();
+    println!(
+        "anchors: 1D volume {v_1d} (LI {:.1}%), DM-optimal volume {v_opt} (LI {:.1}%)\n",
+        oned.partition.load_imbalance() * 100.0,
+        opt.load_imbalance() * 100.0
+    );
+
+    println!(
+        "{:>6} | {:>9} {:>7} | {:>9} {:>7}",
+        "eps", "alg1-vol", "alg1-LI", "alg2-vol", "alg2-LI"
+    );
+    for eps in [0.0, 0.01, 0.03, 0.05, 0.1, 0.2, 0.5, 1.0, 5.0] {
+        let alg1 = s2d_from_vector_partition(
+            &a,
+            &oned.row_part,
+            &oned.col_part,
+            &HeuristicConfig { epsilon: eps, ..Default::default() },
+        );
+        let alg2 = s2d_generalized(
+            &a,
+            &oned.row_part,
+            &oned.col_part,
+            k,
+            &Heuristic2Config { epsilon: eps, ..Default::default() },
+        );
+        println!(
+            "{:>6.2} | {:>9} {:>6.1}% | {:>9} {:>6.1}%",
+            eps,
+            comm_requirements(&a, &alg1).total_volume(),
+            alg1.load_imbalance() * 100.0,
+            comm_requirements(&a, &alg2).total_volume(),
+            alg2.load_imbalance() * 100.0,
+        );
+    }
+    println!("\nReading: as eps grows, volume falls from the 1D anchor toward the");
+    println!("DM optimum; Algorithm 2 (A4 upgrades + balance pass) holds imbalance");
+    println!("lower than Algorithm 1 at the same eps without giving volume back.");
+}

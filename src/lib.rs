@@ -1,0 +1,47 @@
+//! # s2d — semi-two-dimensional sparse matrix partitioning
+//!
+//! Facade crate for the reproduction of Kayaaslan, Uçar & Aykanat,
+//! *"Semi-two-dimensional partitioning for parallel sparse matrix-vector
+//! multiplication"* (IPDPSW/PCO 2015).
+//!
+//! Re-exports every subsystem crate under one roof:
+//!
+//! * [`sparse`] — COO/CSR/CSC matrices, Matrix Market I/O, block structure.
+//! * [`dm`] — Hopcroft–Karp matching, Dulmage–Mendelsohn decomposition.
+//! * [`hypergraph`] — multilevel hypergraph partitioner + SpMV models.
+//! * [`core`] — the s2D partitioning methods (the paper's contribution).
+//! * [`baselines`] — 1D, 2D fine-grain, checkerboard, 1D-b, medium-grain.
+//! * [`sim`] — α–β–γ distributed machine model and metrics.
+//! * [`spmv`] — SpMV plan compiler and (threaded) executors.
+//! * [`gen`] — synthetic matrix generators and the paper's two test suites.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use s2d::gen::rmat::{rmat, RmatConfig};
+//! use s2d::baselines::oned::partition_1d_rowwise;
+//! use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+//! use s2d::spmv::plan::SpmvPlan;
+//!
+//! let a = rmat(&RmatConfig::graph500(8, 8), 42).to_csr();
+//! let k = 4;
+//! let oned = partition_1d_rowwise(&a, k, 0.03, 1);
+//! let s2d = s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
+//! let plan = SpmvPlan::single_phase(&a, &s2d);
+//! let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64).collect();
+//! let y = plan.execute_mailbox(&x);
+//! let mut y_ref = vec![0.0; a.nrows()];
+//! a.spmv(&x, &mut y_ref);
+//! for (a, b) in y.iter().zip(&y_ref) {
+//!     assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+//! }
+//! ```
+
+pub use s2d_baselines as baselines;
+pub use s2d_core as core;
+pub use s2d_dm as dm;
+pub use s2d_gen as gen;
+pub use s2d_hypergraph as hypergraph;
+pub use s2d_sim as sim;
+pub use s2d_sparse as sparse;
+pub use s2d_spmv as spmv;
