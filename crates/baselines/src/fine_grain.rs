@@ -75,10 +75,10 @@ pub fn partition_2d_fine_grain(a: &Csr, k: usize, epsilon: f64, seed: u64) -> Sp
 #[cfg(test)]
 mod tests {
     use super::*;
-    use s2d_core::comm::two_phase_comm_stats;
-    use s2d_sparse::Coo;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use s2d_core::comm::two_phase_comm_stats;
+    use s2d_sparse::Coo;
 
     fn random_sparse(n: usize, per_row: usize, seed: u64) -> Csr {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -110,8 +110,7 @@ mod tests {
         // the majority owner), so the fold volume for that row is < k.
         for i in 0..a.nrows() {
             if a.row_nnz(i) > 0 {
-                let holders: Vec<u32> =
-                    a.row_range(i).map(|e| p.nz_owner[e]).collect();
+                let holders: Vec<u32> = a.row_range(i).map(|e| p.nz_owner[e]).collect();
                 assert!(holders.contains(&p.y_part[i]), "row {i}");
             }
         }

@@ -27,11 +27,7 @@ pub fn partition_1d_rowwise(a: &Csr, k: usize, epsilon: f64, seed: u64) -> OnedP
     let cfg = PartitionConfig { epsilon, seed, ..Default::default() };
     let kp = partition_kway(&hg, k, &cfg);
     let row_part = kp.parts;
-    let col_part = if square {
-        row_part.clone()
-    } else {
-        majority_col_owner(a, &row_part, k)
-    };
+    let col_part = if square { row_part.clone() } else { majority_col_owner(a, &row_part, k) };
     let partition = SpmvPartition::rowwise(a, row_part.clone(), col_part.clone(), k);
     OnedPartition { row_part, col_part, partition }
 }
@@ -43,11 +39,7 @@ pub fn partition_1d_colwise(a: &Csr, k: usize, epsilon: f64, seed: u64) -> OnedP
     let cfg = PartitionConfig { epsilon, seed, ..Default::default() };
     let kp = partition_kway(&hg, k, &cfg);
     let col_part = kp.parts;
-    let row_part = if square {
-        col_part.clone()
-    } else {
-        majority_row_owner(a, &col_part, k)
-    };
+    let row_part = if square { col_part.clone() } else { majority_row_owner(a, &col_part, k) };
     let partition = SpmvPartition::columnwise(a, row_part.clone(), col_part.clone(), k);
     OnedPartition { row_part, col_part, partition }
 }

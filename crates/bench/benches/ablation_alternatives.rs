@@ -22,7 +22,10 @@ use s2d_core::optimal::s2d_optimal;
 use s2d_gen::{suite_b, Scale};
 
 fn main() {
-    s2d_bench::banner("Ablation: alternatives", "Algorithm 1 vs Algorithm 2 vs iterated refinement");
+    s2d_bench::banner(
+        "Ablation: alternatives",
+        "Algorithm 1 vs Algorithm 2 vs iterated refinement",
+    );
     let scale = Scale::from_env();
     let k = 64;
 
@@ -45,13 +48,8 @@ fn main() {
             &oned.col_part,
             &HeuristicConfig::default(),
         );
-        let alg2 = s2d_generalized(
-            &a,
-            &oned.row_part,
-            &oned.col_part,
-            k,
-            &Heuristic2Config::default(),
-        );
+        let alg2 =
+            s2d_generalized(&a, &oned.row_part, &oned.col_part, k, &Heuristic2Config::default());
         let iter = iterate_s2d(&a, &oned.row_part, k, &IterateConfig::default());
 
         let (v1, v2, vi) = (

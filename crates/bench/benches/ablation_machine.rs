@@ -44,10 +44,7 @@ fn main() {
         let lg = LogGpModel::cray_xe6();
         let mut row = String::new();
         for (mi, speeds) in [
-            plans
-                .iter()
-                .map(|p| simulate_plan(p, &flat).speedup())
-                .collect::<Vec<_>>(),
+            plans.iter().map(|p| simulate_plan(p, &flat).speedup()).collect::<Vec<_>>(),
             plans
                 .iter()
                 .map(|p| simulate_on_torus(k, &to_phase_specs(p), p.total_ops(), &torus).speedup())

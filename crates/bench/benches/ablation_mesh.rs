@@ -15,7 +15,10 @@ use s2d_core::mesh::{mesh_dims, MeshRouting};
 use s2d_gen::{suite_b, Scale};
 
 fn main() {
-    s2d_bench::banner("Ablation: mesh aggregation", "s2D-b with and without intermediate aggregation");
+    s2d_bench::banner(
+        "Ablation: mesh aggregation",
+        "s2D-b with and without intermediate aggregation",
+    );
     let scale = Scale::from_env();
     let k = 256;
     let (pr, pc) = mesh_dims(k);

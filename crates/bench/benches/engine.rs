@@ -1,0 +1,162 @@
+//! Engine comparison bench: mailbox interpreter vs threaded executor vs
+//! the compiled engine (sequential workspace and persistent pool), on
+//! generator-suite matrices. Compile (inspector) time is reported
+//! separately from per-iteration time, and the acceptance ratio —
+//! compiled vs mailbox on a 2^14-row R-MAT at K = 16 — is printed
+//! explicitly at the end.
+//!
+//! Run with `cargo bench -p s2d-bench --bench engine`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use s2d_baselines::partition_1d_rowwise;
+use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d_engine::{CompiledPlan, ParallelEngine};
+use s2d_gen::rmat::{rmat, RmatConfig};
+use s2d_gen::{suite_a, Scale};
+use s2d_sparse::Csr;
+use s2d_spmv::SpmvPlan;
+
+const K: usize = 16;
+
+/// The single-phase s2D plan the paper's workload runs.
+fn plan_for(a: &Csr) -> SpmvPlan {
+    let oned = partition_1d_rowwise(a, K, 0.03, 1);
+    let s2d =
+        s2d_from_vector_partition(a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
+    SpmvPlan::single_phase(a, &s2d)
+}
+
+fn x_for(n: usize) -> Vec<f64> {
+    (0..n).map(|j| ((j * 37) % 19) as f64 - 9.0).collect()
+}
+
+/// All five measurements for one named matrix.
+fn bench_matrix(c: &mut Criterion, name: &str, a: &Csr) {
+    let plan = plan_for(a);
+    let x = x_for(a.ncols());
+
+    c.bench_function(&format!("engine/compile/{name}/k{K}"), |b| {
+        b.iter(|| black_box(CompiledPlan::compile(&plan).total_ops()))
+    });
+    c.bench_function(&format!("engine/mailbox/{name}/k{K}"), |b| {
+        b.iter(|| black_box(plan.execute_mailbox(&x)))
+    });
+    c.bench_function(&format!("engine/threaded/{name}/k{K}"), |b| {
+        b.iter(|| black_box(plan.execute_threaded(&x)))
+    });
+
+    let cp = CompiledPlan::compile(&plan);
+    let mut ws = cp.workspace();
+    let mut y = vec![0.0; a.nrows()];
+    c.bench_function(&format!("engine/compiled-seq/{name}/k{K}"), |b| {
+        b.iter(|| {
+            cp.execute(&mut ws, &x, &mut y);
+            black_box(y[0])
+        })
+    });
+    let mut pool = ParallelEngine::new(cp);
+    c.bench_function(&format!("engine/compiled-pool/{name}/k{K}"), |b| {
+        b.iter(|| {
+            pool.execute(&x, &mut y);
+            black_box(y[0])
+        })
+    });
+}
+
+fn bench_suite(c: &mut Criterion) {
+    // Two suite-A doubles with different shapes (stencil-ish and
+    // dense-row-tailed), at the generator's tiny scale.
+    for name in ["crystk02", "c-big"] {
+        if let Some(spec) = suite_a().into_iter().find(|s| s.name.eq_ignore_ascii_case(name)) {
+            let a = spec.generate(Scale::Tiny, 1);
+            bench_matrix(c, name, &a);
+        }
+    }
+}
+
+fn bench_rmat14(c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(14, 8), 1).to_csr();
+    bench_matrix(c, "rmat14", &a);
+}
+
+/// Direct acceptance measurement: ≥ 10× per-iteration speedup of the
+/// compiled engine over the mailbox interpreter on rmat14 at K = 16.
+fn acceptance_summary(_c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(14, 8), 1).to_csr();
+    let plan = plan_for(&a);
+    let x = x_for(a.ncols());
+
+    // Best-of sampling on both sides: min is the noise-robust estimator
+    // for "how fast does this run when the machine cooperates".
+    let mut want = Vec::new();
+    let mailbox = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            want = plan.execute_mailbox(&x);
+            t.elapsed()
+        })
+        .min()
+        .expect("nonempty");
+
+    let t = Instant::now();
+    let cp = CompiledPlan::compile(&plan);
+    let compile = t.elapsed();
+
+    let mut ws = cp.workspace();
+    let mut y = vec![0.0; a.nrows()];
+    cp.execute(&mut ws, &x, &mut y); // warm the buffers
+    let iters = 20;
+    let seq = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                cp.execute(&mut ws, &x, &mut y);
+            }
+            t.elapsed() / iters
+        })
+        .min()
+        .expect("nonempty");
+
+    let mut pool = ParallelEngine::new(cp);
+    pool.execute(&x, &mut y);
+    let pooled = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                pool.execute(&x, &mut y);
+            }
+            t.elapsed() / iters
+        })
+        .min()
+        .expect("nonempty");
+
+    let err =
+        y.iter().zip(&want).map(|(g, w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0f64, f64::max);
+    assert!(err < 1e-9, "engines disagree: max rel err {err:.2e}");
+
+    let ratio_seq = mailbox.as_secs_f64() / seq.as_secs_f64();
+    let ratio_pool = mailbox.as_secs_f64() / pooled.as_secs_f64();
+    println!("--------------------------------------------------------------");
+    println!(
+        "acceptance rmat14/k16: mailbox {:.2} ms/iter, compile {:.2} ms (one-time),",
+        mailbox.as_secs_f64() * 1e3,
+        compile.as_secs_f64() * 1e3
+    );
+    println!(
+        "  compiled-seq {:.3} ms/iter ({ratio_seq:.0}x), compiled-pool {:.3} ms/iter ({ratio_pool:.0}x)",
+        seq.as_secs_f64() * 1e3,
+        pooled.as_secs_f64() * 1e3
+    );
+    assert!(ratio_seq >= 10.0, "compiled engine must be >= 10x mailbox (got {ratio_seq:.1}x)");
+    println!("--------------------------------------------------------------");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_suite, bench_rmat14, acceptance_summary
+}
+criterion_main!(benches);

@@ -29,9 +29,7 @@ fn bench_partitioners(c: &mut Criterion) {
     let a = rmat(&RmatConfig::graph500(12, 8), 2).to_csr();
     let hg = column_net_model(&a, true);
     c.bench_function("partition_kway/k16/rmat12", |b| {
-        b.iter(|| {
-            black_box(partition_kway(&hg, 16, &PartitionConfig::default()).parts.len())
-        })
+        b.iter(|| black_box(partition_kway(&hg, 16, &PartitionConfig::default()).parts.len()))
     });
     let oned = partition_1d_rowwise(&a, 16, 0.03, 1);
     c.bench_function("s2d_optimal/k16/rmat12", |b| {
@@ -56,12 +54,8 @@ fn bench_partitioners(c: &mut Criterion) {
 fn bench_executors(c: &mut Criterion) {
     let a = rmat(&RmatConfig::graph500(11, 8), 3).to_csr();
     let oned = partition_1d_rowwise(&a, 8, 0.03, 1);
-    let s2d = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let s2d =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
     let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 * 0.25).collect();
     let mut y = vec![0.0; a.nrows()];
     c.bench_function("spmv/serial/rmat11", |b| {

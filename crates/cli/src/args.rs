@@ -21,9 +21,7 @@ impl Args {
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
                 let value = match it.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        it.next().expect("peeked").clone()
-                    }
+                    Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
                     _ => String::new(),
                 };
                 args.options.insert(name.to_string(), value);

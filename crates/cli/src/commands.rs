@@ -25,10 +25,16 @@ USAGE
   s2d partition <m.mtx> --method <M> --k <K> [--epsilon E] [--seed N] --out p.s2dpart
   s2d analyze   <m.mtx> <p.s2dpart> [--alg single|two|mesh]
   s2d spmv      <m.mtx> <p.s2dpart> [--alg single|two|mesh]
+                [--engine mailbox|threaded|compiled] [--iters N]
   s2d help
 
 METHODS (--method)
   1d | 1d-col | 2d | s2d | s2d-opt | s2d-mg | 2d-b | 1d-b
+
+ENGINES (--engine)
+  mailbox    deterministic sequential interpreter
+  threaded   one OS thread per rank over message-passing channels
+  compiled   flat-buffer compiled plan on the persistent worker pool
 
 Matrices for `gen --name` come from the paper's two suites (Table I and
 Table IV); `gen --list` prints them. Partition files are plain text
@@ -103,10 +109,8 @@ fn cmd_gen(args: &Args) {
 }
 
 fn cmd_partition(args: &Args) {
-    let path = args
-        .positional
-        .get(1)
-        .unwrap_or_else(|| fail("partition requires a matrix file argument"));
+    let path =
+        args.positional.get(1).unwrap_or_else(|| fail("partition requires a matrix file argument"));
     let method = args.get_or("method", "s2d");
     let k = args.parse_or("k", 16usize);
     let epsilon = args.parse_or("epsilon", 0.03f64);
@@ -174,10 +178,8 @@ fn plan_for(a: &Csr, p: &SpmvPartition, alg: &str) -> SpmvPlan {
 }
 
 fn cmd_analyze(args: &Args) {
-    let mpath =
-        args.positional.get(1).unwrap_or_else(|| fail("analyze requires a matrix file"));
-    let ppath =
-        args.positional.get(2).unwrap_or_else(|| fail("analyze requires a partition file"));
+    let mpath = args.positional.get(1).unwrap_or_else(|| fail("analyze requires a matrix file"));
+    let ppath = args.positional.get(2).unwrap_or_else(|| fail("analyze requires a partition file"));
     let a = load_matrix(mpath);
     let p = match read_partition_file(ppath) {
         Ok(p) => p,
@@ -191,10 +193,12 @@ fn cmd_analyze(args: &Args) {
 
     println!("matrix      : {} x {}, {} nnz", a.nrows(), a.ncols(), a.nnz());
     println!("partition   : K = {}, s2D = {}", p.k, p.is_s2d(&a));
-    println!("load        : LI {:.1}%  (max {} avg {:.1})",
+    println!(
+        "load        : LI {:.1}%  (max {} avg {:.1})",
         p.load_imbalance() * 100.0,
         p.loads().iter().max().copied().unwrap_or(0),
-        a.nnz() as f64 / p.k as f64);
+        a.nnz() as f64 / p.k as f64
+    );
     println!(
         "comm        : volume {} words, messages {} (avg {:.1} / max {} per proc)",
         stats.total_volume,
@@ -205,8 +209,13 @@ fn cmd_analyze(args: &Args) {
     let reqs = comm_requirements(&a, &p);
     let single = single_phase_messages(&reqs).len();
     let [e, f] = two_phase_messages(&reqs);
-    println!("fusion      : {} fused messages vs {} unfused (expand {} + fold {})",
-        single, e.len() + f.len(), e.len(), f.len());
+    println!(
+        "fusion      : {} fused messages vs {} unfused (expand {} + fold {})",
+        single,
+        e.len() + f.len(),
+        e.len(),
+        f.len()
+    );
     println!(
         "model (XE6) : parallel {:.1} us, speedup {:.1} over serial",
         report.parallel_time * 1e6,
@@ -214,29 +223,82 @@ fn cmd_analyze(args: &Args) {
     );
 }
 
+/// Executes `plan` on `x` with the named engine, `iters` chained
+/// applications — shared by `cmd_spmv` and tests. Returns the result
+/// and the compile time (compiled engine only).
+pub fn run_engine(
+    plan: &SpmvPlan,
+    x: &[f64],
+    engine: &str,
+    iters: usize,
+) -> (Vec<f64>, Option<std::time::Duration>) {
+    match engine {
+        "mailbox" => {
+            let mut y = plan.execute_mailbox(x);
+            for _ in 1..iters {
+                y = plan.execute_mailbox(&y);
+            }
+            (y, None)
+        }
+        "threaded" => {
+            let mut y = plan.execute_threaded(x);
+            for _ in 1..iters {
+                y = plan.execute_threaded(&y);
+            }
+            (y, None)
+        }
+        "compiled" => {
+            // Time the inspector (plan compilation) alone — pool
+            // construction (thread spawn, buffer allocation) is engine
+            // startup, not compile cost.
+            let t = std::time::Instant::now();
+            let compiled = s2d_engine::CompiledPlan::compile(plan);
+            let compile_time = t.elapsed();
+            let mut engine = s2d_engine::ParallelEngine::new(compiled);
+            let mut y = vec![0.0; plan.nrows];
+            engine.execute_iters(x, &mut y, iters);
+            (y, Some(compile_time))
+        }
+        other => fail(format!("unknown engine {other:?} (mailbox|threaded|compiled)")),
+    }
+}
+
 fn cmd_spmv(args: &Args) {
     let mpath = args.positional.get(1).unwrap_or_else(|| fail("spmv requires a matrix file"));
-    let ppath =
-        args.positional.get(2).unwrap_or_else(|| fail("spmv requires a partition file"));
+    let ppath = args.positional.get(2).unwrap_or_else(|| fail("spmv requires a partition file"));
     let a = load_matrix(mpath);
     let p = match read_partition_file(ppath) {
         Ok(p) => p,
         Err(e) => fail(format!("cannot read {ppath}: {e}")),
     };
     let alg = args.get_or("alg", "auto");
+    let engine = args.get_or("engine", "threaded");
+    let iters = args.parse_or("iters", 1usize);
+    if iters == 0 {
+        fail("--iters must be >= 1");
+    }
+    if iters > 1 && a.nrows() != a.ncols() {
+        fail("--iters > 1 needs a square matrix (chained applications)");
+    }
     let plan = plan_for(&a, &p, alg);
     let x: Vec<f64> = (0..a.ncols()).map(|j| ((j * 37) % 19) as f64 - 9.0).collect();
-    let want = a.spmv_alloc(&x);
-    let got = plan.execute_threaded(&x);
-    let max_err = got
-        .iter()
-        .zip(&want)
-        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
-        .fold(0.0f64, f64::max);
+    let mut want = a.spmv_alloc(&x);
+    for _ in 1..iters {
+        want = a.spmv_alloc(&want);
+    }
+    let t = std::time::Instant::now();
+    let (got, compile_time) = run_engine(&plan, &x, engine, iters);
+    let elapsed = t.elapsed();
+    let max_err =
+        got.iter().zip(&want).map(|(g, w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0f64, f64::max);
+    let compile_note = compile_time
+        .map(|c| format!(", compile {:.1} ms", c.as_secs_f64() * 1e3))
+        .unwrap_or_default();
     println!(
-        "executed {} plan on {} ranks: max relative error {max_err:.2e} {}",
-        alg,
+        "executed {alg} plan x{iters} on {} ranks ({engine} engine, {:.1} ms{compile_note}): \
+         max relative error {max_err:.2e} {}",
         p.k,
+        elapsed.as_secs_f64() * 1e3,
         if max_err < 1e-9 { "(ok)" } else { "(FAILED)" }
     );
     if max_err >= 1e-9 {
@@ -278,6 +340,22 @@ mod tests {
         for method in ["1d", "s2d", "s2d-opt", "s2d-mg"] {
             let p = build_partition(&a, method, 4, 0.10, 5);
             assert!(p.is_s2d(&a), "{method} must satisfy the s2D property");
+        }
+    }
+
+    #[test]
+    fn every_engine_reproduces_the_serial_product() {
+        let a = grid(48);
+        let p = build_partition(&a, "s2d", 4, 0.10, 3);
+        let plan = plan_for(&a, &p, "auto");
+        let x: Vec<f64> = (0..a.ncols()).map(|j| ((j * 37) % 19) as f64 - 9.0).collect();
+        let want = a.spmv_alloc(&a.spmv_alloc(&x));
+        for engine in ["mailbox", "threaded", "compiled"] {
+            let (got, compile_time) = run_engine(&plan, &x, engine, 2);
+            assert_eq!(compile_time.is_some(), engine == "compiled");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{engine}: {g} vs {w}");
+            }
         }
     }
 

@@ -64,7 +64,10 @@ pub fn write_partition<W: Write>(p: &SpmvPartition, writer: W) -> Result<(), Par
 }
 
 /// Writes `p` to the file at `path`.
-pub fn write_partition_file(p: &SpmvPartition, path: impl AsRef<Path>) -> Result<(), PartFileError> {
+pub fn write_partition_file(
+    p: &SpmvPartition,
+    path: impl AsRef<Path>,
+) -> Result<(), PartFileError> {
     write_partition(p, std::fs::File::create(path)?)
 }
 

@@ -214,7 +214,7 @@ mod tests {
         assert_eq!(b.min_volume(), 3); // m̂(H)=1 + s=1 + n̂(V)=1
         assert_eq!(b.volume(Alternative::A4), 3);
         assert_eq!(b.volume(Alternative::A3), 4); // rows 0,1,2,3
-        // Load moved is monotone across ALL.
+                                                  // Load moved is monotone across ALL.
         let moved: Vec<u64> = Alternative::ALL.iter().map(|&alt| b.moved(alt)).collect();
         assert!(moved.windows(2).all(|w| w[0] <= w[1]), "{moved:?}");
         assert_eq!(b.moved(Alternative::A2), 2); // H diag: (0,2),(0,3)

@@ -137,7 +137,8 @@ impl CommStats {
 ///
 /// Returns one phase of `(src, dst, words)`.
 pub fn single_phase_messages(reqs: &CommRequirements) -> Vec<(u32, u32, u64)> {
-    let mut combined: std::collections::BTreeMap<(u32, u32), u64> = std::collections::BTreeMap::new();
+    let mut combined: std::collections::BTreeMap<(u32, u32), u64> =
+        std::collections::BTreeMap::new();
     for &(src, dst, _) in &reqs.x_reqs {
         *combined.entry((src, dst)).or_insert(0) += 1;
     }
@@ -186,12 +187,7 @@ mod tests {
 
     /// 4x4 with a cross-part column and row.
     fn setup() -> (Csr, SpmvPartition) {
-        let a = Coo::from_pattern(
-            4,
-            4,
-            &[(0, 0), (0, 2), (1, 1), (2, 2), (3, 3), (3, 0)],
-        )
-        .to_csr();
+        let a = Coo::from_pattern(4, 4, &[(0, 0), (0, 2), (1, 1), (2, 2), (3, 3), (3, 0)]).to_csr();
         // Rows {0,1} -> P0, {2,3} -> P1; x symmetric.
         let p = SpmvPartition::rowwise(&a, vec![0, 0, 1, 1], vec![0, 0, 1, 1], 2);
         (a, p)
@@ -267,12 +263,8 @@ mod tests {
         // (0,1) owned by P1 (column side): fold y_0 P1->P0.
         // (1,0) owned by P1 (row side): expand x_0 P0... wait x_0 is P0's.
         // (1,0) owned by row side P1, x_0 on P0: x-req (0,1,0).
-        let p = SpmvPartition {
-            k: 2,
-            x_part: vec![0, 1],
-            y_part: vec![0, 1],
-            nz_owner: vec![1, 1],
-        };
+        let p =
+            SpmvPartition { k: 2, x_part: vec![0, 1], y_part: vec![0, 1], nz_owner: vec![1, 1] };
         assert!(p.is_s2d(&a));
         let reqs = comm_requirements(&a, &p);
         let single = CommStats::from_phases(2, &[single_phase_messages(&reqs)]);

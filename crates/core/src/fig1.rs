@@ -31,15 +31,15 @@ pub const X_PART: [u32; 13] = [0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2];
 /// `(row, col, owner)` triples of the example, 1-based as in the paper.
 const ENTRIES: [(usize, usize, u32); 24] = [
     // Caption-mandated off-diagonal entries.
-    (2, 5, 0),   // a_{2,5} with its row part P1
-    (3, 5, 0),   // a_{3,5} with its row part P1
-    (2, 6, 1),   // a_{2,6} with its column part P2
-    (2, 7, 1),   // a_{2,7} with its column part P2
-    (5, 1, 0),   // a_{5,1} with its column part P1
-    (5, 3, 0),   // a_{5,3} with its column part P1
-    (6, 10, 1),  // block A_{2,3}: row side, column 10
-    (7, 13, 1),  // block A_{2,3}: row side, column 13 (only nnz in col 13)
-    (5, 11, 2),  // block A_{2,3}: column side, row 5
+    (2, 5, 0),  // a_{2,5} with its row part P1
+    (3, 5, 0),  // a_{3,5} with its row part P1
+    (2, 6, 1),  // a_{2,6} with its column part P2
+    (2, 7, 1),  // a_{2,7} with its column part P2
+    (5, 1, 0),  // a_{5,1} with its column part P1
+    (5, 3, 0),  // a_{5,3} with its column part P1
+    (6, 10, 1), // block A_{2,3}: row side, column 10
+    (7, 13, 1), // block A_{2,3}: row side, column 13 (only nnz in col 13)
+    (5, 11, 2), // block A_{2,3}: column side, row 5
     // Diagonal-block filler (local to each part).
     (1, 1, 0),
     (1, 2, 0),
@@ -60,8 +60,7 @@ const ENTRIES: [(usize, usize, u32); 24] = [
 
 /// The 10×13 example matrix (all values 1.0).
 pub fn fig1_matrix() -> Csr {
-    let entries: Vec<(usize, usize)> =
-        ENTRIES.iter().map(|&(r, c, _)| (r - 1, c - 1)).collect();
+    let entries: Vec<(usize, usize)> = ENTRIES.iter().map(|&(r, c, _)| (r - 1, c - 1)).collect();
     Coo::from_pattern(10, 13, &entries).to_csr()
 }
 

@@ -223,11 +223,7 @@ mod tests {
         let (a, y, x) = skewed();
         let cfg = HeuristicConfig { epsilon: 0.0, max_sweeps: 64 };
         let heur = s2d_from_vector_partition(&a, &y, &x, &cfg);
-        let rowwise_max = SpmvPartition::rowwise(&a, y, x, 2)
-            .loads()
-            .into_iter()
-            .max()
-            .unwrap();
+        let rowwise_max = SpmvPartition::rowwise(&a, y, x, 2).loads().into_iter().max().unwrap();
         let heur_max = heur.loads().into_iter().max().unwrap();
         // The paper's variant never exceeds max(initial W~, W_lim).
         assert!(heur_max <= rowwise_max.max((a.nnz() as u64).div_ceil(2)));
@@ -248,8 +244,7 @@ mod tests {
     #[test]
     fn pure_rowwise_when_nothing_profitable() {
         // All off-diagonal blocks are single columns (V blocks): λ⁻ = 0.
-        let a = Coo::from_pattern(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3), (0, 2), (1, 2)])
-            .to_csr();
+        let a = Coo::from_pattern(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3), (0, 2), (1, 2)]).to_csr();
         let y = vec![0, 0, 1, 1];
         let x = y.clone();
         let p = s2d_from_vector_partition(&a, &y, &x, &HeuristicConfig::default());

@@ -111,12 +111,7 @@ pub fn s2d_generalized(
 
 /// Algorithm-1-style sweeps choosing the cheapest-volume feasible
 /// alternative per block, in decreasing volume-reduction order.
-fn volume_pass(
-    states: &mut [BlockState],
-    loads: &mut [u64],
-    w_lim: u64,
-    cfg: &Heuristic2Config,
-) {
+fn volume_pass(states: &mut [BlockState], loads: &mut [u64], w_lim: u64, cfg: &Heuristic2Config) {
     let mut order: Vec<usize> = (0..states.len())
         .filter(|&b| {
             let a = &states[b].analysis;
@@ -125,11 +120,7 @@ fn volume_pass(
         .collect();
     order.sort_unstable_by_key(|&b| {
         let a = &states[b].analysis;
-        (
-            std::cmp::Reverse(a.volume(Alternative::A1) - a.min_volume()),
-            a.l,
-            a.k,
-        )
+        (std::cmp::Reverse(a.volume(Alternative::A1) - a.min_volume()), a.l, a.k)
     });
 
     for _sweep in 0..cfg.max_sweeps {
@@ -147,9 +138,7 @@ fn volume_pass(
                 .iter()
                 .copied()
                 .filter(|&alt| alt != Alternative::A1)
-                .filter(|&alt| {
-                    loads[a.k as usize] + a.moved(alt) <= w_tilde.max(w_lim)
-                })
+                .filter(|&alt| loads[a.k as usize] + a.moved(alt) <= w_tilde.max(w_lim))
                 .min_by_key(|&alt| (a.volume(alt), a.moved(alt)));
             if let Some(alt) = pick {
                 if a.volume(alt) < a.volume(Alternative::A1) {
@@ -169,12 +158,7 @@ fn volume_pass(
 
 /// Offloads overloaded row owners by upgrading their blocks toward
 /// larger-transfer alternatives.
-fn balance_pass(
-    states: &mut [BlockState],
-    loads: &mut [u64],
-    w_lim: u64,
-    cfg: &Heuristic2Config,
-) {
+fn balance_pass(states: &mut [BlockState], loads: &mut [u64], w_lim: u64, cfg: &Heuristic2Config) {
     // Blocks indexed by row owner for bottleneck lookups.
     let mut by_row: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for (b, st) in states.iter().enumerate() {
@@ -182,15 +166,11 @@ fn balance_pass(
     }
 
     loop {
-        let (bottleneck, w_tilde) = match loads
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &w)| w)
-            .map(|(p, &w)| (p as u32, w))
-        {
-            Some(x) => x,
-            None => return,
-        };
+        let (bottleneck, w_tilde) =
+            match loads.iter().enumerate().max_by_key(|&(_, &w)| w).map(|(p, &w)| (p as u32, w)) {
+                Some(x) => x,
+                None => return,
+            };
         if w_tilde <= w_lim {
             return;
         }
@@ -209,8 +189,7 @@ fn balance_pass(
                     continue;
                 }
                 let dvol = a.volume(alt) as i64 - cur_vol as i64;
-                let tolerated =
-                    (cfg.allow_volume_increase * a.min_volume() as f64).floor() as i64;
+                let tolerated = (cfg.allow_volume_increase * a.min_volume() as f64).floor() as i64;
                 if dvol > tolerated.max(0) {
                     continue;
                 }
@@ -299,10 +278,7 @@ mod tests {
         let p_on = s2d_generalized(&a, &y, &x, 2, &cfg_on);
         let max_off = p_off.loads().into_iter().max().unwrap();
         let max_on = p_on.loads().into_iter().max().unwrap();
-        assert!(
-            max_on < max_off,
-            "balance pass must reduce the bottleneck: {max_on} vs {max_off}"
-        );
+        assert!(max_on < max_off, "balance pass must reduce the bottleneck: {max_on} vs {max_off}");
         assert!(p_on.is_s2d(&a));
         // The A2→A4 upgrades keep the volume at the per-block optimum.
         let v_on = comm_requirements(&a, &p_on).total_volume();
@@ -333,10 +309,8 @@ mod tests {
                 comm_requirements(&a, &alg1).total_volume(),
                 comm_requirements(&a, &alg2).total_volume(),
             );
-            let (w1, w2) = (
-                alg1.loads().into_iter().max().unwrap(),
-                alg2.loads().into_iter().max().unwrap(),
-            );
+            let (w1, w2) =
+                (alg1.loads().into_iter().max().unwrap(), alg2.loads().into_iter().max().unwrap());
             assert!(v2 <= v1, "eps {eps}: volume {v2} > {v1}");
             assert!(w2 <= w1, "eps {eps}: max load {w2} > {w1}");
         }

@@ -67,12 +67,7 @@ pub struct IterateResult {
 /// # Panics
 /// Panics if `a` is not square or the initial partition is not symmetric
 /// (`y_part != x_part`).
-pub fn iterate_s2d(
-    a: &Csr,
-    vec_part: &[u32],
-    k: usize,
-    cfg: &IterateConfig,
-) -> IterateResult {
+pub fn iterate_s2d(a: &Csr, vec_part: &[u32], k: usize, cfg: &IterateConfig) -> IterateResult {
     assert_eq!(a.nrows(), a.ncols(), "alternating refinement requires a square matrix");
     assert_eq!(vec_part.len(), a.nrows());
 

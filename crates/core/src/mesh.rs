@@ -199,10 +199,7 @@ mod tests {
     #[test]
     fn direct_same_row_goes_phase2_only() {
         // 2x2 mesh (k=4): procs 0,1 in row 0. A message 0 -> 1 is direct.
-        let reqs = CommRequirements {
-            x_reqs: vec![(0, 1, 7)],
-            y_reqs: vec![],
-        };
+        let reqs = CommRequirements { x_reqs: vec![(0, 1, 7)], y_reqs: vec![] };
         let r = MeshRouting::build(4, 2, 2, &reqs);
         assert!(r.phase1.is_empty());
         assert_eq!(r.phase2.len(), 1);
@@ -237,10 +234,7 @@ mod tests {
     fn x_forward_dedups_per_mesh_row() {
         // x_5 from 0 needed by 2 and 3 (both mesh row 1): one phase-1 word,
         // two phase-2 words.
-        let reqs = CommRequirements {
-            x_reqs: vec![(0, 2, 5), (0, 3, 5)],
-            y_reqs: vec![],
-        };
+        let reqs = CommRequirements { x_reqs: vec![(0, 2, 5), (0, 3, 5)], y_reqs: vec![] };
         let r = MeshRouting::build(4, 2, 2, &reqs);
         let p1_words: usize = r.phase1.iter().map(|m| m.x_items.len()).sum();
         let p2_words: usize = r.phase2.iter().map(|m| m.x_items.len()).sum();
@@ -256,10 +250,7 @@ mod tests {
         // column 0): both route via mid = row(3)*2 + col(0) = 2; source 2
         // IS the intermediate. Phase 1: one word (from 0); phase 2: one
         // aggregated word (2 -> 3).
-        let reqs = CommRequirements {
-            x_reqs: vec![],
-            y_reqs: vec![(0, 3, 4), (2, 3, 4)],
-        };
+        let reqs = CommRequirements { x_reqs: vec![], y_reqs: vec![(0, 3, 4), (2, 3, 4)] };
         let r = MeshRouting::build(4, 2, 2, &reqs);
         let p1_words: usize = r.phase1.iter().map(|m| m.y_items.len()).sum();
         let p2_words: usize = r.phase2.iter().map(|m| m.y_items.len()).sum();

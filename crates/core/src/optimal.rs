@@ -131,12 +131,8 @@ mod tests {
     #[test]
     fn optimal_matches_brute_force_small() {
         // 4x4, rows {0,1} P0 / {2,3} P1, x symmetric; off-diagonal nnz.
-        let a = Coo::from_pattern(
-            4,
-            4,
-            &[(0, 0), (0, 2), (0, 3), (1, 2), (2, 0), (3, 3), (2, 2)],
-        )
-        .to_csr();
+        let a = Coo::from_pattern(4, 4, &[(0, 0), (0, 2), (0, 3), (1, 2), (2, 0), (3, 3), (2, 2)])
+            .to_csr();
         let y = vec![0, 0, 1, 1];
         let x = vec![0, 0, 1, 1];
         let p = s2d_optimal(&a, &y, &x, 2);
@@ -156,10 +152,7 @@ mod tests {
         let p = s2d_optimal(&a, &y, &x, 2);
         // Nonzeros of row 0 (ids 0,1,2) should belong to P1 (column owner).
         assert_eq!(&p.nz_owner[0..3], &[1, 1, 1]);
-        let stats = CommStats::from_phases(
-            2,
-            &[single_phase_messages(&comm_requirements(&a, &p))],
-        );
+        let stats = CommStats::from_phases(2, &[single_phase_messages(&comm_requirements(&a, &p))]);
         assert_eq!(stats.total_volume, 1); // one partial y_0: P1 -> P0
     }
 

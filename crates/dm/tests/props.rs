@@ -8,7 +8,10 @@ use proptest::prelude::*;
 use s2d_dm::{dm_decompose, hopcroft_karp, kuhn_matching, DmLabel, UNMATCHED};
 
 /// Random bipartite edge list with bounded dimensions, deduplicated.
-fn edges_strategy(max_dim: usize, max_edges: usize) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32)>)> {
+fn edges_strategy(
+    max_dim: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32)>)> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(move |(m, n)| {
         let edge = (0..m as u32, 0..n as u32);
         proptest::collection::vec(edge, 0..=max_edges).prop_map(move |mut es| {
@@ -146,13 +149,10 @@ fn brute_force_cover(m: usize, n: usize, edges: &[(u32, u32)]) -> usize {
     let mut best = usize::MAX;
     for row_mask in 0u32..(1 << m) {
         for col_mask in 0u32..(1 << n) {
-            let covers = edges.iter().all(|&(r, c)| {
-                row_mask & (1 << r) != 0 || col_mask & (1 << c) != 0
-            });
+            let covers =
+                edges.iter().all(|&(r, c)| row_mask & (1 << r) != 0 || col_mask & (1 << c) != 0);
             if covers {
-                best = best.min(
-                    (row_mask.count_ones() + col_mask.count_ones()) as usize,
-                );
+                best = best.min((row_mask.count_ones() + col_mask.count_ones()) as usize);
             }
         }
     }

@@ -1,0 +1,515 @@
+//! The plan compiler: `SpmvPlan` → [`CompiledPlan`].
+//!
+//! The interpreting executors (`s2d-spmv`'s mailbox and threaded paths)
+//! resolve every multiply-add and every message word through per-rank
+//! `HashMap<u32, f64>` lookups. That is the right tool for validating
+//! plan semantics and exactly the wrong one for the workload the paper
+//! cares about — thousands of SpMV iterations against one matrix.
+//!
+//! Compilation pays a one-time inspector cost per plan (the OSKI /
+//! inspector-executor pattern) and produces flat buffers:
+//!
+//! * every rank's `x` and `y` footprint is renumbered into dense local
+//!   indices `0..nx` / `0..ny`, so vector storage becomes two flat
+//!   `f64` arrays per rank;
+//! * compute phases are lowered to CSR-slice kernels — run-length
+//!   grouped rows over `row_ptr` / `cols` / `vals` arrays of local
+//!   indices, preserving the interpreter's accumulation order exactly;
+//! * every [`MsgSpec`] becomes a pair of index lists (gather at the
+//!   sender, scatter at the receiver) plus a precomputed offset into a
+//!   per-phase staging buffer, so a communication phase is just indexed
+//!   copies through preallocated memory.
+//!
+//! All "processor lacks x[j]" conditions the interpreters detect at run
+//! time are detected here at compile time, once — the execution paths
+//! contain no fallible lookups at all.
+
+use std::collections::HashMap;
+
+use s2d_spmv::{MsgSpec, PlanPhase, SpmvPlan};
+
+/// Local-slot sentinel: "this global row never materializes on its
+/// owner" (the assembled result is 0 there, matching the interpreters).
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// A compute phase lowered to a CSR slice over local indices.
+///
+/// `rows` holds run-length grouped local `y` slots: segment `s` of
+/// `cols`/`vals` (bounded by `row_ptr[s]..row_ptr[s + 1]`) accumulates
+/// into `rows[s]`. A row may appear in several segments if the original
+/// task list interleaved rows — grouping is order-preserving, so
+/// floating-point accumulation order matches the mailbox executor
+/// bit for bit.
+#[derive(Clone, Debug, Default)]
+pub struct Kernel {
+    /// Segment boundaries into `cols` / `vals` (`rows.len() + 1` entries).
+    pub row_ptr: Vec<u32>,
+    /// Local `y` slot per segment.
+    pub rows: Vec<u32>,
+    /// Local `x` slot per multiply-add.
+    pub cols: Vec<u32>,
+    /// Matrix value per multiply-add.
+    pub vals: Vec<f64>,
+}
+
+impl Kernel {
+    /// Number of multiply-adds in the kernel.
+    pub fn ops(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Runs the kernel over flat local vectors.
+    #[inline]
+    pub fn run(&self, x: &[f64], y: &mut [f64]) {
+        for s in 0..self.rows.len() {
+            let lo = self.row_ptr[s] as usize;
+            let hi = self.row_ptr[s + 1] as usize;
+            let mut acc = y[self.rows[s] as usize];
+            for e in lo..hi {
+                acc += self.vals[e] * x[self.cols[e] as usize];
+            }
+            y[self.rows[s] as usize] = acc;
+        }
+    }
+}
+
+/// One [`MsgSpec`] lowered to local index lists.
+///
+/// At the sender the lists *gather*: `x_idx` slots are copied into the
+/// staging buffer, `y_idx` slots are copied and then zeroed (the
+/// partial sums move, they are not duplicated — that is what makes
+/// intermediate aggregation in mesh plans work). At the receiver the
+/// same lists *scatter*: `x_idx` slots are overwritten, `y_idx` slots
+/// accumulated into.
+#[derive(Clone, Debug)]
+pub struct CompiledMsg {
+    /// The other endpoint: destination for sends, source for receives.
+    pub peer: u32,
+    /// Word offset of this message's region in the phase staging buffer.
+    pub offset: u32,
+    /// Local `x` slots (sender: gather; receiver: scatter).
+    pub x_idx: Vec<u32>,
+    /// Local `y` slots (sender: drain; receiver: accumulate).
+    pub y_idx: Vec<u32>,
+}
+
+impl CompiledMsg {
+    /// Message size in words.
+    pub fn words(&self) -> usize {
+        self.x_idx.len() + self.y_idx.len()
+    }
+}
+
+/// One rank's view of one plan phase.
+#[derive(Clone, Debug)]
+pub enum RankStep {
+    /// Run the kernel on local buffers.
+    Compute(Kernel),
+    /// Exchange staged messages; `phase` indexes the staging buffer.
+    Comm {
+        /// Ordinal of this communication phase within the plan.
+        phase: u32,
+        /// Outgoing messages (gather + drain into staging).
+        sends: Vec<CompiledMsg>,
+        /// Incoming messages (scatter + accumulate from staging).
+        recvs: Vec<CompiledMsg>,
+    },
+}
+
+/// One rank's complete compiled program.
+#[derive(Clone, Debug)]
+pub struct RankProgram {
+    /// Size of the rank's local `x` array.
+    pub nx: usize,
+    /// Size of the rank's local `y` array.
+    pub ny: usize,
+    /// `(global column, local slot)` pairs seeded from the input vector
+    /// at the start of every iteration (the rank's *used* owned entries).
+    pub x_seed: Vec<(u32, u32)>,
+    /// `(global row, local slot)` pairs this rank contributes to the
+    /// assembled output (rows it owns and actually materializes).
+    pub y_emit: Vec<(u32, u32)>,
+    /// One step per plan phase, in plan order.
+    pub steps: Vec<RankStep>,
+}
+
+/// A fully compiled plan: per-rank programs plus the shared layout
+/// needed to execute them (staging sizes, output assembly map).
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    /// Number of virtual processors.
+    pub k: usize,
+    /// Output dimension.
+    pub nrows: usize,
+    /// Input dimension.
+    pub ncols: usize,
+    /// Per-rank programs, indexed by rank.
+    pub ranks: Vec<RankProgram>,
+    /// Staging buffer size in words, one entry per communication phase.
+    pub staging_words: Vec<usize>,
+    /// Owner rank of every output row (copied from the plan).
+    pub y_part: Vec<u32>,
+    /// Owner-local `y` slot of every output row, or [`NO_SLOT`] for
+    /// rows no rank materializes (assembled as 0.0).
+    pub y_slot: Vec<u32>,
+}
+
+/// Per-rank renumbering state used only during compilation.
+#[derive(Default)]
+struct RankState {
+    /// global x id → local slot.
+    xmap: HashMap<u32, u32>,
+    /// Local x slots with a defined value at this point of the walk.
+    xdef: Vec<bool>,
+    /// global y id → local slot.
+    ymap: HashMap<u32, u32>,
+    /// Local y slots currently holding a live partial sum.
+    ylive: Vec<bool>,
+    x_seed: Vec<(u32, u32)>,
+}
+
+impl RankState {
+    /// Slot for reading `x[j]` on rank `r`: must be owned (seeded) or
+    /// previously received.
+    fn x_read(&mut self, j: u32, rank: usize, owned: bool, what: &str) -> u32 {
+        if let Some(&slot) = self.xmap.get(&j) {
+            if !self.xdef[slot as usize] {
+                panic!("processor {rank} lacks x[{j}] {what}: plan bug");
+            }
+            return slot;
+        }
+        if !owned {
+            panic!("processor {rank} lacks x[{j}] {what}: plan bug");
+        }
+        let slot = self.xmap.len() as u32;
+        self.xmap.insert(j, slot);
+        self.xdef.push(true);
+        self.x_seed.push((j, slot));
+        slot
+    }
+
+    /// Slot for receiving `x[j]` (defines the value).
+    fn x_write(&mut self, j: u32) -> u32 {
+        if let Some(&slot) = self.xmap.get(&j) {
+            self.xdef[slot as usize] = true;
+            return slot;
+        }
+        let slot = self.xmap.len() as u32;
+        self.xmap.insert(j, slot);
+        self.xdef.push(true);
+        slot
+    }
+
+    /// Slot for accumulating into `y[i]` (creates the partial on first
+    /// touch, like the interpreters' `entry().or_insert(0.0)`).
+    fn y_accum(&mut self, i: u32) -> u32 {
+        if let Some(&slot) = self.ymap.get(&i) {
+            self.ylive[slot as usize] = true;
+            return slot;
+        }
+        let slot = self.ymap.len() as u32;
+        self.ymap.insert(i, slot);
+        self.ylive.push(true);
+        slot
+    }
+
+    /// Slot for draining `y[i]` into a message: must be live.
+    fn y_drain(&mut self, i: u32, rank: usize) -> u32 {
+        match self.ymap.get(&i) {
+            Some(&slot) if self.ylive[slot as usize] => {
+                self.ylive[slot as usize] = false;
+                slot
+            }
+            _ => panic!("processor {rank} lacks partial y[{i}] to send: plan bug"),
+        }
+    }
+}
+
+impl CompiledPlan {
+    /// Compiles `plan`. One pass over the plan; cost is proportional to
+    /// the plan size (nnz + communication volume).
+    ///
+    /// # Panics
+    /// Panics with a "plan bug" message if the plan reads an `x` value
+    /// or drains a partial `y` its rank cannot hold — the same
+    /// conditions the interpreting executors detect mid-run.
+    pub fn compile(plan: &SpmvPlan) -> CompiledPlan {
+        let k = plan.k;
+        let mut states: Vec<RankState> = (0..k).map(|_| RankState::default()).collect();
+        let mut programs: Vec<Vec<RankStep>> = (0..k).map(|_| Vec::new()).collect();
+        let mut staging_words = Vec::new();
+
+        for phase in &plan.phases {
+            match phase {
+                PlanPhase::Compute(tasks) => {
+                    for (r, list) in tasks.iter().enumerate() {
+                        programs[r].push(RankStep::Compute(lower_tasks(
+                            list,
+                            r,
+                            &mut states[r],
+                            &plan.x_part,
+                        )));
+                    }
+                }
+                PlanPhase::Comm(msgs) => {
+                    let ordinal = staging_words.len() as u32;
+                    let (sends, recvs, words) = lower_comm(msgs, k, &mut states, &plan.x_part);
+                    staging_words.push(words);
+                    for (r, (s, v)) in sends.into_iter().zip(recvs).enumerate() {
+                        programs[r].push(RankStep::Comm { phase: ordinal, sends: s, recvs: v });
+                    }
+                }
+            }
+        }
+
+        // Output assembly: each row reads its owner's local slot
+        // (NO_SLOT rows assemble to 0).
+        let mut y_slot = vec![NO_SLOT; plan.nrows];
+        for i in 0..plan.nrows {
+            let owner = plan.y_part[i] as usize;
+            if let Some(&slot) = states[owner].ymap.get(&(i as u32)) {
+                y_slot[i] = slot;
+            }
+        }
+
+        let ranks = states
+            .into_iter()
+            .zip(programs)
+            .enumerate()
+            .map(|(r, (st, steps))| {
+                let mut y_emit: Vec<(u32, u32)> = st
+                    .ymap
+                    .iter()
+                    .filter(|&(&i, _)| plan.y_part[i as usize] as usize == r)
+                    .map(|(&i, &slot)| (i, slot))
+                    .collect();
+                y_emit.sort_unstable();
+                RankProgram {
+                    nx: st.xmap.len(),
+                    ny: st.ymap.len(),
+                    x_seed: st.x_seed,
+                    y_emit,
+                    steps,
+                }
+            })
+            .collect();
+
+        CompiledPlan {
+            k,
+            nrows: plan.nrows,
+            ncols: plan.ncols,
+            ranks,
+            staging_words,
+            y_part: plan.y_part.clone(),
+            y_slot,
+        }
+    }
+
+    /// Total multiply-adds across all ranks (must equal the plan's).
+    pub fn total_ops(&self) -> u64 {
+        self.ranks
+            .iter()
+            .flat_map(|rp| &rp.steps)
+            .map(|s| match s {
+                RankStep::Compute(kernel) => kernel.ops() as u64,
+                RankStep::Comm { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Bytes of flat buffer storage one workspace for this plan needs —
+    /// the compiled footprint reported by benchmarks.
+    pub fn workspace_bytes(&self) -> usize {
+        let vectors: usize = self.ranks.iter().map(|r| r.nx + r.ny).sum();
+        let staging: usize = self.staging_words.iter().sum();
+        (vectors + staging + self.nrows) * std::mem::size_of::<f64>()
+    }
+}
+
+/// Lowers one rank's task list into a run-length grouped CSR slice.
+fn lower_tasks(
+    tasks: &[s2d_spmv::MultTask],
+    rank: usize,
+    st: &mut RankState,
+    x_part: &[u32],
+) -> Kernel {
+    let mut kernel = Kernel::default();
+    kernel.row_ptr.push(0);
+    let mut current: Option<u32> = None;
+    for t in tasks {
+        let col = st.x_read(t.col, rank, x_part[t.col as usize] as usize == rank, "to multiply");
+        let row = st.y_accum(t.row);
+        if current != Some(row) {
+            if current.is_some() {
+                kernel.row_ptr.push(kernel.cols.len() as u32);
+            }
+            kernel.rows.push(row);
+            current = Some(row);
+        }
+        kernel.cols.push(col);
+        kernel.vals.push(t.val);
+    }
+    if current.is_some() {
+        kernel.row_ptr.push(kernel.cols.len() as u32);
+    }
+    kernel
+}
+
+/// Lowers one communication phase: per-rank send and receive lists plus
+/// the staging footprint. All sends are lowered before any receive so
+/// the drain/define bookkeeping matches the simultaneous-exchange
+/// semantics (payloads capture the pre-phase state).
+#[allow(clippy::type_complexity)]
+fn lower_comm(
+    msgs: &[MsgSpec],
+    k: usize,
+    states: &mut [RankState],
+    x_part: &[u32],
+) -> (Vec<Vec<CompiledMsg>>, Vec<Vec<CompiledMsg>>, usize) {
+    let mut sends: Vec<Vec<CompiledMsg>> = (0..k).map(|_| Vec::new()).collect();
+    let mut recvs: Vec<Vec<CompiledMsg>> = (0..k).map(|_| Vec::new()).collect();
+    let mut offset = 0u32;
+    let mut offsets = Vec::with_capacity(msgs.len());
+    for m in msgs {
+        let src = m.src as usize;
+        let st = &mut states[src];
+        let x_idx: Vec<u32> = m
+            .x_cols
+            .iter()
+            .map(|&j| st.x_read(j, src, x_part[j as usize] as usize == src, "to send"))
+            .collect();
+        let y_idx: Vec<u32> = m.y_rows.iter().map(|&i| st.y_drain(i, src)).collect();
+        offsets.push(offset);
+        sends[src].push(CompiledMsg { peer: m.dst, offset, x_idx, y_idx });
+        offset += (m.x_cols.len() + m.y_rows.len()) as u32;
+    }
+    for (m, &off) in msgs.iter().zip(&offsets) {
+        let dst = m.dst as usize;
+        let st = &mut states[dst];
+        let x_idx: Vec<u32> = m.x_cols.iter().map(|&j| st.x_write(j)).collect();
+        let y_idx: Vec<u32> = m.y_rows.iter().map(|&i| st.y_accum(i)).collect();
+        recvs[dst].push(CompiledMsg { peer: m.src, offset: off, x_idx, y_idx });
+    }
+    (sends, recvs, offset as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_spmv::{MultTask, SpmvPlan};
+
+    /// A tiny hand-built two-rank plan: rank 0 computes y0 += 2·x0,
+    /// ships x0 and its partial y1 to rank 1; rank 1 finishes y1.
+    fn tiny_plan() -> SpmvPlan {
+        SpmvPlan {
+            k: 2,
+            nrows: 2,
+            ncols: 2,
+            x_part: vec![0, 1],
+            y_part: vec![0, 1],
+            phases: vec![
+                PlanPhase::Compute(vec![
+                    vec![
+                        MultTask { row: 0, col: 0, val: 2.0 },
+                        MultTask { row: 1, col: 0, val: 3.0 },
+                    ],
+                    vec![],
+                ]),
+                PlanPhase::Comm(vec![MsgSpec { src: 0, dst: 1, x_cols: vec![0], y_rows: vec![1] }]),
+                PlanPhase::Compute(vec![vec![], vec![MultTask { row: 1, col: 1, val: 5.0 }]]),
+            ],
+        }
+    }
+
+    #[test]
+    fn footprints_are_dense_and_minimal() {
+        let cp = CompiledPlan::compile(&tiny_plan());
+        assert_eq!(cp.ranks[0].nx, 1, "rank 0 only ever holds x0");
+        assert_eq!(cp.ranks[0].ny, 2, "rank 0 accumulates y0 and the y1 partial");
+        assert_eq!(cp.ranks[1].nx, 2, "rank 1 holds x1 and the received x0");
+        assert_eq!(cp.ranks[1].ny, 1);
+        assert_eq!(cp.staging_words, vec![2]);
+        assert_eq!(cp.total_ops(), 3);
+    }
+
+    #[test]
+    fn seeds_cover_only_used_owned_entries() {
+        let cp = CompiledPlan::compile(&tiny_plan());
+        assert_eq!(cp.ranks[0].x_seed, vec![(0, 0)]);
+        // Rank 1 first *uses* x1 in the final compute, after receiving
+        // x0 — so x0 takes local slot 0 and the owned x1 slot 1.
+        assert_eq!(cp.ranks[1].x_seed, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn drained_partials_are_tracked() {
+        let cp = CompiledPlan::compile(&tiny_plan());
+        match &cp.ranks[0].steps[1] {
+            RankStep::Comm { sends, recvs, .. } => {
+                assert_eq!(sends.len(), 1);
+                assert_eq!(sends[0].x_idx.len(), 1);
+                assert_eq!(sends[0].y_idx.len(), 1);
+                assert!(recvs.is_empty());
+            }
+            other => panic!("expected comm step, got {other:?}"),
+        }
+        // y1 is emitted by rank 1 (its owner), not by rank 0 whose
+        // partial was drained.
+        assert_eq!(cp.ranks[0].y_emit, vec![(0, 0)]);
+        assert_eq!(cp.ranks[1].y_emit, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn kernel_grouping_preserves_task_order() {
+        // Tasks interleave rows: 0, 1, 0 — three segments, order kept.
+        let tasks = vec![
+            MultTask { row: 0, col: 0, val: 1.0 },
+            MultTask { row: 1, col: 0, val: 2.0 },
+            MultTask { row: 0, col: 0, val: 4.0 },
+        ];
+        let mut st = RankState::default();
+        let kernel = lower_tasks(&tasks, 0, &mut st, &[0]);
+        assert_eq!(kernel.rows, vec![0, 1, 0]);
+        assert_eq!(kernel.row_ptr, vec![0, 1, 2, 3]);
+        let mut y = vec![0.0, 0.0];
+        kernel.run(&[10.0], &mut y);
+        assert_eq!(y, vec![50.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan bug")]
+    fn missing_x_is_rejected_at_compile_time() {
+        let plan = SpmvPlan {
+            k: 2,
+            nrows: 2,
+            ncols: 2,
+            x_part: vec![0, 1],
+            y_part: vec![0, 1],
+            phases: vec![PlanPhase::Compute(vec![
+                vec![MultTask { row: 0, col: 1, val: 1.0 }],
+                vec![],
+            ])],
+        };
+        let _ = CompiledPlan::compile(&plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan bug")]
+    fn double_drain_is_rejected_at_compile_time() {
+        let plan = SpmvPlan {
+            k: 2,
+            nrows: 1,
+            ncols: 1,
+            x_part: vec![0],
+            y_part: vec![1],
+            phases: vec![
+                PlanPhase::Compute(vec![vec![MultTask { row: 0, col: 0, val: 1.0 }], vec![]]),
+                PlanPhase::Comm(vec![
+                    MsgSpec { src: 0, dst: 1, x_cols: vec![], y_rows: vec![0] },
+                    MsgSpec { src: 0, dst: 1, x_cols: vec![], y_rows: vec![0] },
+                ]),
+            ],
+        };
+        let _ = CompiledPlan::compile(&plan);
+    }
+}

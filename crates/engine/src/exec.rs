@@ -1,0 +1,287 @@
+//! Sequential execution of a [`CompiledPlan`] over a reusable
+//! [`Workspace`].
+//!
+//! The workspace owns every buffer an iteration touches — per-rank
+//! local `x`/`y` arrays and one staging buffer per communication phase
+//! — so the iteration loop performs **zero heap allocation**: seeding,
+//! kernels, staged copies and output assembly all write into memory
+//! allocated once per (plan, workspace) pair.
+
+use crate::compile::{CompiledPlan, RankStep, NO_SLOT};
+
+/// Preallocated buffers for executing one [`CompiledPlan`].
+///
+/// A workspace is tied to the layout of the plan that created it;
+/// executing a different plan through it panics on a size check.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    /// Per-rank local `x` arrays.
+    pub(crate) x: Vec<Vec<f64>>,
+    /// Per-rank local `y` arrays.
+    pub(crate) y: Vec<Vec<f64>>,
+    /// One staging buffer per communication phase.
+    pub(crate) staging: Vec<Vec<f64>>,
+    /// Assembled-output carrier for chained iterations.
+    pub(crate) carrier: Vec<f64>,
+}
+
+impl Workspace {
+    /// Allocates a workspace sized for `plan`.
+    pub fn for_plan(plan: &CompiledPlan) -> Workspace {
+        Workspace {
+            x: plan.ranks.iter().map(|r| vec![0.0; r.nx]).collect(),
+            y: plan.ranks.iter().map(|r| vec![0.0; r.ny]).collect(),
+            staging: plan.staging_words.iter().map(|&w| vec![0.0; w]).collect(),
+            carrier: vec![0.0; plan.nrows],
+        }
+    }
+}
+
+impl CompiledPlan {
+    /// Allocates a [`Workspace`] for this plan.
+    pub fn workspace(&self) -> Workspace {
+        Workspace::for_plan(self)
+    }
+
+    /// Executes one SpMV: `y = A·x`, sequentially, through `ws`.
+    ///
+    /// Matches `execute_mailbox` exactly (same accumulation order), at
+    /// flat-array speed and with no allocation.
+    ///
+    /// # Panics
+    /// Panics if `x`/`y` lengths don't match the plan or `ws` was built
+    /// for a different plan.
+    pub fn execute(&self, ws: &mut Workspace, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "input length mismatch");
+        assert_eq!(y.len(), self.nrows, "output length mismatch");
+        assert_eq!(ws.x.len(), self.k, "workspace belongs to a different plan");
+        self.seed(ws, x);
+        self.run_phases(ws);
+        self.assemble(ws, y);
+    }
+
+    /// Seeds owned `x` entries and resets the partial sums.
+    fn seed(&self, ws: &mut Workspace, x: &[f64]) {
+        for (r, rp) in self.ranks.iter().enumerate() {
+            debug_assert_eq!(ws.x[r].len(), rp.nx, "workspace belongs to a different plan");
+            for &(g, slot) in &rp.x_seed {
+                ws.x[r][slot as usize] = x[g as usize];
+            }
+            ws.y[r].fill(0.0);
+        }
+    }
+
+    /// Runs all phases over the workspace buffers.
+    fn run_phases(&self, ws: &mut Workspace) {
+        // Phases in plan order; within a communication phase all sends
+        // stage (and drain) before any receive applies, which is the
+        // simultaneous-exchange semantics.
+        let num_phases = self.ranks.first().map_or(0, |rp| rp.steps.len());
+        for p in 0..num_phases {
+            let mut is_comm = false;
+            for (r, rp) in self.ranks.iter().enumerate() {
+                match &rp.steps[p] {
+                    RankStep::Compute(kernel) => kernel.run(&ws.x[r], &mut ws.y[r]),
+                    RankStep::Comm { phase, sends, .. } => {
+                        is_comm = true;
+                        let staging = &mut ws.staging[*phase as usize];
+                        for m in sends {
+                            stage_send(m, &ws.x[r], &mut ws.y[r], staging);
+                        }
+                    }
+                }
+            }
+            if is_comm {
+                for (r, rp) in self.ranks.iter().enumerate() {
+                    if let RankStep::Comm { phase, recvs, .. } = &rp.steps[p] {
+                        let staging = &ws.staging[*phase as usize];
+                        for m in recvs {
+                            apply_recv(m, &mut ws.x[r], &mut ws.y[r], staging);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles the output from each row's owner slot.
+    fn assemble(&self, ws: &Workspace, y: &mut [f64]) {
+        for (i, yi) in y.iter_mut().enumerate() {
+            let slot = self.y_slot[i];
+            *yi = if slot == NO_SLOT { 0.0 } else { ws.y[self.y_part[i] as usize][slot as usize] };
+        }
+    }
+
+    /// `iters` chained applications: `y = A^iters · x` (power-iteration
+    /// shape, no normalization). Requires a square plan for `iters > 1`.
+    ///
+    /// The workspace's carrier buffer ferries the assembled vector
+    /// between iterations; zero allocation beyond the workspace.
+    pub fn execute_iters(&self, ws: &mut Workspace, x: &[f64], y: &mut [f64], iters: usize) {
+        assert!(iters >= 1, "at least one iteration");
+        assert_eq!(y.len(), self.nrows, "output length mismatch");
+        if iters > 1 {
+            assert_eq!(self.nrows, self.ncols, "chained SpMV needs a square plan");
+        }
+        let mut carrier = std::mem::take(&mut ws.carrier);
+        self.seed(ws, x);
+        self.run_phases(ws);
+        for _ in 1..iters {
+            self.assemble(ws, &mut carrier);
+            self.seed(ws, &carrier);
+            self.run_phases(ws);
+        }
+        self.assemble(ws, y);
+        ws.carrier = carrier;
+    }
+}
+
+/// Copies a send's `x` gather and `y` drain into the staging region.
+#[inline]
+pub(crate) fn stage_send(
+    m: &crate::compile::CompiledMsg,
+    x: &[f64],
+    y: &mut [f64],
+    staging: &mut [f64],
+) {
+    let mut w = m.offset as usize;
+    for &slot in &m.x_idx {
+        staging[w] = x[slot as usize];
+        w += 1;
+    }
+    for &slot in &m.y_idx {
+        staging[w] = y[slot as usize];
+        y[slot as usize] = 0.0; // moved, not copied
+        w += 1;
+    }
+}
+
+/// Applies a receive's staging region: overwrite `x`, accumulate `y`.
+#[inline]
+pub(crate) fn apply_recv(
+    m: &crate::compile::CompiledMsg,
+    x: &mut [f64],
+    y: &mut [f64],
+    staging: &[f64],
+) {
+    let mut w = m.offset as usize;
+    for &slot in &m.x_idx {
+        x[slot as usize] = staging[w];
+        w += 1;
+    }
+    for &slot in &m.y_idx {
+        y[slot as usize] += staging[w];
+        w += 1;
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use s2d_core::fig1::{fig1_matrix, fig1_partition};
+    use s2d_spmv::SpmvPlan;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (idx, (u, v)) in a.iter().zip(b).enumerate() {
+            assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0), "y[{idx}]: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn all_plan_kinds_match_mailbox_on_fig1() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64) * 0.5 - 3.0).collect();
+        for plan in [
+            SpmvPlan::single_phase(&a, &p),
+            SpmvPlan::two_phase(&a, &p),
+            SpmvPlan::mesh(&a, &p, 3, 1),
+            SpmvPlan::mesh(&a, &p, 1, 3),
+        ] {
+            let cp = CompiledPlan::compile(&plan);
+            let mut ws = cp.workspace();
+            let mut y = vec![0.0; a.nrows()];
+            cp.execute(&mut ws, &x, &mut y);
+            assert_close(&y, &plan.execute_mailbox(&x));
+        }
+    }
+
+    #[test]
+    fn compiled_matches_mailbox_bit_for_bit_on_fig1() {
+        // Same accumulation order → identical floating point, not just
+        // within tolerance.
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 / (j as f64 + 1.0)).collect();
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let cp = CompiledPlan::compile(&plan);
+        let mut ws = cp.workspace();
+        let mut y = vec![0.0; a.nrows()];
+        cp.execute(&mut ws, &x, &mut y);
+        assert_eq!(y, plan.execute_mailbox(&x));
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_inputs() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let cp = CompiledPlan::compile(&plan);
+        let mut ws = cp.workspace();
+        let mut y = vec![0.0; a.nrows()];
+        for seed in 0..5 {
+            let x: Vec<f64> = (0..a.ncols()).map(|j| ((j + seed) % 7) as f64 - 3.0).collect();
+            cp.execute(&mut ws, &x, &mut y);
+            assert_close(&y, &a.spmv_alloc(&x));
+        }
+    }
+
+    /// Square tridiagonal system with a symmetric block partition
+    /// (chained iterations need nrows == ncols).
+    pub(crate) fn square_setup(n: usize, k: usize) -> (s2d_sparse::Csr, SpmvPlan) {
+        use s2d_core::partition::SpmvPartition;
+        use s2d_sparse::Coo;
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 2.0);
+            if i + 1 < n {
+                m.push(i, i + 1, -1.0);
+                m.push(i + 1, i, -1.0);
+            }
+        }
+        m.compress();
+        let a = m.to_csr();
+        let per = n.div_ceil(k);
+        let part: Vec<u32> = (0..n).map(|i| (i / per) as u32).collect();
+        let p = SpmvPartition::rowwise(&a, part.clone(), part, k);
+        let plan = SpmvPlan::single_phase(&a, &p);
+        (a, plan)
+    }
+
+    #[test]
+    fn execute_iters_chains_applications() {
+        let (a, plan) = square_setup(12, 3);
+        let cp = CompiledPlan::compile(&plan);
+        let mut ws = cp.workspace();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64).cos()).collect();
+        let mut y = vec![0.0; a.nrows()];
+        cp.execute_iters(&mut ws, &x, &mut y, 3);
+        let want = a.spmv_alloc(&a.spmv_alloc(&a.spmv_alloc(&x)));
+        assert_close(&y, &want);
+    }
+
+    #[test]
+    fn empty_rows_assemble_to_zero() {
+        use s2d_core::partition::SpmvPartition;
+        use s2d_sparse::Coo;
+        let a = Coo::from_pattern(3, 3, &[(0, 0)]).to_csr();
+        let p = SpmvPartition::rowwise(&a, vec![0, 1, 1], vec![0, 0, 1], 2);
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let cp = CompiledPlan::compile(&plan);
+        let mut ws = cp.workspace();
+        let mut y = vec![9.0; 3];
+        cp.execute(&mut ws, &[2.0, 3.0, 4.0], &mut y);
+        assert_eq!(y, vec![2.0, 0.0, 0.0]);
+    }
+}

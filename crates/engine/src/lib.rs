@@ -1,0 +1,39 @@
+//! Compiled SpMV execution engine.
+//!
+//! The interpreting executors in `s2d-spmv` validate plan *semantics*;
+//! this crate makes plans *fast*. It follows the inspector/executor
+//! pattern of the OSKI line and shared-memory SpMV practice: pay a
+//! one-time compilation cost per `(matrix, partition)` pair, then run
+//! thousands of iterations over flat, cache-friendly arrays.
+//!
+//! The pipeline:
+//!
+//! ```text
+//!   SpmvPlan ──CompiledPlan::compile──▶ CompiledPlan
+//!                                          │
+//!                      ┌───────────────────┴──────────────────┐
+//!            Workspace + execute                    ParallelEngine
+//!            (sequential, zero-alloc            (persistent worker pool,
+//!             iteration loop)                    atomic phase barriers)
+//! ```
+//!
+//! * [`compile`] — renumbers every rank's `x`/`y` footprint into dense
+//!   local indices, lowers compute phases to CSR-slice kernels and
+//!   messages to gather/scatter index lists with staging offsets;
+//! * [`exec`] — the sequential executor over a reusable [`Workspace`];
+//! * [`pool`] — the [`ParallelEngine`]: long-lived OS threads running
+//!   `execute_iters(n)` for solver loops with zero per-iteration
+//!   allocation.
+//!
+//! `s2d-solver`'s `RankCtx` runs its per-rank SpMV on the same compiled
+//! per-rank programs ([`RankProgram`]), so CG, Jacobi, power iteration
+//! and PageRank all ride this path; the interpreting executors remain
+//! as the cross-check oracle (see `crates/engine/tests/props.rs`).
+
+pub mod compile;
+pub mod exec;
+pub mod pool;
+
+pub use compile::{CompiledMsg, CompiledPlan, Kernel, RankProgram, RankStep, NO_SLOT};
+pub use exec::Workspace;
+pub use pool::ParallelEngine;

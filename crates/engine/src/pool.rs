@@ -1,0 +1,699 @@
+//! The persistent worker-pool runtime for [`CompiledPlan`]s.
+//!
+//! A [`ParallelEngine`] owns long-lived OS threads (spawned once,
+//! parked on a spin barrier between jobs) and the shared flat buffers a
+//! compiled plan executes over. Running an iteration involves **no
+//! channels, no hashing and no allocation**: the control thread
+//! publishes a job descriptor, releases the workers through an atomic
+//! gate, and the workers walk the phase list with sense-reversing
+//! barriers separating the stage and apply halves of every
+//! communication phase.
+//!
+//! # Sharing discipline (why the `unsafe` here is sound)
+//!
+//! All mutable state lives in per-element [`UnsafeCell`]s ([`ShBuf`]).
+//! Soundness rests on two invariants:
+//!
+//! 1. **Spatial**: a rank's `x`/`y` buffers are touched only by the
+//!    worker that owns the rank; staging regions are written only by
+//!    the message's sender and read only by its receiver, and send
+//!    regions are pairwise disjoint. The compiler produces plans with
+//!    this shape, and because every `CompiledPlan` field is public (the
+//!    solver consumes the per-rank programs directly),
+//!    [`ParallelEngine::with_threads`] re-validates it instead of
+//!    trusting the caller — a hand-built plan that overlaps send
+//!    regions is rejected before any thread runs.
+//! 2. **Temporal**: every writer→reader handoff (staging, the gathered
+//!    global vector, the job descriptor) crosses a barrier with
+//!    release/acquire ordering, so there is no unsynchronized
+//!    cross-thread access to the same element. If a worker panics, the
+//!    barriers are *poisoned*: every waiter bails out immediately, no
+//!    further shared-buffer access happens, and the control thread
+//!    re-raises the failure instead of deadlocking.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use s2d_spmv::SpmvPlan;
+
+use crate::compile::{CompiledMsg, CompiledPlan, Kernel, RankStep};
+
+/// A flat `f64` buffer shareable across worker threads (see the module
+/// docs for the access discipline that makes this sound). Indexing is
+/// bounds-checked, so a corrupt slot panics safely instead of reading
+/// out of bounds.
+struct ShBuf(Box<[UnsafeCell<f64>]>);
+
+// SAFETY: all access goes through `get`/`set` under the spatial and
+// temporal invariants documented on the module.
+unsafe impl Sync for ShBuf {}
+
+impl ShBuf {
+    fn new(len: usize) -> ShBuf {
+        ShBuf((0..len).map(|_| UnsafeCell::new(0.0)).collect())
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        // SAFETY: module invariants — no concurrent writer to element i.
+        unsafe { *self.0[i].get() }
+    }
+
+    #[inline]
+    fn set(&self, i: usize, v: f64) {
+        // SAFETY: module invariants — no concurrent access to element i.
+        unsafe { *self.0[i].get() = v }
+    }
+}
+
+/// Sense-reversing spin barrier (falls back to `yield_now` so it stays
+/// live when workers outnumber cores). `wait` takes the engine's poison
+/// flag: once poisoned, every wait returns `true` immediately and the
+/// barrier's counts stop meaning anything — the engine is dead and only
+/// shuts down from there.
+struct SpinBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> SpinBarrier {
+        SpinBarrier { arrived: AtomicUsize::new(0), generation: AtomicUsize::new(0), total }
+    }
+
+    /// Blocks until all `total` participants arrive, or until `poison`
+    /// is raised (returns `true` in that case). Release/acquire on the
+    /// generation counter orders all pre-barrier writes before all
+    /// post-barrier reads.
+    #[must_use]
+    fn wait(&self, poison: &AtomicBool) -> bool {
+        if poison.load(Ordering::Acquire) {
+            return true;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            false
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if poison.load(Ordering::Acquire) {
+                    return true;
+                }
+                spins += 1;
+                if spins < 1 << 14 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+/// State shared between the control thread and the workers.
+struct Shared {
+    plan: CompiledPlan,
+    /// Per-rank local vectors.
+    x: Vec<ShBuf>,
+    y: Vec<ShBuf>,
+    /// Per-communication-phase staging buffers.
+    staging: Vec<ShBuf>,
+    /// The assembled global vector (gather target, reseed source).
+    global: ShBuf,
+    /// Contiguous rank range per worker.
+    assign: Vec<std::ops::Range<usize>>,
+    /// Job descriptor: input pointer + chained iteration count. Written
+    /// by the control thread before the gate, read by workers after it.
+    job_x: AtomicPtr<f64>,
+    job_iters: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Raised when a worker panics; poisons both barriers.
+    poisoned: AtomicBool,
+    /// Control + workers: job start and job completion.
+    gate: SpinBarrier,
+    /// Workers only: phase-internal synchronization.
+    sync: SpinBarrier,
+}
+
+/// A persistent pool of worker threads executing one compiled plan.
+///
+/// Construction validates the plan's sharing invariants, spawns the
+/// threads and allocates every buffer;
+/// [`ParallelEngine::execute`] and [`execute_iters`](ParallelEngine::execute_iters)
+/// then run with zero heap allocation.
+pub struct ParallelEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Checks the structural invariants the worker pool's unsafe sharing
+/// relies on (every field of [`CompiledPlan`] is public, so the plan
+/// cannot be trusted to come from the compiler).
+///
+/// # Panics
+/// Panics with a description of the violated invariant.
+fn validate_for_pool(plan: &CompiledPlan) {
+    let num_phases = plan.ranks.first().map_or(0, |rp| rp.steps.len());
+    assert_eq!(plan.y_part.len(), plan.nrows, "y_part length mismatch");
+    let mut send_regions: Vec<Vec<(u32, u32)>> = vec![Vec::new(); plan.staging_words.len()];
+    for (r, rp) in plan.ranks.iter().enumerate() {
+        assert_eq!(rp.steps.len(), num_phases, "rank {r}: misaligned step count");
+        // x_seed global indices are dereferenced through a raw pointer
+        // into the caller's input slice — they MUST be validated here;
+        // an out-of-range one would be an out-of-bounds read, not a
+        // safe panic.
+        assert!(
+            rp.x_seed.iter().all(|&(g, s)| (g as usize) < plan.ncols && (s as usize) < rp.nx),
+            "rank {r}: x_seed entry out of range"
+        );
+        // Ownership (y_part is a function of the row) makes y_emit rows
+        // pairwise disjoint across ranks — two workers writing the same
+        // `global` element concurrently would be a data race.
+        assert!(
+            rp.y_emit.iter().all(|&(g, s)| {
+                (g as usize) < plan.nrows
+                    && (s as usize) < rp.ny
+                    && plan.y_part[g as usize] as usize == r
+            }),
+            "rank {r}: y_emit entry out of range or not owned"
+        );
+        for (p, step) in rp.steps.iter().enumerate() {
+            match step {
+                RankStep::Compute(kernel) => {
+                    assert_eq!(
+                        kernel.row_ptr.len(),
+                        kernel.rows.len() + 1,
+                        "rank {r} phase {p}: malformed kernel row_ptr"
+                    );
+                    assert_eq!(
+                        kernel.cols.len(),
+                        kernel.vals.len(),
+                        "rank {r} phase {p}: malformed kernel arrays"
+                    );
+                    assert!(
+                        kernel.rows.iter().all(|&s| (s as usize) < rp.ny)
+                            && kernel.cols.iter().all(|&s| (s as usize) < rp.nx),
+                        "rank {r} phase {p}: kernel slot out of range"
+                    );
+                }
+                RankStep::Comm { phase, sends, recvs } => {
+                    let ph = *phase as usize;
+                    assert!(ph < plan.staging_words.len(), "rank {r} phase {p}: bad comm ordinal");
+                    let limit = plan.staging_words[ph] as u32;
+                    for m in sends.iter().chain(recvs) {
+                        assert!(
+                            m.x_idx.iter().all(|&s| (s as usize) < rp.nx)
+                                && m.y_idx.iter().all(|&s| (s as usize) < rp.ny),
+                            "rank {r} phase {p}: message slot out of range"
+                        );
+                        assert!(
+                            m.offset.checked_add(m.words() as u32).is_some_and(|end| end <= limit),
+                            "rank {r} phase {p}: staging region out of bounds"
+                        );
+                    }
+                    for m in sends {
+                        send_regions[ph].push((m.offset, m.words() as u32));
+                    }
+                }
+            }
+        }
+    }
+    // Kind/ordinal agreement across ranks per phase index (workers read
+    // the step kind from their first rank only).
+    if let Some(first) = plan.ranks.first() {
+        for other in &plan.ranks[1..] {
+            for (p, (a, b)) in first.steps.iter().zip(&other.steps).enumerate() {
+                let agree = match (a, b) {
+                    (RankStep::Compute(_), RankStep::Compute(_)) => true,
+                    (RankStep::Comm { phase: pa, .. }, RankStep::Comm { phase: pb, .. }) => {
+                        pa == pb
+                    }
+                    _ => false,
+                };
+                assert!(agree, "phase {p}: step kinds disagree across ranks");
+            }
+        }
+    }
+    // Send regions must be pairwise disjoint — concurrent writers would
+    // otherwise race on the same staging elements.
+    for (ph, mut regions) in send_regions.into_iter().enumerate() {
+        regions.sort_unstable();
+        for pair in regions.windows(2) {
+            assert!(
+                pair[0].0 + pair[0].1 <= pair[1].0,
+                "comm phase {ph}: overlapping staging regions at offset {}",
+                pair[1].0
+            );
+        }
+    }
+}
+
+impl ParallelEngine {
+    /// Pool over `plan` with one worker per rank, capped at the number
+    /// of available CPUs.
+    pub fn new(plan: CompiledPlan) -> ParallelEngine {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = plan.k.min(cpus).max(1);
+        ParallelEngine::with_threads(plan, threads)
+    }
+
+    /// Compiles `plan` and builds the pool in one step.
+    pub fn from_plan(plan: &SpmvPlan) -> ParallelEngine {
+        ParallelEngine::new(CompiledPlan::compile(plan))
+    }
+
+    /// Pool with an explicit worker count (clamped to `1..=plan.k`;
+    /// ranks are distributed over workers in contiguous blocks).
+    ///
+    /// # Panics
+    /// Panics if `plan` violates the invariants the shared-buffer
+    /// execution depends on (see [`validate_for_pool`] in the source) —
+    /// plans produced by [`CompiledPlan::compile`] always satisfy them.
+    pub fn with_threads(plan: CompiledPlan, threads: usize) -> ParallelEngine {
+        validate_for_pool(&plan);
+        let k = plan.k;
+        let threads = threads.clamp(1, k);
+        // Balanced contiguous split; threads ≤ k keeps every range
+        // non-empty (workers index `plan.ranks[my.start]` for the step
+        // kind, so an empty range would be out of bounds).
+        let base = k / threads;
+        let extra = k % threads;
+        let mut next = 0;
+        let assign: Vec<std::ops::Range<usize>> = (0..threads)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let range = next..next + len;
+                next += len;
+                range
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            x: plan.ranks.iter().map(|r| ShBuf::new(r.nx)).collect(),
+            y: plan.ranks.iter().map(|r| ShBuf::new(r.ny)).collect(),
+            staging: plan.staging_words.iter().map(|&w| ShBuf::new(w)).collect(),
+            global: ShBuf::new(plan.nrows),
+            assign,
+            job_x: AtomicPtr::new(std::ptr::null_mut()),
+            job_iters: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            gate: SpinBarrier::new(threads + 1),
+            sync: SpinBarrier::new(threads),
+            plan,
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("s2d-engine-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        ParallelEngine { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The compiled plan this pool executes.
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.shared.plan
+    }
+
+    /// One SpMV: `y = A·x` on the pool.
+    pub fn execute(&mut self, x: &[f64], y: &mut [f64]) {
+        self.execute_iters(x, y, 1);
+    }
+
+    /// `iters` chained applications: `y = A^iters · x` with one
+    /// dispatch — workers stay hot across iterations, nothing
+    /// allocates, and only the final assembled vector is copied out.
+    ///
+    /// # Panics
+    /// Panics if a worker thread panicked (the engine is then poisoned
+    /// and every later call fails fast).
+    pub fn execute_iters(&mut self, x: &[f64], y: &mut [f64], iters: usize) {
+        let plan = &self.shared.plan;
+        assert!(iters >= 1, "at least one iteration");
+        assert_eq!(x.len(), plan.ncols, "input length mismatch");
+        assert_eq!(y.len(), plan.nrows, "output length mismatch");
+        if iters > 1 {
+            assert_eq!(plan.nrows, plan.ncols, "chained SpMV needs a square plan");
+        }
+        assert!(
+            !self.shared.poisoned.load(Ordering::Acquire),
+            "engine poisoned: a worker thread panicked in an earlier call"
+        );
+        self.shared.job_x.store(x.as_ptr() as *mut f64, Ordering::Relaxed);
+        self.shared.job_iters.store(iters, Ordering::Relaxed);
+        let _ = self.shared.gate.wait(&self.shared.poisoned); // release the workers
+        let _ = self.shared.gate.wait(&self.shared.poisoned); // wait for completion
+        assert!(
+            !self.shared.poisoned.load(Ordering::Acquire),
+            "engine poisoned: a worker thread panicked (see stderr for its message)"
+        );
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.shared.global.get(i);
+        }
+    }
+}
+
+impl Drop for ParallelEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _ = self.shared.gate.wait(&self.shared.poisoned);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs `kernel` over shared buffers (same arithmetic as
+/// [`Kernel::run`], element access through [`ShBuf`]).
+#[inline]
+fn run_kernel(kernel: &Kernel, x: &ShBuf, y: &ShBuf) {
+    for s in 0..kernel.rows.len() {
+        let lo = kernel.row_ptr[s] as usize;
+        let hi = kernel.row_ptr[s + 1] as usize;
+        let row = kernel.rows[s] as usize;
+        let mut acc = y.get(row);
+        for e in lo..hi {
+            acc += kernel.vals[e] * x.get(kernel.cols[e] as usize);
+        }
+        y.set(row, acc);
+    }
+}
+
+/// Sender half of a staged message (gather x, drain y).
+#[inline]
+fn stage_send(m: &CompiledMsg, x: &ShBuf, y: &ShBuf, staging: &ShBuf) {
+    let mut w = m.offset as usize;
+    for &slot in &m.x_idx {
+        staging.set(w, x.get(slot as usize));
+        w += 1;
+    }
+    for &slot in &m.y_idx {
+        staging.set(w, y.get(slot as usize));
+        y.set(slot as usize, 0.0); // moved, not copied
+        w += 1;
+    }
+}
+
+/// Receiver half of a staged message (scatter x, accumulate y).
+#[inline]
+fn apply_recv(m: &CompiledMsg, x: &ShBuf, y: &ShBuf, staging: &ShBuf) {
+    let mut w = m.offset as usize;
+    for &slot in &m.x_idx {
+        x.set(slot as usize, staging.get(w));
+        w += 1;
+    }
+    for &slot in &m.y_idx {
+        y.set(slot as usize, y.get(slot as usize) + staging.get(w));
+        w += 1;
+    }
+}
+
+/// One worker's share of one job. Returns early (without touching the
+/// shared buffers again) as soon as a poisoned barrier reports that a
+/// peer died — see the module docs.
+fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *const f64) {
+    let plan = &shared.plan;
+    let num_phases = plan.ranks.first().map_or(0, |rp| rp.steps.len());
+    for it in 0..iters {
+        // Seed owned x entries (iteration 0 from the caller's input,
+        // later ones from the previous gathered result) and reset the
+        // partial sums.
+        for r in my.clone() {
+            let rp = &plan.ranks[r];
+            for &(g, slot) in &rp.x_seed {
+                let v = if it == 0 {
+                    // SAFETY: the control thread keeps the input slice
+                    // alive until the completion gate; g < ncols ==
+                    // x.len() by the execute asserts.
+                    unsafe { *xp.add(g as usize) }
+                } else {
+                    shared.global.get(g as usize)
+                };
+                shared.x[r].set(slot as usize, v);
+            }
+            for i in 0..rp.ny {
+                shared.y[r].set(i, 0.0);
+            }
+        }
+        for p in 0..num_phases {
+            // Step kinds agree across ranks at a given phase index
+            // (checked by validate_for_pool).
+            let is_comm = matches!(plan.ranks[my.start].steps[p], RankStep::Comm { .. });
+            for r in my.clone() {
+                match &plan.ranks[r].steps[p] {
+                    RankStep::Compute(kernel) => {
+                        run_kernel(kernel, &shared.x[r], &shared.y[r]);
+                    }
+                    RankStep::Comm { phase, sends, .. } => {
+                        let staging = &shared.staging[*phase as usize];
+                        for m in sends {
+                            stage_send(m, &shared.x[r], &shared.y[r], staging);
+                        }
+                    }
+                }
+            }
+            if is_comm {
+                // Everyone staged (and drained) before anyone applies.
+                if shared.sync.wait(&shared.poisoned) {
+                    return;
+                }
+                for r in my.clone() {
+                    if let RankStep::Comm { phase, recvs, .. } = &plan.ranks[r].steps[p] {
+                        let staging = &shared.staging[*phase as usize];
+                        for m in recvs {
+                            apply_recv(m, &shared.x[r], &shared.y[r], staging);
+                        }
+                    }
+                }
+                // Applies finish before the next writer reuses the
+                // staging buffer (next iteration, same phase).
+                if shared.sync.wait(&shared.poisoned) {
+                    return;
+                }
+            }
+        }
+        // Before gathering: every worker's seeding for this iteration
+        // must be done, since seeding reads `global` (it > 0) and the
+        // gather below writes it. With at least one comm phase the
+        // stage/apply barriers already order seed before gather
+        // transitively; a (hand-built) plan without comm phases needs
+        // an explicit barrier when iterations chain.
+        if iters > 1 && plan.staging_words.is_empty() && shared.sync.wait(&shared.poisoned) {
+            return;
+        }
+        // Gather owned results into the global vector. Rows no rank
+        // materializes stay at their initial 0.0 forever.
+        for r in my.clone() {
+            for &(g, slot) in &plan.ranks[r].y_emit {
+                shared.global.set(g as usize, shared.y[r].get(slot as usize));
+            }
+        }
+        if it + 1 < iters {
+            // Reseeding reads the global vector other workers wrote.
+            if shared.sync.wait(&shared.poisoned) {
+                return;
+            }
+        }
+    }
+}
+
+/// The worker main loop: park at the gate, run the published job, park
+/// again. Lives until the engine drops. A panic in the job body poisons
+/// the engine instead of deadlocking it.
+fn worker_loop(shared: &Shared, w: usize) {
+    let my = shared.assign[w].clone();
+    loop {
+        if shared.gate.wait(&shared.poisoned) {
+            // Poisoned: the gate no longer synchronizes anything. Idle
+            // until the engine shuts down.
+            while !shared.shutdown.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            return;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let iters = shared.job_iters.load(Ordering::Relaxed);
+        let xp = shared.job_x.load(Ordering::Relaxed) as *const f64;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &my, iters, xp)
+        }));
+        if outcome.is_err() {
+            shared.poisoned.store(true, Ordering::Release);
+        }
+        let _ = shared.gate.wait(&shared.poisoned); // completion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_core::fig1::{fig1_matrix, fig1_partition};
+    use s2d_spmv::SpmvPlan;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (idx, (u, v)) in a.iter().zip(b).enumerate() {
+            assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0), "y[{idx}]: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn pool_matches_mailbox_on_all_plan_kinds() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64) * 0.5 - 3.0).collect();
+        for plan in [
+            SpmvPlan::single_phase(&a, &p),
+            SpmvPlan::two_phase(&a, &p),
+            SpmvPlan::mesh(&a, &p, 3, 1),
+        ] {
+            let want = plan.execute_mailbox(&x);
+            let mut engine = ParallelEngine::from_plan(&plan);
+            let mut y = vec![0.0; a.nrows()];
+            engine.execute(&x, &mut y);
+            assert_close(&y, &want);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_and_deterministic() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let mut engine = ParallelEngine::from_plan(&plan);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 / (j + 1) as f64).collect();
+        let mut first = vec![0.0; a.nrows()];
+        engine.execute(&x, &mut first);
+        for _ in 0..10 {
+            let mut again = vec![0.0; a.nrows()];
+            engine.execute(&x, &mut again);
+            assert_eq!(first, again, "fixed schedule → bitwise deterministic");
+        }
+    }
+
+    #[test]
+    fn every_thread_count_gives_the_same_answer() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = SpmvPlan::mesh(&a, &p, 1, 3);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64).sin() + 2.0).collect();
+        let want = plan.execute_mailbox(&x);
+        let cp = CompiledPlan::compile(&plan);
+        for threads in 1..=4 {
+            let mut engine = ParallelEngine::with_threads(cp.clone(), threads);
+            let mut y = vec![0.0; a.nrows()];
+            engine.execute(&x, &mut y);
+            assert_close(&y, &want);
+        }
+    }
+
+    #[test]
+    fn execute_iters_matches_sequential_chaining() {
+        let (a, plan) = crate::exec::tests::square_setup(14, 4);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64).cos()).collect();
+        let cp = CompiledPlan::compile(&plan);
+        let mut ws = cp.workspace();
+        let mut want = vec![0.0; a.nrows()];
+        cp.execute_iters(&mut ws, &x, &mut want, 4);
+        let mut engine = ParallelEngine::new(cp);
+        let mut y = vec![0.0; a.nrows()];
+        engine.execute_iters(&x, &mut y, 4);
+        assert_close(&y, &want);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let engine = ParallelEngine::from_plan(&SpmvPlan::single_phase(&a, &p));
+        assert!(engine.threads() >= 1);
+        drop(engine); // must not hang
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping staging regions")]
+    fn overlapping_send_regions_are_rejected() {
+        // Hand-built plan whose two sends share a staging region — the
+        // exact shape that would race two writers on one cell.
+        let (_a, plan) = crate::exec::tests::square_setup(8, 4);
+        let mut cp = CompiledPlan::compile(&plan);
+        let mut clobbered = false;
+        for rp in &mut cp.ranks {
+            for step in &mut rp.steps {
+                if let RankStep::Comm { sends, .. } = step {
+                    for m in sends {
+                        m.offset = 0;
+                        clobbered = true;
+                    }
+                }
+            }
+        }
+        assert!(clobbered, "test needs a plan with at least two sends");
+        let _ = ParallelEngine::with_threads(cp, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn out_of_range_slots_are_rejected() {
+        let (_a, plan) = crate::exec::tests::square_setup(8, 2);
+        let mut cp = CompiledPlan::compile(&plan);
+        let slot = cp
+            .ranks
+            .iter_mut()
+            .flat_map(|rp| &mut rp.steps)
+            .find_map(|s| match s {
+                RankStep::Compute(k) => k.cols.first_mut(),
+                _ => None,
+            })
+            .expect("plan has a nonempty kernel");
+        *slot = u32::MAX;
+        let _ = ParallelEngine::with_threads(cp, 1);
+    }
+
+    #[test]
+    fn worker_panic_poisons_instead_of_hanging() {
+        // Force a genuine panic inside a worker thread: `row_ptr`
+        // segment bounds are not pre-validated (indexing `vals` is
+        // bounds-checked at run time), so an oversized end pointer
+        // panics mid-job. The engine must surface the failure on the
+        // control thread and Drop must still join — not deadlock.
+        let (a, plan) = crate::exec::tests::square_setup(12, 3);
+        let mut cp = CompiledPlan::compile(&plan);
+        let kernel = cp
+            .ranks
+            .iter_mut()
+            .flat_map(|rp| &mut rp.steps)
+            .find_map(|s| match s {
+                RankStep::Compute(k) if !k.rows.is_empty() => Some(k),
+                _ => None,
+            })
+            .expect("plan has a nonempty kernel");
+        *kernel.row_ptr.last_mut().unwrap() = u32::MAX >> 8;
+        let mut engine = ParallelEngine::with_threads(cp, 2);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64).collect();
+        let mut y = vec![0.0; a.nrows()];
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.execute(&x, &mut y)));
+        assert!(result.is_err(), "worker panic must reach the control thread");
+        let again =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.execute(&x, &mut y)));
+        assert!(again.is_err(), "poisoned engine must fail fast on reuse");
+        drop(engine); // and Drop must not hang
+    }
+}

@@ -61,8 +61,7 @@ pub fn fem_like(n_target: usize, davg: f64, dmax: usize, seed: u64) -> Csr {
             for x in 0..nx {
                 let i = id(x, y, z);
                 for &(dx, dy, dz) in &chosen {
-                    let (xx, yy, zz) =
-                        (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                     if xx >= 0
                         && yy >= 0
                         && zz >= 0
@@ -106,11 +105,7 @@ mod tests {
     fn interior_degree_near_target() {
         let a = fem_like(4096, 27.0, 27, 1);
         let s = MatrixStats::of(&a);
-        assert!(
-            (s.row_davg - 27.0).abs() < 8.0,
-            "davg {} too far from 27",
-            s.row_davg
-        );
+        assert!((s.row_davg - 27.0).abs() < 8.0, "davg {} too far from 27", s.row_davg);
         assert!(s.row_dmax <= 32, "dmax {}", s.row_dmax);
     }
 

@@ -71,12 +71,7 @@ mod tests {
     fn heavy_tail_exists() {
         let a = power_law(10_000, 80_000, 2.2, 3_000, 2);
         let s = MatrixStats::of(&a);
-        assert!(
-            (s.row_dmax as f64) > 10.0 * s.row_davg,
-            "dmax {} davg {}",
-            s.row_dmax,
-            s.row_davg
-        );
+        assert!((s.row_dmax as f64) > 10.0 * s.row_davg, "dmax {} davg {}", s.row_dmax, s.row_davg);
     }
 
     #[test]

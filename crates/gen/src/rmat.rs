@@ -87,10 +87,7 @@ mod tests {
             "same seed must reproduce the same matrix"
         );
         let m3 = rmat(&cfg, 43);
-        assert_ne!(
-            m1.iter().collect::<Vec<_>>().len(),
-            0,
-        );
+        assert_ne!(m1.iter().collect::<Vec<_>>().len(), 0,);
         assert_ne!(
             m1.iter().collect::<Vec<_>>(),
             m3.iter().collect::<Vec<_>>(),

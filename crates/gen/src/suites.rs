@@ -116,11 +116,7 @@ impl MatrixSpec {
         let n = (self.paper.n / d).max(256);
         let nnz = (self.paper.nnz / d).max(4 * n);
         let skewed = self.paper.dmax as f64 > 10.0 * self.paper.davg;
-        let floor = if skewed {
-            (n / 2).min((5.0 * self.paper.davg) as usize).max(8)
-        } else {
-            8
-        };
+        let floor = if skewed { (n / 2).min((5.0 * self.paper.davg) as usize).max(8) } else { 8 };
         let dmax = (self.paper.dmax / d).clamp(floor, n - 1);
         (n, nnz, dmax)
     }

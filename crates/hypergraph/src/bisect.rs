@@ -82,8 +82,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn ring(n: usize) -> Hypergraph {
-        let nets: Vec<Vec<u32>> =
-            (0..n as u32).map(|i| vec![i, (i + 1) % n as u32]).collect();
+        let nets: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i, (i + 1) % n as u32]).collect();
         let costs = vec![1u64; nets.len()];
         Hypergraph::new(n, 1, vec![1; n], &nets, costs)
     }

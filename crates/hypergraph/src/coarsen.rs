@@ -39,12 +39,15 @@ pub struct CoarseLevel {
 /// Performs one matching-based coarsening step. Returns `None` when the
 /// matching shrinks the vertex count by less than 5% (coarsening has
 /// stalled and another level would waste time without helping quality).
-pub fn coarsen_once<R: Rng>(hg: &Hypergraph, cfg: &CoarsenConfig, rng: &mut R) -> Option<CoarseLevel> {
+pub fn coarsen_once<R: Rng>(
+    hg: &Hypergraph,
+    cfg: &CoarsenConfig,
+    rng: &mut R,
+) -> Option<CoarseLevel> {
     let nvtx = hg.nvtx();
     let ncon = hg.ncon();
     let totals = hg.total_weights();
-    let caps: Vec<u64> =
-        totals.iter().map(|&t| (t / cfg.weight_cap_divisor).max(1)).collect();
+    let caps: Vec<u64> = totals.iter().map(|&t| (t / cfg.weight_cap_divisor).max(1)).collect();
 
     let mut order: Vec<u32> = (0..nvtx as u32).collect();
     order.shuffle(rng);
@@ -83,8 +86,7 @@ pub fn coarsen_once<R: Rng>(hg: &Hypergraph, cfg: &CoarsenConfig, rng: &mut R) -
         let mut best: Option<(u64, u32)> = None;
         for &u in &touched {
             let s = score[u as usize];
-            let fits = (0..ncon)
-                .all(|c| hg.vweight(v)[c] + hg.vweight(u as usize)[c] <= caps[c]);
+            let fits = (0..ncon).all(|c| hg.vweight(v)[c] + hg.vweight(u as usize)[c] <= caps[c]);
             if fits && best.map(|(bs, _)| s > bs).unwrap_or(true) {
                 best = Some((s, u));
             }
@@ -179,7 +181,7 @@ mod tests {
         let level = coarsen_once(&h, &CoarsenConfig::default(), &mut rng).expect("should coarsen");
         assert!(level.hg.nvtx() < 64);
         assert!(level.hg.nvtx() >= 32); // matching merges at most pairs
-        // Weight is conserved.
+                                        // Weight is conserved.
         assert_eq!(level.hg.total_weight(0), 64);
     }
 

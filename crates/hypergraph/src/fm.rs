@@ -232,10 +232,9 @@ fn fm_pass(state: &mut BisectState<'_>, maxw: &[Vec<u64>; 2]) -> bool {
             let mut new_over = 0u64;
             for c in 0..hg.ncon() {
                 let w = hg.vweight(v)[c];
-                new_over += (state.part_w[from as usize][c] - w)
-                    .saturating_sub(maxw[from as usize][c]);
                 new_over +=
-                    (state.part_w[to as usize][c] + w).saturating_sub(maxw[to as usize][c]);
+                    (state.part_w[from as usize][c] - w).saturating_sub(maxw[from as usize][c]);
+                new_over += (state.part_w[to as usize][c] + w).saturating_sub(maxw[to as usize][c]);
             }
             new_over < cur_over
         };

@@ -30,7 +30,13 @@ impl Hypergraph {
     ///
     /// # Panics
     /// Panics on inconsistent sizes or out-of-range pins.
-    pub fn new(nvtx: usize, ncon: usize, vwgt: Vec<u64>, nets: &[Vec<u32>], ncost: Vec<u64>) -> Self {
+    pub fn new(
+        nvtx: usize,
+        ncon: usize,
+        vwgt: Vec<u64>,
+        nets: &[Vec<u32>],
+        ncost: Vec<u64>,
+    ) -> Self {
         let mut xpins = Vec::with_capacity(nets.len() + 1);
         xpins.push(0usize);
         let mut pins = Vec::with_capacity(nets.iter().map(Vec::len).sum());

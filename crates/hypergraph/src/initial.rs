@@ -77,12 +77,10 @@ pub fn greedy_growing<R: Rng>(hg: &Hypergraph, ratio0: f64, rng: &mut R) -> Vec<
                     }
                     break v as usize;
                 }
-                None => {
-                    match (0..nvtx).find(|&u| !in_side0[u]) {
-                        Some(u) => break u,
-                        None => return state.side,
-                    }
-                }
+                None => match (0..nvtx).find(|&u| !in_side0[u]) {
+                    Some(u) => break u,
+                    None => return state.side,
+                },
             }
         };
         in_side0[v] = true;

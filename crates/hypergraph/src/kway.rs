@@ -176,12 +176,7 @@ fn repair_counts(hg: &Hypergraph, side: &mut [u8], kl: usize, kr: usize) {
 /// Extracts the sub-hypergraph induced by side `s`: vertices renumbered,
 /// nets restricted to the side (net splitting), single-pin nets dropped.
 /// Returns the sub-hypergraph and the original ids of its vertices.
-fn extract_side(
-    hg: &Hypergraph,
-    vertices: &[u32],
-    side: &[u8],
-    s: u8,
-) -> (Hypergraph, Vec<u32>) {
+fn extract_side(hg: &Hypergraph, vertices: &[u32], side: &[u8], s: u8) -> (Hypergraph, Vec<u32>) {
     let ncon = hg.ncon();
     let mut local_of = vec![u32::MAX; hg.nvtx()];
     let mut sub_vertices = Vec::new();

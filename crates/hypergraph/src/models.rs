@@ -187,12 +187,7 @@ mod tests {
     #[test]
     fn column_net_cut_equals_expand_volume() {
         // 4x4: row pairs {0,1} and {2,3}; column 2 accessed by both parts.
-        let a = Coo::from_pattern(
-            4,
-            4,
-            &[(0, 0), (0, 2), (1, 1), (2, 2), (3, 3), (3, 2)],
-        )
-        .to_csr();
+        let a = Coo::from_pattern(4, 4, &[(0, 0), (0, 2), (1, 1), (2, 2), (3, 3), (3, 2)]).to_csr();
         let hg = column_net_model(&a, true);
         let parts = vec![0u32, 0, 1, 1];
         // Nets: col0 {r0}+diag0 -> {0}; col1 {r1}+d1 {1}; col2 {0,2,3}+d2;

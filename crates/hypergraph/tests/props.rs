@@ -7,7 +7,9 @@
 
 use proptest::prelude::*;
 use s2d_hypergraph::models::{column_net_model, fine_grain_model, row_net_model};
-use s2d_hypergraph::{connectivity_minus_one, cut_net, imbalance, partition_kway, Hypergraph, PartitionConfig};
+use s2d_hypergraph::{
+    connectivity_minus_one, cut_net, imbalance, partition_kway, Hypergraph, PartitionConfig,
+};
 use s2d_sparse::Coo;
 
 /// Random hypergraph: unit vertex weights, unit net costs.

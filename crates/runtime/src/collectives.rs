@@ -182,7 +182,12 @@ where
 
 /// Allreduce of a scalar `f64` under `op` — the solver's dot-product
 /// primitive.
-pub fn allreduce_scalar<O: ReduceOp<f64>>(ep: &mut Endpoint<Vec<f64>>, tag: Tag, v: f64, op: O) -> f64 {
+pub fn allreduce_scalar<O: ReduceOp<f64>>(
+    ep: &mut Endpoint<Vec<f64>>,
+    tag: Tag,
+    v: f64,
+    op: O,
+) -> f64 {
     let out = allreduce(ep, tag, vec![v], |a, b| combine_vec(op, a, b));
     out[0]
 }
@@ -272,9 +277,7 @@ mod tests {
     fn allreduce_agrees_on_all_ranks() {
         for &k in &SIZES {
             let out = spmd(Cluster::<Vec<f64>>::new(k), |ep| {
-                allreduce(ep, 2, vec![f64::from(ep.rank()) + 0.5], |a, b| {
-                    combine_vec(SUM, a, b)
-                })
+                allreduce(ep, 2, vec![f64::from(ep.rank()) + 0.5], |a, b| combine_vec(SUM, a, b))
             });
             let expect: f64 = (0..k).map(|r| r as f64 + 0.5).sum();
             assert!(out.iter().all(|v| (v[0] - expect).abs() < 1e-12), "k={k}");
@@ -313,9 +316,7 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let out = spmd(Cluster::<u64>::new(4), |ep| {
-            gather(ep, 2, 0, u64::from(ep.rank()) * 11)
-        });
+        let out = spmd(Cluster::<u64>::new(4), |ep| gather(ep, 2, 0, u64::from(ep.rank()) * 11));
         assert_eq!(out[2], Some(vec![0, 11, 22, 33]));
         assert_eq!(out[0], None);
     }

@@ -114,7 +114,15 @@ impl<T: Words> Endpoint<T> {
         chaos: ChaosConfig,
     ) -> Self {
         let size = peers.len();
-        Endpoint { rank, size, peers, inbox, pending: VecDeque::new(), stats: EndpointStats::default(), chaos }
+        Endpoint {
+            rank,
+            size,
+            peers,
+            inbox,
+            pending: VecDeque::new(),
+            stats: EndpointStats::default(),
+            chaos,
+        }
     }
 
     /// This rank's id, `0..size`.
@@ -165,8 +173,7 @@ impl<T: Words> Endpoint<T> {
     /// [`ANY_SOURCE`]. Non-matching arrivals are parked and later receives
     /// see them, so matching is insensitive to delivery interleaving.
     pub fn recv_match(&mut self, src: u32, tag: Tag) -> Envelope<T> {
-        let matches =
-            |env: &Envelope<T>| (src == ANY_SOURCE || env.src == src) && env.tag == tag;
+        let matches = |env: &Envelope<T>| (src == ANY_SOURCE || env.src == src) && env.tag == tag;
         if let Some(pos) = self.pending.iter().position(matches) {
             let env = self.pending.remove(pos).expect("position valid");
             self.stats.recv_msgs += 1;

@@ -209,8 +209,7 @@ mod tests {
         let t = Torus3d::new(4, 4, 4);
         // (0,0,0) to (3,0,0): wraparound makes it 1 hop, not 3.
         let a = 0u32;
-        let b = t
-            .coords_to_rank(3, 0, 0);
+        let b = t.coords_to_rank(3, 0, 0);
         assert_eq!(t.hops(a, b), 1);
         assert_eq!(t.hops(a, a), 0);
         // Symmetry.

@@ -98,12 +98,7 @@ mod tests {
     #[test]
     fn gap_applies_between_messages() {
         let m = LogGpModel { l: 0.0, o: 0.0, g: 2.0, big_g: 0.0, gamma: 0.0 };
-        let r = simulate_loggp(
-            3,
-            &[PhaseSpec::comm_only(3, vec![(0, 1, 1), (0, 2, 1)])],
-            0,
-            &m,
-        );
+        let r = simulate_loggp(3, &[PhaseSpec::comm_only(3, vec![(0, 1, 1), (0, 2, 1)])], 0, &m);
         // Proc 0 sends 2 messages: one gap.
         assert!((r.parallel_time - 2.0).abs() < 1e-12);
     }

@@ -27,11 +27,7 @@ pub struct TorusModel {
 impl TorusModel {
     /// An XE6/Gemini-flavoured torus for `k` ranks.
     pub fn xe6_for(k: usize) -> Self {
-        TorusModel {
-            base: MachineModel::cray_xe6(),
-            t_hop: 1.0e-7,
-            torus: Torus3d::cubic_for(k),
-        }
+        TorusModel { base: MachineModel::cray_xe6(), t_hop: 1.0e-7, torus: Torus3d::cubic_for(k) }
     }
 }
 

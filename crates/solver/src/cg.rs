@@ -9,7 +9,7 @@ use s2d_core::partition::SpmvPartition;
 use s2d_sparse::Csr;
 use s2d_spmv::SpmvPlan;
 
-use crate::engine::{gather_global, scatter, spmd_compute, RankCtx};
+use crate::engine::{gather_global, scatter, spmd_compute_on, EnginePath, RankCtx};
 
 /// Options for [`cg_solve`].
 #[derive(Clone, Copy, Debug)]
@@ -55,11 +55,24 @@ pub fn cg_solve(
     b: &[f64],
     opts: &CgOptions,
 ) -> CgResult {
+    cg_solve_on(EnginePath::Compiled, a, p, plan, b, opts)
+}
+
+/// [`cg_solve`] on an explicit [`EnginePath`] — the interpreted path is
+/// the cross-check oracle for the compiled engine.
+pub fn cg_solve_on(
+    path: EnginePath,
+    a: &Csr,
+    p: &SpmvPartition,
+    plan: &SpmvPlan,
+    b: &[f64],
+    opts: &CgOptions,
+) -> CgResult {
     assert_eq!(b.len(), a.nrows(), "right-hand side length mismatch");
     let b_parts = parking_lot::Mutex::new(scatter(b, p));
     let opts = *opts;
 
-    let rank_out = spmd_compute(a, p, plan, |ctx: &mut RankCtx| {
+    let rank_out = spmd_compute_on(path, a, p, plan, |ctx: &mut RankCtx| {
         let b_local = std::mem::take(&mut b_parts.lock()[ctx.rank() as usize]);
         cg_rank(ctx, &b_local, &opts)
     });
@@ -182,8 +195,7 @@ mod tests {
         }
         // Residual really is small w.r.t. the serial matrix.
         let ax = a.spmv_alloc(&res.x);
-        let rnorm: f64 =
-            ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let rnorm: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
         let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(rnorm <= 1e-8 * bnorm, "residual {rnorm} vs {bnorm}");
     }
@@ -238,6 +250,25 @@ mod tests {
         let res = cg_solve(&a, &p, &plan, &vec![1.0; 6], &CgOptions::default());
         assert!(!res.converged);
         assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn compiled_engine_matches_interpreted_cross_check() {
+        // The acceptance gate for the compiled engine: CG end-to-end on
+        // the compiled path converges to the same residual (and the
+        // same iterate, bitwise — identical accumulation order) as the
+        // interpreted runtime-based path.
+        let a = laplacian2d(8);
+        let p = block_rowwise(&a, 4);
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let compiled = cg_solve_on(EnginePath::Compiled, &a, &p, &plan, &b, &CgOptions::default());
+        let interpreted =
+            cg_solve_on(EnginePath::Interpreted, &a, &p, &plan, &b, &CgOptions::default());
+        assert!(compiled.converged && interpreted.converged);
+        assert_eq!(compiled.iterations, interpreted.iterations);
+        assert_eq!(compiled.relative_residual, interpreted.relative_residual);
+        assert_eq!(compiled.x, interpreted.x);
     }
 
     #[test]

@@ -13,26 +13,53 @@
 //!
 //! Distributed vectors are plain `Vec<f64>` aligned with the rank's
 //! sorted list of owned global indices ([`RankCtx::owned`]).
+//!
+//! # Execution paths
+//!
+//! `spmv` runs on one of two engines ([`EnginePath`]):
+//!
+//! * **Compiled** (default) — the rank's [`s2d_engine::RankProgram`]:
+//!   dense local renumbering, CSR-slice kernels, message payloads built
+//!   by precomputed gather lists and applied by precomputed scatter
+//!   lists. No hashing anywhere in the iteration path.
+//! * **Interpreted** — the original `HashMap`-keyed walk of the plan's
+//!   phases, kept as the semantic cross-check oracle.
+//!
+//! Both paths exchange *positional* payloads (plain value vectors whose
+//! layout the plan itself defines), so they interoperate with the same
+//! runtime collectives and can be compared bit for bit.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use s2d_core::partition::SpmvPartition;
+use s2d_engine::{CompiledPlan, RankProgram, RankStep, NO_SLOT};
 use s2d_runtime::collectives::allreduce;
 use s2d_runtime::{spmd, Cluster, Endpoint};
 use s2d_sparse::Csr;
 use s2d_spmv::{MsgSpec, MultTask, PlanPhase, SpmvPlan};
 
-/// Message payload: `x` values and partial-`y` values keyed by global
-/// index.
-pub type Payload = (Vec<(u32, f64)>, Vec<(u32, f64)>);
+/// Message payload: `x` values and partial-`y` values, positional (the
+/// plan's message specs define which global index each slot carries).
+pub type Payload = (Vec<f64>, Vec<f64>);
 
-/// One rank's owned slice of a compiled communication phase.
-struct CommPhase {
-    outgoing: Vec<MsgSpec>,
-    expected: usize,
+/// Which engine executes [`RankCtx::spmv`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnginePath {
+    /// Flat compiled kernels (the production path).
+    #[default]
+    Compiled,
+    /// `HashMap`-keyed plan interpretation (the cross-check oracle).
+    Interpreted,
 }
 
-/// One rank's compiled plan phase.
+/// One rank's owned slice of an interpreted communication phase.
+struct CommPhase {
+    outgoing: Vec<MsgSpec>,
+    incoming: Vec<MsgSpec>,
+}
+
+/// One rank's interpreted plan phase.
 enum EnginePhase {
     Compute(Vec<MultTask>),
     Comm(CommPhase),
@@ -52,56 +79,97 @@ impl TagAlloc {
     }
 }
 
+/// The per-rank state of whichever engine was selected — only that
+/// engine's buffers are built (the other path costs nothing).
+enum RankEngine {
+    Compiled {
+        /// The whole compiled plan, shared across ranks (each rank
+        /// reads only its own `RankProgram` — no per-rank deep copy).
+        compiled: Arc<CompiledPlan>,
+        rank: usize,
+        /// Flat local vectors sized to the rank's compiled footprint.
+        xloc: Vec<f64>,
+        yloc: Vec<f64>,
+        /// `(position in owned, local x slot)` seeding pairs.
+        seed_slots: Vec<(u32, u32)>,
+        /// Local y slot per owned position ([`NO_SLOT`] → result is 0).
+        result_slots: Vec<u32>,
+    },
+    Interpreted {
+        phases: Vec<EnginePhase>,
+        xbuf: HashMap<u32, f64>,
+        ybuf: HashMap<u32, f64>,
+    },
+}
+
 /// The per-rank compute context passed to [`spmd_compute`] closures.
 pub struct RankCtx {
     ep: Endpoint<Payload>,
-    phases: Vec<EnginePhase>,
     comm_phases: u32,
     tags: TagAlloc,
     /// Sorted global indices owned by this rank (`x` and `y` coincide —
     /// symmetric vector partition).
     pub owned: Vec<u32>,
-    /// Reusable buffers for the plan walk.
-    xbuf: HashMap<u32, f64>,
-    ybuf: HashMap<u32, f64>,
+    engine: RankEngine,
 }
 
 impl RankCtx {
-    fn compile(plan: &SpmvPlan, rank: u32, owned: Vec<u32>, ep: Endpoint<Payload>) -> Self {
-        let k = plan.k;
-        let mut phases = Vec::with_capacity(plan.phases.len());
-        let mut comm_phases = 0u32;
-        for phase in &plan.phases {
-            match phase {
-                PlanPhase::Compute(tasks) => {
-                    phases.push(EnginePhase::Compute(tasks[rank as usize].clone()));
-                }
-                PlanPhase::Comm(msgs) => {
-                    let mut outgoing = Vec::new();
-                    let mut expected = 0usize;
-                    for m in msgs {
-                        if m.src == rank {
-                            outgoing.push(m.clone());
-                        }
-                        if m.dst == rank {
-                            expected += 1;
-                        }
-                    }
-                    let _ = k;
-                    phases.push(EnginePhase::Comm(CommPhase { outgoing, expected }));
-                    comm_phases += 1;
+    /// Builds the selected engine's per-rank state. `compiled` must be
+    /// `Some` exactly when `path` is [`EnginePath::Compiled`].
+    fn compile(
+        plan: &SpmvPlan,
+        compiled: Option<&Arc<CompiledPlan>>,
+        path: EnginePath,
+        rank: u32,
+        owned: Vec<u32>,
+        ep: Endpoint<Payload>,
+    ) -> Self {
+        let comm_phases =
+            plan.phases.iter().filter(|p| matches!(p, PlanPhase::Comm(_))).count() as u32;
+        let engine = match path {
+            EnginePath::Compiled => {
+                let compiled =
+                    Arc::clone(compiled.expect("compiled plan required for the compiled path"));
+                let prog = &compiled.ranks[rank as usize];
+                let seed_slots = prog
+                    .x_seed
+                    .iter()
+                    .map(|&(g, slot)| {
+                        let pos = owned.binary_search(&g).expect("seeded entry must be owned");
+                        (pos as u32, slot)
+                    })
+                    .collect();
+                let result_slots = owned.iter().map(|&g| compiled.y_slot[g as usize]).collect();
+                let (nx, ny) = (prog.nx, prog.ny);
+                RankEngine::Compiled {
+                    xloc: vec![0.0; nx],
+                    yloc: vec![0.0; ny],
+                    seed_slots,
+                    result_slots,
+                    rank: rank as usize,
+                    compiled,
                 }
             }
-        }
-        RankCtx {
-            ep,
-            phases,
-            comm_phases,
-            tags: TagAlloc { next: 0 },
-            owned,
-            xbuf: HashMap::new(),
-            ybuf: HashMap::new(),
-        }
+            EnginePath::Interpreted => {
+                // This rank's task lists and message specs, cloned out
+                // of the plan.
+                let phases = plan
+                    .phases
+                    .iter()
+                    .map(|phase| match phase {
+                        PlanPhase::Compute(tasks) => {
+                            EnginePhase::Compute(tasks[rank as usize].clone())
+                        }
+                        PlanPhase::Comm(msgs) => EnginePhase::Comm(CommPhase {
+                            outgoing: msgs.iter().filter(|m| m.src == rank).cloned().collect(),
+                            incoming: msgs.iter().filter(|m| m.dst == rank).cloned().collect(),
+                        }),
+                    })
+                    .collect();
+                RankEngine::Interpreted { phases, xbuf: HashMap::new(), ybuf: HashMap::new() }
+            }
+        };
+        RankCtx { ep, comm_phases, tags: TagAlloc { next: 0 }, owned, engine }
     }
 
     /// This rank's id.
@@ -119,65 +187,29 @@ impl RankCtx {
         self.owned.len()
     }
 
+    /// The engine executing [`RankCtx::spmv`].
+    pub fn path(&self) -> EnginePath {
+        match self.engine {
+            RankEngine::Compiled { .. } => EnginePath::Compiled,
+            RankEngine::Interpreted { .. } => EnginePath::Interpreted,
+        }
+    }
+
     /// Executes one distributed SpMV: `v` holds the values of the owned
     /// `x` entries (aligned with [`RankCtx::owned`]); the result holds
     /// the owned `y` entries in the same alignment.
     pub fn spmv(&mut self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.owned.len(), "local vector length mismatch");
         let tag0 = self.tags.take(self.comm_phases.max(1));
-        self.xbuf.clear();
-        self.ybuf.clear();
-        for (&g, &val) in self.owned.iter().zip(v) {
-            self.xbuf.insert(g, val);
-        }
-        let mut comm_idx = 0u32;
-        for phase in &self.phases {
-            match phase {
-                EnginePhase::Compute(tasks) => {
-                    for t in tasks {
-                        let xv = *self.xbuf.get(&t.col).unwrap_or_else(|| {
-                            panic!("rank {} lacks x[{}]: plan bug", self.ep.rank(), t.col)
-                        });
-                        *self.ybuf.entry(t.row).or_insert(0.0) += t.val * xv;
-                    }
-                }
-                EnginePhase::Comm(cp) => {
-                    let tag = tag0 + comm_idx;
-                    comm_idx += 1;
-                    for m in &cp.outgoing {
-                        let xs: Vec<(u32, f64)> = m
-                            .x_cols
-                            .iter()
-                            .map(|&j| {
-                                (j, *self.xbuf.get(&j).unwrap_or_else(|| {
-                                    panic!("rank {} lacks x[{j}] to send", self.ep.rank())
-                                }))
-                            })
-                            .collect();
-                        let ys: Vec<(u32, f64)> = m
-                            .y_rows
-                            .iter()
-                            .map(|&i| {
-                                (i, self.ybuf.remove(&i).unwrap_or_else(|| {
-                                    panic!("rank {} lacks partial y[{i}]", self.ep.rank())
-                                }))
-                            })
-                            .collect();
-                        self.ep.send(m.dst, tag, (xs, ys));
-                    }
-                    for _ in 0..cp.expected {
-                        let (xs, ys) = self.ep.recv_tag(tag).payload;
-                        for (j, val) in xs {
-                            self.xbuf.insert(j, val);
-                        }
-                        for (i, val) in ys {
-                            *self.ybuf.entry(i).or_insert(0.0) += val;
-                        }
-                    }
-                }
+        match &mut self.engine {
+            RankEngine::Compiled { compiled, rank, xloc, yloc, seed_slots, result_slots } => {
+                let prog = &compiled.ranks[*rank];
+                spmv_compiled(&mut self.ep, prog, xloc, yloc, seed_slots, result_slots, v, tag0)
+            }
+            RankEngine::Interpreted { phases, xbuf, ybuf } => {
+                spmv_interpreted(&mut self.ep, phases, xbuf, ybuf, &self.owned, v, tag0)
             }
         }
-        self.owned.iter().map(|g| self.ybuf.get(g).copied().unwrap_or(0.0)).collect()
     }
 
     /// Global dot product `⟨u, v⟩` over all ranks' owned entries.
@@ -201,19 +233,19 @@ impl RankCtx {
     /// Global sum of a per-rank scalar.
     pub fn sum(&mut self, local: f64) -> f64 {
         let tag = self.tags.take(2);
-        let out = allreduce(&mut self.ep, tag, (vec![(0u32, local)], Vec::new()), |a, b| {
-            (vec![(0, a.0[0].1 + b.0[0].1)], Vec::new())
+        let out = allreduce(&mut self.ep, tag, (vec![local], Vec::new()), |a, b| {
+            (vec![a.0[0] + b.0[0]], Vec::new())
         });
-        out.0[0].1
+        out.0[0]
     }
 
     /// Global max of a per-rank scalar.
     pub fn max(&mut self, local: f64) -> f64 {
         let tag = self.tags.take(2);
-        let out = allreduce(&mut self.ep, tag, (vec![(0u32, local)], Vec::new()), |a, b| {
-            (vec![(0, a.0[0].1.max(b.0[0].1))], Vec::new())
+        let out = allreduce(&mut self.ep, tag, (vec![local], Vec::new()), |a, b| {
+            (vec![a.0[0].max(b.0[0])], Vec::new())
         });
-        out.0[0].1
+        out.0[0]
     }
 
     /// Global elementwise-sum allreduce of a small dense vector (every
@@ -221,15 +253,13 @@ impl RankCtx {
     /// fused multi-scalar reductions (e.g. CG's `(r·r, p·Ap)` pair).
     pub fn sum_vec(&mut self, vals: Vec<f64>) -> Vec<f64> {
         let tag = self.tags.take(2);
-        let wrapped: Vec<(u32, f64)> =
-            vals.into_iter().enumerate().map(|(i, v)| (i as u32, v)).collect();
-        let out = allreduce(&mut self.ep, tag, (wrapped, Vec::new()), |mut a, b| {
-            for ((_, av), (_, bv)) in a.0.iter_mut().zip(&b.0) {
+        let out = allreduce(&mut self.ep, tag, (vals, Vec::new()), |mut a, b| {
+            for (av, bv) in a.0.iter_mut().zip(&b.0) {
                 *av += *bv;
             }
             a
         });
-        out.0.into_iter().map(|(_, v)| v).collect()
+        out.0
     }
 
     /// `y += alpha · x`, purely local.
@@ -246,6 +276,126 @@ impl RankCtx {
             *vi *= alpha;
         }
     }
+}
+
+/// The compiled path: flat buffers, precomputed index lists, zero
+/// hashing. Payload vectors are the only per-call allocations (they
+/// move into the runtime's channels).
+#[allow(clippy::too_many_arguments)]
+fn spmv_compiled(
+    ep: &mut Endpoint<Payload>,
+    prog: &RankProgram,
+    xloc: &mut [f64],
+    yloc: &mut [f64],
+    seed_slots: &[(u32, u32)],
+    result_slots: &[u32],
+    v: &[f64],
+    tag0: u32,
+) -> Vec<f64> {
+    for &(pos, slot) in seed_slots {
+        xloc[slot as usize] = v[pos as usize];
+    }
+    yloc.fill(0.0);
+    let mut comm_idx = 0u32;
+    for step in &prog.steps {
+        match step {
+            RankStep::Compute(kernel) => kernel.run(xloc, yloc),
+            RankStep::Comm { sends, recvs, .. } => {
+                let tag = tag0 + comm_idx;
+                comm_idx += 1;
+                for m in sends {
+                    let xs: Vec<f64> = m.x_idx.iter().map(|&s| xloc[s as usize]).collect();
+                    let ys: Vec<f64> = m
+                        .y_idx
+                        .iter()
+                        .map(|&s| {
+                            let val = yloc[s as usize];
+                            yloc[s as usize] = 0.0; // moved, not copied
+                            val
+                        })
+                        .collect();
+                    ep.send(m.peer, tag, (xs, ys));
+                }
+                // All sends are posted; targeted receives can land in
+                // spec order without deadlock.
+                for m in recvs {
+                    let (xs, ys) = ep.recv_match(m.peer, tag).payload;
+                    for (&slot, val) in m.x_idx.iter().zip(xs) {
+                        xloc[slot as usize] = val;
+                    }
+                    for (&slot, val) in m.y_idx.iter().zip(ys) {
+                        yloc[slot as usize] += val;
+                    }
+                }
+            }
+        }
+    }
+    result_slots.iter().map(|&s| if s == NO_SLOT { 0.0 } else { yloc[s as usize] }).collect()
+}
+
+/// The interpreted oracle: the original `HashMap`-keyed phase walk.
+fn spmv_interpreted(
+    ep: &mut Endpoint<Payload>,
+    phases: &[EnginePhase],
+    xbuf: &mut HashMap<u32, f64>,
+    ybuf: &mut HashMap<u32, f64>,
+    owned: &[u32],
+    v: &[f64],
+    tag0: u32,
+) -> Vec<f64> {
+    xbuf.clear();
+    ybuf.clear();
+    for (&g, &val) in owned.iter().zip(v) {
+        xbuf.insert(g, val);
+    }
+    let mut comm_idx = 0u32;
+    for phase in phases {
+        match phase {
+            EnginePhase::Compute(tasks) => {
+                for t in tasks {
+                    let xv = *xbuf.get(&t.col).unwrap_or_else(|| {
+                        panic!("rank {} lacks x[{}]: plan bug", ep.rank(), t.col)
+                    });
+                    *ybuf.entry(t.row).or_insert(0.0) += t.val * xv;
+                }
+            }
+            EnginePhase::Comm(cp) => {
+                let tag = tag0 + comm_idx;
+                comm_idx += 1;
+                for m in &cp.outgoing {
+                    let xs: Vec<f64> = m
+                        .x_cols
+                        .iter()
+                        .map(|&j| {
+                            *xbuf.get(&j).unwrap_or_else(|| {
+                                panic!("rank {} lacks x[{j}] to send", ep.rank())
+                            })
+                        })
+                        .collect();
+                    let ys: Vec<f64> = m
+                        .y_rows
+                        .iter()
+                        .map(|&i| {
+                            ybuf.remove(&i).unwrap_or_else(|| {
+                                panic!("rank {} lacks partial y[{i}]", ep.rank())
+                            })
+                        })
+                        .collect();
+                    ep.send(m.dst, tag, (xs, ys));
+                }
+                for m in &cp.incoming {
+                    let (xs, ys) = ep.recv_match(m.src, tag).payload;
+                    for (&j, val) in m.x_cols.iter().zip(xs) {
+                        xbuf.insert(j, val);
+                    }
+                    for (&i, val) in m.y_rows.iter().zip(ys) {
+                        *ybuf.entry(i).or_insert(0.0) += val;
+                    }
+                }
+            }
+        }
+    }
+    owned.iter().map(|g| ybuf.get(g).copied().unwrap_or(0.0)).collect()
 }
 
 /// Validates the solver preconditions and derives per-rank owned-index
@@ -268,7 +418,8 @@ fn owned_indices(plan: &SpmvPlan, p: &SpmvPartition) -> Vec<Vec<u32>> {
 }
 
 /// Runs `body` SPMD on `plan.k` ranks, each with a [`RankCtx`] compiled
-/// from `plan`; returns the per-rank results in rank order.
+/// from `plan` running on the default (compiled) engine; returns the
+/// per-rank results in rank order.
 ///
 /// `a` is used only for shape checks; `plan` must have been built from
 /// `(a, p)`.
@@ -281,9 +432,31 @@ where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Sync,
 {
+    spmd_compute_on(EnginePath::Compiled, a, p, plan, body)
+}
+
+/// [`spmd_compute`] with an explicit [`EnginePath`].
+pub fn spmd_compute_on<R, F>(
+    path: EnginePath,
+    a: &Csr,
+    p: &SpmvPartition,
+    plan: &SpmvPlan,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
     assert_eq!(a.nrows(), plan.nrows);
     assert_eq!(a.ncols(), plan.ncols);
     let owned = owned_indices(plan, p);
+    // Only the selected engine's state is built: the one-time compile
+    // runs solely on the compiled path, and the interpreted path's
+    // per-rank task-list clones happen solely on the interpreted path.
+    let compiled = match path {
+        EnginePath::Compiled => Some(Arc::new(CompiledPlan::compile(plan))),
+        EnginePath::Interpreted => None,
+    };
     let owned_ref = parking_lot::Mutex::new(owned);
     spmd(Cluster::<Payload>::new(plan.k), |ep| {
         let rank = ep.rank();
@@ -291,7 +464,7 @@ where
         // Endpoint moves into the context; the context lives for the
         // whole body.
         let ep = std::mem::replace(ep, dummy_endpoint());
-        let mut ctx = RankCtx::compile(plan, rank, my_owned, ep);
+        let mut ctx = RankCtx::compile(plan, compiled.as_ref(), path, rank, my_owned, ep);
         body(&mut ctx)
     })
 }
@@ -381,6 +554,26 @@ mod tests {
     }
 
     #[test]
+    fn compiled_and_interpreted_paths_agree_bitwise() {
+        let (a, p, plan) = setup(36, 5);
+        let x: Vec<f64> = (0..36).map(|i| ((i * 13) % 11) as f64 / 7.0 - 0.6).collect();
+        let mut results = Vec::new();
+        for path in [EnginePath::Compiled, EnginePath::Interpreted] {
+            let locals = parking_lot::Mutex::new(scatter(&x, &p));
+            let out = spmd_compute_on(path, &a, &p, &plan, |ctx| {
+                assert_eq!(ctx.path(), path);
+                let v = std::mem::take(&mut locals.lock()[ctx.rank() as usize]);
+                let y1 = ctx.spmv(&v);
+                let y2 = ctx.spmv(&y1); // chained: A(Ax)
+                (ctx.owned.clone(), y2)
+            });
+            results.push(gather_global(&out, 36));
+        }
+        // Same plan, same per-rank accumulation order → identical floats.
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
     fn repeated_spmv_calls_are_independent() {
         let (a, p, plan) = setup(24, 3);
         let x: Vec<f64> = (0..24).map(|i| i as f64 * 0.1).collect();
@@ -403,10 +596,8 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-12);
         }
-        let got3 = gather_global(
-            &out.into_iter().map(|(o, _, y3)| (o, y3)).collect::<Vec<_>>(),
-            24,
-        );
+        let got3 =
+            gather_global(&out.into_iter().map(|(o, _, y3)| (o, y3)).collect::<Vec<_>>(), 24);
         let want3 = a.spmv_alloc(&want);
         for (g, w) in got3.iter().zip(&want3) {
             assert!((g - w).abs() < 1e-12, "A²x: {g} vs {w}");

@@ -26,10 +26,10 @@ pub mod engine;
 pub mod jacobi;
 pub mod power;
 
-pub use cg::{cg_solve, CgOptions, CgResult};
-pub use engine::{spmd_compute, RankCtx};
+pub use cg::{cg_solve, cg_solve_on, CgOptions, CgResult};
+pub use engine::{spmd_compute, spmd_compute_on, EnginePath, RankCtx};
 pub use jacobi::{jacobi_solve, JacobiOptions, JacobiResult};
 pub use power::{
-    pagerank, power_iteration, to_column_stochastic, PagerankOptions, PagerankResult,
-    PowerOptions, PowerResult,
+    pagerank, power_iteration, to_column_stochastic, PagerankOptions, PagerankResult, PowerOptions,
+    PowerResult,
 };

@@ -130,10 +130,7 @@ impl Csr {
     /// Iterates over `(row, col, value)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.nrows).flat_map(move |i| {
-            self.row_cols(i)
-                .iter()
-                .zip(self.row_vals(i))
-                .map(move |(&c, &v)| (i, c as usize, v))
+            self.row_cols(i).iter().zip(self.row_vals(i)).map(move |(&c, &v)| (i, c as usize, v))
         })
     }
 
@@ -150,7 +147,8 @@ impl Csr {
             scratch.extend(self.row_cols(i).iter().copied().zip(self.row_vals(i).iter().copied()));
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in scratch.iter() {
-                if out_c.len() > *new_rowptr.last().expect("nonempty") && *out_c.last().unwrap() == c
+                if out_c.len() > *new_rowptr.last().expect("nonempty")
+                    && *out_c.last().unwrap() == c
                 {
                     *out_v.last_mut().unwrap() += v;
                 } else {

@@ -177,7 +177,8 @@ mod tests {
 
     #[test]
     fn reads_general_real() {
-        let src = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 2 5.0\n3 3 -1\n";
+        let src =
+            "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 2 5.0\n3 3 -1\n";
         let m = read_matrix_market(src.as_bytes()).expect("parse");
         let got: Vec<_> = m.iter().collect();
         assert_eq!(got, vec![(0, 1, 5.0), (2, 2, -1.0)]);

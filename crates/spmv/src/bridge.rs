@@ -31,8 +31,8 @@ pub fn simulate_plan(plan: &SpmvPlan, model: &MachineModel) -> SimReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use s2d_core::fig1::{fig1_matrix, fig1_partition};
     use crate::plan::SpmvPlan;
+    use s2d_core::fig1::{fig1_matrix, fig1_partition};
 
     #[test]
     fn phase_specs_mirror_plan_shape() {

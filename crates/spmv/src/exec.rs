@@ -24,6 +24,19 @@ pub fn execute_mailbox(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
         xbuf[plan.x_part[j] as usize].insert(j as u32, xj);
     }
 
+    // One flat capture buffer reused by every communication phase,
+    // sized for the largest phase up front.
+    let max_words = plan
+        .phases
+        .iter()
+        .map(|ph| match ph {
+            PlanPhase::Comm(msgs) => msgs.iter().map(|m| m.x_cols.len() + m.y_rows.len()).sum(),
+            PlanPhase::Compute(_) => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut captured: Vec<f64> = Vec::with_capacity(max_words);
+
     for (phase_idx, phase) in plan.phases.iter().enumerate() {
         match phase {
             PlanPhase::Compute(tasks) => {
@@ -40,44 +53,37 @@ pub fn execute_mailbox(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
                 }
             }
             PlanPhase::Comm(msgs) => {
-                // Capture all payloads first (simultaneous exchange).
-                let mut deliveries: Vec<(u32, Vec<(u32, f64)>, Vec<(u32, f64)>)> =
-                    Vec::with_capacity(msgs.len());
+                // Simultaneous exchange: capture the whole phase once
+                // into the flat buffer (draining moved partials), then
+                // deliver. The message specs themselves carry the ids,
+                // so the capture holds values only — no per-message
+                // allocation.
+                captured.clear();
                 for m in msgs {
                     let src = m.src as usize;
-                    let xs: Vec<(u32, f64)> = m
-                        .x_cols
-                        .iter()
-                        .map(|&j| {
-                            let v = *xbuf[src].get(&j).unwrap_or_else(|| {
-                                panic!(
-                                    "processor {src} lacks x[{j}] to send in phase {phase_idx}"
-                                )
-                            });
-                            (j, v)
-                        })
-                        .collect();
-                    let ys: Vec<(u32, f64)> = m
-                        .y_rows
-                        .iter()
-                        .map(|&i| {
-                            let v = ybuf[src].remove(&i).unwrap_or_else(|| {
-                                panic!(
-                                    "processor {src} lacks partial y[{i}] to send in phase {phase_idx}"
-                                )
-                            });
-                            (i, v)
-                        })
-                        .collect();
-                    deliveries.push((m.dst, xs, ys));
-                }
-                for (dst, xs, ys) in deliveries {
-                    let dst = dst as usize;
-                    for (j, v) in xs {
-                        xbuf[dst].insert(j, v);
+                    for &j in &m.x_cols {
+                        captured.push(*xbuf[src].get(&j).unwrap_or_else(|| {
+                            panic!("processor {src} lacks x[{j}] to send in phase {phase_idx}")
+                        }));
                     }
-                    for (i, v) in ys {
-                        *ybuf[dst].entry(i).or_insert(0.0) += v;
+                    for &i in &m.y_rows {
+                        captured.push(ybuf[src].remove(&i).unwrap_or_else(|| {
+                            panic!(
+                                "processor {src} lacks partial y[{i}] to send in phase {phase_idx}"
+                            )
+                        }));
+                    }
+                }
+                let mut w = 0;
+                for m in msgs {
+                    let dst = m.dst as usize;
+                    for &j in &m.x_cols {
+                        xbuf[dst].insert(j, captured[w]);
+                        w += 1;
+                    }
+                    for &i in &m.y_rows {
+                        *ybuf[dst].entry(i).or_insert(0.0) += captured[w];
+                        w += 1;
                     }
                 }
             }

@@ -80,8 +80,7 @@ fn split_tasks(a: &Csr, p: &SpmvPartition) -> (Vec<Vec<MultTask>>, Vec<Vec<MultT
                 rest[owner].push(task);
             } else {
                 debug_assert_eq!(
-                    p.x_part[j as usize],
-                    p.nz_owner[e],
+                    p.x_part[j as usize], p.nz_owner[e],
                     "nonzero ({i},{j}) violates the s2D constraint"
                 );
                 pre[owner].push(task);
@@ -156,11 +155,7 @@ impl SpmvPlan {
             .into_iter()
             .map(|((src, dst), rows)| MsgSpec { src, dst, x_cols: Vec::new(), y_rows: rows })
             .collect();
-        let phases = vec![
-            PlanPhase::Comm(expand),
-            PlanPhase::Compute(all),
-            PlanPhase::Comm(fold),
-        ];
+        let phases = vec![PlanPhase::Comm(expand), PlanPhase::Compute(all), PlanPhase::Comm(fold)];
         SpmvPlan {
             k: p.k,
             nrows: a.nrows(),

@@ -26,7 +26,11 @@ enum RankPhase<'a> {
     Compute(&'a [MultTask]),
     /// `tag` is the phase index; `expected` the number of incoming
     /// messages of this phase.
-    Comm { tag: u32, outgoing: Vec<&'a MsgSpec>, expected: usize },
+    Comm {
+        tag: u32,
+        outgoing: Vec<&'a MsgSpec>,
+        expected: usize,
+    },
 }
 
 /// Compiles the per-rank scripts of `plan` (phase tags = phase indices).
@@ -128,18 +132,24 @@ fn run_rank(
                         .x_cols
                         .iter()
                         .map(|&j| {
-                            (j, *xbuf.get(&j).unwrap_or_else(|| {
-                                panic!("rank {p} lacks x[{j}] to send: plan bug")
-                            }))
+                            (
+                                j,
+                                *xbuf.get(&j).unwrap_or_else(|| {
+                                    panic!("rank {p} lacks x[{j}] to send: plan bug")
+                                }),
+                            )
                         })
                         .collect();
                     let ys: Vec<(u32, f64)> = m
                         .y_rows
                         .iter()
                         .map(|&i| {
-                            (i, ybuf.remove(&i).unwrap_or_else(|| {
-                                panic!("rank {p} lacks partial y[{i}] to send: plan bug")
-                            }))
+                            (
+                                i,
+                                ybuf.remove(&i).unwrap_or_else(|| {
+                                    panic!("rank {p} lacks partial y[{i}] to send: plan bug")
+                                }),
+                            )
                         })
                         .collect();
                     ep.send(m.dst, *tag, (xs, ys));

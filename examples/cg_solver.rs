@@ -45,12 +45,8 @@ fn main() {
 
     let k = 8;
     let oned = partition_1d_rowwise(&a, k, 0.03, 1);
-    let s2d = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let s2d =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
     let plan = SpmvPlan::single_phase(&a, &s2d);
     let stats = plan.comm_stats();
     println!(
@@ -61,9 +57,7 @@ fn main() {
     );
 
     // Manufactured solution: x* = sin profile, b = A x*.
-    let x_star: Vec<f64> = (0..a.nrows())
-        .map(|i| (i as f64 * 0.37).sin())
-        .collect();
+    let x_star: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.37).sin()).collect();
     let b = a.spmv_alloc(&x_star);
 
     let res = cg_solve(&a, &s2d, &plan, &b, &CgOptions { tol: 1e-10, max_iters: 2000 });
@@ -71,12 +65,7 @@ fn main() {
         "CG: {} iterations, converged = {}, relative residual {:.2e}",
         res.iterations, res.converged, res.relative_residual
     );
-    let err = res
-        .x
-        .iter()
-        .zip(&x_star)
-        .map(|(g, w)| (g - w).abs())
-        .fold(0.0f64, f64::max);
+    let err = res.x.iter().zip(&x_star).map(|(g, w)| (g - w).abs()).fold(0.0f64, f64::max);
     println!("max |x - x*| = {err:.2e}");
     println!(
         "communication bill for the whole solve: {} words in {} messages",

@@ -35,18 +35,17 @@ fn main() {
     println!("K = {k} processors; perfect share would be {} nonzeros\n", a.nnz() / k);
 
     let oned = partition_1d_rowwise(&a, k, 0.03, 1);
-    let s2d = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let s2d =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
 
     let plan_1d = SpmvPlan::single_phase(&a, &oned.partition);
     let plan_s2d = SpmvPlan::single_phase(&a, &s2d);
     let plan_s2db = SpmvPlan::mesh_default(&a, &s2d);
 
-    println!("{:<6} {:>10} {:>12} {:>10} {:>10}", "method", "LI%", "volume", "avg msgs", "max msgs");
+    println!(
+        "{:<6} {:>10} {:>12} {:>10} {:>10}",
+        "method", "LI%", "volume", "avg msgs", "max msgs"
+    );
     for (name, plan, li) in [
         ("1D", &plan_1d, oned.partition.load_imbalance()),
         ("s2D", &plan_s2d, s2d.load_imbalance()),
@@ -69,10 +68,7 @@ fn main() {
     assert!(li_s2d < li_1d, "s2D must relieve the dense-row overload");
     let (pr, pc) = s2d::core::mesh_dims(k);
     let max_b = plan_s2db.comm_stats().max_send_msgs();
-    assert!(
-        max_b as usize <= (pr - 1) + (pc - 1),
-        "s2D-b exceeds the mesh latency bound"
-    );
+    assert!(max_b as usize <= (pr - 1) + (pc - 1), "s2D-b exceeds the mesh latency bound");
     println!(
         "\ns2D-b max msgs {} <= (Pr-1)+(Pc-1) = {} on a {}x{} mesh",
         max_b,
@@ -85,7 +81,6 @@ fn main() {
     let x: Vec<f64> = (0..a.ncols()).map(|j| (j % 97) as f64 * 0.01).collect();
     let y = plan_s2db.execute_mailbox(&x);
     let y_ref = a.spmv_alloc(&x);
-    let max_err =
-        y.iter().zip(&y_ref).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
+    let max_err = y.iter().zip(&y_ref).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
     println!("s2D-b SpMV max |error| vs serial: {max_err:.2e}");
 }

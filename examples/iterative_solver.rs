@@ -43,12 +43,8 @@ fn main() {
     // Partition once, plan once.
     let k = 16;
     let oned = partition_1d_rowwise(&a, k, 0.03, 1);
-    let s2d = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let s2d =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
     let plan = SpmvPlan::single_phase(&a, &s2d);
     println!(
         "plan: K = {k}, comm volume {} words/iteration, max {} msgs",

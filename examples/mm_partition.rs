@@ -47,7 +47,12 @@ fn main() {
         "2d" => partition_2d_fine_grain(&a, k, 0.03, 1),
         "s2d" => {
             let oned = partition_1d_rowwise(&a, k, 0.03, 1);
-            s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default())
+            s2d_from_vector_partition(
+                &a,
+                &oned.row_part,
+                &oned.col_part,
+                &HeuristicConfig::default(),
+            )
         }
         "s2d-opt" => {
             let oned = partition_1d_rowwise(&a, k, 0.03, 1);
@@ -65,8 +70,15 @@ fn main() {
     let stats = s2d::core::comm::two_phase_comm_stats(&a, &p);
     println!("load imbalance: {:.1}%", p.load_imbalance() * 100.0);
     println!("total comm volume: {} words", stats.total_volume);
-    println!("messages: avg {:.1} / max {} per processor", stats.avg_send_msgs(), stats.max_send_msgs());
-    println!("s2D property: {}", if p.is_s2d(&a) { "satisfied" } else { "not satisfied (general 2D)" });
+    println!(
+        "messages: avg {:.1} / max {} per processor",
+        stats.avg_send_msgs(),
+        stats.max_send_msgs()
+    );
+    println!(
+        "s2D property: {}",
+        if p.is_s2d(&a) { "satisfied" } else { "not satisfied (general 2D)" }
+    );
     println!("\nper-processor loads (nonzeros):");
     for (proc_id, load) in loads.iter().enumerate() {
         println!("  P{proc_id:<3} {load:>10}");

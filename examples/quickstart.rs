@@ -30,12 +30,8 @@ fn main() {
 
     // Step 2: Algorithm 1 refines the nonzero assignment on the same
     // vector partition — identical communication pattern, less volume.
-    let s2d = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let s2d =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
     let stats_s2d = s2d_comm_stats(&a, &s2d);
     println!(
         "s2D: volume {:>6} words, max msgs {:>3}, load imbalance {:.1}%",
@@ -50,11 +46,7 @@ fn main() {
     let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 10) as f64).collect();
     let y = plan.execute_mailbox(&x);
     let y_ref = a.spmv_alloc(&x);
-    let max_err = y
-        .iter()
-        .zip(&y_ref)
-        .map(|(u, v)| (u - v).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = y.iter().zip(&y_ref).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
     println!("single-phase SpMV max |error| vs serial: {max_err:.2e}");
 
     // Step 4: what would it cost on an XE6-like machine?

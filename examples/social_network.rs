@@ -43,12 +43,8 @@ fn main() {
         s1d.max_send_msgs()
     );
 
-    let s2d = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let s2d =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
     let ss = s2d_comm_stats(&a, &s2d);
     println!(
         "s2D        : LI {:>6.1}%, volume {:>6}, max msgs {:>3}  (same pattern as 1D)",

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `Bencher::iter` / `iter_batched` and `BatchSize` so the workspace's
+//! bench targets build and run without a registry. Measurement is
+//! simple wall-clock sampling: calibrate an iteration count to ~50 ms,
+//! take `sample_size` samples, report min / mean / max per iteration.
+//! No statistical regression machinery — the numbers are for relative
+//! comparison within one run, which is how the workspace's benches are
+//! written (engine A vs engine B on the same matrix in one process).
+//!
+//! CLI: the first non-flag argument is a substring filter on benchmark
+//! names (matching `cargo bench -- <filter>`); all `--flags` cargo
+//! forwards are ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; ignored by this shim (every
+/// routine call is timed individually, setup excluded).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Per-benchmark timing handle passed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration durations (one per sample).
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, reporting per-iteration wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the iteration count until one sample ≥ ~50 ms
+        // (capped so cheap routines don't spin forever).
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= 1 << 20 {
+                self.results.push(elapsed / iters as u32);
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        for _ in 1..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push(t.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup cost excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.results.push(t.elapsed());
+        }
+    }
+}
+
+/// The benchmark runner.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, filter: None }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Reads the name filter from the process arguments (first non-flag
+    /// argument, as `cargo bench -- <filter>` passes it).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "bench");
+        self
+    }
+
+    /// Runs `f` as the benchmark `name` (skipped if a filter excludes it).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b);
+        let n = b.results.len().max(1) as u32;
+        let min = b.results.iter().min().copied().unwrap_or_default();
+        let max = b.results.iter().max().copied().unwrap_or_default();
+        let mean = b.results.iter().sum::<Duration>() / n;
+        println!(
+            "{name:<48} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+    }
+}
+
+/// Declares a benchmark group function (criterion's two macro forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0, "routine must have executed");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion { sample_size: 1, filter: Some("nope".into()) };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+}

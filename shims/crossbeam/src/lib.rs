@@ -1,0 +1,175 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Exposes the `channel` module surface the runtime uses — unbounded
+//! channels with cloneable senders, blocking `recv`, and `is_empty` —
+//! implemented on a mutex-protected deque with a condvar. Semantics
+//! match where it matters: reliable, order-preserving per sender,
+//! non-blocking sends, blocking receives, `RecvError` once every sender
+//! is gone and the queue is drained.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders dropped.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Sender::send`] when the receiver dropped.
+    /// This shim's receivers live as long as any sender (the `Arc` keeps
+    /// the queue alive), so sends cannot fail — the type exists for API
+    /// compatibility.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Like crossbeam: no Debug bound on the payload.
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake any receiver blocked in recv().
+                let _guard = self.shared.queue.lock().unwrap();
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errors once all senders are
+        /// gone and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap();
+            }
+        }
+
+        /// True if no message is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of currently queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_preserves_per_sender_order() {
+        let (tx, rx) = channel::unbounded::<(usize, usize)>();
+        std::thread::scope(|s| {
+            for id in 0..3 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for seq in 0..100 {
+                        tx.send((id, seq)).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut last = [None::<usize>; 3];
+            while let Ok((id, seq)) = rx.recv() {
+                if let Some(prev) = last[id] {
+                    assert!(seq > prev, "sender {id} reordered");
+                }
+                last[id] = Some(seq);
+            }
+            assert_eq!(last, [Some(99), Some(99), Some(99)]);
+        });
+    }
+
+    #[test]
+    fn is_empty_tracks_queue() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        assert!(!rx.is_empty());
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx2.send(9).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.send(5).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(5));
+        });
+    }
+}

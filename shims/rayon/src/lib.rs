@@ -1,0 +1,58 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace calls `into_par_iter()` on freshly collected `Vec`s and
+//! chains `map`/`filter`/`collect`. This shim satisfies that surface with
+//! plain sequential iterators: identical results, no work stealing. The
+//! heavy-parallelism story of the workspace lives in `s2d-engine`'s
+//! persistent thread pool, not here; if real rayon is ever vendored, this
+//! shim drops out without a source change.
+
+pub mod prelude {
+    /// Conversion into a "parallel" (here: sequential) iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts `self` into an iterator over owned items.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing counterpart of [`IntoParallelIterator`].
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item;
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates `self` by reference.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_filter_collect_matches_sequential() {
+        let v: Vec<u32> = (0..10).collect();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x * 2).filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, vec![0, 6, 12, 18]);
+    }
+}

@@ -12,7 +12,11 @@
 //! * [`core`] — the s2D partitioning methods (the paper's contribution).
 //! * [`baselines`] — 1D, 2D fine-grain, checkerboard, 1D-b, medium-grain.
 //! * [`sim`] — α–β–γ distributed machine model and metrics.
-//! * [`spmv`] — SpMV plan compiler and (threaded) executors.
+//! * [`spmv`] — the SpMV plan language and interpreting executors.
+//! * [`engine`] — the compiled execution engine (flat-buffer plan
+//!   compiler + persistent worker pool).
+//! * [`runtime`] — the MPI-like message-passing substrate.
+//! * [`solver`] — distributed CG, Jacobi, power iteration, PageRank.
 //! * [`gen`] — synthetic matrix generators and the paper's two test suites.
 //!
 //! ## Quickstart
@@ -40,8 +44,11 @@
 pub use s2d_baselines as baselines;
 pub use s2d_core as core;
 pub use s2d_dm as dm;
+pub use s2d_engine as engine;
 pub use s2d_gen as gen;
 pub use s2d_hypergraph as hypergraph;
+pub use s2d_runtime as runtime;
 pub use s2d_sim as sim;
+pub use s2d_solver as solver;
 pub use s2d_sparse as sparse;
 pub use s2d_spmv as spmv;

@@ -137,12 +137,8 @@ fn repeated_spmv_is_stateless() {
     let spec = &suite_a()[1];
     let a = spec.generate(Scale::Tiny, 29);
     let oned = partition_1d_rowwise(&a, 8, 0.03, 29);
-    let p = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let p =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
     let plan = SpmvPlan::single_phase(&a, &p);
     let x = input_vector(a.ncols());
     let y1 = plan.execute_mailbox(&x);

@@ -80,18 +80,11 @@ fn s2d_and_1d_share_the_communication_pattern() {
     // partition, a message k→ℓ exists for s2D iff it exists for 1D.
     let a = tiny(4, 5);
     let oned = partition_1d_rowwise(&a, 8, 0.03, 5);
-    let heur = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let heur =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
     let pairs = |p: &SpmvPartition| -> std::collections::BTreeSet<(u32, u32)> {
         let reqs = comm_requirements(&a, p);
-        s2d::core::comm::single_phase_messages(&reqs)
-            .into_iter()
-            .map(|(s, d, _)| (s, d))
-            .collect()
+        s2d::core::comm::single_phase_messages(&reqs).into_iter().map(|(s, d, _)| (s, d)).collect()
     };
     assert_eq!(pairs(&oned.partition), pairs(&heur));
 }
@@ -187,8 +180,11 @@ fn mesh_routing_preserves_load_balance_and_bounds_latency() {
         // Two-hop routing can only add volume.
         let direct = s2d_comm_stats(&a, &p);
         let routed = routing.stats(k);
-        assert!(routed.total_volume >= direct.total_volume - 0,
-            "{}: aggregation may reduce below direct only via dedup", spec.name);
+        assert!(
+            routed.total_volume >= direct.total_volume - 0,
+            "{}: aggregation may reduce below direct only via dedup",
+            spec.name
+        );
         // Message bound: (pr-1) in phase 1, (pc-1) in phase 2.
         let (pr, pc) = mesh_dims(k);
         assert!(routed.max_send_msgs() as usize <= (pr - 1) + (pc - 1));
@@ -217,12 +213,8 @@ fn dense_row_matrices_break_1d_but_not_s2d() {
     let k = 32;
     let oned = partition_1d_rowwise(&a, k, 0.03, 29);
     let li_1d = oned.partition.load_imbalance();
-    let heur = s2d_from_vector_partition(
-        &a,
-        &oned.row_part,
-        &oned.col_part,
-        &HeuristicConfig::default(),
-    );
+    let heur =
+        s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
     let li_s2d = heur.load_imbalance();
     assert!(
         li_s2d < li_1d,
