@@ -25,7 +25,7 @@ USAGE
   s2d partition <m.mtx> --method <M> --k <K> [--epsilon E] [--seed N] --out p.s2dpart
   s2d analyze   <m.mtx> <p.s2dpart> [--alg single|two|mesh]
   s2d spmv      <m.mtx> <p.s2dpart> [--alg single|two|mesh]
-                [--engine mailbox|threaded|compiled] [--iters N]
+                [--engine mailbox|threaded|compiled] [--iters N] [--rhs R]
   s2d help
 
 METHODS (--method)
@@ -35,6 +35,11 @@ ENGINES (--engine)
   mailbox    deterministic sequential interpreter
   threaded   one OS thread per rank over message-passing channels
   compiled   flat-buffer compiled plan on the persistent worker pool
+
+--rhs R runs a batched multi-RHS SpMV (Y = A·X with R columns). The
+compiled engine executes the whole block at once (row-major X, one
+len x R message block per exchange); the interpreters run column by
+column as the oracle.
 
 Matrices for `gen --name` come from the paper's two suites (Table I and
 Table IV); `gen --list` prints them. Partition files are plain text
@@ -232,20 +237,44 @@ pub fn run_engine(
     engine: &str,
     iters: usize,
 ) -> (Vec<f64>, Option<std::time::Duration>) {
+    run_engine_batch(plan, x, engine, iters, 1)
+}
+
+/// [`run_engine`] over a row-major `ncols × rhs` input block. The
+/// compiled engine runs the whole batch through the worker pool in one
+/// dispatch; the interpreting engines execute column by column (they
+/// are the oracle, not the fast path).
+pub fn run_engine_batch(
+    plan: &SpmvPlan,
+    x: &[f64],
+    engine: &str,
+    iters: usize,
+    rhs: usize,
+) -> (Vec<f64>, Option<std::time::Duration>) {
+    assert!(rhs >= 1, "at least one right-hand side");
+    assert_eq!(x.len(), plan.ncols * rhs, "input block length mismatch");
     match engine {
-        "mailbox" => {
-            let mut y = plan.execute_mailbox(x);
-            for _ in 1..iters {
-                y = plan.execute_mailbox(&y);
+        "mailbox" | "threaded" => {
+            let apply = |v: &[f64]| {
+                if engine == "mailbox" {
+                    plan.execute_mailbox(v)
+                } else {
+                    plan.execute_threaded(v)
+                }
+            };
+            let mut out = vec![0.0; plan.nrows * rhs];
+            for q in 0..rhs {
+                let mut col: Vec<f64> = (0..plan.ncols).map(|g| x[g * rhs + q]).collect();
+                let mut y = apply(&col);
+                for _ in 1..iters {
+                    col = y;
+                    y = apply(&col);
+                }
+                for (g, val) in y.into_iter().enumerate() {
+                    out[g * rhs + q] = val;
+                }
             }
-            (y, None)
-        }
-        "threaded" => {
-            let mut y = plan.execute_threaded(x);
-            for _ in 1..iters {
-                y = plan.execute_threaded(&y);
-            }
-            (y, None)
+            (out, None)
         }
         "compiled" => {
             // Time the inspector (plan compilation) alone — pool
@@ -254,9 +283,9 @@ pub fn run_engine(
             let t = std::time::Instant::now();
             let compiled = s2d_engine::CompiledPlan::compile(plan);
             let compile_time = t.elapsed();
-            let mut engine = s2d_engine::ParallelEngine::new(compiled);
-            let mut y = vec![0.0; plan.nrows];
-            engine.execute_iters(x, &mut y, iters);
+            let mut engine = s2d_engine::ParallelEngine::new_batch(compiled, rhs);
+            let mut y = vec![0.0; plan.nrows * rhs];
+            engine.execute_batch_iters(x, &mut y, rhs, iters);
             (y, Some(compile_time))
         }
         other => fail(format!("unknown engine {other:?} (mailbox|threaded|compiled)")),
@@ -274,28 +303,47 @@ fn cmd_spmv(args: &Args) {
     let alg = args.get_or("alg", "auto");
     let engine = args.get_or("engine", "threaded");
     let iters = args.parse_or("iters", 1usize);
+    let rhs = args.parse_or("rhs", 1usize);
     if iters == 0 {
         fail("--iters must be >= 1");
+    }
+    if rhs == 0 {
+        fail("--rhs must be >= 1");
     }
     if iters > 1 && a.nrows() != a.ncols() {
         fail("--iters > 1 needs a square matrix (chained applications)");
     }
     let plan = plan_for(&a, &p, alg);
-    let x: Vec<f64> = (0..a.ncols()).map(|j| ((j * 37) % 19) as f64 - 9.0).collect();
-    let mut want = a.spmv_alloc(&x);
-    for _ in 1..iters {
-        want = a.spmv_alloc(&want);
+    // Row-major ncols × rhs block; column q shifts the pattern so the
+    // columns are genuinely different vectors.
+    let x: Vec<f64> = (0..a.ncols() * rhs)
+        .map(|i| {
+            let (g, q) = (i / rhs, i % rhs);
+            ((g * 37 + q * 11) % 19) as f64 - 9.0
+        })
+        .collect();
+    // Per-column serial reference.
+    let mut want = vec![0.0; a.nrows() * rhs];
+    for q in 0..rhs {
+        let mut col: Vec<f64> = (0..a.ncols()).map(|g| x[g * rhs + q]).collect();
+        for _ in 0..iters {
+            col = a.spmv_alloc(&col);
+        }
+        for (g, val) in col.into_iter().enumerate() {
+            want[g * rhs + q] = val;
+        }
     }
     let t = std::time::Instant::now();
-    let (got, compile_time) = run_engine(&plan, &x, engine, iters);
+    let (got, compile_time) = run_engine_batch(&plan, &x, engine, iters, rhs);
     let elapsed = t.elapsed();
     let max_err =
         got.iter().zip(&want).map(|(g, w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0f64, f64::max);
     let compile_note = compile_time
         .map(|c| format!(", compile {:.1} ms", c.as_secs_f64() * 1e3))
         .unwrap_or_default();
+    let rhs_note = if rhs > 1 { format!(" x{rhs} rhs") } else { String::new() };
     println!(
-        "executed {alg} plan x{iters} on {} ranks ({engine} engine, {:.1} ms{compile_note}): \
+        "executed {alg} plan x{iters}{rhs_note} on {} ranks ({engine} engine, {:.1} ms{compile_note}): \
          max relative error {max_err:.2e} {}",
         p.k,
         elapsed.as_secs_f64() * 1e3,
@@ -353,6 +401,33 @@ mod tests {
         for engine in ["mailbox", "threaded", "compiled"] {
             let (got, compile_time) = run_engine(&plan, &x, engine, 2);
             assert_eq!(compile_time.is_some(), engine == "compiled");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{engine}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_engines_agree_with_per_column_serial() {
+        let a = grid(40);
+        let p = build_partition(&a, "s2d", 4, 0.10, 3);
+        let plan = plan_for(&a, &p, "auto");
+        let rhs = 3;
+        let x: Vec<f64> = (0..a.ncols() * rhs)
+            .map(|i| ((i / rhs * 37 + i % rhs * 11) % 19) as f64 - 9.0)
+            .collect();
+        // Per-column chained serial reference (2 applications).
+        let mut want = vec![0.0; a.nrows() * rhs];
+        for q in 0..rhs {
+            let col: Vec<f64> = (0..a.ncols()).map(|g| x[g * rhs + q]).collect();
+            let y = a.spmv_alloc(&a.spmv_alloc(&col));
+            for (g, val) in y.into_iter().enumerate() {
+                want[g * rhs + q] = val;
+            }
+        }
+        for engine in ["mailbox", "threaded", "compiled"] {
+            let (got, _) = run_engine_batch(&plan, &x, engine, 2, rhs);
+            assert_eq!(got.len(), want.len());
             for (g, w) in got.iter().zip(&want) {
                 assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{engine}: {g} vs {w}");
             }

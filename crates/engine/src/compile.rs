@@ -61,6 +61,10 @@ impl Kernel {
     /// Runs the kernel over flat local vectors.
     #[inline]
     pub fn run(&self, x: &[f64], y: &mut [f64]) {
+        // Dedicated scalar loop: semantically the r = 1 specialization
+        // of `run_batch` (identical accumulation order, bit for bit),
+        // but written with scalar loads/stores — the array-of-one
+        // shape costs measurable throughput on the hot path.
         for s in 0..self.rows.len() {
             let lo = self.row_ptr[s] as usize;
             let hi = self.row_ptr[s + 1] as usize;
@@ -69,6 +73,62 @@ impl Kernel {
                 acc += self.vals[e] * x[self.cols[e] as usize];
             }
             y[self.rows[s] as usize] = acc;
+        }
+    }
+
+    /// Runs the kernel over row-major multi-vector blocks: local slot
+    /// `s` of an `r`-wide batch occupies `buf[s*r .. (s+1)*r]`, one
+    /// word per right-hand side.
+    ///
+    /// `r ∈ {1, 2, 4, 8}` dispatch to fixed-width specializations whose
+    /// inner loop carries a compile-time-sized accumulator array (the
+    /// vectorizable shape: each fetched matrix entry is reused `r`
+    /// times against contiguous `x` words); other widths take a
+    /// generic strided fallback.
+    #[inline]
+    pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
+        match r {
+            1 => self.run(x, y),
+            2 => self.run_fixed::<2>(x, y),
+            4 => self.run_fixed::<4>(x, y),
+            8 => self.run_fixed::<8>(x, y),
+            _ => self.run_dyn(x, y, r),
+        }
+    }
+
+    /// Fixed-width inner loop: `R` accumulators live in registers.
+    #[inline]
+    fn run_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
+        for s in 0..self.rows.len() {
+            let lo = self.row_ptr[s] as usize;
+            let hi = self.row_ptr[s + 1] as usize;
+            let row = self.rows[s] as usize * R;
+            let mut acc = [0.0f64; R];
+            acc.copy_from_slice(&y[row..row + R]);
+            for e in lo..hi {
+                let v = self.vals[e];
+                let col = self.cols[e] as usize * R;
+                for (q, a) in acc.iter_mut().enumerate() {
+                    *a += v * x[col + q];
+                }
+            }
+            y[row..row + R].copy_from_slice(&acc);
+        }
+    }
+
+    /// Generic strided fallback for widths without a specialization.
+    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize) {
+        for s in 0..self.rows.len() {
+            let lo = self.row_ptr[s] as usize;
+            let hi = self.row_ptr[s + 1] as usize;
+            let row = self.rows[s] as usize * r;
+            for e in lo..hi {
+                let v = self.vals[e];
+                let col = self.cols[e] as usize * r;
+                for q in 0..r {
+                    y[row + q] += v * x[col + q];
+                }
+            }
         }
     }
 }

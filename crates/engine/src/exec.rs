@@ -6,41 +6,74 @@
 //! — so the iteration loop performs **zero heap allocation**: seeding,
 //! kernels, staged copies and output assembly all write into memory
 //! allocated once per (plan, workspace) pair.
+//!
+//! # Batched (multi-RHS) layout
+//!
+//! A workspace is allocated for a batch width `r` (1 for the classic
+//! single-vector case). All vectors are **row-major blocks**: global
+//! index `g` of an `r`-column input `X` occupies `x[g*r .. (g+1)*r]`,
+//! local slot `s` occupies `buf[s*r .. (s+1)*r]`, and each message's
+//! staging region scales from `len` words to `len × r` words (offset
+//! `m.offset * r`). One batched iteration walks every matrix entry and
+//! every gather/scatter list once and moves `r` words per touch — the
+//! register/cache reuse that makes block SpMV cheaper than `r`
+//! single-vector passes.
 
-use crate::compile::{CompiledPlan, RankStep, NO_SLOT};
+use crate::compile::{CompiledMsg, CompiledPlan, RankStep, NO_SLOT};
 
-/// Preallocated buffers for executing one [`CompiledPlan`].
+/// Preallocated buffers for executing one [`CompiledPlan`] at batch
+/// widths up to the allocated `width`.
 ///
 /// A workspace is tied to the layout of the plan that created it;
 /// executing a different plan through it panics on a size check.
 #[derive(Clone, Debug)]
 pub struct Workspace {
-    /// Per-rank local `x` arrays.
+    /// Batch capacity the buffers were sized for.
+    pub(crate) width: usize,
+    /// Per-rank local `x` blocks (`nx × width` words each).
     pub(crate) x: Vec<Vec<f64>>,
-    /// Per-rank local `y` arrays.
+    /// Per-rank local `y` blocks (`ny × width` words each).
     pub(crate) y: Vec<Vec<f64>>,
-    /// One staging buffer per communication phase.
+    /// One staging buffer per communication phase (`words × width`).
     pub(crate) staging: Vec<Vec<f64>>,
     /// Assembled-output carrier for chained iterations.
     pub(crate) carrier: Vec<f64>,
 }
 
 impl Workspace {
-    /// Allocates a workspace sized for `plan`.
+    /// Allocates a single-RHS workspace sized for `plan`.
     pub fn for_plan(plan: &CompiledPlan) -> Workspace {
+        Workspace::for_plan_batch(plan, 1)
+    }
+
+    /// Allocates a workspace able to run batches of up to `width`
+    /// right-hand sides through `plan`.
+    pub fn for_plan_batch(plan: &CompiledPlan, width: usize) -> Workspace {
+        assert!(width >= 1, "batch width must be at least 1");
         Workspace {
-            x: plan.ranks.iter().map(|r| vec![0.0; r.nx]).collect(),
-            y: plan.ranks.iter().map(|r| vec![0.0; r.ny]).collect(),
-            staging: plan.staging_words.iter().map(|&w| vec![0.0; w]).collect(),
-            carrier: vec![0.0; plan.nrows],
+            width,
+            x: plan.ranks.iter().map(|r| vec![0.0; r.nx * width]).collect(),
+            y: plan.ranks.iter().map(|r| vec![0.0; r.ny * width]).collect(),
+            staging: plan.staging_words.iter().map(|&w| vec![0.0; w * width]).collect(),
+            carrier: vec![0.0; plan.nrows * width],
         }
+    }
+
+    /// The batch capacity this workspace was allocated for.
+    pub fn width(&self) -> usize {
+        self.width
     }
 }
 
 impl CompiledPlan {
-    /// Allocates a [`Workspace`] for this plan.
+    /// Allocates a single-RHS [`Workspace`] for this plan.
     pub fn workspace(&self) -> Workspace {
         Workspace::for_plan(self)
+    }
+
+    /// Allocates a [`Workspace`] for batches of up to `width` RHS.
+    pub fn workspace_batch(&self, width: usize) -> Workspace {
+        Workspace::for_plan_batch(self, width)
     }
 
     /// Executes one SpMV: `y = A·x`, sequentially, through `ws`.
@@ -52,51 +85,79 @@ impl CompiledPlan {
     /// Panics if `x`/`y` lengths don't match the plan or `ws` was built
     /// for a different plan.
     pub fn execute(&self, ws: &mut Workspace, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "input length mismatch");
-        assert_eq!(y.len(), self.nrows, "output length mismatch");
-        assert_eq!(ws.x.len(), self.k, "workspace belongs to a different plan");
-        self.seed(ws, x);
-        self.run_phases(ws);
-        self.assemble(ws, y);
+        self.execute_batch(ws, x, y, 1);
+    }
+
+    /// Executes one batched SpMV: `Y = A·X` for `r` right-hand sides.
+    ///
+    /// `x` is row-major `ncols × r`, `y` row-major `nrows × r` (column
+    /// `q` of global index `g` lives at `g*r + q`). Per column the
+    /// result is bitwise identical to `r` single-RHS executions — the
+    /// accumulation order per (row, column) pair is unchanged; only the
+    /// traversal is shared.
+    ///
+    /// # Panics
+    /// Panics if `x`/`y` lengths don't match `r` copies of the plan's
+    /// dimensions, or `ws` was allocated for a smaller width.
+    pub fn execute_batch(&self, ws: &mut Workspace, x: &[f64], y: &mut [f64], r: usize) {
+        self.execute_batch_iters(ws, x, y, r, 1);
     }
 
     /// Seeds owned `x` entries and resets the partial sums.
-    fn seed(&self, ws: &mut Workspace, x: &[f64]) {
-        for (r, rp) in self.ranks.iter().enumerate() {
-            debug_assert_eq!(ws.x[r].len(), rp.nx, "workspace belongs to a different plan");
+    // manual_memcpy: the `0..r` element loops are deliberate — `r` is
+    // const-folded by the `pass::<R>` instantiations, while
+    // `copy_from_slice` on a runtime-length region lowers to a per-call
+    // `memcpy` (measured ~25% slower per iteration at r = 1).
+    #[allow(clippy::manual_memcpy)]
+    #[inline(always)]
+    fn seed(&self, ws: &mut Workspace, x: &[f64], r: usize) {
+        for (rk, rp) in self.ranks.iter().enumerate() {
+            debug_assert_eq!(
+                ws.x[rk].len(),
+                rp.nx * ws.width,
+                "workspace belongs to a different plan"
+            );
+            let xloc = &mut ws.x[rk];
+            // Element loops, not `copy_from_slice`: the region length
+            // `r` is a runtime value, so slice copies lower to per-call
+            // `memcpy` — measurably slower at the common small widths.
             for &(g, slot) in &rp.x_seed {
-                ws.x[r][slot as usize] = x[g as usize];
+                let (src, dst) = (g as usize * r, slot as usize * r);
+                for q in 0..r {
+                    xloc[dst + q] = x[src + q];
+                }
             }
-            ws.y[r].fill(0.0);
+            ws.y[rk][..rp.ny * r].fill(0.0);
         }
     }
 
     /// Runs all phases over the workspace buffers.
-    fn run_phases(&self, ws: &mut Workspace) {
+    #[inline(always)]
+    fn run_phases(&self, ws: &mut Workspace, r: usize) {
         // Phases in plan order; within a communication phase all sends
         // stage (and drain) before any receive applies, which is the
         // simultaneous-exchange semantics.
         let num_phases = self.ranks.first().map_or(0, |rp| rp.steps.len());
         for p in 0..num_phases {
             let mut is_comm = false;
-            for (r, rp) in self.ranks.iter().enumerate() {
+            for (rk, rp) in self.ranks.iter().enumerate() {
                 match &rp.steps[p] {
-                    RankStep::Compute(kernel) => kernel.run(&ws.x[r], &mut ws.y[r]),
+                    RankStep::Compute(kernel) => kernel.run_batch(&ws.x[rk], &mut ws.y[rk], r),
                     RankStep::Comm { phase, sends, .. } => {
                         is_comm = true;
                         let staging = &mut ws.staging[*phase as usize];
                         for m in sends {
-                            stage_send(m, &ws.x[r], &mut ws.y[r], staging);
+                            stage_send(m, &ws.x[rk], &mut ws.y[rk], staging, r);
                         }
                     }
                 }
             }
             if is_comm {
-                for (r, rp) in self.ranks.iter().enumerate() {
+                for (rk, rp) in self.ranks.iter().enumerate() {
                     if let RankStep::Comm { phase, recvs, .. } = &rp.steps[p] {
                         let staging = &ws.staging[*phase as usize];
                         for m in recvs {
-                            apply_recv(m, &mut ws.x[r], &mut ws.y[r], staging);
+                            apply_recv(m, &mut ws.x[rk], &mut ws.y[rk], staging, r);
                         }
                     }
                 }
@@ -105,10 +166,23 @@ impl CompiledPlan {
     }
 
     /// Assembles the output from each row's owner slot.
-    fn assemble(&self, ws: &Workspace, y: &mut [f64]) {
-        for (i, yi) in y.iter_mut().enumerate() {
+    #[allow(clippy::manual_memcpy)] // see `seed`
+    #[inline(always)]
+    fn assemble(&self, ws: &Workspace, y: &mut [f64], r: usize) {
+        for i in 0..self.nrows {
             let slot = self.y_slot[i];
-            *yi = if slot == NO_SLOT { 0.0 } else { ws.y[self.y_part[i] as usize][slot as usize] };
+            let dst = i * r;
+            if slot == NO_SLOT {
+                for q in 0..r {
+                    y[dst + q] = 0.0;
+                }
+            } else {
+                let yloc = &ws.y[self.y_part[i] as usize];
+                let src = slot as usize * r;
+                for q in 0..r {
+                    y[dst + q] = yloc[src + q];
+                }
+            }
         }
     }
 
@@ -118,60 +192,104 @@ impl CompiledPlan {
     /// The workspace's carrier buffer ferries the assembled vector
     /// between iterations; zero allocation beyond the workspace.
     pub fn execute_iters(&self, ws: &mut Workspace, x: &[f64], y: &mut [f64], iters: usize) {
+        self.execute_batch_iters(ws, x, y, 1, iters);
+    }
+
+    /// `iters` chained batched applications: `Y = A^iters · X` over `r`
+    /// right-hand sides at once.
+    pub fn execute_batch_iters(
+        &self,
+        ws: &mut Workspace,
+        x: &[f64],
+        y: &mut [f64],
+        r: usize,
+        iters: usize,
+    ) {
         assert!(iters >= 1, "at least one iteration");
-        assert_eq!(y.len(), self.nrows, "output length mismatch");
+        assert!(r >= 1, "batch width must be at least 1");
+        assert_eq!(x.len(), self.ncols * r, "input length mismatch");
+        assert_eq!(y.len(), self.nrows * r, "output length mismatch");
+        assert_eq!(ws.x.len(), self.k, "workspace belongs to a different plan");
+        assert!(ws.width >= r, "workspace width {} cannot hold a batch of {r}", ws.width);
         if iters > 1 {
             assert_eq!(self.nrows, self.ncols, "chained SpMV needs a square plan");
         }
-        let mut carrier = std::mem::take(&mut ws.carrier);
-        self.seed(ws, x);
-        self.run_phases(ws);
-        for _ in 1..iters {
-            self.assemble(ws, &mut carrier);
-            self.seed(ws, &carrier);
-            self.run_phases(ws);
+        // Monomorphize the common widths: `pass` is `inline(always)`
+        // all the way down, so a constant `r` const-folds the `0..r`
+        // block loops in seed / staging / assembly into straight-line
+        // code (at r = 1, exactly the pre-batching scalar executor).
+        match r {
+            1 => self.pass::<1>(ws, x, y, iters),
+            2 => self.pass::<2>(ws, x, y, iters),
+            4 => self.pass::<4>(ws, x, y, iters),
+            8 => self.pass::<8>(ws, x, y, iters),
+            _ => self.pass_impl(ws, x, y, r, iters),
         }
-        self.assemble(ws, y);
+    }
+
+    /// Fixed-width instantiation of the iteration pass.
+    fn pass<const R: usize>(&self, ws: &mut Workspace, x: &[f64], y: &mut [f64], iters: usize) {
+        self.pass_impl(ws, x, y, R, iters);
+    }
+
+    /// The shared pass body; callers provide `r` as a literal constant
+    /// (via [`CompiledPlan::pass`]) or as a runtime width.
+    #[inline(always)]
+    fn pass_impl(&self, ws: &mut Workspace, x: &[f64], y: &mut [f64], r: usize, iters: usize) {
+        let mut carrier = std::mem::take(&mut ws.carrier);
+        self.seed(ws, x, r);
+        self.run_phases(ws, r);
+        for _ in 1..iters {
+            self.assemble(ws, &mut carrier[..self.nrows * r], r);
+            self.seed(ws, &carrier[..self.nrows * r], r);
+            self.run_phases(ws, r);
+        }
+        self.assemble(ws, y, r);
         ws.carrier = carrier;
     }
 }
 
-/// Copies a send's `x` gather and `y` drain into the staging region.
-#[inline]
-pub(crate) fn stage_send(
-    m: &crate::compile::CompiledMsg,
-    x: &[f64],
-    y: &mut [f64],
-    staging: &mut [f64],
-) {
-    let mut w = m.offset as usize;
+/// Copies a send's `x` gather and `y` drain into the staging region
+/// (`r` consecutive words per listed slot).
+#[allow(clippy::manual_memcpy)] // see `CompiledPlan::seed`
+#[inline(always)]
+pub(crate) fn stage_send(m: &CompiledMsg, x: &[f64], y: &mut [f64], staging: &mut [f64], r: usize) {
+    let mut w = m.offset as usize * r;
     for &slot in &m.x_idx {
-        staging[w] = x[slot as usize];
-        w += 1;
+        let s = slot as usize * r;
+        for q in 0..r {
+            staging[w + q] = x[s + q];
+        }
+        w += r;
     }
     for &slot in &m.y_idx {
-        staging[w] = y[slot as usize];
-        y[slot as usize] = 0.0; // moved, not copied
-        w += 1;
+        let s = slot as usize * r;
+        for q in 0..r {
+            staging[w + q] = y[s + q];
+            y[s + q] = 0.0; // moved, not copied
+        }
+        w += r;
     }
 }
 
 /// Applies a receive's staging region: overwrite `x`, accumulate `y`.
-#[inline]
-pub(crate) fn apply_recv(
-    m: &crate::compile::CompiledMsg,
-    x: &mut [f64],
-    y: &mut [f64],
-    staging: &[f64],
-) {
-    let mut w = m.offset as usize;
+#[allow(clippy::manual_memcpy)] // see `CompiledPlan::seed`
+#[inline(always)]
+pub(crate) fn apply_recv(m: &CompiledMsg, x: &mut [f64], y: &mut [f64], staging: &[f64], r: usize) {
+    let mut w = m.offset as usize * r;
     for &slot in &m.x_idx {
-        x[slot as usize] = staging[w];
-        w += 1;
+        let s = slot as usize * r;
+        for q in 0..r {
+            x[s + q] = staging[w + q];
+        }
+        w += r;
     }
     for &slot in &m.y_idx {
-        y[slot as usize] += staging[w];
-        w += 1;
+        let s = slot as usize * r;
+        for q in 0..r {
+            y[s + q] += staging[w + q];
+        }
+        w += r;
     }
 }
 
@@ -283,5 +401,93 @@ pub(crate) mod tests {
         let mut y = vec![9.0; 3];
         cp.execute(&mut ws, &[2.0, 3.0, 4.0], &mut y);
         assert_eq!(y, vec![2.0, 0.0, 0.0]);
+    }
+
+    /// Row-major `n × r` batch whose column `q` is a deterministic
+    /// irregular vector (column 0 equals `base` when provided).
+    pub(crate) fn batch_input(n: usize, r: usize, seed: u64) -> Vec<f64> {
+        (0..n * r)
+            .map(|i| {
+                let (g, q) = (i / r, i % r);
+                ((g as u64).wrapping_mul(2654435761).wrapping_add(q as u64 * 977 + seed) % 211)
+                    as f64
+                    / 17.0
+                    - 5.0
+            })
+            .collect()
+    }
+
+    /// Column `q` of a row-major `n × r` block.
+    pub(crate) fn column(block: &[f64], n: usize, r: usize, q: usize) -> Vec<f64> {
+        (0..n).map(|g| block[g * r + q]).collect()
+    }
+
+    #[test]
+    fn batched_columns_match_single_rhs_bitwise() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        for plan in [
+            SpmvPlan::single_phase(&a, &p),
+            SpmvPlan::two_phase(&a, &p),
+            SpmvPlan::mesh(&a, &p, 3, 1),
+        ] {
+            let cp = CompiledPlan::compile(&plan);
+            for r in [1usize, 2, 3, 4, 5, 8] {
+                let x = batch_input(a.ncols(), r, 7);
+                let mut ws = cp.workspace_batch(r);
+                let mut y = vec![0.0; a.nrows() * r];
+                cp.execute_batch(&mut ws, &x, &mut y, r);
+                let mut ws1 = cp.workspace();
+                for q in 0..r {
+                    let xq = column(&x, a.ncols(), r, q);
+                    let mut yq = vec![0.0; a.nrows()];
+                    cp.execute(&mut ws1, &xq, &mut yq);
+                    assert_eq!(column(&y, a.nrows(), r, q), yq, "r={r} column {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_iters_chain_like_single_rhs() {
+        let (a, plan) = square_setup(18, 4);
+        let cp = CompiledPlan::compile(&plan);
+        let r = 3;
+        let x = batch_input(a.ncols(), r, 11);
+        let mut ws = cp.workspace_batch(r);
+        let mut y = vec![0.0; a.nrows() * r];
+        cp.execute_batch_iters(&mut ws, &x, &mut y, r, 3);
+        for q in 0..r {
+            let xq = column(&x, a.ncols(), r, q);
+            let want = a.spmv_alloc(&a.spmv_alloc(&a.spmv_alloc(&xq)));
+            assert_close(&column(&y, a.nrows(), r, q), &want);
+        }
+    }
+
+    #[test]
+    fn oversized_workspace_accepts_smaller_batches() {
+        let (a, plan) = square_setup(10, 2);
+        let cp = CompiledPlan::compile(&plan);
+        let mut ws = cp.workspace_batch(8);
+        for r in [1usize, 2, 5, 8] {
+            let x = batch_input(a.ncols(), r, 3);
+            let mut y = vec![0.0; a.nrows() * r];
+            cp.execute_batch(&mut ws, &x, &mut y, r);
+            for q in 0..r {
+                let xq = column(&x, a.ncols(), r, q);
+                assert_close(&column(&y, a.nrows(), r, q), &a.spmv_alloc(&xq));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold a batch")]
+    fn undersized_workspace_is_rejected() {
+        let (a, plan) = square_setup(10, 2);
+        let cp = CompiledPlan::compile(&plan);
+        let mut ws = cp.workspace_batch(2);
+        let x = batch_input(a.ncols(), 4, 3);
+        let mut y = vec![0.0; a.nrows() * 4];
+        cp.execute_batch(&mut ws, &x, &mut y, 4);
     }
 }

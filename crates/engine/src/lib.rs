@@ -13,6 +13,7 @@
 //!                                          │
 //!                      ┌───────────────────┴──────────────────┐
 //!            Workspace + execute                    ParallelEngine
+//!            execute_batch(X, r)                 execute_batch(X, r)
 //!            (sequential, zero-alloc            (persistent worker pool,
 //!             iteration loop)                    atomic phase barriers)
 //! ```
@@ -25,10 +26,40 @@
 //!   `execute_iters(n)` for solver loops with zero per-iteration
 //!   allocation.
 //!
+//! # Batched (multi-RHS) execution
+//!
+//! Every compiled path also runs **blocks** of `r` right-hand sides at
+//! once (`Y = A·X`): `Kernel::run_batch`, `CompiledPlan::execute_batch`
+//! / `execute_batch_iters` over a [`Workspace`] allocated with
+//! `workspace_batch(r)`, and `ParallelEngine::execute_batch` on a pool
+//! built with `new_batch`/`with_threads_batch`. The memory layout is
+//! row-major everywhere:
+//!
+//! * global vectors: index `g`, column `q` at `x[g*r + q]` — an `n × r`
+//!   block, never `r` separate vectors;
+//! * rank-local buffers: local slot `s` occupies `buf[s*r .. (s+1)*r]`;
+//! * message staging: each [`CompiledMsg`]'s region scales from `len`
+//!   to `len × r` words (region start `offset * r`), so a communication
+//!   phase still performs one staged copy per message — the payload is
+//!   just `r` times wider.
+//!
+//! One batched iteration therefore walks the matrix values and the
+//! gather/scatter index lists **once** for all `r` columns, reusing
+//! each fetched `A` entry `r` times against `r` contiguous `x` words —
+//! the register/cache-blocking lever of the OSKI line, and the
+//! contiguous fixed-width inner loop (`r ∈ {1, 2, 4, 8}`
+//! specializations in [`Kernel::run_batch`]) the planned SIMD work
+//! will vectorize. Per column, results are bitwise identical to the
+//! single-RHS path: only the traversal is shared, never the
+//! accumulation order.
+//!
 //! `s2d-solver`'s `RankCtx` runs its per-rank SpMV on the same compiled
-//! per-rank programs ([`RankProgram`]), so CG, Jacobi, power iteration
-//! and PageRank all ride this path; the interpreting executors remain
-//! as the cross-check oracle (see `crates/engine/tests/props.rs`).
+//! per-rank programs ([`RankProgram`]) — including the batched layout
+//! via `RankCtx::spmv_batch`, which block power iteration consumes — so
+//! CG, Jacobi, power iteration, block power and PageRank all ride this
+//! path; the interpreting executors remain as the cross-check oracle
+//! (see `crates/engine/tests/props.rs` and the differential harness in
+//! `crates/engine/tests/differential.rs`).
 
 pub mod compile;
 pub mod exec;

@@ -119,19 +119,28 @@ impl SpinBarrier {
 /// State shared between the control thread and the workers.
 struct Shared {
     plan: CompiledPlan,
-    /// Per-rank local vectors.
+    /// Batch capacity the shared buffers were sized for.
+    width: usize,
+    /// Per-rank local vectors (`nx × width` / `ny × width` words).
     x: Vec<ShBuf>,
     y: Vec<ShBuf>,
-    /// Per-communication-phase staging buffers.
+    /// Per-communication-phase staging buffers (`words × width`).
     staging: Vec<ShBuf>,
-    /// The assembled global vector (gather target, reseed source).
+    /// The assembled global block (gather target, reseed source).
     global: ShBuf,
+    /// Per-rank owned rows that never materialize ([`NO_SLOT`]): their
+    /// `global` words are zeroed by the owner's worker on every job's
+    /// first gather, so jobs of different batch widths never read a
+    /// stale word written at another stride.
+    zero_rows: Vec<Vec<u32>>,
     /// Contiguous rank range per worker.
     assign: Vec<std::ops::Range<usize>>,
-    /// Job descriptor: input pointer + chained iteration count. Written
-    /// by the control thread before the gate, read by workers after it.
+    /// Job descriptor: input pointer + chained iteration count + batch
+    /// width. Written by the control thread before the gate, read by
+    /// workers after it.
     job_x: AtomicPtr<f64>,
     job_iters: AtomicUsize,
+    job_width: AtomicUsize,
     shutdown: AtomicBool,
     /// Raised when a worker panics; poisons both barriers.
     poisoned: AtomicBool,
@@ -258,9 +267,15 @@ impl ParallelEngine {
     /// Pool over `plan` with one worker per rank, capped at the number
     /// of available CPUs.
     pub fn new(plan: CompiledPlan) -> ParallelEngine {
+        ParallelEngine::new_batch(plan, 1)
+    }
+
+    /// Pool sized for batches of up to `width` right-hand sides, with
+    /// the default worker count.
+    pub fn new_batch(plan: CompiledPlan, width: usize) -> ParallelEngine {
         let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
         let threads = plan.k.min(cpus).max(1);
-        ParallelEngine::with_threads(plan, threads)
+        ParallelEngine::with_threads_batch(plan, threads, width)
     }
 
     /// Compiles `plan` and builds the pool in one step.
@@ -276,7 +291,15 @@ impl ParallelEngine {
     /// execution depends on (see [`validate_for_pool`] in the source) —
     /// plans produced by [`CompiledPlan::compile`] always satisfy them.
     pub fn with_threads(plan: CompiledPlan, threads: usize) -> ParallelEngine {
+        ParallelEngine::with_threads_batch(plan, threads, 1)
+    }
+
+    /// [`ParallelEngine::with_threads`] with shared buffers sized for
+    /// batches of up to `width` right-hand sides (row-major blocks, see
+    /// the `exec` module docs for the layout).
+    pub fn with_threads_batch(plan: CompiledPlan, threads: usize, width: usize) -> ParallelEngine {
         validate_for_pool(&plan);
+        assert!(width >= 1, "batch width must be at least 1");
         let k = plan.k;
         let threads = threads.clamp(1, k);
         // Balanced contiguous split; threads ≤ k keeps every range
@@ -293,14 +316,23 @@ impl ParallelEngine {
                 range
             })
             .collect();
+        let mut zero_rows: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for i in 0..plan.nrows {
+            if plan.y_slot[i] == crate::compile::NO_SLOT {
+                zero_rows[plan.y_part[i] as usize].push(i as u32);
+            }
+        }
         let shared = Arc::new(Shared {
-            x: plan.ranks.iter().map(|r| ShBuf::new(r.nx)).collect(),
-            y: plan.ranks.iter().map(|r| ShBuf::new(r.ny)).collect(),
-            staging: plan.staging_words.iter().map(|&w| ShBuf::new(w)).collect(),
-            global: ShBuf::new(plan.nrows),
+            width,
+            zero_rows,
+            x: plan.ranks.iter().map(|r| ShBuf::new(r.nx * width)).collect(),
+            y: plan.ranks.iter().map(|r| ShBuf::new(r.ny * width)).collect(),
+            staging: plan.staging_words.iter().map(|&w| ShBuf::new(w * width)).collect(),
+            global: ShBuf::new(plan.nrows * width),
             assign,
             job_x: AtomicPtr::new(std::ptr::null_mut()),
             job_iters: AtomicUsize::new(0),
+            job_width: AtomicUsize::new(1),
             shutdown: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
             gate: SpinBarrier::new(threads + 1),
@@ -324,6 +356,11 @@ impl ParallelEngine {
         self.workers.len()
     }
 
+    /// Batch capacity this pool's buffers were sized for.
+    pub fn width(&self) -> usize {
+        self.shared.width
+    }
+
     /// The compiled plan this pool executes.
     pub fn plan(&self) -> &CompiledPlan {
         &self.shared.plan
@@ -342,10 +379,33 @@ impl ParallelEngine {
     /// Panics if a worker thread panicked (the engine is then poisoned
     /// and every later call fails fast).
     pub fn execute_iters(&mut self, x: &[f64], y: &mut [f64], iters: usize) {
+        self.execute_batch_iters(x, y, 1, iters);
+    }
+
+    /// One batched SpMV: `Y = A·X` over `r` right-hand sides (row-major
+    /// `ncols × r` input, `nrows × r` output).
+    pub fn execute_batch(&mut self, x: &[f64], y: &mut [f64], r: usize) {
+        self.execute_batch_iters(x, y, r, 1);
+    }
+
+    /// `iters` chained batched applications: `Y = A^iters · X` with one
+    /// dispatch.
+    ///
+    /// # Panics
+    /// Panics if `r` exceeds the width the pool was built with
+    /// ([`ParallelEngine::new_batch`] / `with_threads_batch`), or if a
+    /// worker thread panicked.
+    pub fn execute_batch_iters(&mut self, x: &[f64], y: &mut [f64], r: usize, iters: usize) {
         let plan = &self.shared.plan;
         assert!(iters >= 1, "at least one iteration");
-        assert_eq!(x.len(), plan.ncols, "input length mismatch");
-        assert_eq!(y.len(), plan.nrows, "output length mismatch");
+        assert!(r >= 1, "batch width must be at least 1");
+        assert!(
+            r <= self.shared.width,
+            "pool was built for batches of {} (got {r}); use new_batch/with_threads_batch",
+            self.shared.width
+        );
+        assert_eq!(x.len(), plan.ncols * r, "input length mismatch");
+        assert_eq!(y.len(), plan.nrows * r, "output length mismatch");
         if iters > 1 {
             assert_eq!(plan.nrows, plan.ncols, "chained SpMV needs a square plan");
         }
@@ -355,6 +415,7 @@ impl ParallelEngine {
         );
         self.shared.job_x.store(x.as_ptr() as *mut f64, Ordering::Relaxed);
         self.shared.job_iters.store(iters, Ordering::Relaxed);
+        self.shared.job_width.store(r, Ordering::Relaxed);
         let _ = self.shared.gate.wait(&self.shared.poisoned); // release the workers
         let _ = self.shared.gate.wait(&self.shared.poisoned); // wait for completion
         assert!(
@@ -377,91 +438,146 @@ impl Drop for ParallelEngine {
     }
 }
 
-/// Runs `kernel` over shared buffers (same arithmetic as
-/// [`Kernel::run`], element access through [`ShBuf`]).
+/// Runs `kernel` at batch width `r` over shared buffers (same
+/// arithmetic as [`Kernel::run_batch`], element access through
+/// [`ShBuf`]): widths 1, 2, 4 and 8 dispatch to fixed-width inner
+/// loops, others to a strided fallback.
 #[inline]
-fn run_kernel(kernel: &Kernel, x: &ShBuf, y: &ShBuf) {
-    for s in 0..kernel.rows.len() {
-        let lo = kernel.row_ptr[s] as usize;
-        let hi = kernel.row_ptr[s + 1] as usize;
-        let row = kernel.rows[s] as usize;
-        let mut acc = y.get(row);
-        for e in lo..hi {
-            acc += kernel.vals[e] * x.get(kernel.cols[e] as usize);
-        }
-        y.set(row, acc);
+fn run_kernel(kernel: &Kernel, x: &ShBuf, y: &ShBuf, r: usize) {
+    match r {
+        1 => run_kernel_fixed::<1>(kernel, x, y),
+        2 => run_kernel_fixed::<2>(kernel, x, y),
+        4 => run_kernel_fixed::<4>(kernel, x, y),
+        8 => run_kernel_fixed::<8>(kernel, x, y),
+        _ => run_kernel_dyn(kernel, x, y, r),
     }
 }
 
-/// Sender half of a staged message (gather x, drain y).
+/// Fixed-width shared-buffer kernel: `R` accumulators in registers.
 #[inline]
-fn stage_send(m: &CompiledMsg, x: &ShBuf, y: &ShBuf, staging: &ShBuf) {
-    let mut w = m.offset as usize;
+fn run_kernel_fixed<const R: usize>(kernel: &Kernel, x: &ShBuf, y: &ShBuf) {
+    for s in 0..kernel.rows.len() {
+        let lo = kernel.row_ptr[s] as usize;
+        let hi = kernel.row_ptr[s + 1] as usize;
+        let row = kernel.rows[s] as usize * R;
+        let mut acc = [0.0f64; R];
+        for (q, a) in acc.iter_mut().enumerate() {
+            *a = y.get(row + q);
+        }
+        for e in lo..hi {
+            let v = kernel.vals[e];
+            let col = kernel.cols[e] as usize * R;
+            for (q, a) in acc.iter_mut().enumerate() {
+                *a += v * x.get(col + q);
+            }
+        }
+        for (q, a) in acc.iter().enumerate() {
+            y.set(row + q, *a);
+        }
+    }
+}
+
+/// Generic strided shared-buffer kernel for other widths.
+fn run_kernel_dyn(kernel: &Kernel, x: &ShBuf, y: &ShBuf, r: usize) {
+    for s in 0..kernel.rows.len() {
+        let lo = kernel.row_ptr[s] as usize;
+        let hi = kernel.row_ptr[s + 1] as usize;
+        let row = kernel.rows[s] as usize * r;
+        for e in lo..hi {
+            let v = kernel.vals[e];
+            let col = kernel.cols[e] as usize * r;
+            for q in 0..r {
+                y.set(row + q, y.get(row + q) + v * x.get(col + q));
+            }
+        }
+    }
+}
+
+/// Sender half of a staged message (gather x, drain y), `r` words per
+/// listed slot.
+#[inline]
+fn stage_send(m: &CompiledMsg, x: &ShBuf, y: &ShBuf, staging: &ShBuf, r: usize) {
+    let mut w = m.offset as usize * r;
     for &slot in &m.x_idx {
-        staging.set(w, x.get(slot as usize));
-        w += 1;
+        let s = slot as usize * r;
+        for q in 0..r {
+            staging.set(w + q, x.get(s + q));
+        }
+        w += r;
     }
     for &slot in &m.y_idx {
-        staging.set(w, y.get(slot as usize));
-        y.set(slot as usize, 0.0); // moved, not copied
-        w += 1;
+        let s = slot as usize * r;
+        for q in 0..r {
+            staging.set(w + q, y.get(s + q));
+            y.set(s + q, 0.0); // moved, not copied
+        }
+        w += r;
     }
 }
 
 /// Receiver half of a staged message (scatter x, accumulate y).
 #[inline]
-fn apply_recv(m: &CompiledMsg, x: &ShBuf, y: &ShBuf, staging: &ShBuf) {
-    let mut w = m.offset as usize;
+fn apply_recv(m: &CompiledMsg, x: &ShBuf, y: &ShBuf, staging: &ShBuf, r: usize) {
+    let mut w = m.offset as usize * r;
     for &slot in &m.x_idx {
-        x.set(slot as usize, staging.get(w));
-        w += 1;
+        let s = slot as usize * r;
+        for q in 0..r {
+            x.set(s + q, staging.get(w + q));
+        }
+        w += r;
     }
     for &slot in &m.y_idx {
-        y.set(slot as usize, y.get(slot as usize) + staging.get(w));
-        w += 1;
+        let s = slot as usize * r;
+        for q in 0..r {
+            y.set(s + q, y.get(s + q) + staging.get(w + q));
+        }
+        w += r;
     }
 }
 
-/// One worker's share of one job. Returns early (without touching the
-/// shared buffers again) as soon as a poisoned barrier reports that a
-/// peer died — see the module docs.
-fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *const f64) {
+/// One worker's share of one job at batch width `r`. Returns early
+/// (without touching the shared buffers again) as soon as a poisoned
+/// barrier reports that a peer died — see the module docs.
+fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *const f64, r: usize) {
     let plan = &shared.plan;
     let num_phases = plan.ranks.first().map_or(0, |rp| rp.steps.len());
     for it in 0..iters {
         // Seed owned x entries (iteration 0 from the caller's input,
         // later ones from the previous gathered result) and reset the
         // partial sums.
-        for r in my.clone() {
-            let rp = &plan.ranks[r];
+        for rk in my.clone() {
+            let rp = &plan.ranks[rk];
             for &(g, slot) in &rp.x_seed {
-                let v = if it == 0 {
-                    // SAFETY: the control thread keeps the input slice
-                    // alive until the completion gate; g < ncols ==
-                    // x.len() by the execute asserts.
-                    unsafe { *xp.add(g as usize) }
-                } else {
-                    shared.global.get(g as usize)
-                };
-                shared.x[r].set(slot as usize, v);
+                for q in 0..r {
+                    let v = if it == 0 {
+                        // SAFETY: the control thread keeps the input
+                        // slice alive until the completion gate;
+                        // g*r + q < ncols*r == x.len() by the execute
+                        // asserts.
+                        unsafe { *xp.add(g as usize * r + q) }
+                    } else {
+                        shared.global.get(g as usize * r + q)
+                    };
+                    shared.x[rk].set(slot as usize * r + q, v);
+                }
             }
-            for i in 0..rp.ny {
-                shared.y[r].set(i, 0.0);
+            for i in 0..rp.ny * r {
+                shared.y[rk].set(i, 0.0);
             }
         }
         for p in 0..num_phases {
             // Step kinds agree across ranks at a given phase index
             // (checked by validate_for_pool).
             let is_comm = matches!(plan.ranks[my.start].steps[p], RankStep::Comm { .. });
-            for r in my.clone() {
-                match &plan.ranks[r].steps[p] {
+            for rk in my.clone() {
+                match &plan.ranks[rk].steps[p] {
                     RankStep::Compute(kernel) => {
-                        run_kernel(kernel, &shared.x[r], &shared.y[r]);
+                        run_kernel(kernel, &shared.x[rk], &shared.y[rk], r);
                     }
                     RankStep::Comm { phase, sends, .. } => {
                         let staging = &shared.staging[*phase as usize];
                         for m in sends {
-                            stage_send(m, &shared.x[r], &shared.y[r], staging);
+                            stage_send(m, &shared.x[rk], &shared.y[rk], staging, r);
                         }
                     }
                 }
@@ -471,11 +587,11 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
                 if shared.sync.wait(&shared.poisoned) {
                     return;
                 }
-                for r in my.clone() {
-                    if let RankStep::Comm { phase, recvs, .. } = &plan.ranks[r].steps[p] {
+                for rk in my.clone() {
+                    if let RankStep::Comm { phase, recvs, .. } = &plan.ranks[rk].steps[p] {
                         let staging = &shared.staging[*phase as usize];
                         for m in recvs {
-                            apply_recv(m, &shared.x[r], &shared.y[r], staging);
+                            apply_recv(m, &shared.x[rk], &shared.y[rk], staging, r);
                         }
                     }
                 }
@@ -495,15 +611,26 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
         if iters > 1 && plan.staging_words.is_empty() && shared.sync.wait(&shared.poisoned) {
             return;
         }
-        // Gather owned results into the global vector. Rows no rank
-        // materializes stay at their initial 0.0 forever.
-        for r in my.clone() {
-            for &(g, slot) in &plan.ranks[r].y_emit {
-                shared.global.set(g as usize, shared.y[r].get(slot as usize));
+        // Gather owned results into the global block. Rows no rank
+        // materializes are zeroed at this job's stride on the first
+        // iteration (a previous job of a different width may have left
+        // stale words at these positions).
+        for rk in my.clone() {
+            for &(g, slot) in &plan.ranks[rk].y_emit {
+                for q in 0..r {
+                    shared.global.set(g as usize * r + q, shared.y[rk].get(slot as usize * r + q));
+                }
+            }
+            if it == 0 {
+                for &g in &shared.zero_rows[rk] {
+                    for q in 0..r {
+                        shared.global.set(g as usize * r + q, 0.0);
+                    }
+                }
             }
         }
         if it + 1 < iters {
-            // Reseeding reads the global vector other workers wrote.
+            // Reseeding reads the global block other workers wrote.
             if shared.sync.wait(&shared.poisoned) {
                 return;
             }
@@ -530,8 +657,9 @@ fn worker_loop(shared: &Shared, w: usize) {
         }
         let iters = shared.job_iters.load(Ordering::Relaxed);
         let xp = shared.job_x.load(Ordering::Relaxed) as *const f64;
+        let r = shared.job_width.load(Ordering::Relaxed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(shared, &my, iters, xp)
+            run_job(shared, &my, iters, xp, r)
         }));
         if outcome.is_err() {
             shared.poisoned.store(true, Ordering::Release);
@@ -615,6 +743,86 @@ mod tests {
         let mut y = vec![0.0; a.nrows()];
         engine.execute_iters(&x, &mut y, 4);
         assert_close(&y, &want);
+    }
+
+    #[test]
+    fn batched_pool_matches_per_column_sequential() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        for plan in [SpmvPlan::single_phase(&a, &p), SpmvPlan::mesh(&a, &p, 3, 1)] {
+            let cp = CompiledPlan::compile(&plan);
+            for r in [2usize, 3, 8] {
+                let x = crate::exec::tests::batch_input(a.ncols(), r, 5);
+                let mut engine = ParallelEngine::with_threads_batch(cp.clone(), 3, r);
+                let mut y = vec![0.0; a.nrows() * r];
+                engine.execute_batch(&x, &mut y, r);
+                let mut ws = cp.workspace();
+                for q in 0..r {
+                    let xq = crate::exec::tests::column(&x, a.ncols(), r, q);
+                    let mut yq = vec![0.0; a.nrows()];
+                    cp.execute(&mut ws, &xq, &mut yq);
+                    assert_eq!(
+                        crate::exec::tests::column(&y, a.nrows(), r, q),
+                        yq,
+                        "r={r} column {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_iters_match_sequential_batched_iters() {
+        let (a, plan) = crate::exec::tests::square_setup(16, 4);
+        let cp = CompiledPlan::compile(&plan);
+        let r = 4;
+        let x = crate::exec::tests::batch_input(a.ncols(), r, 9);
+        let mut ws = cp.workspace_batch(r);
+        let mut want = vec![0.0; a.nrows() * r];
+        cp.execute_batch_iters(&mut ws, &x, &mut want, r, 3);
+        let mut engine = ParallelEngine::with_threads_batch(cp, 2, r);
+        let mut y = vec![0.0; a.nrows() * r];
+        engine.execute_batch_iters(&x, &mut y, r, 3);
+        assert_eq!(y, want, "pool batch-iters must match the workspace executor bitwise");
+    }
+
+    #[test]
+    fn mixed_width_jobs_do_not_leak_stale_words() {
+        // A matrix with an empty row (never materialized, NO_SLOT): a
+        // wide job writes global words at stride r; a later narrow job
+        // must still see 0.0 for the empty row, not a stale word.
+        use s2d_core::partition::SpmvPartition;
+        use s2d_sparse::Coo;
+        let mut m = Coo::new(4, 4);
+        m.push(0, 0, 2.0);
+        m.push(2, 1, 3.0);
+        m.push(3, 3, 4.0); // row 1 is empty
+        m.compress();
+        let a = m.to_csr();
+        let parts = vec![0, 0, 1, 1];
+        let p = SpmvPartition::rowwise(&a, parts.clone(), parts, 2);
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let cp = CompiledPlan::compile(&plan);
+        let mut engine = ParallelEngine::with_threads_batch(cp, 2, 4);
+        let x4 = crate::exec::tests::batch_input(4, 4, 1);
+        let mut y4 = vec![0.0; 16];
+        engine.execute_batch(&x4, &mut y4, 4);
+        // Narrow job on the same engine: empty row must assemble to 0.
+        let x1 = vec![1.0, 1.0, 1.0, 1.0];
+        let mut y1 = vec![9.0; 4];
+        engine.execute(&x1, &mut y1);
+        assert_eq!(y1, vec![2.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool was built for batches of 1")]
+    fn oversized_batch_is_rejected() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let mut engine = ParallelEngine::from_plan(&SpmvPlan::single_phase(&a, &p));
+        let x = vec![0.0; a.ncols() * 2];
+        let mut y = vec![0.0; a.nrows() * 2];
+        engine.execute_batch(&x, &mut y, 2);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Regression tests for [`ParallelEngine`] determinism and failure
+//! reporting.
+//!
+//! The pool's schedule is fixed per rank (contiguous rank blocks, one
+//! sequential walk per rank, barriers between comm halves), so its
+//! results must be **bitwise** reproducible — across thread counts,
+//! across repeated jobs on one engine instance, and across batch
+//! widths. And when a worker dies, the engine must *say so* on the
+//! control thread instead of deadlocking on a barrier.
+
+use s2d_core::optimal::s2d_optimal;
+use s2d_engine::{CompiledPlan, ParallelEngine, RankStep};
+use s2d_gen::rmat::{rmat, RmatConfig};
+use s2d_spmv::SpmvPlan;
+
+/// A mesh-routed s2D plan on a skewed matrix — the plan kind with the
+/// most comm phases, i.e. the most barrier crossings per iteration.
+fn mesh_setup() -> (usize, SpmvPlan) {
+    let a = rmat(&RmatConfig::graph500(7, 6), 42).to_csr();
+    let n = a.nrows();
+    let k = 8;
+    let per = n.div_ceil(k);
+    let parts: Vec<u32> = (0..n).map(|i| (i / per) as u32).collect();
+    let p = s2d_optimal(&a, &parts, &parts, k);
+    (n, SpmvPlan::mesh_default(&a, &p))
+}
+
+fn x_for(n: usize) -> Vec<f64> {
+    (0..n).map(|j| ((j * 37) % 19) as f64 / 3.0 - 2.5).collect()
+}
+
+#[test]
+fn identical_results_across_thread_counts() {
+    let (n, plan) = mesh_setup();
+    let x = x_for(n);
+    let cp = CompiledPlan::compile(&plan);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut reference: Option<Vec<f64>> = None;
+    for threads in [1usize, 2, 4, cores] {
+        let mut engine = ParallelEngine::with_threads(cp.clone(), threads);
+        let mut y = vec![0.0; n];
+        engine.execute_iters(&x, &mut y, 3);
+        match &reference {
+            None => reference = Some(y),
+            Some(want) => {
+                assert_eq!(&y, want, "thread count {threads} changed the result bitwise");
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_jobs_on_one_engine_are_bitwise_stable() {
+    let (n, plan) = mesh_setup();
+    let x = x_for(n);
+    let mut engine = ParallelEngine::from_plan(&plan);
+    let mut first = vec![0.0; n];
+    engine.execute_iters(&x, &mut first, 4);
+    for round in 0..10 {
+        let mut again = vec![0.0; n];
+        engine.execute_iters(&x, &mut again, 4);
+        assert_eq!(again, first, "round {round}: fixed schedule must be bitwise deterministic");
+    }
+}
+
+#[test]
+fn batch_width_does_not_change_a_column() {
+    // The same input run as width-1 and as column 0 of a width-8 batch
+    // must match bitwise (the batched kernel accumulates each column
+    // independently, in the same order).
+    let (n, plan) = mesh_setup();
+    let x = x_for(n);
+    let cp = CompiledPlan::compile(&plan);
+    let mut engine = ParallelEngine::new_batch(cp, 8);
+    let mut narrow = vec![0.0; n];
+    engine.execute(&x, &mut narrow);
+    let r = 8;
+    let mut block = vec![0.0; n * r];
+    for g in 0..n {
+        block[g * r] = x[g];
+        for q in 1..r {
+            block[g * r + q] = x[g] * (q as f64 + 0.5);
+        }
+    }
+    let mut y = vec![0.0; n * r];
+    engine.execute_batch(&block, &mut y, r);
+    let col0: Vec<f64> = (0..n).map(|g| y[g * r]).collect();
+    assert_eq!(col0, narrow, "column 0 of the batch must equal the single-RHS result bitwise");
+}
+
+#[test]
+fn poisoned_pool_reports_the_panic_instead_of_hanging() {
+    // Corrupt one kernel so a worker panics mid-job (the row_ptr end is
+    // bounds-checked at run time, not validated at construction): the
+    // control thread must observe a panic on the *same* call, fail fast
+    // on every later call, and Drop must still join the workers.
+    let (n, plan) = mesh_setup();
+    let mut cp = CompiledPlan::compile(&plan);
+    let kernel = cp
+        .ranks
+        .iter_mut()
+        .flat_map(|rp| &mut rp.steps)
+        .find_map(|s| match s {
+            RankStep::Compute(k) if !k.rows.is_empty() => Some(k),
+            _ => None,
+        })
+        .expect("plan has a nonempty kernel");
+    *kernel.row_ptr.last_mut().unwrap() = u32::MAX >> 8;
+    let mut engine = ParallelEngine::with_threads(cp, 4);
+    let x = x_for(n);
+    let mut y = vec![0.0; n];
+    let first =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.execute(&x, &mut y)));
+    assert!(first.is_err(), "worker panic must surface on the control thread");
+    let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.execute_iters(&x, &mut y, 2)
+    }));
+    assert!(second.is_err(), "poisoned engine must fail fast on reuse");
+    drop(engine); // must join, not hang
+}

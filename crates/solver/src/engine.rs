@@ -199,15 +199,52 @@ impl RankCtx {
     /// `x` entries (aligned with [`RankCtx::owned`]); the result holds
     /// the owned `y` entries in the same alignment.
     pub fn spmv(&mut self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.owned.len(), "local vector length mismatch");
-        let tag0 = self.tags.take(self.comm_phases.max(1));
+        self.spmv_batch(v, 1)
+    }
+
+    /// Executes one distributed **batched** SpMV over `r` right-hand
+    /// sides. `v` is a row-major `local_len × r` block (owned entry `i`
+    /// occupies `v[i*r .. (i+1)*r]`); the result has the same layout
+    /// for the owned `y` entries.
+    ///
+    /// On the compiled path every message carries `len × r` words — one
+    /// exchange round per communication phase regardless of `r` — and
+    /// the kernels run the fixed-width batched inner loops. The
+    /// interpreted oracle executes the batch column by column, so the
+    /// two paths stay comparable bit for bit.
+    pub fn spmv_batch(&mut self, v: &[f64], r: usize) -> Vec<f64> {
+        assert!(r >= 1, "batch width must be at least 1");
+        assert_eq!(v.len(), self.owned.len() * r, "local block length mismatch");
         match &mut self.engine {
             RankEngine::Compiled { compiled, rank, xloc, yloc, seed_slots, result_slots } => {
+                let tag0 = self.tags.take(self.comm_phases.max(1));
                 let prog = &compiled.ranks[*rank];
-                spmv_compiled(&mut self.ep, prog, xloc, yloc, seed_slots, result_slots, v, tag0)
+                // Grow the cached local blocks on first use of a wider
+                // batch; stride-r addressing ignores any excess tail.
+                if xloc.len() < prog.nx * r {
+                    xloc.resize(prog.nx * r, 0.0);
+                }
+                if yloc.len() < prog.ny * r {
+                    yloc.resize(prog.ny * r, 0.0);
+                }
+                spmv_compiled(&mut self.ep, prog, xloc, yloc, seed_slots, result_slots, v, r, tag0)
             }
             RankEngine::Interpreted { phases, xbuf, ybuf } => {
-                spmv_interpreted(&mut self.ep, phases, xbuf, ybuf, &self.owned, v, tag0)
+                // Column-by-column oracle: r independent single-RHS
+                // walks, re-interleaved. Tags are drawn per column —
+                // the same sequence on every rank (SPMD call sites).
+                let m = self.owned.len();
+                let mut out = vec![0.0; m * r];
+                for q in 0..r {
+                    let col: Vec<f64> = (0..m).map(|i| v[i * r + q]).collect();
+                    let tag0 = self.tags.take(self.comm_phases.max(1));
+                    let yq =
+                        spmv_interpreted(&mut self.ep, phases, xbuf, ybuf, &self.owned, &col, tag0);
+                    for (i, val) in yq.into_iter().enumerate() {
+                        out[i * r + q] = val;
+                    }
+                }
+                out
             }
         }
     }
@@ -279,8 +316,10 @@ impl RankCtx {
 }
 
 /// The compiled path: flat buffers, precomputed index lists, zero
-/// hashing. Payload vectors are the only per-call allocations (they
-/// move into the runtime's channels).
+/// hashing, batch width `r` (message payloads are `len × r` word
+/// blocks, `r` consecutive words per listed slot). Payload vectors are
+/// the only per-call allocations (they move into the runtime's
+/// channels).
 #[allow(clippy::too_many_arguments)]
 fn spmv_compiled(
     ep: &mut Endpoint<Payload>,
@@ -290,47 +329,61 @@ fn spmv_compiled(
     seed_slots: &[(u32, u32)],
     result_slots: &[u32],
     v: &[f64],
+    r: usize,
     tag0: u32,
 ) -> Vec<f64> {
     for &(pos, slot) in seed_slots {
-        xloc[slot as usize] = v[pos as usize];
+        let (src, dst) = (pos as usize * r, slot as usize * r);
+        xloc[dst..dst + r].copy_from_slice(&v[src..src + r]);
     }
-    yloc.fill(0.0);
+    yloc[..prog.ny * r].fill(0.0);
     let mut comm_idx = 0u32;
     for step in &prog.steps {
         match step {
-            RankStep::Compute(kernel) => kernel.run(xloc, yloc),
+            RankStep::Compute(kernel) => kernel.run_batch(xloc, yloc, r),
             RankStep::Comm { sends, recvs, .. } => {
                 let tag = tag0 + comm_idx;
                 comm_idx += 1;
                 for m in sends {
-                    let xs: Vec<f64> = m.x_idx.iter().map(|&s| xloc[s as usize]).collect();
-                    let ys: Vec<f64> = m
-                        .y_idx
-                        .iter()
-                        .map(|&s| {
-                            let val = yloc[s as usize];
-                            yloc[s as usize] = 0.0; // moved, not copied
-                            val
-                        })
-                        .collect();
+                    let mut xs = Vec::with_capacity(m.x_idx.len() * r);
+                    for &s in &m.x_idx {
+                        xs.extend_from_slice(&xloc[s as usize * r..s as usize * r + r]);
+                    }
+                    let mut ys = Vec::with_capacity(m.y_idx.len() * r);
+                    for &s in &m.y_idx {
+                        let at = s as usize * r;
+                        ys.extend_from_slice(&yloc[at..at + r]);
+                        yloc[at..at + r].fill(0.0); // moved, not copied
+                    }
                     ep.send(m.peer, tag, (xs, ys));
                 }
                 // All sends are posted; targeted receives can land in
                 // spec order without deadlock.
                 for m in recvs {
                     let (xs, ys) = ep.recv_match(m.peer, tag).payload;
-                    for (&slot, val) in m.x_idx.iter().zip(xs) {
-                        xloc[slot as usize] = val;
+                    debug_assert_eq!(xs.len(), m.x_idx.len() * r);
+                    debug_assert_eq!(ys.len(), m.y_idx.len() * r);
+                    for (i, &slot) in m.x_idx.iter().enumerate() {
+                        let at = slot as usize * r;
+                        xloc[at..at + r].copy_from_slice(&xs[i * r..(i + 1) * r]);
                     }
-                    for (&slot, val) in m.y_idx.iter().zip(ys) {
-                        yloc[slot as usize] += val;
+                    for (i, &slot) in m.y_idx.iter().enumerate() {
+                        let at = slot as usize * r;
+                        for q in 0..r {
+                            yloc[at + q] += ys[i * r + q];
+                        }
                     }
                 }
             }
         }
     }
-    result_slots.iter().map(|&s| if s == NO_SLOT { 0.0 } else { yloc[s as usize] }).collect()
+    let mut out = vec![0.0; result_slots.len() * r];
+    for (i, &s) in result_slots.iter().enumerate() {
+        if s != NO_SLOT {
+            out[i * r..(i + 1) * r].copy_from_slice(&yloc[s as usize * r..s as usize * r + r]);
+        }
+    }
+    out
 }
 
 /// The interpreted oracle: the original `HashMap`-keyed phase walk.
@@ -602,6 +655,78 @@ mod tests {
         for (g, w) in got3.iter().zip(&want3) {
             assert!((g - w).abs() < 1e-12, "A²x: {g} vs {w}");
         }
+    }
+
+    #[test]
+    fn batched_spmv_matches_per_column_serial() {
+        let (a, p, plan) = setup(40, 4);
+        let r = 3;
+        let n = a.nrows();
+        // Row-major n×r block, deterministic per (index, column).
+        let xblock: Vec<f64> = (0..n * r).map(|i| ((i * 131) % 17) as f64 / 5.0 - 1.4).collect();
+        let locals = parking_lot::Mutex::new({
+            // Scatter the block: rank gets owned rows' r-word groups.
+            let mut parts: Vec<Vec<f64>> = vec![Vec::new(); p.k];
+            for g in 0..n {
+                parts[p.x_part[g] as usize].extend_from_slice(&xblock[g * r..(g + 1) * r]);
+            }
+            parts
+        });
+        let out = spmd_compute(&a, &p, &plan, |ctx| {
+            let v = std::mem::take(&mut locals.lock()[ctx.rank() as usize]);
+            let y = ctx.spmv_batch(&v, r);
+            (ctx.owned.clone(), y)
+        });
+        // Reassemble the global block and check each column.
+        let mut got = vec![0.0; n * r];
+        for (idx, vals) in &out {
+            for (i, &g) in idx.iter().enumerate() {
+                got[g as usize * r..(g as usize + 1) * r]
+                    .copy_from_slice(&vals[i * r..(i + 1) * r]);
+            }
+        }
+        for q in 0..r {
+            let xq: Vec<f64> = (0..n).map(|g| xblock[g * r + q]).collect();
+            let want = a.spmv_alloc(&xq);
+            for g in 0..n {
+                let v = got[g * r + q];
+                assert!((v - want[g]).abs() < 1e-12, "col {q} row {g}: {v} vs {}", want[g]);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_compiled_and_interpreted_paths_agree_bitwise() {
+        let (a, p, plan) = setup(36, 5);
+        let r = 4;
+        let n = a.nrows();
+        let xblock: Vec<f64> = (0..n * r).map(|i| ((i * 37) % 23) as f64 / 7.0 - 1.5).collect();
+        let mut results = Vec::new();
+        for path in [EnginePath::Compiled, EnginePath::Interpreted] {
+            let locals = parking_lot::Mutex::new({
+                let mut parts: Vec<Vec<f64>> = vec![Vec::new(); p.k];
+                for g in 0..n {
+                    parts[p.x_part[g] as usize].extend_from_slice(&xblock[g * r..(g + 1) * r]);
+                }
+                parts
+            });
+            let out = spmd_compute_on(path, &a, &p, &plan, |ctx| {
+                let v = std::mem::take(&mut locals.lock()[ctx.rank() as usize]);
+                let y1 = ctx.spmv_batch(&v, r);
+                let y2 = ctx.spmv_batch(&y1, r); // chained: A(AX)
+                (ctx.owned.clone(), y2)
+            });
+            let mut got = vec![0.0; n * r];
+            for (idx, vals) in &out {
+                for (i, &g) in idx.iter().enumerate() {
+                    got[g as usize * r..(g as usize + 1) * r]
+                        .copy_from_slice(&vals[i * r..(i + 1) * r]);
+                }
+            }
+            results.push(got);
+        }
+        // Same per-rank accumulation order per column → identical floats.
+        assert_eq!(results[0], results[1]);
     }
 
     #[test]

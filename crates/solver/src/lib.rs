@@ -13,7 +13,11 @@
 //!   systems;
 //! * [`jacobi`] — the Jacobi stationary iteration;
 //! * [`power`] — power iteration for the dominant eigenpair, and
-//!   PageRank on column-stochastic link matrices.
+//!   PageRank on column-stochastic link matrices;
+//! * [`block_power`] — block power (subspace) iteration for the top-`r`
+//!   eigenpairs, riding the batched multi-RHS SpMV path
+//!   ([`RankCtx::spmv_batch`]): one `n × r` block per multiply, one
+//!   `len × r` message per communication phase.
 //!
 //! All solvers require a **symmetric vector partition** (`x_part ==
 //! y_part`), which every square-matrix partitioning method in this
@@ -21,11 +25,13 @@
 //! so vector updates (`axpy`, scaling) are purely local and only dot
 //! products and the SpMV itself communicate.
 
+pub mod block_power;
 pub mod cg;
 pub mod engine;
 pub mod jacobi;
 pub mod power;
 
+pub use block_power::{block_power_iteration, BlockPowerOptions, BlockPowerResult};
 pub use cg::{cg_solve, cg_solve_on, CgOptions, CgResult};
 pub use engine::{spmd_compute, spmd_compute_on, EnginePath, RankCtx};
 pub use jacobi::{jacobi_solve, JacobiOptions, JacobiResult};

@@ -131,6 +131,53 @@ fn optimal_split_executes_on_suite_matrices() {
 }
 
 #[test]
+fn batched_pipeline_matches_r_independent_serial_spmvs() {
+    // The full generate → partition → plan → compile → execute-batch
+    // pipeline: Y = A·X for an r-column X must equal r independent
+    // serial SpMVs, on both the sequential workspace executor and the
+    // worker pool, for specialized (2, 8) and generic (3) widths.
+    use s2d::engine::{CompiledPlan, ParallelEngine};
+    let k = 8;
+    for spec in suite_a().into_iter().take(2) {
+        let a = spec.generate(Scale::Tiny, 19);
+        let oned = partition_1d_rowwise(&a, k, 0.03, 19);
+        let heur = s2d_from_vector_partition(
+            &a,
+            &oned.row_part,
+            &oned.col_part,
+            &HeuristicConfig::default(),
+        );
+        let plan = SpmvPlan::single_phase(&a, &heur);
+        let cp = CompiledPlan::compile(&plan);
+        for r in [2usize, 3, 8] {
+            let n = a.ncols();
+            // Row-major n×r block with genuinely distinct columns.
+            let x: Vec<f64> = (0..n * r)
+                .map(|i| {
+                    let (g, q) = (i / r, i % r);
+                    ((g * 2654435761 + q * 97) % 1000) as f64 / 97.0 - 5.0
+                })
+                .collect();
+            let mut ws = cp.workspace_batch(r);
+            let mut y_seq = vec![0.0; a.nrows() * r];
+            cp.execute_batch(&mut ws, &x, &mut y_seq, r);
+            let mut pool = ParallelEngine::new_batch(cp.clone(), r);
+            let mut y_pool = vec![0.0; a.nrows() * r];
+            pool.execute_batch(&x, &mut y_pool, r);
+            for q in 0..r {
+                let xq: Vec<f64> = (0..n).map(|g| x[g * r + q]).collect();
+                let want = a.spmv_alloc(&xq);
+                let got_seq: Vec<f64> = (0..a.nrows()).map(|g| y_seq[g * r + q]).collect();
+                let got_pool: Vec<f64> = (0..a.nrows()).map(|g| y_pool[g * r + q]).collect();
+                let ctx = format!("{}/batch r={r} col {q}", spec.name);
+                assert_close(&got_seq, &want, &format!("{ctx}/seq"));
+                assert_close(&got_pool, &want, &format!("{ctx}/pool"));
+            }
+        }
+    }
+}
+
+#[test]
 fn repeated_spmv_is_stateless() {
     // Executing the same plan twice (iterative-solver usage) must give
     // identical answers: no partial-accumulator state leaks between runs.
