@@ -1,7 +1,9 @@
-//! Engine comparison bench: mailbox interpreter vs threaded executor vs
-//! the compiled engine (sequential workspace and persistent pool), on
-//! generator-suite matrices. Compile (inspector) time is reported
-//! separately from per-iteration time, and two acceptance ratios —
+//! Engine comparison bench: every `Backend::all()` operator (mailbox
+//! interpreter, threaded executor, compiled sequential workspace,
+//! compiled persistent pool) measured through the one `SpmvOperator`
+//! interface on generator-suite matrices. Compile (inspector) time is
+//! reported separately from per-iteration time, and two acceptance
+//! ratios —
 //! compiled vs mailbox, and batched (r = 8) vs 8 single-RHS compiled
 //! executions, both on a 2^14-row R-MAT at K = 16 — are printed and
 //! asserted explicitly at the end.
@@ -17,14 +19,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 use s2d_baselines::partition_1d_rowwise;
 use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
-use s2d_engine::{CompiledPlan, ParallelEngine};
+use s2d_engine::{Backend, CompiledPlan, ParallelEngine};
 use s2d_gen::rmat::{rmat, RmatConfig};
 use s2d_gen::{suite_a, Scale};
 use s2d_sparse::Csr;
+use s2d_spmv::SpmvOperator;
 use s2d_spmv::SpmvPlan;
 
 const K: usize = 16;
@@ -60,7 +64,9 @@ fn x_for(n: usize) -> Vec<f64> {
     (0..n).map(|j| ((j * 37) % 19) as f64 - 9.0).collect()
 }
 
-/// All five measurements for one named matrix.
+/// Compile cost plus one steady-state `apply` measurement per backend
+/// for one named matrix — the backends come from `Backend::all()`, so
+/// a new execution path is benchmarked by adding its enum variant.
 fn bench_matrix(c: &mut Criterion, name: &str, a: &Csr) {
     let plan = plan_for(a);
     let x = x_for(a.ncols());
@@ -68,29 +74,20 @@ fn bench_matrix(c: &mut Criterion, name: &str, a: &Csr) {
     c.bench_function(&format!("engine/compile/{name}/k{K}"), |b| {
         b.iter(|| black_box(CompiledPlan::compile(&plan).total_ops()))
     });
-    c.bench_function(&format!("engine/mailbox/{name}/k{K}"), |b| {
-        b.iter(|| black_box(plan.execute_mailbox(&x)))
-    });
-    c.bench_function(&format!("engine/threaded/{name}/k{K}"), |b| {
-        b.iter(|| black_box(plan.execute_threaded(&x)))
-    });
 
-    let cp = CompiledPlan::compile(&plan);
-    let mut ws = cp.workspace();
+    let plan = Arc::new(plan);
     let mut y = vec![0.0; a.nrows()];
-    c.bench_function(&format!("engine/compiled-seq/{name}/k{K}"), |b| {
-        b.iter(|| {
-            cp.execute(&mut ws, &x, &mut y);
-            black_box(y[0])
-        })
-    });
-    let mut pool = ParallelEngine::new(cp);
-    c.bench_function(&format!("engine/compiled-pool/{name}/k{K}"), |b| {
-        b.iter(|| {
-            pool.execute(&x, &mut y);
-            black_box(y[0])
-        })
-    });
+    for backend in Backend::all() {
+        // Setup (compilation, buffers, worker spawn) is paid here, once
+        // — the measured loop is the amortized steady state.
+        let mut op = backend.build(&plan, 1);
+        c.bench_function(&format!("engine/{backend}/{name}/k{K}"), |b| {
+            b.iter(|| {
+                op.apply(&x, &mut y);
+                black_box(y[0])
+            })
+        });
+    }
 }
 
 fn bench_suite(c: &mut Criterion) {

@@ -20,7 +20,7 @@
 //!   per-phase staging buffer, so a communication phase is just indexed
 //!   copies through preallocated memory.
 //!
-//! All "processor lacks x[j]" conditions the interpreters detect at run
+//! All "processor lacks `x[j]`" conditions the interpreters detect at run
 //! time are detected here at compile time, once — the execution paths
 //! contain no fallible lookups at all.
 

@@ -60,11 +60,27 @@
 //! path; the interpreting executors remain as the cross-check oracle
 //! (see `crates/engine/tests/props.rs` and the differential harness in
 //! `crates/engine/tests/differential.rs`).
+//!
+//! # The unified operator surface
+//!
+//! The [`backend`] module puts every execution path — the two
+//! interpreting executors of `s2d-spmv` plus the two compiled paths
+//! here — behind `s2d_spmv::SpmvOperator`, selected by the [`Backend`]
+//! enum: `Backend::build(&plan, width)` pays all setup (compilation,
+//! buffers, worker threads) once and returns an operator whose
+//! `apply`/`apply_batch` write into caller-owned buffers with zero
+//! steady-state allocation on the compiled paths. See the [`backend`]
+//! module docs for selection guidance (when the pool beats the
+//! sequential workspace, how to pick a batch width). The conformance
+//! suite in `crates/engine/tests/conformance.rs` holds every backend to
+//! one shared property set.
 
+pub mod backend;
 pub mod compile;
 pub mod exec;
 pub mod pool;
 
+pub use backend::{Backend, CompiledPoolOperator, CompiledSeqOperator};
 pub use compile::{CompiledMsg, CompiledPlan, Kernel, RankProgram, RankStep, NO_SLOT};
 pub use exec::Workspace;
 pub use pool::ParallelEngine;

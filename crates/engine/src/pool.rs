@@ -11,7 +11,7 @@
 //!
 //! # Sharing discipline (why the `unsafe` here is sound)
 //!
-//! All mutable state lives in per-element [`UnsafeCell`]s ([`ShBuf`]).
+//! All mutable state lives in per-element [`UnsafeCell`]s (`ShBuf`).
 //! Soundness rests on two invariants:
 //!
 //! 1. **Spatial**: a rank's `x`/`y` buffers are touched only by the
@@ -288,7 +288,7 @@ impl ParallelEngine {
     ///
     /// # Panics
     /// Panics if `plan` violates the invariants the shared-buffer
-    /// execution depends on (see [`validate_for_pool`] in the source) —
+    /// execution depends on (see `validate_for_pool` in the source) —
     /// plans produced by [`CompiledPlan::compile`] always satisfy them.
     pub fn with_threads(plan: CompiledPlan, threads: usize) -> ParallelEngine {
         ParallelEngine::with_threads_batch(plan, threads, 1)

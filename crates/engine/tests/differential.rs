@@ -1,33 +1,36 @@
-//! Differential harness: **every** engine path, one plan, pairwise
-//! agreement.
+//! Differential harness: **every** execution backend, one plan,
+//! pairwise agreement.
 //!
-//! One driver runs the mailbox interpreter, the threaded interpreter,
-//! the compiled sequential workspace, the compiled worker pool, and the
-//! compiled **batched** path (sequential and pooled, checked per
-//! column) on the same plan and asserts that every pair of paths
-//! agrees — property-tested over all four plan kinds, K ∈ {1, 2, 4, 7,
-//! 16} and batch widths r ∈ {1, 2, 3, 8} on R-MAT, power-law and
-//! FEM-stencil matrices, plus deterministic edge shapes (empty ranks,
-//! dense rows, n = 1).
+//! One driver builds every [`Backend`] operator over the same plan
+//! (via `Backend::all()` — mailbox interpreter, threaded executor,
+//! compiled sequential workspace, compiled worker pool) and asserts
+//! that every pair agrees on `apply`, and that every backend's
+//! `apply_batch` columns agree with the mailbox oracle — property-
+//! tested over all four plan kinds, K ∈ {1, 2, 4, 7, 16} and batch
+//! widths r ∈ {1, 2, 3, 8} on R-MAT, power-law and FEM-stencil
+//! matrices, plus deterministic edge shapes (empty ranks, dense rows,
+//! n = 1).
 //!
-//! Any future execution path should be added to `single_rhs_results` /
-//! `batched_results` below; the harness then differentially tests it
-//! against every existing path for free.
+//! Any future execution path becomes a `Backend` variant and is
+//! differentially tested against every existing path for free — no
+//! hand-wired dispatch here to extend.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use s2d_core::optimal::s2d_optimal;
 use s2d_core::partition::SpmvPartition;
-use s2d_engine::{CompiledPlan, ParallelEngine};
+use s2d_engine::{Backend, CompiledPlan};
 use s2d_gen::fem::fem_like;
 use s2d_gen::powerlaw::power_law;
 use s2d_gen::rmat::{rmat, RmatConfig};
 use s2d_sparse::{Coo, Csr};
-use s2d_spmv::SpmvPlan;
+use s2d_spmv::{SpmvOperator, SpmvPlan};
 
 const KS: [usize; 5] = [1, 2, 4, 7, 16];
 const RS: [usize; 4] = [1, 2, 3, 8];
-/// Pool width able to serve every batch in `RS` from one engine (also
-/// exercises mixed-width job reuse on shared buffers).
+/// Operator width able to serve every batch in `RS` from one build
+/// (also exercises mixed-width reuse on the pool's shared buffers).
 const MAX_R: usize = 8;
 
 /// Random small matrix: R-MAT (degree-skewed), power-law (Chung–Lu
@@ -92,58 +95,9 @@ fn close(a: &[f64], b: &[f64]) -> Option<usize> {
     a.iter().zip(b).position(|(u, v)| (u - v).abs() > 1e-9 * v.abs().max(1.0))
 }
 
-/// Every single-RHS path's result on `x`, labelled. `pool` must be a
-/// pool over the same compiled plan (any width ≥ 1).
-fn single_rhs_results(
-    plan: &SpmvPlan,
-    cp: &CompiledPlan,
-    pool: &mut ParallelEngine,
-    x: &[f64],
-) -> Vec<(&'static str, Vec<f64>)> {
-    let mut out = Vec::new();
-    out.push(("mailbox", plan.execute_mailbox(x)));
-    out.push(("threaded", plan.execute_threaded(x)));
-    let mut ws = cp.workspace();
-    let mut y = vec![0.0; cp.nrows];
-    cp.execute(&mut ws, x, &mut y);
-    out.push(("compiled-seq", y.clone()));
-    pool.execute(x, &mut y);
-    out.push(("compiled-pool", y));
-    out
-}
-
-/// The batched paths' per-column results on the `r`-wide block built
-/// from `x`, labelled, together with that column's input.
-fn batched_results(
-    cp: &CompiledPlan,
-    pool: &mut ParallelEngine,
-    x: &[f64],
-    r: usize,
-) -> Vec<(String, Vec<f64>, Vec<f64>)> {
-    let block = batch_block(x, r);
-    let mut out = Vec::new();
-    let mut ws = cp.workspace_batch(r);
-    let mut y = vec![0.0; cp.nrows * r];
-    cp.execute_batch(&mut ws, &block, &mut y, r);
-    for q in 0..r {
-        out.push((
-            format!("batch{r}-seq/col{q}"),
-            column(&block, cp.ncols, r, q),
-            column(&y, cp.nrows, r, q),
-        ));
-    }
-    pool.execute_batch(&block, &mut y, r);
-    for q in 0..r {
-        out.push((
-            format!("batch{r}-pool/col{q}"),
-            column(&block, cp.ncols, r, q),
-            column(&y, cp.nrows, r, q),
-        ));
-    }
-    out
-}
-
-/// The harness: all paths on one plan, pairwise agreement.
+/// The harness: every backend on one plan, pairwise agreement on
+/// `apply`, per-column agreement of every backend's `apply_batch`
+/// against the mailbox oracle.
 fn differential_check(
     plan: &SpmvPlan,
     kind: &str,
@@ -152,10 +106,19 @@ fn differential_check(
 ) -> Result<(), TestCaseError> {
     let cp = CompiledPlan::compile(plan);
     prop_assert_eq!(cp.total_ops(), plan.total_ops(), "{}: op count drift", kind);
-    let mut pool = ParallelEngine::new_batch(cp.clone(), MAX_R);
+    let plan = Arc::new(plan.clone());
+    let mut ops: Vec<(String, Box<dyn SpmvOperator + Send>)> =
+        Backend::all().iter().map(|b| (b.to_string(), b.build(&plan, MAX_R))).collect();
 
-    // Single-RHS paths on x: every pair must agree.
-    let singles = single_rhs_results(plan, &cp, &mut pool, x);
+    // Single-RHS apply on x: every pair of backends must agree.
+    let singles: Vec<(String, Vec<f64>)> = ops
+        .iter_mut()
+        .map(|(label, op)| {
+            let mut y = vec![0.0; plan.nrows];
+            op.apply(x, &mut y);
+            (label.clone(), y)
+        })
+        .collect();
     for i in 0..singles.len() {
         for j in i + 1..singles.len() {
             let (la, va) = &singles[i];
@@ -169,17 +132,29 @@ fn differential_check(
         }
     }
 
-    // Batched paths: every column of every width must agree with the
-    // mailbox interpreter run on that column (and hence, by the block
-    // above, with every other path).
+    // Batched paths: every backend's apply_batch, per column, against
+    // the mailbox backend's block (whose columns are bitwise the
+    // mailbox single-RHS results — its batch fallback is columnwise).
     for &r in rs {
-        for (label, xq, got) in batched_results(&cp, &mut pool, x, r) {
-            let want = plan.execute_mailbox(&xq);
-            if let Some(at) = close(&got, &want) {
-                return Err(TestCaseError::fail(format!(
-                    "{kind}: {label} vs mailbox disagree at y[{at}]: {} vs {}",
-                    got[at], want[at]
-                )));
+        let block = batch_block(x, r);
+        let oracle = {
+            let (_, mailbox) = &mut ops[0];
+            let mut y = vec![0.0; plan.nrows * r];
+            mailbox.apply_batch(&block, &mut y, r);
+            y
+        };
+        for (label, op) in ops.iter_mut().skip(1) {
+            let mut y = vec![0.0; plan.nrows * r];
+            op.apply_batch(&block, &mut y, r);
+            for q in 0..r {
+                let got = column(&y, plan.nrows, r, q);
+                let want = column(&oracle, plan.nrows, r, q);
+                if let Some(at) = close(&got, &want) {
+                    return Err(TestCaseError::fail(format!(
+                        "{kind}: batch{r}-{label}/col{q} vs mailbox disagree at y[{at}]: {} vs {}",
+                        got[at], want[at]
+                    )));
+                }
             }
         }
     }
@@ -189,7 +164,7 @@ fn differential_check(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// All paths × all plan kinds × all K × all r on random matrices.
+    /// All backends × all plan kinds × all K × all r on random matrices.
     #[test]
     fn all_paths_agree_on_random_matrices(a in matrix_strategy(), xseed in 0u64..100) {
         let x = x_for(a.ncols(), xseed);

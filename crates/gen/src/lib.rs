@@ -12,7 +12,7 @@
 //!   dense rows and columns (c-big, ASIC_680k, boyd2, lp1, ins2, rajat30,
 //!   pattern1);
 //! * [`powerlaw`] — Chung–Lu scale-free graphs (com-Youtube);
-//! * [`rmat`] — the R-MAT generator with the paper's exact parameters
+//! * [`rmat`](mod@rmat) — the R-MAT generator with the paper's exact parameters
 //!   (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) for rmat_20;
 //! * [`suites`] — Table I ("suite A") and Table IV ("suite B") doubles,
 //!   with a scale knob (`S2D_SCALE` = `tiny` | `small` | `paper`).

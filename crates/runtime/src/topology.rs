@@ -62,7 +62,7 @@ impl Mesh2d {
     }
 
     /// The intermediate rank that routes traffic `src → dst` in the
-    /// two-hop row/column scheme of Boman et al. [2]: the processor on
+    /// two-hop row/column scheme of Boman et al. \[2\]: the processor on
     /// `dst`'s mesh row and `src`'s mesh column.
     pub fn via(&self, src: u32, dst: u32) -> u32 {
         self.rank(self.row(dst), self.col(src))

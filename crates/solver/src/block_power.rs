@@ -15,9 +15,10 @@
 
 use s2d_core::partition::SpmvPartition;
 use s2d_sparse::Csr;
-use s2d_spmv::SpmvPlan;
+use s2d_spmv::{SpmvOperator, SpmvPlan};
 
 use crate::engine::{spmd_compute, RankCtx};
+use crate::operator::{Reduce, Solo};
 
 /// Options for [`block_power_iteration`].
 #[derive(Clone, Copy, Debug)]
@@ -78,45 +79,10 @@ pub fn block_power_iteration(
     assert!(r >= 1 && r <= n, "block width must be in 1..=n");
     let opts = *opts;
     let out = spmd_compute(a, p, plan, |ctx: &mut RankCtx| {
-        let m = ctx.local_len();
-        // Deterministic, globally consistent, full-rank start block:
-        // column q mixes a shifted hash of the global index.
-        let mut v = vec![0.0f64; m * r];
-        for (i, &g) in ctx.owned.iter().enumerate() {
-            for q in 0..r {
-                let h = (g as u64).wrapping_mul(2654435761).wrapping_add(q as u64 * 40503);
-                v[i * r + q] = (h % 1009) as f64 / 1009.0 + 0.1;
-            }
-        }
-        orthonormalize(ctx, &mut v, r);
-
-        let mut lambda = vec![0.0f64; r];
-        let mut iterations = 0usize;
-        let mut converged = false;
-        while iterations < opts.max_iters {
-            let mut w = ctx.spmv_batch(&v, r);
-            // Ritz values: diag(Vᵀ A V) in one fused reduction.
-            let locals: Vec<f64> = (0..r).map(|q| col_dot(&v, &w, r, q, q)).collect();
-            let ritz = ctx.sum_vec(locals);
-            let degenerate = !orthonormalize(ctx, &mut w, r);
-            v = w;
-            iterations += 1;
-            let settled = ritz
-                .iter()
-                .zip(&lambda)
-                .all(|(new, old)| (new - old).abs() <= opts.tol * new.abs().max(1.0));
-            lambda = ritz;
-            if degenerate {
-                // A annihilated part of the block: the reachable
-                // subspace has lower dimension; stop.
-                break;
-            }
-            if settled {
-                converged = true;
-                break;
-            }
-        }
-        (ctx.owned.clone(), v, lambda, iterations, converged)
+        let owned = ctx.owned.clone();
+        let v0 = start_block(&owned, r);
+        let (v, lambda, iterations, converged) = block_power_core(ctx, v0, r, &opts);
+        (owned, v, lambda, iterations, converged)
     });
 
     let (_, _, lambda, iterations, converged) = &out[0];
@@ -139,18 +105,97 @@ pub fn block_power_iteration(
     }
 }
 
+/// [`block_power_iteration`] by **operator injection**: runs the same
+/// core on any square [`SpmvOperator`] (the batched `apply_batch` path
+/// carries the block).
+///
+/// # Panics
+/// Panics if the operator is not square or `r` is 0 or exceeds the
+/// dimension.
+pub fn block_power_iteration_with(
+    op: impl SpmvOperator,
+    r: usize,
+    opts: &BlockPowerOptions,
+) -> BlockPowerResult {
+    let mut c = Solo(op);
+    assert_eq!(c.nrows(), c.ncols(), "block power iteration needs a square operator");
+    let n = c.nrows();
+    assert!(r >= 1 && r <= n, "block width must be in 1..=n");
+    let all: Vec<u32> = (0..n as u32).collect();
+    let v0 = start_block(&all, r);
+    let (v, lambda, iterations, converged) = block_power_core(&mut c, v0, r, opts);
+    let eigenvectors = (0..r).map(|q| (0..n).map(|i| v[i * r + q]).collect()).collect();
+    BlockPowerResult { eigenvalues: lambda, eigenvectors, iterations, converged }
+}
+
+/// Deterministic, globally consistent, full-rank start block over the
+/// listed global indices: column `q` mixes a shifted hash of the global
+/// index, so every participant builds the same global block regardless
+/// of how rows are distributed.
+fn start_block(owned: &[u32], r: usize) -> Vec<f64> {
+    let mut v = vec![0.0f64; owned.len() * r];
+    for (i, &g) in owned.iter().enumerate() {
+        for q in 0..r {
+            let h = (g as u64).wrapping_mul(2654435761).wrapping_add(q as u64 * 40503);
+            v[i * r + q] = (h % 1009) as f64 / 1009.0 + 0.1;
+        }
+    }
+    v
+}
+
+/// The subspace-iteration body, written once against operator
+/// injection: one batched multiply, one fused Ritz reduction and one
+/// Gram-Schmidt pass per iteration, ping-ponging `V`/`W = A·V` through
+/// two preallocated blocks.
+fn block_power_core<C: SpmvOperator + Reduce>(
+    c: &mut C,
+    mut v: Vec<f64>,
+    r: usize,
+    opts: &BlockPowerOptions,
+) -> (Vec<f64>, Vec<f64>, usize, bool) {
+    orthonormalize(c, &mut v, r);
+    let mut w = vec![0.0f64; v.len()];
+    let mut lambda = vec![0.0f64; r];
+    let mut iterations = 0usize;
+    let mut converged = false;
+    while iterations < opts.max_iters {
+        c.apply_batch(&v, &mut w, r);
+        // Ritz values: diag(Vᵀ A V) in one fused reduction.
+        let locals: Vec<f64> = (0..r).map(|q| col_dot(&v, &w, r, q, q)).collect();
+        let ritz = c.reduce_sum_vec(locals);
+        let degenerate = !orthonormalize(c, &mut w, r);
+        std::mem::swap(&mut v, &mut w);
+        iterations += 1;
+        let settled = ritz
+            .iter()
+            .zip(&lambda)
+            .all(|(new, old)| (new - old).abs() <= opts.tol * new.abs().max(1.0));
+        lambda = ritz;
+        if degenerate {
+            // A annihilated part of the block: the reachable
+            // subspace has lower dimension; stop.
+            break;
+        }
+        if settled {
+            converged = true;
+            break;
+        }
+    }
+    (v, lambda, iterations, converged)
+}
+
 /// Distributed classical Gram-Schmidt over the columns of a row-major
 /// `local_len × r` block: after the call the columns are orthonormal
 /// (across all ranks). Returns `false` if a column's norm collapsed —
 /// that column is left zero and the basis is rank-deficient.
-fn orthonormalize(ctx: &mut RankCtx, v: &mut [f64], r: usize) -> bool {
+fn orthonormalize<C: Reduce + ?Sized>(c: &mut C, v: &mut [f64], r: usize) -> bool {
     let m = v.len() / r;
     let mut full_rank = true;
     for q in 0..r {
         if q > 0 {
             // All projections ⟨v_q, v_j⟩ for j < q in one reduction.
             let locals: Vec<f64> = (0..q).map(|j| col_dot(v, v, r, q, j)).collect();
-            let projs = ctx.sum_vec(locals);
+            let projs = c.reduce_sum_vec(locals);
             for i in 0..m {
                 let mut acc = v[i * r + q];
                 for (j, proj) in projs.iter().enumerate() {
@@ -159,7 +204,7 @@ fn orthonormalize(ctx: &mut RankCtx, v: &mut [f64], r: usize) -> bool {
                 v[i * r + q] = acc;
             }
         }
-        let norm2 = ctx.sum(col_dot(v, v, r, q, q));
+        let norm2 = c.reduce_sum(col_dot(v, v, r, q, q));
         let norm = norm2.sqrt();
         if norm <= 1e-300 {
             for i in 0..m {

@@ -7,9 +7,10 @@
 
 use s2d_core::partition::SpmvPartition;
 use s2d_sparse::Csr;
-use s2d_spmv::SpmvPlan;
+use s2d_spmv::{SpmvOperator, SpmvPlan};
 
 use crate::engine::{gather_global, scatter, spmd_compute_on, EnginePath, RankCtx};
+use crate::operator::{axpy, dot, dot_self, Reduce, Solo};
 
 /// Options for [`cg_solve`].
 #[derive(Clone, Copy, Debug)]
@@ -74,14 +75,15 @@ pub fn cg_solve_on(
 
     let rank_out = spmd_compute_on(path, a, p, plan, |ctx: &mut RankCtx| {
         let b_local = std::mem::take(&mut b_parts.lock()[ctx.rank() as usize]);
-        cg_rank(ctx, &b_local, &opts)
+        let core = cg_core(ctx, &b_local, &opts);
+        (ctx.owned.clone(), core)
     });
 
     let n = a.nrows();
     let locals: Vec<(Vec<u32>, Vec<f64>)> =
-        rank_out.iter().map(|r| (r.owned.clone(), r.x_local.clone())).collect();
+        rank_out.iter().map(|(owned, core)| (owned.clone(), core.x.clone())).collect();
     let x = gather_global(&locals, n);
-    let lead = &rank_out[0];
+    let lead = &rank_out[0].1;
     CgResult {
         x,
         iterations: lead.iterations,
@@ -91,40 +93,65 @@ pub fn cg_solve_on(
     }
 }
 
-/// Per-rank CG outcome.
-struct RankCg {
-    owned: Vec<u32>,
-    x_local: Vec<f64>,
+/// [`cg_solve`] by **operator injection**: runs the same CG core on any
+/// [`SpmvOperator`] — every `s2d_engine::Backend` operator, a
+/// `s2d::Session`, or a custom impl. Vectors are global
+/// (`b.len() == op.nrows()`).
+///
+/// # Panics
+/// Panics if the operator is not square or `b.len() != op.nrows()`.
+pub fn cg_solve_with(op: impl SpmvOperator, b: &[f64], opts: &CgOptions) -> CgResult {
+    let mut c = Solo(op);
+    assert_eq!(c.nrows(), c.ncols(), "CG needs a square operator");
+    assert_eq!(b.len(), c.nrows(), "right-hand side length mismatch");
+    let core = cg_core(&mut c, b, opts);
+    CgResult {
+        x: core.x,
+        iterations: core.iterations,
+        relative_residual: core.relative_residual,
+        history: core.history,
+        converged: core.converged,
+    }
+}
+
+/// One participant's CG outcome (local slice of the iterate plus the
+/// globally-agreed scalars).
+struct CgCore {
+    x: Vec<f64>,
     iterations: usize,
     relative_residual: f64,
     history: Vec<f64>,
     converged: bool,
 }
 
-/// The per-rank CG body. All ranks execute identical control flow —
-/// every branch depends only on globally-reduced scalars.
-fn cg_rank(ctx: &mut RankCtx, b_local: &[f64], opts: &CgOptions) -> RankCg {
+/// The CG body, written once against operator injection: `C` supplies
+/// the SpMV (this participant's share of it) and the global reductions.
+/// Under SPMD every rank executes identical control flow — every branch
+/// depends only on globally-reduced scalars. The iteration loop is
+/// allocation-free: `Ap` lives in a buffer allocated once up front.
+fn cg_core<C: SpmvOperator + Reduce>(c: &mut C, b_local: &[f64], opts: &CgOptions) -> CgCore {
     let m = b_local.len();
     let mut x = vec![0.0f64; m];
     let mut r = b_local.to_vec();
     let mut pdir = r.clone();
-    let mut rr = ctx.dot_self(&r);
-    let b_norm = ctx.dot_self(b_local).sqrt().max(f64::MIN_POSITIVE);
+    let mut ap = vec![0.0f64; m];
+    let mut rr = dot_self(c, &r);
+    let b_norm = dot_self(c, b_local).sqrt().max(f64::MIN_POSITIVE);
     let mut history = vec![rr.sqrt() / b_norm];
     let mut converged = rr.sqrt() <= opts.tol * b_norm;
     let mut iterations = 0usize;
 
     while !converged && iterations < opts.max_iters {
-        let ap = ctx.spmv(&pdir);
-        let pap = ctx.dot(&pdir, &ap);
+        c.apply(&pdir, &mut ap);
+        let pap = dot(c, &pdir, &ap);
         if pap <= 0.0 {
             // Not SPD (or breakdown): stop with the current iterate.
             break;
         }
         let alpha = rr / pap;
-        RankCtx::axpy(alpha, &pdir, &mut x);
-        RankCtx::axpy(-alpha, &ap, &mut r);
-        let rr_new = ctx.dot_self(&r);
+        axpy(alpha, &pdir, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rr_new = dot_self(c, &r);
         let beta = rr_new / rr;
         for (pd, ri) in pdir.iter_mut().zip(&r) {
             *pd = ri + beta * *pd;
@@ -135,14 +162,7 @@ fn cg_rank(ctx: &mut RankCtx, b_local: &[f64], opts: &CgOptions) -> RankCg {
         converged = rr.sqrt() <= opts.tol * b_norm;
     }
 
-    RankCg {
-        owned: ctx.owned.clone(),
-        x_local: x,
-        iterations,
-        relative_residual: rr.sqrt() / b_norm,
-        history,
-        converged,
-    }
+    CgCore { x, iterations, relative_residual: rr.sqrt() / b_norm, history, converged }
 }
 
 #[cfg(test)]

@@ -28,6 +28,13 @@
 //! Both paths exchange *positional* payloads (plain value vectors whose
 //! layout the plan itself defines), so they interoperate with the same
 //! runtime collectives and can be compared bit for bit.
+//!
+//! [`EnginePath`] selects only the *per-rank kernel implementation*
+//! inside the SPMD world. Solver math no longer branches on it: the
+//! cores in `cg`/`jacobi`/`power`/`block_power` are generic over
+//! `SpmvOperator + Reduce` (see [`crate::operator`]), which [`RankCtx`]
+//! implements — the same cores also run solo on any whole-plan
+//! `s2d_engine::Backend` operator.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -99,6 +106,9 @@ enum RankEngine {
         phases: Vec<EnginePhase>,
         xbuf: HashMap<u32, f64>,
         ybuf: HashMap<u32, f64>,
+        /// Scratch column reused across the `r` per-column passes of a
+        /// batched call (and across calls).
+        col: Vec<f64>,
     },
 }
 
@@ -166,7 +176,12 @@ impl RankCtx {
                         }),
                     })
                     .collect();
-                RankEngine::Interpreted { phases, xbuf: HashMap::new(), ybuf: HashMap::new() }
+                RankEngine::Interpreted {
+                    phases,
+                    xbuf: HashMap::new(),
+                    ybuf: HashMap::new(),
+                    col: Vec::new(),
+                }
             }
         };
         RankCtx { ep, comm_phases, tags: TagAlloc { next: 0 }, owned, engine }
@@ -198,23 +213,39 @@ impl RankCtx {
     /// Executes one distributed SpMV: `v` holds the values of the owned
     /// `x` entries (aligned with [`RankCtx::owned`]); the result holds
     /// the owned `y` entries in the same alignment.
+    ///
+    /// Allocating convenience over [`RankCtx::spmv_batch_into`] — the
+    /// solver cores use the out-param form (via the `SpmvOperator`
+    /// impl) to keep iteration loops allocation-free.
     pub fn spmv(&mut self, v: &[f64]) -> Vec<f64> {
         self.spmv_batch(v, 1)
     }
 
     /// Executes one distributed **batched** SpMV over `r` right-hand
-    /// sides. `v` is a row-major `local_len × r` block (owned entry `i`
-    /// occupies `v[i*r .. (i+1)*r]`); the result has the same layout
-    /// for the owned `y` entries.
+    /// sides, allocating the output block. See
+    /// [`RankCtx::spmv_batch_into`].
+    pub fn spmv_batch(&mut self, v: &[f64], r: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.owned.len() * r];
+        self.spmv_batch_into(v, &mut out, r);
+        out
+    }
+
+    /// Executes one distributed batched SpMV over `r` right-hand sides
+    /// into the caller's buffer. `v` is a row-major `local_len × r`
+    /// block (owned entry `i` occupies `v[i*r .. (i+1)*r]`); `out` has
+    /// the same layout for the owned `y` entries and is fully
+    /// overwritten.
     ///
     /// On the compiled path every message carries `len × r` words — one
     /// exchange round per communication phase regardless of `r` — and
     /// the kernels run the fixed-width batched inner loops. The
-    /// interpreted oracle executes the batch column by column, so the
-    /// two paths stay comparable bit for bit.
-    pub fn spmv_batch(&mut self, v: &[f64], r: usize) -> Vec<f64> {
+    /// interpreted oracle executes the batch column by column through
+    /// one reused scratch column buffer, so the two paths stay
+    /// comparable bit for bit with no per-column allocation.
+    pub fn spmv_batch_into(&mut self, v: &[f64], out: &mut [f64], r: usize) {
         assert!(r >= 1, "batch width must be at least 1");
         assert_eq!(v.len(), self.owned.len() * r, "local block length mismatch");
+        assert_eq!(out.len(), self.owned.len() * r, "output block length mismatch");
         match &mut self.engine {
             RankEngine::Compiled { compiled, rank, xloc, yloc, seed_slots, result_slots } => {
                 let tag0 = self.tags.take(self.comm_phases.max(1));
@@ -227,24 +258,44 @@ impl RankCtx {
                 if yloc.len() < prog.ny * r {
                     yloc.resize(prog.ny * r, 0.0);
                 }
-                spmv_compiled(&mut self.ep, prog, xloc, yloc, seed_slots, result_slots, v, r, tag0)
+                spmv_compiled(
+                    &mut self.ep,
+                    prog,
+                    xloc,
+                    yloc,
+                    seed_slots,
+                    result_slots,
+                    v,
+                    out,
+                    r,
+                    tag0,
+                );
             }
-            RankEngine::Interpreted { phases, xbuf, ybuf } => {
+            RankEngine::Interpreted { phases, xbuf, ybuf, col } => {
                 // Column-by-column oracle: r independent single-RHS
-                // walks, re-interleaved. Tags are drawn per column —
-                // the same sequence on every rank (SPMD call sites).
+                // walks, re-interleaved, all through the single scratch
+                // column buffer. Tags are drawn per column — the same
+                // sequence on every rank (SPMD call sites).
                 let m = self.owned.len();
-                let mut out = vec![0.0; m * r];
+                col.resize(m, 0.0);
                 for q in 0..r {
-                    let col: Vec<f64> = (0..m).map(|i| v[i * r + q]).collect();
-                    let tag0 = self.tags.take(self.comm_phases.max(1));
-                    let yq =
-                        spmv_interpreted(&mut self.ep, phases, xbuf, ybuf, &self.owned, &col, tag0);
-                    for (i, val) in yq.into_iter().enumerate() {
-                        out[i * r + q] = val;
+                    for i in 0..m {
+                        col[i] = v[i * r + q];
                     }
+                    let tag0 = self.tags.take(self.comm_phases.max(1));
+                    spmv_interpreted(
+                        &mut self.ep,
+                        phases,
+                        xbuf,
+                        ybuf,
+                        &self.owned,
+                        col,
+                        out,
+                        r,
+                        q,
+                        tag0,
+                    );
                 }
-                out
             }
         }
     }
@@ -301,25 +352,61 @@ impl RankCtx {
 
     /// `y += alpha · x`, purely local.
     pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-        debug_assert_eq!(x.len(), y.len());
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi += alpha * xi;
-        }
+        crate::operator::axpy(alpha, x, y)
     }
 
     /// `v *= alpha`, purely local.
     pub fn scale(alpha: f64, v: &mut [f64]) {
-        for vi in v.iter_mut() {
-            *vi *= alpha;
-        }
+        crate::operator::scale(alpha, v)
+    }
+}
+
+/// The per-rank context *is* an SpMV operator over the rank's local
+/// vectors: `apply` executes this rank's slice of the distributed plan
+/// (communicating with its peers — every rank must call it at the same
+/// program point). This is what lets the solver cores be written once,
+/// generic over `SpmvOperator + Reduce`, and run both SPMD-distributed
+/// and solo on any whole-plan backend.
+impl s2d_spmv::SpmvOperator for RankCtx {
+    /// Local output dimension (= the rank's owned-entry count; the
+    /// vector partition is symmetric).
+    fn nrows(&self) -> usize {
+        self.owned.len()
+    }
+
+    fn ncols(&self) -> usize {
+        self.owned.len()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.spmv_batch_into(x, y, 1);
+    }
+
+    fn apply_batch(&mut self, x: &[f64], y: &mut [f64], r: usize) {
+        self.spmv_batch_into(x, y, r);
+    }
+}
+
+/// Reductions ride the runtime's binomial-tree collectives.
+impl crate::operator::Reduce for RankCtx {
+    fn reduce_sum(&mut self, local: f64) -> f64 {
+        self.sum(local)
+    }
+
+    fn reduce_sum_vec(&mut self, locals: Vec<f64>) -> Vec<f64> {
+        self.sum_vec(locals)
+    }
+
+    fn reduce_max(&mut self, local: f64) -> f64 {
+        self.max(local)
     }
 }
 
 /// The compiled path: flat buffers, precomputed index lists, zero
 /// hashing, batch width `r` (message payloads are `len × r` word
-/// blocks, `r` consecutive words per listed slot). Payload vectors are
-/// the only per-call allocations (they move into the runtime's
-/// channels).
+/// blocks, `r` consecutive words per listed slot). Writes the owned
+/// result block into `out`; payload vectors are the only per-call
+/// allocations (they move into the runtime's channels).
 #[allow(clippy::too_many_arguments)]
 fn spmv_compiled(
     ep: &mut Endpoint<Payload>,
@@ -329,9 +416,10 @@ fn spmv_compiled(
     seed_slots: &[(u32, u32)],
     result_slots: &[u32],
     v: &[f64],
+    out: &mut [f64],
     r: usize,
     tag0: u32,
-) -> Vec<f64> {
+) {
     for &(pos, slot) in seed_slots {
         let (src, dst) = (pos as usize * r, slot as usize * r);
         xloc[dst..dst + r].copy_from_slice(&v[src..src + r]);
@@ -377,16 +465,19 @@ fn spmv_compiled(
             }
         }
     }
-    let mut out = vec![0.0; result_slots.len() * r];
     for (i, &s) in result_slots.iter().enumerate() {
-        if s != NO_SLOT {
+        if s == NO_SLOT {
+            out[i * r..(i + 1) * r].fill(0.0);
+        } else {
             out[i * r..(i + 1) * r].copy_from_slice(&yloc[s as usize * r..s as usize * r + r]);
         }
     }
-    out
 }
 
-/// The interpreted oracle: the original `HashMap`-keyed phase walk.
+/// The interpreted oracle: the original `HashMap`-keyed phase walk over
+/// one column `v`, writing the result into column `q` of the row-major
+/// `len × r` block `out`.
+#[allow(clippy::too_many_arguments)]
 fn spmv_interpreted(
     ep: &mut Endpoint<Payload>,
     phases: &[EnginePhase],
@@ -394,8 +485,11 @@ fn spmv_interpreted(
     ybuf: &mut HashMap<u32, f64>,
     owned: &[u32],
     v: &[f64],
+    out: &mut [f64],
+    r: usize,
+    q: usize,
     tag0: u32,
-) -> Vec<f64> {
+) {
     xbuf.clear();
     ybuf.clear();
     for (&g, &val) in owned.iter().zip(v) {
@@ -448,7 +542,9 @@ fn spmv_interpreted(
             }
         }
     }
-    owned.iter().map(|g| ybuf.get(g).copied().unwrap_or(0.0)).collect()
+    for (i, g) in owned.iter().enumerate() {
+        out[i * r + q] = ybuf.get(g).copied().unwrap_or(0.0);
+    }
 }
 
 /// Validates the solver preconditions and derives per-rank owned-index

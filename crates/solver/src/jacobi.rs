@@ -9,9 +9,10 @@
 
 use s2d_core::partition::SpmvPartition;
 use s2d_sparse::Csr;
-use s2d_spmv::SpmvPlan;
+use s2d_spmv::{SpmvOperator, SpmvPlan};
 
 use crate::engine::{gather_global, scatter, spmd_compute, RankCtx};
+use crate::operator::{Reduce, Solo};
 
 /// Options for [`jacobi_solve`].
 #[derive(Clone, Copy, Debug)]
@@ -55,19 +56,7 @@ pub fn jacobi_solve(
 ) -> JacobiResult {
     assert_eq!(b.len(), a.nrows(), "right-hand side length mismatch");
     // Per-rank diagonal and rhs slices, aligned with owned indices.
-    let diag: Vec<f64> = (0..a.nrows())
-        .map(|i| {
-            let d = a
-                .row_cols(i)
-                .iter()
-                .zip(a.row_vals(i))
-                .find(|(&j, _)| j as usize == i)
-                .map(|(_, &v)| v)
-                .unwrap_or(0.0);
-            assert!(d != 0.0, "Jacobi requires a nonzero diagonal (row {i})");
-            d
-        })
-        .collect();
+    let diag = diagonal_of(a);
     let b_parts = parking_lot::Mutex::new(scatter(b, p));
     let d_parts = parking_lot::Mutex::new(scatter(&diag, p));
     let opts = *opts;
@@ -75,28 +64,7 @@ pub fn jacobi_solve(
     let out = spmd_compute(a, p, plan, |ctx: &mut RankCtx| {
         let b_local = std::mem::take(&mut b_parts.lock()[ctx.rank() as usize]);
         let d_local = std::mem::take(&mut d_parts.lock()[ctx.rank() as usize]);
-        let m = b_local.len();
-        let mut x = vec![0.0f64; m];
-        let mut iterations = 0usize;
-        let mut update = f64::INFINITY;
-        while iterations < opts.max_iters {
-            // Ax includes the diagonal: R x = A x − D x.
-            let ax = ctx.spmv(&x);
-            let mut delta2 = 0.0f64;
-            let mut x_new = vec![0.0f64; m];
-            for i in 0..m {
-                let rx = ax[i] - d_local[i] * x[i];
-                x_new[i] = (b_local[i] - rx) / d_local[i];
-                let d = x_new[i] - x[i];
-                delta2 += d * d;
-            }
-            update = ctx.sum(delta2).sqrt();
-            x = x_new;
-            iterations += 1;
-            if update <= opts.tol {
-                break;
-            }
-        }
+        let (x, iterations, update) = jacobi_core(ctx, &b_local, &d_local, &opts);
         (ctx.owned.clone(), x, iterations, update)
     });
 
@@ -109,6 +77,84 @@ pub fn jacobi_solve(
         last_update_norm: *update,
         converged: *update <= opts.tol,
     }
+}
+
+/// [`jacobi_solve`] by **operator injection**: runs the same sweep core
+/// on any [`SpmvOperator`]. `diag` is the matrix diagonal (global,
+/// `op.nrows()` entries — extract it with [`diagonal_of`] when the
+/// matrix is at hand).
+///
+/// # Panics
+/// Panics if the operator is not square, a diagonal entry is zero, or
+/// the lengths mismatch.
+pub fn jacobi_solve_with(
+    op: impl SpmvOperator,
+    diag: &[f64],
+    b: &[f64],
+    opts: &JacobiOptions,
+) -> JacobiResult {
+    let mut c = Solo(op);
+    assert_eq!(c.nrows(), c.ncols(), "Jacobi needs a square operator");
+    assert_eq!(b.len(), c.nrows(), "right-hand side length mismatch");
+    assert_eq!(diag.len(), c.nrows(), "diagonal length mismatch");
+    let (x, iterations, update) = jacobi_core(&mut c, b, diag, opts);
+    JacobiResult { x, iterations, last_update_norm: update, converged: update <= opts.tol }
+}
+
+/// Extracts the matrix diagonal, rejecting zero entries (Jacobi's
+/// `D⁻¹` needs them all nonzero).
+///
+/// # Panics
+/// Panics on a zero diagonal entry.
+pub fn diagonal_of(a: &Csr) -> Vec<f64> {
+    (0..a.nrows())
+        .map(|i| {
+            let d = a
+                .row_cols(i)
+                .iter()
+                .zip(a.row_vals(i))
+                .find(|(&j, _)| j as usize == i)
+                .map(|(_, &v)| v)
+                .unwrap_or(0.0);
+            assert!(d != 0.0, "Jacobi requires a nonzero diagonal (row {i})");
+            d
+        })
+        .collect()
+}
+
+/// The Jacobi sweep body, written once against operator injection.
+/// The loop is allocation-free: `Ax` and the next iterate ping-pong
+/// through buffers allocated once up front.
+fn jacobi_core<C: SpmvOperator + Reduce>(
+    c: &mut C,
+    b_local: &[f64],
+    d_local: &[f64],
+    opts: &JacobiOptions,
+) -> (Vec<f64>, usize, f64) {
+    let m = b_local.len();
+    let mut x = vec![0.0f64; m];
+    let mut x_new = vec![0.0f64; m];
+    let mut ax = vec![0.0f64; m];
+    let mut iterations = 0usize;
+    let mut update = f64::INFINITY;
+    while iterations < opts.max_iters {
+        // Ax includes the diagonal: R x = A x − D x.
+        c.apply(&x, &mut ax);
+        let mut delta2 = 0.0f64;
+        for i in 0..m {
+            let rx = ax[i] - d_local[i] * x[i];
+            x_new[i] = (b_local[i] - rx) / d_local[i];
+            let d = x_new[i] - x[i];
+            delta2 += d * d;
+        }
+        update = c.reduce_sum(delta2).sqrt();
+        std::mem::swap(&mut x, &mut x_new);
+        iterations += 1;
+        if update <= opts.tol {
+            break;
+        }
+    }
+    (x, iterations, update)
 }
 
 #[cfg(test)]

@@ -24,18 +24,37 @@
 //! workspace produces: iterates live where the matrix expects its input,
 //! so vector updates (`axpy`, scaling) are purely local and only dot
 //! products and the SpMV itself communicate.
+//!
+//! # Operator injection
+//!
+//! Every solver's math is written once, generic over
+//! `s2d_spmv::SpmvOperator` (the multiply) plus [`operator::Reduce`]
+//! (the global reductions), and is reachable two ways:
+//!
+//! * **distributed** — the classic `cg_solve`/`jacobi_solve`/… entry
+//!   points run the core SPMD on [`RankCtx`] (which implements both
+//!   traits over its local slices);
+//! * **injected** — the `*_with` entry points (`cg_solve_with`,
+//!   `jacobi_solve_with`, `power_iteration_with`, `pagerank_with`,
+//!   `block_power_iteration_with`) take any whole-plan operator, so
+//!   every solver runs on every `s2d_engine::Backend` — or on an
+//!   `s2d::Session` built fluently in the facade crate.
 
 pub mod block_power;
 pub mod cg;
 pub mod engine;
 pub mod jacobi;
+pub mod operator;
 pub mod power;
 
-pub use block_power::{block_power_iteration, BlockPowerOptions, BlockPowerResult};
-pub use cg::{cg_solve, cg_solve_on, CgOptions, CgResult};
+pub use block_power::{
+    block_power_iteration, block_power_iteration_with, BlockPowerOptions, BlockPowerResult,
+};
+pub use cg::{cg_solve, cg_solve_on, cg_solve_with, CgOptions, CgResult};
 pub use engine::{spmd_compute, spmd_compute_on, EnginePath, RankCtx};
-pub use jacobi::{jacobi_solve, JacobiOptions, JacobiResult};
+pub use jacobi::{diagonal_of, jacobi_solve, jacobi_solve_with, JacobiOptions, JacobiResult};
+pub use operator::{Reduce, Solo};
 pub use power::{
-    pagerank, power_iteration, to_column_stochastic, PagerankOptions, PagerankResult, PowerOptions,
-    PowerResult,
+    pagerank, pagerank_with, power_iteration, power_iteration_with, to_column_stochastic,
+    PagerankOptions, PagerankResult, PowerOptions, PowerResult,
 };

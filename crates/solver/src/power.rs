@@ -2,15 +2,16 @@
 //!
 //! Power iteration finds the dominant eigenpair of `A` by repeated
 //! normalized SpMV — the kernel at the heart of spectral methods and of
-//! the scale-free-graph workloads ([12], [19], [20] in the paper) that
+//! the scale-free-graph workloads (\[12\], \[19\], \[20\] in the paper) that
 //! motivate bounded-latency partitionings. PageRank specializes it to
 //! the damped column-stochastic link matrix.
 
 use s2d_core::partition::SpmvPartition;
 use s2d_sparse::{Coo, Csr};
-use s2d_spmv::SpmvPlan;
+use s2d_spmv::{SpmvOperator, SpmvPlan};
 
 use crate::engine::{gather_global, scatter, spmd_compute, RankCtx};
+use crate::operator::{scale, Reduce, Solo};
 
 /// Options for [`power_iteration`].
 #[derive(Clone, Copy, Debug)]
@@ -54,33 +55,7 @@ pub fn power_iteration(
     let n = a.nrows();
     let opts = *opts;
     let out = spmd_compute(a, p, plan, |ctx: &mut RankCtx| {
-        let m = ctx.local_len();
-        let mut v = vec![1.0 / (n as f64).sqrt(); m];
-        let mut lambda = 0.0f64;
-        let mut iterations = 0usize;
-        let mut converged = false;
-        while iterations < opts.max_iters {
-            let av = ctx.spmv(&v);
-            // Fused reductions: ⟨v, Av⟩ (Rayleigh) and ⟨Av, Av⟩ (norm).
-            let vav_l: f64 = v.iter().zip(&av).map(|(x, y)| x * y).sum();
-            let avav_l: f64 = av.iter().map(|x| x * x).sum();
-            let sums = ctx.sum_vec(vec![vav_l, avav_l]);
-            let (rayleigh, av_norm2) = (sums[0], sums[1]);
-            let av_norm = av_norm2.sqrt();
-            if av_norm == 0.0 {
-                // A annihilated v: no dominant direction reachable.
-                break;
-            }
-            v = av;
-            RankCtx::scale(1.0 / av_norm, &mut v);
-            iterations += 1;
-            if (rayleigh - lambda).abs() <= opts.tol * rayleigh.abs().max(1.0) {
-                lambda = rayleigh;
-                converged = true;
-                break;
-            }
-            lambda = rayleigh;
-        }
+        let (v, lambda, iterations, converged) = power_core(ctx, n, &opts);
         (ctx.owned.clone(), v, lambda, iterations, converged)
     });
 
@@ -93,6 +68,59 @@ pub fn power_iteration(
         iterations: *iterations,
         converged: *converged,
     }
+}
+
+/// [`power_iteration`] by **operator injection**: runs the same core on
+/// any square [`SpmvOperator`].
+///
+/// # Panics
+/// Panics if the operator is not square.
+pub fn power_iteration_with(op: impl SpmvOperator, opts: &PowerOptions) -> PowerResult {
+    let mut c = Solo(op);
+    assert_eq!(c.nrows(), c.ncols(), "power iteration needs a square operator");
+    let n = c.nrows();
+    let (v, lambda, iterations, converged) = power_core(&mut c, n, opts);
+    PowerResult { eigenvalue: lambda, eigenvector: v, iterations, converged }
+}
+
+/// The power-iteration body, written once against operator injection.
+/// `n` is the *global* dimension (for the uniform start vector); the
+/// iterate `v` is this participant's local slice. The loop ping-pongs
+/// `v`/`Av` through two buffers — no per-iteration allocation.
+fn power_core<C: SpmvOperator + Reduce>(
+    c: &mut C,
+    n: usize,
+    opts: &PowerOptions,
+) -> (Vec<f64>, f64, usize, bool) {
+    let m = c.ncols();
+    let mut v = vec![1.0 / (n as f64).sqrt(); m];
+    let mut av = vec![0.0f64; m];
+    let mut lambda = 0.0f64;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    while iterations < opts.max_iters {
+        c.apply(&v, &mut av);
+        // Fused reductions: ⟨v, Av⟩ (Rayleigh) and ⟨Av, Av⟩ (norm).
+        let vav_l: f64 = v.iter().zip(&av).map(|(x, y)| x * y).sum();
+        let avav_l: f64 = av.iter().map(|x| x * x).sum();
+        let sums = c.reduce_sum_vec(vec![vav_l, avav_l]);
+        let (rayleigh, av_norm2) = (sums[0], sums[1]);
+        let av_norm = av_norm2.sqrt();
+        if av_norm == 0.0 {
+            // A annihilated v: no dominant direction reachable.
+            break;
+        }
+        std::mem::swap(&mut v, &mut av);
+        scale(1.0 / av_norm, &mut v);
+        iterations += 1;
+        if (rayleigh - lambda).abs() <= opts.tol * rayleigh.abs().max(1.0) {
+            lambda = rayleigh;
+            converged = true;
+            break;
+        }
+        lambda = rayleigh;
+    }
+    (v, lambda, iterations, converged)
 }
 
 /// Options for [`pagerank`].
@@ -171,31 +199,7 @@ pub fn pagerank(
 
     let out = spmd_compute(m, p, plan, |ctx: &mut RankCtx| {
         let dang = std::mem::take(&mut dang_parts.lock()[ctx.rank() as usize]);
-        let ml = ctx.local_len();
-        let mut r = vec![1.0 / n as f64; ml];
-        let mut iterations = 0usize;
-        let mut converged = false;
-        while iterations < opts.max_iters {
-            // Dangling mass this round (global).
-            let dm_local: f64 = r.iter().zip(&dang).map(|(ri, di)| ri * di).sum();
-            let mr = ctx.spmv(&r);
-            let mut l1_local = 0.0f64;
-            let mut r_new = vec![0.0f64; ml];
-            // Defer the dangling term: it needs the global sum.
-            let dm = ctx.sum(dm_local);
-            let teleport = (1.0 - opts.damping) / n as f64 + opts.damping * dm / n as f64;
-            for i in 0..ml {
-                r_new[i] = opts.damping * mr[i] + teleport;
-                l1_local += (r_new[i] - r[i]).abs();
-            }
-            let l1 = ctx.sum(l1_local);
-            r = r_new;
-            iterations += 1;
-            if l1 <= opts.tol {
-                converged = true;
-                break;
-            }
-        }
+        let (r, iterations, converged) = pagerank_core(ctx, &dang, n, &opts);
         (ctx.owned.clone(), r, iterations, converged)
     });
 
@@ -207,6 +211,65 @@ pub fn pagerank(
         iterations: *iterations,
         converged: *converged,
     }
+}
+
+/// [`pagerank`] by **operator injection**: runs the same core on any
+/// square [`SpmvOperator`] over the column-stochastic link matrix (see
+/// [`to_column_stochastic`]).
+///
+/// # Panics
+/// Panics if the operator is not square or `dangling.len()` mismatches.
+pub fn pagerank_with(
+    op: impl SpmvOperator,
+    dangling: &[bool],
+    opts: &PagerankOptions,
+) -> PagerankResult {
+    let mut c = Solo(op);
+    assert_eq!(c.nrows(), c.ncols(), "PageRank needs a square operator");
+    let n = c.nrows();
+    assert_eq!(dangling.len(), n, "dangling mask length mismatch");
+    let dang: Vec<f64> = dangling.iter().map(|&d| if d { 1.0 } else { 0.0 }).collect();
+    let (ranks, iterations, converged) = pagerank_core(&mut c, &dang, n, opts);
+    PagerankResult { ranks, iterations, converged }
+}
+
+/// The PageRank body, written once against operator injection. `dang`
+/// is this participant's slice of the dangling mask as 0/1 weights; `n`
+/// the global page count. `M·r` and the next iterate ping-pong through
+/// preallocated buffers.
+fn pagerank_core<C: SpmvOperator + Reduce>(
+    c: &mut C,
+    dang: &[f64],
+    n: usize,
+    opts: &PagerankOptions,
+) -> (Vec<f64>, usize, bool) {
+    let ml = c.ncols();
+    let mut r = vec![1.0 / n as f64; ml];
+    let mut r_new = vec![0.0f64; ml];
+    let mut mr = vec![0.0f64; ml];
+    let mut iterations = 0usize;
+    let mut converged = false;
+    while iterations < opts.max_iters {
+        // Dangling mass this round (global).
+        let dm_local: f64 = r.iter().zip(dang).map(|(ri, di)| ri * di).sum();
+        c.apply(&r, &mut mr);
+        let mut l1_local = 0.0f64;
+        // Defer the dangling term: it needs the global sum.
+        let dm = c.reduce_sum(dm_local);
+        let teleport = (1.0 - opts.damping) / n as f64 + opts.damping * dm / n as f64;
+        for i in 0..ml {
+            r_new[i] = opts.damping * mr[i] + teleport;
+            l1_local += (r_new[i] - r[i]).abs();
+        }
+        let l1 = c.reduce_sum(l1_local);
+        std::mem::swap(&mut r, &mut r_new);
+        iterations += 1;
+        if l1 <= opts.tol {
+            converged = true;
+            break;
+        }
+    }
+    (r, iterations, converged)
 }
 
 #[cfg(test)]

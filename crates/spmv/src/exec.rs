@@ -10,32 +10,59 @@ use std::collections::HashMap;
 
 use crate::plan::{PlanPhase, SpmvPlan};
 
-/// Executes `plan` on input `x`, returning the assembled `y`.
+/// Reusable interpretation state for the mailbox executor: per-processor
+/// `x`/`y` hash maps and the flat communication capture buffer.
+///
+/// Building the state once (see
+/// [`MailboxOperator`](crate::operator::MailboxOperator)) and reusing it
+/// across calls keeps the per-call cost to clearing the maps — the
+/// Vec-returning [`execute_mailbox`] shim rebuilds it on every call.
+#[derive(Clone, Debug)]
+pub struct MailboxState {
+    xbuf: Vec<HashMap<u32, f64>>,
+    ybuf: Vec<HashMap<u32, f64>>,
+    captured: Vec<f64>,
+}
+
+impl MailboxState {
+    /// Allocates state sized for `plan` (capture buffer sized for the
+    /// largest communication phase up front).
+    pub fn for_plan(plan: &SpmvPlan) -> MailboxState {
+        let max_words = plan
+            .phases
+            .iter()
+            .map(|ph| match ph {
+                PlanPhase::Comm(msgs) => msgs.iter().map(|m| m.x_cols.len() + m.y_rows.len()).sum(),
+                PlanPhase::Compute(_) => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        MailboxState {
+            xbuf: vec![HashMap::new(); plan.k],
+            ybuf: vec![HashMap::new(); plan.k],
+            captured: Vec::with_capacity(max_words),
+        }
+    }
+}
+
+/// Executes `plan` on input `x`, writing the assembled result into the
+/// caller's `y` buffer (`y.len() == plan.nrows`, fully overwritten).
+/// `state` is cleared and reused — no per-call map allocation.
 ///
 /// # Panics
 /// Panics if a multiply-add needs an `x` value its processor does not
 /// hold — that is a plan construction bug, not a data error.
-pub fn execute_mailbox(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+pub fn execute_mailbox_into(plan: &SpmvPlan, x: &[f64], y: &mut [f64], state: &mut MailboxState) {
     assert_eq!(x.len(), plan.ncols, "input length mismatch");
-    let k = plan.k;
-    let mut xbuf: Vec<HashMap<u32, f64>> = vec![HashMap::new(); k];
-    let mut ybuf: Vec<HashMap<u32, f64>> = vec![HashMap::new(); k];
+    assert_eq!(y.len(), plan.nrows, "output length mismatch");
+    assert_eq!(state.xbuf.len(), plan.k, "state belongs to a different plan");
+    let MailboxState { xbuf, ybuf, captured } = state;
+    for buf in xbuf.iter_mut().chain(ybuf.iter_mut()) {
+        buf.clear();
+    }
     for (j, &xj) in x.iter().enumerate() {
         xbuf[plan.x_part[j] as usize].insert(j as u32, xj);
     }
-
-    // One flat capture buffer reused by every communication phase,
-    // sized for the largest phase up front.
-    let max_words = plan
-        .phases
-        .iter()
-        .map(|ph| match ph {
-            PlanPhase::Comm(msgs) => msgs.iter().map(|m| m.x_cols.len() + m.y_rows.len()).sum(),
-            PlanPhase::Compute(_) => 0,
-        })
-        .max()
-        .unwrap_or(0);
-    let mut captured: Vec<f64> = Vec::with_capacity(max_words);
 
     for (phase_idx, phase) in plan.phases.iter().enumerate() {
         match phase {
@@ -90,10 +117,25 @@ pub fn execute_mailbox(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
         }
     }
 
-    let mut y = vec![0.0f64; plan.nrows];
     for (i, yi) in y.iter_mut().enumerate() {
         *yi = *ybuf[plan.y_part[i] as usize].get(&(i as u32)).unwrap_or(&0.0);
     }
+}
+
+/// Executes `plan` on input `x`, returning a freshly allocated `y`.
+///
+/// Thin shim over [`execute_mailbox_into`], kept for compatibility.
+/// Prefer the out-param form (or a
+/// [`MailboxOperator`](crate::operator::MailboxOperator)) — this shim
+/// rebuilds the interpretation state and allocates the output on every
+/// call.
+#[deprecated(
+    since = "0.1.0",
+    note = "use execute_mailbox_into (out-param, reusable state) or MailboxOperator"
+)]
+pub fn execute_mailbox(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0f64; plan.nrows];
+    execute_mailbox_into(plan, x, &mut y, &mut MailboxState::for_plan(plan));
     y
 }
 
@@ -116,12 +158,19 @@ mod tests {
         (0..n).map(|j| (j as f64) * 0.5 - 3.0).collect()
     }
 
+    /// Out-param execution with throwaway state (test convenience).
+    fn mailbox(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; plan.nrows];
+        execute_mailbox_into(plan, x, &mut y, &mut MailboxState::for_plan(plan));
+        y
+    }
+
     #[test]
     fn fig1_single_phase_matches_serial() {
         let a = fig1_matrix();
         let p = fig1_partition();
         let x = x_for(a.ncols());
-        let y = execute_mailbox(&SpmvPlan::single_phase(&a, &p), &x);
+        let y = mailbox(&SpmvPlan::single_phase(&a, &p), &x);
         assert_close(&y, &a.spmv_alloc(&x));
     }
 
@@ -130,7 +179,7 @@ mod tests {
         let a = fig1_matrix();
         let p = fig1_partition();
         let x = x_for(a.ncols());
-        let y = execute_mailbox(&SpmvPlan::two_phase(&a, &p), &x);
+        let y = mailbox(&SpmvPlan::two_phase(&a, &p), &x);
         assert_close(&y, &a.spmv_alloc(&x));
     }
 
@@ -140,7 +189,7 @@ mod tests {
         let p = fig1_partition();
         let x = x_for(a.ncols());
         for (pr, pc) in [(1, 3), (3, 1)] {
-            let y = execute_mailbox(&SpmvPlan::mesh(&a, &p, pr, pc), &x);
+            let y = mailbox(&SpmvPlan::mesh(&a, &p, pr, pc), &x);
             assert_close(&y, &a.spmv_alloc(&x));
         }
     }
@@ -150,7 +199,7 @@ mod tests {
         let a = Coo::from_pattern(3, 3, &[(0, 0)]).to_csr();
         let p = SpmvPartition::rowwise(&a, vec![0, 1, 1], vec![0, 0, 1], 2);
         let x = vec![2.0, 3.0, 4.0];
-        let y = execute_mailbox(&SpmvPlan::single_phase(&a, &p), &x);
+        let y = mailbox(&SpmvPlan::single_phase(&a, &p), &x);
         assert_eq!(y, vec![2.0, 0.0, 0.0]);
     }
 
@@ -162,7 +211,7 @@ mod tests {
         // Identity nonzero (i,i): owner must be y_part[i] or x_part[i].
         let p = SpmvPartition::rowwise(&a, y_part, x_part, 4);
         let x = x_for(8);
-        let y = execute_mailbox(&SpmvPlan::single_phase(&a, &p), &x);
+        let y = mailbox(&SpmvPlan::single_phase(&a, &p), &x);
         assert_close(&y, &x);
     }
 
@@ -183,6 +232,16 @@ mod tests {
                 vec![],
             ])],
         };
-        let _ = execute_mailbox(&plan, &[1.0, 2.0]);
+        let _ = mailbox(&plan, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn vec_returning_shim_matches_out_param_core() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let x = x_for(a.ncols());
+        assert_eq!(execute_mailbox(&plan, &x), mailbox(&plan, &x));
     }
 }

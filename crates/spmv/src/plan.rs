@@ -258,13 +258,122 @@ impl SpmvPlan {
     }
 
     /// Executes the plan with the deterministic mailbox executor.
+    ///
+    /// Convenience wrapper over
+    /// [`execute_mailbox_into`](crate::exec::execute_mailbox_into); for
+    /// repeated applications build a
+    /// [`MailboxOperator`](crate::operator::MailboxOperator) instead (it
+    /// reuses the interpretation state across calls).
     pub fn execute_mailbox(&self, x: &[f64]) -> Vec<f64> {
-        crate::exec::execute_mailbox(self, x)
+        let mut y = vec![0.0f64; self.nrows];
+        crate::exec::execute_mailbox_into(
+            self,
+            x,
+            &mut y,
+            &mut crate::exec::MailboxState::for_plan(self),
+        );
+        y
     }
 
     /// Executes the plan with one thread per virtual processor.
+    ///
+    /// Convenience wrapper over
+    /// [`execute_threaded_into`](crate::threaded::execute_threaded_into).
     pub fn execute_threaded(&self, x: &[f64]) -> Vec<f64> {
-        crate::threaded::execute_threaded(self, x)
+        let mut y = vec![0.0f64; self.nrows];
+        crate::threaded::execute_threaded_into(self, x, &mut y);
+        y
+    }
+}
+
+/// Which plan construction a [`Session`-style] consumer wants — the
+/// paper's three algorithm families behind one selector, mirroring the
+/// [`SpmvPlan`] constructors.
+///
+/// [`Session`-style]: SpmvPlan
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Fused single-phase s2D (Section III) — requires an s2D partition.
+    SinglePhase,
+    /// Two-phase Expand / Fold (works for any partition).
+    TwoPhase,
+    /// Mesh-routed s2D-b with an explicit `pr × pc` processor mesh.
+    Mesh {
+        /// Mesh rows.
+        pr: usize,
+        /// Mesh columns.
+        pc: usize,
+    },
+    /// Mesh-routed s2D-b on the default nearly-square mesh.
+    MeshAuto,
+}
+
+impl PlanKind {
+    /// Builds the plan of this kind for `(a, p)`.
+    ///
+    /// # Panics
+    /// Panics if the partition does not satisfy the kind's
+    /// prerequisites (e.g. [`PlanKind::SinglePhase`] on a non-s2D
+    /// partition) — same contract as the underlying constructors.
+    pub fn build(&self, a: &Csr, p: &SpmvPartition) -> SpmvPlan {
+        match *self {
+            PlanKind::SinglePhase => SpmvPlan::single_phase(a, p),
+            PlanKind::TwoPhase => SpmvPlan::two_phase(a, p),
+            PlanKind::Mesh { pr, pc } => SpmvPlan::mesh(a, p, pr, pc),
+            PlanKind::MeshAuto => SpmvPlan::mesh_default(a, p),
+        }
+    }
+
+    /// The three parameter-free kinds, for conformance/differential
+    /// sweeps (explicit meshes are covered by [`PlanKind::MeshAuto`]'s
+    /// default dimensions).
+    pub fn all() -> [PlanKind; 3] {
+        [PlanKind::SinglePhase, PlanKind::TwoPhase, PlanKind::MeshAuto]
+    }
+
+    /// The best legal kind for `(a, p)`: fused single-phase when the
+    /// partition satisfies the s2D property, two-phase otherwise. The
+    /// one rule behind the CLI's `--alg auto` and the `Session`
+    /// builder's default.
+    pub fn auto(a: &Csr, p: &SpmvPartition) -> PlanKind {
+        if p.is_s2d(a) {
+            PlanKind::SinglePhase
+        } else {
+            PlanKind::TwoPhase
+        }
+    }
+
+    /// Short stable label (used in bench ids and test diagnostics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKind::SinglePhase => "single_phase",
+            PlanKind::TwoPhase => "two_phase",
+            PlanKind::Mesh { .. } | PlanKind::MeshAuto => "mesh",
+        }
+    }
+}
+
+impl std::str::FromStr for PlanKind {
+    type Err = String;
+
+    /// Parses the CLI `--alg` names: `single`, `two`, `mesh` (also
+    /// accepts the long labels `single_phase` / `two_phase`).
+    fn from_str(s: &str) -> Result<PlanKind, String> {
+        match s {
+            "single" | "single_phase" | "single-phase" => Ok(PlanKind::SinglePhase),
+            "two" | "two_phase" | "two-phase" => Ok(PlanKind::TwoPhase),
+            "mesh" => Ok(PlanKind::MeshAuto),
+            other => Err(format!("unknown plan kind {other:?} (single|two|mesh)")),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanKind::Mesh { pr, pc } => write!(f, "mesh({pr}x{pc})"),
+            other => f.write_str(other.label()),
+        }
     }
 }
 

@@ -64,19 +64,36 @@ fn rank_scripts(plan: &SpmvPlan) -> Vec<Vec<RankPhase<'_>>> {
     scripts
 }
 
-/// Executes `plan` on input `x` with `plan.k` ranks (OS threads).
-pub fn execute_threaded(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
-    execute_on_cluster(plan, x, ChaosConfig::off())
+/// Executes `plan` on input `x` with `plan.k` ranks (OS threads),
+/// writing the assembled result into the caller's `y` buffer
+/// (`y.len() == plan.nrows`, fully overwritten).
+pub fn execute_threaded_into(plan: &SpmvPlan, x: &[f64], y: &mut [f64]) {
+    execute_on_cluster(plan, x, y, ChaosConfig::off())
 }
 
-/// [`execute_threaded`] with delivery-delay injection — used by tests to
+/// Executes `plan` on input `x` with `plan.k` ranks (OS threads).
+///
+/// Thin shim over [`execute_threaded_into`]; prefer the out-param form
+/// (or a [`ThreadedOperator`](crate::operator::ThreadedOperator)) —
+/// this shim allocates the output on every call.
+#[deprecated(since = "0.1.0", note = "use execute_threaded_into (out-param) or ThreadedOperator")]
+pub fn execute_threaded(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0f64; plan.nrows];
+    execute_threaded_into(plan, x, &mut y);
+    y
+}
+
+/// Threaded execution with delivery-delay injection — used by tests to
 /// shake out ordering assumptions.
 pub fn execute_chaotic(plan: &SpmvPlan, x: &[f64], chaos: ChaosConfig) -> Vec<f64> {
-    execute_on_cluster(plan, x, chaos)
+    let mut y = vec![0.0f64; plan.nrows];
+    execute_on_cluster(plan, x, &mut y, chaos);
+    y
 }
 
-fn execute_on_cluster(plan: &SpmvPlan, x: &[f64], chaos: ChaosConfig) -> Vec<f64> {
+fn execute_on_cluster(plan: &SpmvPlan, x: &[f64], y: &mut [f64], chaos: ChaosConfig) {
     assert_eq!(x.len(), plan.ncols, "input length mismatch");
+    assert_eq!(y.len(), plan.nrows, "output length mismatch");
     let k = plan.k;
     let scripts = rank_scripts(plan);
 
@@ -96,13 +113,11 @@ fn execute_on_cluster(plan: &SpmvPlan, x: &[f64], chaos: ChaosConfig) -> Vec<f64
     });
 
     // Assemble y from each owner's final accumulator.
-    let mut y = vec![0.0f64; plan.nrows];
     let mut owner_y: Vec<HashMap<u32, f64>> =
         results.into_iter().map(|pairs| pairs.into_iter().collect()).collect();
     for (i, yi) in y.iter_mut().enumerate() {
         *yi = owner_y[plan.y_part[i] as usize].remove(&(i as u32)).unwrap_or(0.0);
     }
-    y
 }
 
 /// One rank's SPMD body: walk the phase script, multiply-accumulate,
@@ -180,6 +195,13 @@ mod tests {
         }
     }
 
+    /// Out-param execution into a fresh buffer (test convenience).
+    fn threaded(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; plan.nrows];
+        execute_threaded_into(plan, x, &mut y);
+        y
+    }
+
     #[test]
     fn threaded_matches_mailbox_on_all_plan_kinds() {
         let a = fig1_matrix();
@@ -191,7 +213,7 @@ mod tests {
             SpmvPlan::two_phase(&a, &p),
             SpmvPlan::mesh(&a, &p, 3, 1),
         ] {
-            let y_threaded = execute_threaded(&plan, &x);
+            let y_threaded = threaded(&plan, &x);
             let y_mailbox = plan.execute_mailbox(&x);
             assert_close(&y_threaded, &reference);
             assert_close(&y_mailbox, &reference);
@@ -206,9 +228,9 @@ mod tests {
         let p = fig1_partition();
         let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 / (j + 1) as f64).collect();
         let plan = SpmvPlan::single_phase(&a, &p);
-        let y1 = execute_threaded(&plan, &x);
+        let y1 = threaded(&plan, &x);
         for _ in 0..4 {
-            let y2 = execute_threaded(&plan, &x);
+            let y2 = threaded(&plan, &x);
             assert_close(&y1, &y2);
         }
     }

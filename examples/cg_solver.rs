@@ -12,9 +12,10 @@
 
 use s2d::baselines::partition_1d_rowwise;
 use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
+use s2d::solver::{cg_solve, cg_solve_with, CgOptions};
 use s2d::sparse::{Coo, Csr};
 use s2d::spmv::SpmvPlan;
-use s2d_solver::{cg_solve, CgOptions};
+use s2d::{Backend, Session};
 
 /// 5-point Laplacian on an `s × s` grid.
 fn laplacian2d(s: usize) -> Csr {
@@ -73,4 +74,19 @@ fn main() {
         stats.total_messages * res.iterations as u64
     );
     assert!(res.converged && err < 1e-6);
+
+    // The same solver by operator injection: every backend runs the
+    // identical CG core through a Session-built operator.
+    println!("\nCG by operator injection, every backend:");
+    for backend in Backend::all() {
+        let mut session = Session::builder(&a).partition(&s2d).backend(backend).build();
+        let t = std::time::Instant::now();
+        let inj = cg_solve_with(&mut session, &b, &CgOptions { tol: 1e-10, max_iters: 2000 });
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {backend:<14} {} iterations, residual {:.2e}, {ms:.1} ms",
+            inj.iterations, inj.relative_residual
+        );
+        assert!(inj.converged, "{backend}: CG must converge");
+    }
 }

@@ -12,7 +12,7 @@
 use s2d::baselines::partition_1d_rowwise;
 use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
 use s2d::gen::fem::fem_like;
-use s2d::spmv::SpmvPlan;
+use s2d::{Backend, PlanKind, Session, SpmvOperator};
 
 fn normalize(v: &mut [f64]) -> f64 {
     let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -24,14 +24,16 @@ fn normalize(v: &mut [f64]) -> f64 {
     norm
 }
 
-fn power_iteration(mut spmv: impl FnMut(&[f64]) -> Vec<f64>, n: usize, iters: usize) -> f64 {
+fn power_iteration(op: &mut impl SpmvOperator, iters: usize) -> f64 {
+    let n = op.ncols();
     let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
     normalize(&mut v);
+    let mut w = vec![0.0; n];
     let mut lambda = 0.0;
     for _ in 0..iters {
-        let mut w = spmv(&v);
+        op.apply(&v, &mut w);
         lambda = normalize(&mut w);
-        v = w;
+        std::mem::swap(&mut v, &mut w);
     }
     lambda
 }
@@ -40,29 +42,41 @@ fn main() {
     let a = fem_like(8_000, 27.0, 27, 3);
     println!("matrix: {} x {}, nnz {}", a.nrows(), a.ncols(), a.nnz());
 
-    // Partition once, plan once.
+    // Partition once, build the session once: the plan construction
+    // and the backend's compilation are paid here, not per iteration.
     let k = 16;
     let oned = partition_1d_rowwise(&a, k, 0.03, 1);
     let s2d =
         s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
-    let plan = SpmvPlan::single_phase(&a, &s2d);
+    let mut session = Session::builder(&a)
+        .partition(&s2d)
+        .plan_kind(PlanKind::SinglePhase)
+        .backend(Backend::CompiledSeq)
+        .build();
     println!(
         "plan: K = {k}, comm volume {} words/iteration, max {} msgs",
-        plan.comm_stats().total_volume,
-        plan.comm_stats().max_send_msgs()
+        session.stats().total_volume,
+        session.stats().max_send_msgs()
     );
 
+    /// The serial oracle as a custom operator — anything with an
+    /// `apply` plugs into the same iteration loop.
+    struct SerialCsr<'a>(&'a s2d::sparse::Csr);
+    impl SpmvOperator for SerialCsr<'_> {
+        fn nrows(&self) -> usize {
+            self.0.nrows()
+        }
+        fn ncols(&self) -> usize {
+            self.0.ncols()
+        }
+        fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+            self.0.spmv(x, y)
+        }
+    }
+
     let iters = 30;
-    let lambda_par = power_iteration(|x| plan.execute_mailbox(x), a.nrows(), iters);
-    let lambda_ser = power_iteration(
-        |x| {
-            let mut y = vec![0.0; a.nrows()];
-            a.spmv(x, &mut y);
-            y
-        },
-        a.nrows(),
-        iters,
-    );
+    let lambda_par = power_iteration(&mut session, iters);
+    let lambda_ser = power_iteration(&mut SerialCsr(&a), iters);
     println!("dominant eigenvalue after {iters} iterations:");
     println!("  distributed single-phase: {lambda_par:.10}");
     println!("  serial reference:         {lambda_ser:.10}");

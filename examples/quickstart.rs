@@ -10,7 +10,8 @@ use s2d::core::comm::s2d_comm_stats;
 use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
 use s2d::gen::rmat::{rmat, RmatConfig};
 use s2d::sim::MachineModel;
-use s2d::spmv::{simulate_plan, SpmvPlan};
+use s2d::spmv::simulate_plan;
+use s2d::{Backend, PlanKind, Session};
 
 fn main() {
     // A scale-free R-MAT graph: the degree skew that motivates s2D.
@@ -41,16 +42,23 @@ fn main() {
     );
     assert!(stats_s2d.total_volume <= stats_1d.total_volume);
 
-    // Step 3: compile the single-phase plan and execute it.
-    let plan = SpmvPlan::single_phase(&a, &s2d);
+    // Step 3: one Session ties it together — single-phase plan on the
+    // compiled sequential backend, setup paid once, then apply into
+    // caller-owned buffers.
+    let mut session = Session::builder(&a)
+        .partition(&s2d)
+        .plan_kind(PlanKind::SinglePhase)
+        .backend(Backend::CompiledSeq)
+        .build();
     let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 10) as f64).collect();
-    let y = plan.execute_mailbox(&x);
+    let mut y = vec![0.0; a.nrows()];
+    session.apply(&x, &mut y);
     let y_ref = a.spmv_alloc(&x);
     let max_err = y.iter().zip(&y_ref).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
     println!("single-phase SpMV max |error| vs serial: {max_err:.2e}");
 
     // Step 4: what would it cost on an XE6-like machine?
-    let report = simulate_plan(&plan, &MachineModel::cray_xe6());
+    let report = simulate_plan(session.plan(), &MachineModel::cray_xe6());
     println!(
         "modelled parallel time {:.1} us, speedup {:.1} on {k} processors",
         report.parallel_time * 1e6,

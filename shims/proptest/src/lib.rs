@@ -208,7 +208,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Inclusive length bounds for [`vec`].
+    /// Inclusive length bounds for [`vec`](fn@vec).
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         /// Minimum length.
@@ -242,7 +242,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -4,7 +4,10 @@
 //! *"Semi-two-dimensional partitioning for parallel sparse matrix-vector
 //! multiplication"* (IPDPSW/PCO 2015).
 //!
-//! Re-exports every subsystem crate under one roof:
+//! Re-exports every subsystem crate under one roof, and provides the
+//! [`Session`] builder — the one-stop entry point tying a matrix, a
+//! partition, a plan kind ([`PlanKind`]) and an execution backend
+//! ([`Backend`]) into a ready [`SpmvOperator`]:
 //!
 //! * [`sparse`] — COO/CSR/CSC matrices, Matrix Market I/O, block structure.
 //! * [`dm`] — Hopcroft–Karp matching, Dulmage–Mendelsohn decomposition.
@@ -21,25 +24,70 @@
 //!
 //! ## Quickstart
 //!
+//! Partition once, build a [`Session`] once, then multiply as often as
+//! you like — the session owns the built plan and a ready backend
+//! operator, so the setup cost (plan construction, compilation, buffer
+//! allocation) is paid exactly once:
+//!
 //! ```
 //! use s2d::gen::rmat::{rmat, RmatConfig};
 //! use s2d::baselines::oned::partition_1d_rowwise;
 //! use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
-//! use s2d::spmv::plan::SpmvPlan;
+//! use s2d::{Backend, PlanKind, Session};
 //!
+//! // A scale-free matrix and an s2D partition over 4 processors.
 //! let a = rmat(&RmatConfig::graph500(8, 8), 42).to_csr();
-//! let k = 4;
-//! let oned = partition_1d_rowwise(&a, k, 0.03, 1);
+//! let oned = partition_1d_rowwise(&a, 4, 0.03, 1);
 //! let s2d = s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
-//! let plan = SpmvPlan::single_phase(&a, &s2d);
+//!
+//! // Matrix + partition + plan kind + backend, fluently.
+//! let mut session = Session::builder(&a)
+//!     .partition(&s2d)
+//!     .plan_kind(PlanKind::SinglePhase)
+//!     .backend(Backend::CompiledSeq)
+//!     .build();
+//! println!("comm volume per iteration: {} words", session.stats().total_volume);
+//!
+//! // Steady state: apply into caller-owned buffers, zero allocation.
 //! let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64).collect();
-//! let y = plan.execute_mailbox(&x);
+//! let mut y = vec![0.0; a.nrows()];
+//! session.apply(&x, &mut y);
 //! let mut y_ref = vec![0.0; a.nrows()];
 //! a.spmv(&x, &mut y_ref);
-//! for (a, b) in y.iter().zip(&y_ref) {
-//!     assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+//! for (u, v) in y.iter().zip(&y_ref) {
+//!     assert!((u - v).abs() <= 1e-9 * v.abs().max(1.0));
 //! }
 //! ```
+//!
+//! Sessions implement [`SpmvOperator`], so they plug straight into the
+//! solvers — and because every backend yields the same operator shape,
+//! **every solver runs on every backend**:
+//!
+//! ```
+//! use s2d::sparse::Coo;
+//! use s2d::core::partition::SpmvPartition;
+//! use s2d::solver::{cg_solve_with, CgOptions};
+//! use s2d::{Backend, Session};
+//!
+//! // A small SPD system, block-partitioned over 2 processors.
+//! let mut m = Coo::new(8, 8);
+//! for i in 0..8 {
+//!     m.push(i, i, 4.0);
+//!     if i + 1 < 8 { m.push(i, i + 1, -1.0); m.push(i + 1, i, -1.0); }
+//! }
+//! m.compress();
+//! let a = m.to_csr();
+//! let part: Vec<u32> = (0..8).map(|i| (i / 4) as u32).collect();
+//! let p = SpmvPartition::rowwise(&a, part.clone(), part, 2);
+//!
+//! for backend in Backend::all() {
+//!     let mut session = Session::builder(&a).partition(&p).backend(backend).build();
+//!     let res = cg_solve_with(&mut session, &vec![1.0; 8], &CgOptions::default());
+//!     assert!(res.converged);
+//! }
+//! ```
+
+pub mod session;
 
 pub use s2d_baselines as baselines;
 pub use s2d_core as core;
@@ -52,3 +100,7 @@ pub use s2d_sim as sim;
 pub use s2d_solver as solver;
 pub use s2d_sparse as sparse;
 pub use s2d_spmv as spmv;
+
+pub use s2d_engine::Backend;
+pub use s2d_spmv::{PlanKind, SpmvOperator};
+pub use session::{Session, SessionBuilder};

@@ -1,0 +1,267 @@
+//! The [`Session`] facade: matrix + partition + plan kind + backend +
+//! batch width, chosen fluently, yielding a ready [`SpmvOperator`] plus
+//! plan statistics.
+//!
+//! A session is the unit of amortization: plan construction, backend
+//! setup (compilation, buffer allocation, worker threads) and stats
+//! extraction happen once in [`SessionBuilder::build`]; afterwards
+//! every [`Session::apply`] / [`Session::apply_batch`] runs at
+//! steady-state cost. Sessions implement [`SpmvOperator`] themselves,
+//! so they inject directly into the `s2d-solver` `*_with` entry points.
+
+use std::sync::Arc;
+
+use s2d_core::comm::CommStats;
+use s2d_core::partition::SpmvPartition;
+use s2d_engine::Backend;
+use s2d_sparse::Csr;
+use s2d_spmv::{PlanKind, SpmvOperator, SpmvPlan};
+
+/// Fluent configuration for a [`Session`]. Start from
+/// [`Session::builder`].
+pub struct SessionBuilder<'a> {
+    a: &'a Csr,
+    partition: Option<&'a SpmvPartition>,
+    plan_kind: Option<PlanKind>,
+    backend: Backend,
+    batch_width: usize,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// The partition to run on (required).
+    pub fn partition(mut self, p: &'a SpmvPartition) -> Self {
+        self.partition = Some(p);
+        self
+    }
+
+    /// The plan construction to use. Defaults to the best legal one:
+    /// single-phase when the partition satisfies the s2D property,
+    /// two-phase otherwise.
+    pub fn plan_kind(mut self, kind: PlanKind) -> Self {
+        self.plan_kind = Some(kind);
+        self
+    }
+
+    /// The execution backend (default [`Backend::CompiledSeq`] — see
+    /// the `s2d_engine::backend` docs for selection guidance).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Widest multi-RHS batch the session will run (default 1).
+    /// Buffers are sized for it up front; wider batches later still
+    /// work but pay a one-time regrowth.
+    pub fn batch_width(mut self, width: usize) -> Self {
+        assert!(width >= 1, "batch width must be at least 1");
+        self.batch_width = width;
+        self
+    }
+
+    /// Builds the plan, pays the backend's setup cost, and returns the
+    /// ready session.
+    ///
+    /// # Panics
+    /// Panics if no partition was supplied, the partition doesn't fit
+    /// the matrix, or the chosen plan kind's prerequisites fail (e.g.
+    /// [`PlanKind::SinglePhase`] on a non-s2D partition).
+    pub fn build(self) -> Session {
+        let p = self.partition.expect("SessionBuilder: a partition is required");
+        let kind = self.plan_kind.unwrap_or_else(|| PlanKind::auto(self.a, p));
+        let plan = Arc::new(kind.build(self.a, p));
+        let stats = plan.comm_stats();
+        let operator = self.backend.build(&plan, self.batch_width);
+        Session {
+            plan,
+            operator,
+            stats,
+            kind,
+            backend: self.backend,
+            batch_width: self.batch_width,
+        }
+    }
+}
+
+/// A ready-to-run SpMV session: the built plan, its communication
+/// statistics, and one backend operator with all setup cost paid.
+pub struct Session {
+    plan: Arc<SpmvPlan>,
+    operator: Box<dyn SpmvOperator + Send>,
+    stats: CommStats,
+    kind: PlanKind,
+    backend: Backend,
+    batch_width: usize,
+}
+
+impl Session {
+    /// Starts configuring a session over `a`.
+    pub fn builder(a: &Csr) -> SessionBuilder<'_> {
+        SessionBuilder {
+            a,
+            partition: None,
+            plan_kind: None,
+            backend: Backend::CompiledSeq,
+            batch_width: 1,
+        }
+    }
+
+    /// `y = A·x` (see [`SpmvOperator::apply`]).
+    pub fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.operator.apply(x, y)
+    }
+
+    /// `Y = A·X` over `r` right-hand sides, row-major blocks (see
+    /// [`SpmvOperator::apply_batch`]).
+    pub fn apply_batch(&mut self, x: &[f64], y: &mut [f64], r: usize) {
+        self.operator.apply_batch(x, y, r)
+    }
+
+    /// The built plan.
+    pub fn plan(&self) -> &SpmvPlan {
+        &self.plan
+    }
+
+    /// Per-iteration communication statistics of the plan.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// The plan kind that was built.
+    pub fn plan_kind(&self) -> PlanKind {
+        self.kind
+    }
+
+    /// The backend executing this session.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The batch width requested at build time (what the buffers were
+    /// initially sized for — a wider `apply_batch` later grows the
+    /// operator's buffers without updating this).
+    pub fn batch_width(&self) -> usize {
+        self.batch_width
+    }
+
+    /// Mutable access to the underlying operator (e.g. to hand it to a
+    /// solver by `&mut` without consuming the session).
+    pub fn operator_mut(&mut self) -> &mut (dyn SpmvOperator + Send) {
+        &mut *self.operator
+    }
+
+    /// Consumes the session, returning the bare operator.
+    pub fn into_operator(self) -> Box<dyn SpmvOperator + Send> {
+        self.operator
+    }
+}
+
+/// Sessions are themselves operators — inject them straight into the
+/// solver `*_with` entry points.
+impl SpmvOperator for Session {
+    fn nrows(&self) -> usize {
+        self.plan.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.plan.ncols
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.operator.apply(x, y)
+    }
+
+    fn apply_batch(&mut self, x: &[f64], y: &mut [f64], r: usize) {
+        self.operator.apply_batch(x, y, r)
+    }
+
+    fn apply_batch_iters(&mut self, x: &[f64], y: &mut [f64], r: usize, iters: usize) {
+        self.operator.apply_batch_iters(x, y, r, iters)
+    }
+
+    fn deterministic(&self) -> bool {
+        self.operator.deterministic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_core::fig1::{fig1_matrix, fig1_partition};
+
+    #[test]
+    fn builder_defaults_pick_the_best_legal_plan() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let mut s = Session::builder(&a).partition(&p).build();
+        assert_eq!(s.plan_kind(), PlanKind::SinglePhase, "fig1 partition is s2D");
+        assert_eq!(s.backend(), Backend::CompiledSeq);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 - 5.0).collect();
+        let mut y = vec![0.0; a.nrows()];
+        s.apply(&x, &mut y);
+        let want = a.spmv_alloc(&x);
+        for (g, w) in y.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{g} vs {w}");
+        }
+        assert!(s.stats().total_volume > 0);
+    }
+
+    #[test]
+    fn every_backend_and_kind_builds_through_the_facade() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 0.25 * j as f64 - 1.0).collect();
+        let want = a.spmv_alloc(&x);
+        for kind in PlanKind::all() {
+            for backend in Backend::all() {
+                let mut s = Session::builder(&a)
+                    .partition(&p)
+                    .plan_kind(kind)
+                    .backend(backend)
+                    .batch_width(2)
+                    .build();
+                let mut y = vec![0.0; a.nrows()];
+                s.apply(&x, &mut y);
+                for (g, w) in y.iter().zip(&want) {
+                    assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{kind}/{backend}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_inject_into_solvers() {
+        use s2d_solver::{cg_solve_with, CgOptions};
+        use s2d_sparse::Coo;
+        let n = 16;
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 4.0);
+            if i + 1 < n {
+                m.push(i, i + 1, -1.0);
+                m.push(i + 1, i, -1.0);
+            }
+        }
+        m.compress();
+        let a = m.to_csr();
+        let part: Vec<u32> = (0..n).map(|i| (i / 4) as u32).collect();
+        let p = SpmvPartition::rowwise(&a, part.clone(), part, 4);
+        let mut s = Session::builder(&a)
+            .partition(&p)
+            .backend(Backend::CompiledPool { threads: 2 })
+            .build();
+        let b = vec![1.0; n];
+        let res = cg_solve_with(&mut s, &b, &CgOptions::default());
+        assert!(res.converged);
+        let ax = a.spmv_alloc(&res.x);
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition is required")]
+    fn missing_partition_is_rejected() {
+        let a = fig1_matrix();
+        let _ = Session::builder(&a).build();
+    }
+}
