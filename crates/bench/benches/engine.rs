@@ -24,7 +24,9 @@ use std::time::Instant;
 
 use s2d_baselines::partition_1d_rowwise;
 use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
-use s2d_engine::{Backend, CompiledPlan, ParallelEngine};
+use s2d_engine::{Backend, CompiledPlan, KernelFormat, ParallelEngine};
+use s2d_gen::fem::fem_like;
+use s2d_gen::powerlaw::power_law;
 use s2d_gen::rmat::{rmat, RmatConfig};
 use s2d_gen::{suite_a, Scale};
 use s2d_sparse::Csr;
@@ -37,6 +39,18 @@ const K: usize = 16;
 /// `S2D_ENGINE_BENCH_FAST=0` (or empty) keeps the full run.
 fn fast_mode() -> bool {
     std::env::var("S2D_ENGINE_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Kernel format for the per-backend benches, from
+/// `S2D_BENCH_KERNEL_FORMAT` (the CI smoke matrix sweeps it); the
+/// default CSR keeps bench-id continuity with earlier runs.
+fn bench_kernel_format() -> KernelFormat {
+    match std::env::var("S2D_BENCH_KERNEL_FORMAT") {
+        Ok(v) if !v.is_empty() => {
+            v.parse().unwrap_or_else(|e| panic!("S2D_BENCH_KERNEL_FORMAT: {e}"))
+        }
+        _ => KernelFormat::CsrSlice,
+    }
 }
 
 /// R-MAT scale for the acceptance matrix (2^14 rows, 2^11 in fast mode).
@@ -77,17 +91,82 @@ fn bench_matrix(c: &mut Criterion, name: &str, a: &Csr) {
 
     let plan = Arc::new(plan);
     let mut y = vec![0.0; a.nrows()];
+    let format = bench_kernel_format();
     for backend in Backend::all() {
         // Setup (compilation, buffers, worker spawn) is paid here, once
-        // — the measured loop is the amortized steady state.
-        let mut op = backend.build(&plan, 1);
-        c.bench_function(&format!("engine/{backend}/{name}/k{K}"), |b| {
+        // — the measured loop is the amortized steady state. The
+        // compiled backends run whatever kernel format the CI matrix
+        // selected; format-suffixed ids keep the trajectories separate.
+        let mut op = backend.build_with(&plan, 1, format);
+        let id = match (backend, format) {
+            (Backend::CompiledSeq | Backend::CompiledPool { .. }, f)
+                if f != KernelFormat::CsrSlice =>
+            {
+                format!("engine/{backend}+{}/{name}/k{K}", f.label())
+            }
+            _ => format!("engine/{backend}/{name}/k{K}"),
+        };
+        c.bench_function(&id, |b| {
             b.iter(|| {
                 op.apply(&x, &mut y);
                 black_box(y[0])
             })
         });
     }
+}
+
+/// Per-format comparison on three shapes (skewed R-MAT, power-law tail,
+/// FEM stencil): the sequential compiled path at r = 1 and r = 8 for
+/// every `KernelFormat`. Criterion ids are
+/// `engine/format/<fmt>/<matrix>/r<r>`.
+fn bench_formats(c: &mut Criterion) {
+    // The format *comparison* sweeps every format itself, so it runs on
+    // the canonical (csr) leg of the CI matrix only — the other legs
+    // would repeat identical measurements into their artifacts.
+    if bench_kernel_format() != KernelFormat::CsrSlice {
+        return;
+    }
+    let formats: Vec<KernelFormat> = KernelFormat::all()
+        .into_iter()
+        .chain([KernelFormat::SellCSigma { c: 8, sigma: 256 }])
+        .collect();
+    for (name, a) in format_matrices() {
+        let plan = plan_for(&a);
+        for &format in &formats {
+            let cp = CompiledPlan::compile_with(&plan, format);
+            for r in [1usize, 8] {
+                let x: Vec<f64> =
+                    (0..a.ncols() * r).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+                let mut ws = cp.workspace_batch(r);
+                let mut y = vec![0.0; a.nrows() * r];
+                let label = match format {
+                    KernelFormat::SellCSigma { c, .. } => format!("sell{c}"),
+                    other => other.label().to_string(),
+                };
+                c.bench_function(&format!("engine/format/{label}/{name}/r{r}"), |b| {
+                    b.iter(|| {
+                        cp.execute_batch(&mut ws, &x, &mut y, r);
+                        black_box(y[0])
+                    })
+                });
+            }
+        }
+    }
+}
+
+/// The format-comparison matrices at the mode's scale: skewed R-MAT,
+/// power-law tail, FEM stencil, and an ultra-sparse power law (mean
+/// degree ~2 — the many-tiny-rows shape where per-row loop overhead
+/// dominates the CSR slice and sorted chunks pay off).
+fn format_matrices() -> Vec<(&'static str, Csr)> {
+    let scale = rmat_scale();
+    let n = 1usize << scale;
+    vec![
+        ("rmat", rmat(&RmatConfig::graph500(scale, 8), 1).to_csr()),
+        ("powerlaw", power_law(n, 8 * n, 2.2, n / 4, 3)),
+        ("fem", fem_like(n, 7.0, 14, 5)),
+        ("ultrasparse", power_law(n, 2 * n, 2.6, n / 8, 7)),
+    ]
 }
 
 fn bench_suite(c: &mut Criterion) {
@@ -287,9 +366,93 @@ fn batched_acceptance_summary(_c: &mut Criterion) {
     println!("--------------------------------------------------------------");
 }
 
+/// Format acceptance: on the three comparison shapes at r = 8,
+/// (a) SELL-C-σ must beat the CSR slice on at least one matrix, and
+/// (b) `auto` must never be slower than the *worst* fixed format
+/// (within a noise margin) on any matrix — the selection policy may
+/// not pick pathologically.
+fn format_acceptance_summary(_c: &mut Criterion) {
+    const R: usize = 8;
+    // Like bench_formats: one leg of the CI matrix carries the
+    // cross-format acceptance; re-asserting it per leg adds wall time
+    // without additional signal.
+    if bench_kernel_format() != KernelFormat::CsrSlice {
+        return;
+    }
+    println!("--------------------------------------------------------------");
+    let mut best_sell_ratio = 0.0f64;
+    for (name, a) in format_matrices() {
+        let plan = plan_for(&a);
+        let x: Vec<f64> = (0..a.ncols() * R).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+        let time_of = |format: KernelFormat| {
+            let cp = CompiledPlan::compile_with(&plan, format);
+            let mut ws = cp.workspace_batch(R);
+            let mut y = vec![0.0; a.nrows() * R];
+            cp.execute_batch(&mut ws, &x, &mut y, R); // warm
+            let iters = 10;
+            (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        cp.execute_batch(&mut ws, &x, &mut y, R);
+                    }
+                    t.elapsed() / iters
+                })
+                .min()
+                .expect("nonempty")
+                .as_secs_f64()
+        };
+        let csr = time_of(KernelFormat::CsrSlice);
+        // The default chunk height (c = 2) keeps the entry-major
+        // loop's accumulator block (C × R words) in registers at r = 8;
+        // sell:8 is the wide-chunk comparison point (lane-major here).
+        let sell = time_of(KernelFormat::DEFAULT_SELL);
+        let sell8 = time_of(KernelFormat::SellCSigma { c: 8, sigma: 256 });
+        let dense = time_of(KernelFormat::DenseRowSplit);
+        let auto = time_of(KernelFormat::Auto);
+        best_sell_ratio = best_sell_ratio.max(csr / sell).max(csr / sell8);
+        let worst_fixed = csr.max(sell).max(sell8).max(dense);
+        let picks = CompiledPlan::compile_with(&plan, KernelFormat::Auto)
+            .format_counts()
+            .iter()
+            .map(|(f, n)| format!("{}x{}", n, f.label()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "format acceptance {name}/k{K}/r{R}: csr {:.3} ms, sell {:.3} ms ({:.2}x), \
+             sell:8 {:.3} ms ({:.2}x), dense-split {:.3} ms, auto {:.3} ms [{picks}]",
+            csr * 1e3,
+            sell * 1e3,
+            csr / sell,
+            sell8 * 1e3,
+            csr / sell8,
+            dense * 1e3,
+            auto * 1e3,
+        );
+        // (b): auto within noise of (or better than) the worst fixed
+        // format. The real bar is "never pathological", so the margin
+        // only absorbs timing jitter.
+        let margin = if fast_mode() { 1.30 } else { 1.15 };
+        assert!(
+            auto <= worst_fixed * margin,
+            "{name}: auto ({auto:.6}s) slower than the worst fixed format ({worst_fixed:.6}s)"
+        );
+    }
+    // (a): the sorted-chunk format must pay off somewhere at r = 8.
+    let floor = if fast_mode() { 0.80 } else { 1.0 };
+    println!("best sell-vs-csr ratio across matrices: {best_sell_ratio:.2}x (floor {floor})");
+    assert!(
+        best_sell_ratio > floor,
+        "SELL-C-σ must beat the CSR slice on at least one matrix at r = {R} \
+         (best ratio {best_sell_ratio:.2}x)"
+    );
+    println!("--------------------------------------------------------------");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_suite, bench_rmat14, bench_batched, acceptance_summary, batched_acceptance_summary
+    targets = bench_suite, bench_rmat14, bench_batched, bench_formats, acceptance_summary,
+        batched_acceptance_summary, format_acceptance_summary
 }
 criterion_main!(benches);

@@ -8,7 +8,7 @@ use s2d_core::comm::{comm_requirements, single_phase_messages, two_phase_message
 use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
 use s2d_core::optimal::s2d_optimal;
 use s2d_core::partition::SpmvPartition;
-use s2d_engine::Backend;
+use s2d_engine::{Backend, KernelFormat};
 use s2d_gen::{suite_a, suite_b, Scale};
 use s2d_sim::MachineModel;
 use s2d_sparse::{read_matrix_market_file, write_matrix_market_file, Csr, MatrixStats};
@@ -26,7 +26,8 @@ USAGE
   s2d partition <m.mtx> --method <M> --k <K> [--epsilon E] [--seed N] --out p.s2dpart
   s2d analyze   <m.mtx> <p.s2dpart> [--alg single|two|mesh]
   s2d spmv      <m.mtx> <p.s2dpart> [--alg single|two|mesh]
-                [--engine <backend>] [--iters N] [--rhs R]
+                [--engine <backend>] [--kernel-format <fmt>]
+                [--iters N] [--rhs R]
   s2d help
 
 METHODS (--method)
@@ -39,6 +40,19 @@ ENGINES (--engine <backend>)
   compiled-pool[:N]  compiled plan on the persistent worker pool
                      (N workers; default one per rank, capped at CPUs;
                       `compiled` and `pool` are accepted aliases)
+  auto               compile, then pick compiled-seq or compiled-pool
+                     from the plan's op count (pool barriers only pay
+                     off above ~5e5 multiply-adds per iteration)
+
+KERNEL FORMATS (--kernel-format, compiled engines only)
+  csr                run-length grouped CSR slices (default, bitwise
+                     reference)
+  sell[:C[:S]]       SELL-C-sigma: sigma-windowed row sort, C-lane
+                     padded chunks (uniform inner trip count)
+  dense-split        consecutive-column runs become index-free dense
+                     spans (the split-dense-row shape)
+  auto               per rank x phase choice from compile-time
+                     row-length statistics
 
 --rhs R runs a batched multi-RHS SpMV (Y = A·X with R columns). The
 compiled backends execute the whole block at once (row-major X, one
@@ -202,6 +216,25 @@ fn cmd_analyze(args: &Args) {
         p.loads().iter().max().copied().unwrap_or(0),
         a.nnz() as f64 / p.k as f64
     );
+    // Row-length skew across ranks — the shape the engine's kernel-
+    // format auto-selection keys on (split dense rows vs. regular
+    // slices).
+    let profiles = plan.row_profiles();
+    let max_row = profiles.iter().map(|pr| pr.max_row).max().unwrap_or(0);
+    let mean_row = {
+        let (rows, ops): (usize, u64) =
+            profiles.iter().fold((0, 0), |(r, o), pr| (r + pr.rows, o + pr.ops));
+        if rows > 0 {
+            ops as f64 / rows as f64
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "row profile : longest row segment {max_row}, mean {mean_row:.1} \
+         (per-rank max {})",
+        profiles.iter().map(|pr| pr.max_row.to_string()).collect::<Vec<_>>().join("/")
+    );
     println!(
         "comm        : volume {} words, messages {} (avg {:.1} / max {} per proc)",
         stats.total_volume,
@@ -239,11 +272,8 @@ pub fn run_engine(
     run_engine_batch(plan, x, engine, iters, 1)
 }
 
-/// [`run_engine`] over a row-major `ncols × rhs` input block, on any
-/// [`Backend`]: `--engine` parses straight into the enum and the whole
-/// run goes through the one `SpmvOperator` interface. The compiled
-/// backends run the batch natively; the interpreters run column by
-/// column (they are the oracle, not the fast path).
+/// [`run_engine`] over a row-major `ncols × rhs` input block with the
+/// default CSR kernels.
 pub fn run_engine_batch(
     plan: &std::sync::Arc<SpmvPlan>,
     x: &[f64],
@@ -251,22 +281,50 @@ pub fn run_engine_batch(
     iters: usize,
     rhs: usize,
 ) -> (Vec<f64>, Option<std::time::Duration>) {
+    run_engine_batch_with(plan, x, engine, KernelFormat::CsrSlice, iters, rhs)
+}
+
+/// [`run_engine_batch`] with an explicit [`KernelFormat`], on any
+/// [`Backend`]: `--engine` parses straight into the enum and the whole
+/// run goes through the one `SpmvOperator` interface. The compiled
+/// backends run the batch natively with kernels lowered to `format`;
+/// the interpreters run column by column (they are the oracle, not the
+/// fast path). `engine == "auto"` compiles first and then picks
+/// compiled-seq vs compiled-pool from the plan's op count
+/// (`Backend::auto`).
+pub fn run_engine_batch_with(
+    plan: &std::sync::Arc<SpmvPlan>,
+    x: &[f64],
+    engine: &str,
+    format: KernelFormat,
+    iters: usize,
+    rhs: usize,
+) -> (Vec<f64>, Option<std::time::Duration>) {
     assert!(rhs >= 1, "at least one right-hand side");
     assert!(iters >= 1, "at least one iteration");
     assert_eq!(x.len(), plan.ncols * rhs, "input block length mismatch");
-    let backend: Backend = match engine.parse() {
-        Ok(b) => b,
-        Err(e) => fail(e),
-    };
     // Time the whole session setup (compilation + buffers + workers) —
     // that is the one-time cost a session amortizes.
     let t = std::time::Instant::now();
-    let mut op = backend.build(plan, rhs);
-    let setup = t.elapsed();
-    let setup = match backend {
-        Backend::CompiledSeq | Backend::CompiledPool { .. } => Some(setup),
-        Backend::Mailbox | Backend::Threaded => None,
+    let (mut op, compiled): (Box<dyn SpmvOperator + Send>, bool) = if engine == "auto" {
+        // Compile once, decide from the compiled op count, and reuse
+        // the compiled plan for the chosen operator — no recompilation.
+        let cp = s2d_engine::CompiledPlan::compile_with(plan, format);
+        match Backend::auto(&cp) {
+            Backend::CompiledPool { threads } => {
+                (Box::new(s2d_engine::CompiledPoolOperator::new(cp, threads, rhs)), true)
+            }
+            _ => (Box::new(s2d_engine::CompiledSeqOperator::new(cp, rhs)), true),
+        }
+    } else {
+        let backend: Backend = match engine.parse() {
+            Ok(b) => b,
+            Err(e) => fail(e),
+        };
+        let compiled = matches!(backend, Backend::CompiledSeq | Backend::CompiledPool { .. });
+        (backend.build_with(plan, rhs, format), compiled)
     };
+    let setup = compiled.then(|| t.elapsed());
     let mut y = vec![0.0; plan.nrows * rhs];
     // One dispatch for the whole chain: the compiled pool keeps its
     // workers hot across iterations instead of paying a barrier
@@ -285,6 +343,10 @@ fn cmd_spmv(args: &Args) {
     };
     let alg = args.get_or("alg", "auto");
     let engine = args.get_or("engine", "threaded");
+    let format: KernelFormat = match args.get_or("kernel-format", "csr").parse() {
+        Ok(f) => f,
+        Err(e) => fail(e),
+    };
     let iters = args.parse_or("iters", 1usize);
     let rhs = args.parse_or("rhs", 1usize);
     if iters == 0 {
@@ -317,12 +379,13 @@ fn cmd_spmv(args: &Args) {
         }
     }
     let t = std::time::Instant::now();
-    let (got, setup_time) = run_engine_batch(&plan, &x, engine, iters, rhs);
+    let (got, setup_time) = run_engine_batch_with(&plan, &x, engine, format, iters, rhs);
     let elapsed = t.elapsed();
     let max_err =
         got.iter().zip(&want).map(|(g, w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0f64, f64::max);
-    let compile_note =
-        setup_time.map(|c| format!(", setup {:.1} ms", c.as_secs_f64() * 1e3)).unwrap_or_default();
+    let compile_note = setup_time
+        .map(|c| format!(", {format} kernels, setup {:.1} ms", c.as_secs_f64() * 1e3))
+        .unwrap_or_default();
     let rhs_note = if rhs > 1 { format!(" x{rhs} rhs") } else { String::new() };
     println!(
         "executed {alg} plan x{iters}{rhs_note} on {} ranks ({engine} engine, {:.1} ms{compile_note}): \
@@ -394,6 +457,42 @@ mod tests {
         assert!(setup_time.is_some());
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "compiled alias: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn every_kernel_format_reproduces_the_serial_product() {
+        let a = grid(48);
+        let p = build_partition(&a, "s2d", 4, 0.10, 3);
+        let plan = std::sync::Arc::new(plan_for(&a, &p, "auto"));
+        let x: Vec<f64> = (0..a.ncols()).map(|j| ((j * 37) % 19) as f64 - 9.0).collect();
+        let want = a.spmv_alloc(&x);
+        for engine in ["compiled-seq", "compiled-pool", "auto"] {
+            for format in KernelFormat::all() {
+                let (got, setup_time) = run_engine_batch_with(&plan, &x, engine, format, 1, 1);
+                assert!(setup_time.is_some(), "{engine}/{format} is a compiled path");
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{engine}/{format}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_engine_picks_seq_for_small_plans() {
+        // A tiny plan sits far below the pool's amortization floor, so
+        // `auto` must run (and report setup like) the sequential path.
+        let a = grid(16);
+        let p = build_partition(&a, "s2d", 2, 0.10, 1);
+        let plan = std::sync::Arc::new(plan_for(&a, &p, "auto"));
+        let cp = s2d_engine::CompiledPlan::compile(&plan);
+        assert_eq!(Backend::auto(&cp), Backend::CompiledSeq);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 * 0.5).collect();
+        let (got, setup) = run_engine(&plan, &x, "auto", 1);
+        assert!(setup.is_some());
+        let want = a.spmv_alloc(&x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0));
         }
     }
 

@@ -29,6 +29,12 @@
 //!   iteration costs ≳ 1 ms; `threads = 0` sizes the pool to
 //!   `min(K, available CPUs)`.
 //!
+//! Undecided? [`Backend::auto`] applies the crossover rule to a
+//! compiled plan (`--engine auto` on the CLI). Kernel format: the
+//! compiled backends accept a [`KernelFormat`] through
+//! [`Backend::build_with`] — `auto` picks per rank × phase from
+//! compile-time row statistics; see the `formats` module docs.
+//!
 //! Batch width: pass the widest `r` you will use to [`Backend::build`]
 //! so buffers are sized once. Widths 1, 2, 4 and 8 run fixed-width
 //! specialized inner loops — prefer them over odd widths; wider batches
@@ -44,6 +50,7 @@ use s2d_spmv::{MailboxOperator, SpmvOperator, SpmvPlan, ThreadedOperator};
 
 use crate::compile::CompiledPlan;
 use crate::exec::Workspace;
+use crate::formats::KernelFormat;
 use crate::pool::ParallelEngine;
 
 /// Selects one of the four SpMV execution backends.
@@ -86,23 +93,56 @@ impl Backend {
     }
 
     /// Builds this backend's operator over `plan`, sized for batches of
-    /// up to `width` right-hand sides.
+    /// up to `width` right-hand sides, with the default
+    /// [`KernelFormat::CsrSlice`] kernels.
     ///
     /// All setup happens here — plan compilation, buffer allocation,
     /// worker-thread spawn — so that `apply`/`apply_batch` run at
     /// steady-state cost. The interpreting backends keep a reference to
     /// the shared plan; the compiled backends drop it after compiling.
     pub fn build(&self, plan: &Arc<SpmvPlan>, width: usize) -> Box<dyn SpmvOperator + Send> {
+        self.build_with(plan, width, KernelFormat::CsrSlice)
+    }
+
+    /// [`Backend::build`] with an explicit [`KernelFormat`] for the
+    /// compiled backends (the interpreting backends have no kernels and
+    /// ignore it).
+    pub fn build_with(
+        &self,
+        plan: &Arc<SpmvPlan>,
+        width: usize,
+        format: KernelFormat,
+    ) -> Box<dyn SpmvOperator + Send> {
         assert!(width >= 1, "batch width must be at least 1");
         match *self {
             Backend::Mailbox => Box::new(MailboxOperator::new(Arc::clone(plan))),
             Backend::Threaded => Box::new(ThreadedOperator::new(Arc::clone(plan))),
             Backend::CompiledSeq => {
-                Box::new(CompiledSeqOperator::new(CompiledPlan::compile(plan), width))
+                Box::new(CompiledSeqOperator::new(CompiledPlan::compile_with(plan, format), width))
             }
-            Backend::CompiledPool { threads } => {
-                Box::new(CompiledPoolOperator::new(CompiledPlan::compile(plan), threads, width))
-            }
+            Backend::CompiledPool { threads } => Box::new(CompiledPoolOperator::new(
+                CompiledPlan::compile_with(plan, format),
+                threads,
+                width,
+            )),
+        }
+    }
+
+    /// Picks the compiled backend an already-compiled plan should run
+    /// on: the persistent pool wins only when one iteration carries
+    /// enough work to amortize its barrier round trips (PR 1 measured
+    /// the crossover around ~1 ms/iter, ≈ 5·10⁵ multiply-adds at
+    /// ~0.5 Gmadd/s), and only when there is more than one rank to
+    /// parallelize over. Everything smaller runs faster on the
+    /// sequential workspace.
+    ///
+    /// This is the rule behind the CLI's `--engine auto`.
+    pub fn auto(cp: &CompiledPlan) -> Backend {
+        const POOL_OPS_FLOOR: u64 = 500_000;
+        if cp.k > 1 && cp.total_ops() >= POOL_OPS_FLOOR {
+            Backend::CompiledPool { threads: 0 }
+        } else {
+            Backend::CompiledSeq
         }
     }
 }
@@ -306,6 +346,50 @@ mod tests {
         assert!("pool:x".parse::<Backend>().is_err());
         assert_eq!(Backend::CompiledPool { threads: 3 }.to_string(), "compiled-pool:3");
         assert_eq!(Backend::CompiledPool { threads: 0 }.to_string(), "compiled-pool");
+    }
+
+    #[test]
+    fn build_with_runs_every_kernel_format() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = Arc::new(SpmvPlan::single_phase(&a, &p));
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64) * 0.5 - 3.0).collect();
+        let mut want = vec![0.0; a.nrows()];
+        Backend::CompiledSeq.build(&plan, 1).apply(&x, &mut want);
+        for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2 }] {
+            for format in KernelFormat::all() {
+                let mut op = backend.build_with(&plan, 1, format);
+                let mut y = vec![0.0; a.nrows()];
+                op.apply(&x, &mut y);
+                assert_eq!(y, want, "{backend}/{format} must match the CSR default bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_backend_follows_the_ops_crossover() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let cp = CompiledPlan::compile(&plan);
+        // fig1 is tiny: far below the pool's amortization floor.
+        assert_eq!(Backend::auto(&cp), Backend::CompiledSeq);
+        // Inflate the op count artificially: the decision flips.
+        let mut big = cp.clone();
+        if let Some(crate::RankStep::Compute(crate::Kernel::Csr(k))) =
+            big.ranks[0].steps.first_mut()
+        {
+            let (row, col, val) = (k.rows[0], k.cols[0], 1.0);
+            for _ in 0..600_000 {
+                k.cols.push(col);
+                k.vals.push(val);
+            }
+            *k.row_ptr.last_mut().unwrap() = k.cols.len() as u32;
+            let _ = row;
+        } else {
+            panic!("fig1 plan starts with a compute phase");
+        }
+        assert_eq!(Backend::auto(&big), Backend::CompiledPool { threads: 0 });
     }
 
     #[test]

@@ -23,115 +23,26 @@
 //! All "processor lacks `x[j]`" conditions the interpreters detect at run
 //! time are detected here at compile time, once — the execution paths
 //! contain no fallible lookups at all.
+//!
+//! # Kernel formats
+//!
+//! Compute phases are first lowered to order-preserving CSR slices
+//! ([`CsrKernel`]) and then converted to the requested
+//! [`KernelFormat`] (see [`CompiledPlan::compile_with`]): SELL-C-σ
+//! chunks for short irregular rows, dense spans for split dense rows,
+//! or a per-kernel automatic choice driven by [`KernelStats`] — the
+//! format is baked into the kernel's buffer layout here, so execution
+//! never branches on it per entry.
 
 use std::collections::HashMap;
 
 use s2d_spmv::{MsgSpec, PlanPhase, SpmvPlan};
 
+use crate::formats::{CsrKernel, Kernel, KernelFormat, KernelStats};
+
 /// Local-slot sentinel: "this global row never materializes on its
 /// owner" (the assembled result is 0 there, matching the interpreters).
 pub const NO_SLOT: u32 = u32::MAX;
-
-/// A compute phase lowered to a CSR slice over local indices.
-///
-/// `rows` holds run-length grouped local `y` slots: segment `s` of
-/// `cols`/`vals` (bounded by `row_ptr[s]..row_ptr[s + 1]`) accumulates
-/// into `rows[s]`. A row may appear in several segments if the original
-/// task list interleaved rows — grouping is order-preserving, so
-/// floating-point accumulation order matches the mailbox executor
-/// bit for bit.
-#[derive(Clone, Debug, Default)]
-pub struct Kernel {
-    /// Segment boundaries into `cols` / `vals` (`rows.len() + 1` entries).
-    pub row_ptr: Vec<u32>,
-    /// Local `y` slot per segment.
-    pub rows: Vec<u32>,
-    /// Local `x` slot per multiply-add.
-    pub cols: Vec<u32>,
-    /// Matrix value per multiply-add.
-    pub vals: Vec<f64>,
-}
-
-impl Kernel {
-    /// Number of multiply-adds in the kernel.
-    pub fn ops(&self) -> usize {
-        self.vals.len()
-    }
-
-    /// Runs the kernel over flat local vectors.
-    #[inline]
-    pub fn run(&self, x: &[f64], y: &mut [f64]) {
-        // Dedicated scalar loop: semantically the r = 1 specialization
-        // of `run_batch` (identical accumulation order, bit for bit),
-        // but written with scalar loads/stores — the array-of-one
-        // shape costs measurable throughput on the hot path.
-        for s in 0..self.rows.len() {
-            let lo = self.row_ptr[s] as usize;
-            let hi = self.row_ptr[s + 1] as usize;
-            let mut acc = y[self.rows[s] as usize];
-            for e in lo..hi {
-                acc += self.vals[e] * x[self.cols[e] as usize];
-            }
-            y[self.rows[s] as usize] = acc;
-        }
-    }
-
-    /// Runs the kernel over row-major multi-vector blocks: local slot
-    /// `s` of an `r`-wide batch occupies `buf[s*r .. (s+1)*r]`, one
-    /// word per right-hand side.
-    ///
-    /// `r ∈ {1, 2, 4, 8}` dispatch to fixed-width specializations whose
-    /// inner loop carries a compile-time-sized accumulator array (the
-    /// vectorizable shape: each fetched matrix entry is reused `r`
-    /// times against contiguous `x` words); other widths take a
-    /// generic strided fallback.
-    #[inline]
-    pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
-        match r {
-            1 => self.run(x, y),
-            2 => self.run_fixed::<2>(x, y),
-            4 => self.run_fixed::<4>(x, y),
-            8 => self.run_fixed::<8>(x, y),
-            _ => self.run_dyn(x, y, r),
-        }
-    }
-
-    /// Fixed-width inner loop: `R` accumulators live in registers.
-    #[inline]
-    fn run_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
-        for s in 0..self.rows.len() {
-            let lo = self.row_ptr[s] as usize;
-            let hi = self.row_ptr[s + 1] as usize;
-            let row = self.rows[s] as usize * R;
-            let mut acc = [0.0f64; R];
-            acc.copy_from_slice(&y[row..row + R]);
-            for e in lo..hi {
-                let v = self.vals[e];
-                let col = self.cols[e] as usize * R;
-                for (q, a) in acc.iter_mut().enumerate() {
-                    *a += v * x[col + q];
-                }
-            }
-            y[row..row + R].copy_from_slice(&acc);
-        }
-    }
-
-    /// Generic strided fallback for widths without a specialization.
-    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize) {
-        for s in 0..self.rows.len() {
-            let lo = self.row_ptr[s] as usize;
-            let hi = self.row_ptr[s + 1] as usize;
-            let row = self.rows[s] as usize * r;
-            for e in lo..hi {
-                let v = self.vals[e];
-                let col = self.cols[e] as usize * r;
-                for q in 0..r {
-                    y[row + q] += v * x[col + q];
-                }
-            }
-        }
-    }
-}
 
 /// One [`MsgSpec`] lowered to local index lists.
 ///
@@ -212,6 +123,15 @@ pub struct CompiledPlan {
     /// Owner-local `y` slot of every output row, or [`NO_SLOT`] for
     /// rows no rank materializes (assembled as 0.0).
     pub y_slot: Vec<u32>,
+    /// The [`KernelFormat`] the plan was compiled with (the *policy* —
+    /// under [`KernelFormat::Auto`] individual kernels record their own
+    /// concrete choice, see [`Kernel::format`]).
+    pub format: KernelFormat,
+    /// Row-length statistics of every nonempty compute kernel (phase-
+    /// major, rank order), gathered from the CSR lowering before format
+    /// conversion — populated only by [`KernelFormat::Auto`] compiles.
+    /// See [`CompiledPlan::kernel_stats`].
+    stats: Vec<KernelStats>,
 }
 
 /// Per-rank renumbering state used only during compilation.
@@ -286,29 +206,50 @@ impl RankState {
 }
 
 impl CompiledPlan {
-    /// Compiles `plan`. One pass over the plan; cost is proportional to
-    /// the plan size (nnz + communication volume).
+    /// Compiles `plan` with the default [`KernelFormat::CsrSlice`]
+    /// kernels — bitwise-identical to the interpreting executors.
     ///
     /// # Panics
     /// Panics with a "plan bug" message if the plan reads an `x` value
     /// or drains a partial `y` its rank cannot hold — the same
     /// conditions the interpreting executors detect mid-run.
     pub fn compile(plan: &SpmvPlan) -> CompiledPlan {
+        CompiledPlan::compile_with(plan, KernelFormat::CsrSlice)
+    }
+
+    /// Compiles `plan`, lowering every compute kernel to `format`
+    /// ([`KernelFormat::Auto`] decides per kernel from row-length
+    /// statistics). One pass over the plan; cost is proportional to the
+    /// plan size (nnz + communication volume).
+    ///
+    /// # Panics
+    /// Same contract as [`CompiledPlan::compile`].
+    pub fn compile_with(plan: &SpmvPlan, format: KernelFormat) -> CompiledPlan {
         let k = plan.k;
         let mut states: Vec<RankState> = (0..k).map(|_| RankState::default()).collect();
         let mut programs: Vec<Vec<RankStep>> = (0..k).map(|_| Vec::new()).collect();
         let mut staging_words = Vec::new();
+        let mut stats = Vec::new();
 
         for phase in &plan.phases {
             match phase {
                 PlanPhase::Compute(tasks) => {
                     for (r, list) in tasks.iter().enumerate() {
-                        programs[r].push(RankStep::Compute(lower_tasks(
-                            list,
-                            r,
-                            &mut states[r],
-                            &plan.x_part,
-                        )));
+                        let csr = lower_tasks(list, r, &mut states[r], &plan.x_part);
+                        // Statistics (a σ-sort plus a dense-run scan per
+                        // kernel) are gathered only when the policy
+                        // needs them — a fixed-format compile stays one
+                        // pass proportional to the plan size. The pick
+                        // is resolved here so `from_csr` never
+                        // recomputes the same stats.
+                        let concrete = if format == KernelFormat::Auto && csr.ops() > 0 {
+                            let st = KernelStats::of(&csr);
+                            stats.push(st);
+                            crate::formats::auto_pick(&st)
+                        } else {
+                            format
+                        };
+                        programs[r].push(RankStep::Compute(Kernel::from_csr(csr, concrete)));
                     }
                 }
                 PlanPhase::Comm(msgs) => {
@@ -362,10 +303,16 @@ impl CompiledPlan {
             staging_words,
             y_part: plan.y_part.clone(),
             y_slot,
+            format,
+            stats,
         }
     }
 
     /// Total multiply-adds across all ranks (must equal the plan's).
+    ///
+    /// Format-invariant: [`Kernel::ops`] counts real multiply-adds only,
+    /// never SELL padding entries, so this total is identical whatever
+    /// [`KernelFormat`] the plan was compiled with.
     pub fn total_ops(&self) -> u64 {
         self.ranks
             .iter()
@@ -377,6 +324,37 @@ impl CompiledPlan {
             .sum()
     }
 
+    /// Per-concrete-format kernel counts, in [`KernelFormat::all`]
+    /// order minus `Auto` — what an [`KernelFormat::Auto`] compile
+    /// actually picked (diagnostics for the CLI and benches).
+    pub fn format_counts(&self) -> Vec<(KernelFormat, usize)> {
+        let mut counts: Vec<(KernelFormat, usize)> = Vec::new();
+        for step in self.ranks.iter().flat_map(|rp| &rp.steps) {
+            if let RankStep::Compute(kernel) = step {
+                if kernel.ops() == 0 {
+                    continue; // empty kernels say nothing about the policy
+                }
+                let f = kernel.format();
+                match counts.iter_mut().find(|(g, _)| *g == f) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((f, 1)),
+                }
+            }
+        }
+        counts
+    }
+
+    /// Row-length statistics of every nonempty compute kernel, flattened
+    /// over ranks and phases — the compile-time evidence the `auto`
+    /// policy decided from, gathered from the CSR lowering *before*
+    /// format conversion (so they describe the task lists, not any
+    /// padded layout). Recorded only by [`KernelFormat::Auto`] compiles;
+    /// fixed-format compiles skip the gathering (it costs a σ-sort per
+    /// kernel) and report an empty slice.
+    pub fn kernel_stats(&self) -> &[KernelStats] {
+        &self.stats
+    }
+
     /// Bytes of flat buffer storage one workspace for this plan needs —
     /// the compiled footprint reported by benchmarks.
     pub fn workspace_bytes(&self) -> usize {
@@ -386,14 +364,16 @@ impl CompiledPlan {
     }
 }
 
-/// Lowers one rank's task list into a run-length grouped CSR slice.
+/// Lowers one rank's task list into a run-length grouped CSR slice
+/// (the canonical order-preserving form every [`KernelFormat`] is
+/// converted from).
 fn lower_tasks(
     tasks: &[s2d_spmv::MultTask],
     rank: usize,
     st: &mut RankState,
     x_part: &[u32],
-) -> Kernel {
-    let mut kernel = Kernel::default();
+) -> CsrKernel {
+    let mut kernel = CsrKernel::default();
     kernel.row_ptr.push(0);
     let mut current: Option<u32> = None;
     for t in tasks {

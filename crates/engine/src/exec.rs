@@ -18,6 +18,16 @@
 //! every gather/scatter list once and moves `r` words per touch — the
 //! register/cache reuse that makes block SpMV cheaper than `r`
 //! single-vector passes.
+//!
+//! # Kernel formats and workspace sizing
+//!
+//! Workspace buffers are sized by the rank's *logical* footprint
+//! (`nx`/`ny` local slots × batch width) regardless of the plan's
+//! [`KernelFormat`](crate::formats::KernelFormat): padded layouts
+//! (SELL chunk fill, whole padding lanes) live inside the kernel's own
+//! value/column arrays and reference existing local slots, so seeding,
+//! scatter and assembly are format-oblivious — one workspace executes
+//! the same plan compiled to any format.
 
 use crate::compile::{CompiledMsg, CompiledPlan, RankStep, NO_SLOT};
 
@@ -420,6 +430,36 @@ pub(crate) mod tests {
     /// Column `q` of a row-major `n × r` block.
     pub(crate) fn column(block: &[f64], n: usize, r: usize, q: usize) -> Vec<f64> {
         (0..n).map(|g| block[g * r + q]).collect()
+    }
+
+    #[test]
+    fn every_kernel_format_matches_csr_bitwise_on_fig1() {
+        use crate::formats::KernelFormat;
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 / (j as f64 + 1.0)).collect();
+        for plan in [
+            SpmvPlan::single_phase(&a, &p),
+            SpmvPlan::two_phase(&a, &p),
+            SpmvPlan::mesh(&a, &p, 3, 1),
+        ] {
+            let mut want = vec![0.0; a.nrows()];
+            let csr = CompiledPlan::compile(&plan);
+            csr.execute(&mut csr.workspace(), &x, &mut want);
+            for format in KernelFormat::all() {
+                let cp = CompiledPlan::compile_with(&plan, format);
+                assert_eq!(cp.format, format);
+                assert_eq!(cp.total_ops(), csr.total_ops(), "{format}: ops format-invariant");
+                for r in [1usize, 3, 8] {
+                    let xb = batch_input(a.ncols(), r, 5);
+                    let mut got = vec![0.0; a.nrows() * r];
+                    cp.execute_batch(&mut cp.workspace_batch(r), &xb, &mut got, r);
+                    let mut wb = vec![0.0; a.nrows() * r];
+                    csr.execute_batch(&mut csr.workspace_batch(r), &xb, &mut wb, r);
+                    assert_eq!(got, wb, "{format} r={r} must match CSR bitwise");
+                }
+            }
+        }
     }
 
     #[test]

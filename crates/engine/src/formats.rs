@@ -1,0 +1,1146 @@
+//! Pluggable kernel storage formats for compiled compute phases.
+//!
+//! PR 1 lowered every compute phase to one hard-coded CSR-slice loop.
+//! But the semi-2D partitions this workspace exists to study produce
+//! ranks with very *different* row-length profiles: a rank that
+//! inherited a split dense row sees a handful of huge rows with long
+//! contiguous column runs, while a rank holding a regular sparse slice
+//! sees thousands of short irregular rows. One loop shape cannot be the
+//! right machine code for both — which is the OSKI lesson: formats only
+//! win when something *picks* them per matrix (here: per rank, per
+//! phase).
+//!
+//! Three executable formats live behind the [`Kernel`] enum:
+//!
+//! * [`CsrKernel`] ([`KernelFormat::CsrSlice`]) — the PR 1 run-length
+//!   grouped CSR slice, bitwise-preserved: it is the reference the
+//!   other formats are held to.
+//! * [`SellKernel`] ([`KernelFormat::SellCSigma`]) — SELL-C-σ: rows
+//!   sorted by length inside windows of σ, packed into chunks of C
+//!   lanes, values stored entry-major inside a chunk and padded to the
+//!   chunk's widest row. The inner loop carries C accumulators with a
+//!   uniform trip count — the vectorizable shape for short irregular
+//!   rows, where the CSR slice pays per-row loop-control overhead.
+//! * [`DenseSplitKernel`] ([`KernelFormat::DenseRowSplit`]) — for the
+//!   heavy split rows semi-2D produces: maximal runs of *consecutive*
+//!   local column slots become dense spans (`y[i] += vals·x[c0..c0+len]`
+//!   with no index loads at all), the rest stays indexed. After the
+//!   compiler's dense renumbering, a split dense row's footprint is
+//!   exactly such a run.
+//!
+//! [`KernelFormat::Auto`] picks per kernel from row-length statistics
+//! ([`KernelStats`]) gathered at compile time.
+//!
+//! # Bitwise contract
+//!
+//! Every format preserves the CSR slice's *per-row entry order* and
+//! accumulates each row through a single accumulator chain, so for
+//! finite inputs all formats produce bitwise-identical results:
+//!
+//! * `DenseRowSplit` executes the exact CSR operation sequence — only
+//!   the column indices are implicit in dense spans.
+//! * `SELL-C-σ` reorders *rows* (whose `y` slots are disjoint) but
+//!   never the entries within a row; padding lanes append `acc += 0.0
+//!   · x[c]` terms, which leave a finite accumulator bit-identical
+//!   (partial sums are never `-0.0`: they start at `+0.0` and IEEE-754
+//!   addition of `±0.0` to `+0.0` stays `+0.0`). A kernel whose task
+//!   list interleaved the same row into several segments falls back to
+//!   the CSR slice — reordering same-row segments would regroup the
+//!   accumulation.
+//!
+//! Non-finite inputs (±∞, NaN) void the bitwise guarantee for padded
+//! SELL lanes (`0.0 · ∞ = NaN`); the conformance suite pins the
+//! guarantee for finite data.
+
+/// Lane sentinel in [`SellKernel`]: this lane of the chunk is pure
+/// padding, its accumulator is discarded. Also the "no dense run" marker
+/// in [`DenseSplitKernel`] span descriptors.
+pub const NO_LANE: u32 = u32::MAX;
+
+/// Chunk heights supported by the SELL fixed-width dispatch.
+const SELL_C_MIN: usize = 2;
+const SELL_C_MAX: usize = 16;
+
+/// Minimum consecutive-column run length that becomes a dense span in
+/// [`DenseSplitKernel`] (shorter runs stay indexed — the span descriptor
+/// would cost more than the index loads it saves).
+pub const DENSE_MIN_RUN: usize = 8;
+
+/// Selects the storage format compute kernels are lowered to.
+///
+/// The format is compiled into the buffer layout itself (chunk packing,
+/// padding, span tables), so it is chosen at
+/// [`CompiledPlan::compile_with`](crate::CompiledPlan::compile_with)
+/// time — not flipped at execution time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelFormat {
+    /// Run-length grouped CSR slice (PR 1's kernel, bitwise-preserved).
+    CsrSlice,
+    /// SELL-C-σ: σ-windowed row sort, C-lane chunks, padded entry-major
+    /// storage. `c` must lie in `2..=16`.
+    SellCSigma {
+        /// Chunk height (rows per chunk).
+        c: usize,
+        /// Sorting window in rows (row order is disturbed at most σ
+        /// positions; `σ = usize::MAX` sorts globally).
+        sigma: usize,
+    },
+    /// Dense-span split: consecutive-column runs execute as dense dot
+    /// products, the remainder as indexed entries.
+    DenseRowSplit,
+    /// Per-kernel selection from compile-time [`KernelStats`].
+    Auto,
+}
+
+impl KernelFormat {
+    /// The SELL parameters `auto` reaches for: C = 2, σ = 256. The
+    /// small chunk height is deliberate — the entry-major loop keeps a
+    /// `C × R` accumulator block live, and C = 2 is the largest chunk
+    /// whose block stays in registers at every specialized batch width
+    /// (r ≤ 8). Measured across R-MAT / power-law / FEM / ultra-sparse
+    /// shapes, `sell:2` matches the wider chunks at r = 1 and is the
+    /// only SELL variant that beats the CSR slice at r = 8 (wider
+    /// chunks fall back to the lane-major walk and lose the lockstep
+    /// advantage).
+    pub const DEFAULT_SELL: KernelFormat = KernelFormat::SellCSigma { c: 2, sigma: 256 };
+
+    /// Every format with default parameters — the sweep set for
+    /// conformance, differential and bench runs.
+    pub fn all() -> [KernelFormat; 4] {
+        [
+            KernelFormat::CsrSlice,
+            KernelFormat::DEFAULT_SELL,
+            KernelFormat::DenseRowSplit,
+            KernelFormat::Auto,
+        ]
+    }
+
+    /// Short stable label (bench ids, CLI output, test diagnostics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelFormat::CsrSlice => "csr",
+            KernelFormat::SellCSigma { .. } => "sell",
+            KernelFormat::DenseRowSplit => "dense-split",
+            KernelFormat::Auto => "auto",
+        }
+    }
+}
+
+impl std::str::FromStr for KernelFormat {
+    type Err = String;
+
+    /// Parses the CLI spelling: `csr`, `sell` / `sell:C` / `sell:C:S`,
+    /// `dense-split` (alias `dense`), `auto`.
+    fn from_str(s: &str) -> Result<KernelFormat, String> {
+        match s {
+            "csr" => Ok(KernelFormat::CsrSlice),
+            "sell" => Ok(KernelFormat::DEFAULT_SELL),
+            "dense-split" | "dense" => Ok(KernelFormat::DenseRowSplit),
+            "auto" => Ok(KernelFormat::Auto),
+            other => {
+                if let Some(params) = other.strip_prefix("sell:") {
+                    let mut it = params.splitn(2, ':');
+                    let c: usize =
+                        it.next().unwrap_or("").parse().map_err(|_| {
+                            format!("bad chunk height in {other:?} (want sell:C[:S])")
+                        })?;
+                    let sigma: usize = match it.next() {
+                        None => 256,
+                        Some(sv) => sv
+                            .parse()
+                            .map_err(|_| format!("bad sigma in {other:?} (want sell:C[:S])"))?,
+                    };
+                    if !(SELL_C_MIN..=SELL_C_MAX).contains(&c) {
+                        return Err(format!(
+                            "sell chunk height must be in {SELL_C_MIN}..={SELL_C_MAX} (got {c})"
+                        ));
+                    }
+                    return Ok(KernelFormat::SellCSigma { c, sigma });
+                }
+                Err(format!("unknown kernel format {other:?} (csr|sell[:C[:S]]|dense-split|auto)"))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for KernelFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelFormat::SellCSigma { c, sigma } => write!(f, "sell:{c}:{sigma}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// Row-length statistics of one lowered kernel — the evidence
+/// [`KernelFormat::Auto`] decides from, gathered once at compile time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Row segments in the kernel.
+    pub rows: usize,
+    /// Real multiply-adds (excludes any format padding).
+    pub ops: usize,
+    /// Longest row segment.
+    pub max_row: usize,
+    /// Mean row segment length.
+    pub mean_row: f64,
+    /// Fraction of entries inside consecutive-column runs of at least
+    /// [`DENSE_MIN_RUN`] — the share a dense-span kernel executes
+    /// without index loads.
+    pub dense_frac: f64,
+    /// Stored entries (incl. padding) per real entry if lowered to
+    /// [`KernelFormat::DEFAULT_SELL`]; 1.0 is padding-free.
+    pub sell_fill: f64,
+}
+
+impl KernelStats {
+    /// Gathers the statistics of a CSR slice.
+    pub fn of(csr: &CsrKernel) -> KernelStats {
+        let rows = csr.rows.len();
+        let ops = csr.vals.len();
+        if rows == 0 {
+            return KernelStats::default();
+        }
+        let mut max_row = 0usize;
+        let mut dense_entries = 0usize;
+        for s in 0..rows {
+            let (lo, hi) = (csr.row_ptr[s] as usize, csr.row_ptr[s + 1] as usize);
+            max_row = max_row.max(hi - lo);
+            // Count entries in maximal consecutive-column runs.
+            let mut run = 1usize;
+            for e in lo + 1..=hi {
+                if e < hi && csr.cols[e] == csr.cols[e - 1] + 1 {
+                    run += 1;
+                } else {
+                    if run >= DENSE_MIN_RUN {
+                        dense_entries += run;
+                    }
+                    run = 1;
+                }
+            }
+        }
+        let (c, sigma) = match KernelFormat::DEFAULT_SELL {
+            KernelFormat::SellCSigma { c, sigma } => (c, sigma),
+            _ => unreachable!(),
+        };
+        let padded = sell_padded_entries(csr, c, sigma);
+        KernelStats {
+            rows,
+            ops,
+            max_row,
+            mean_row: ops as f64 / rows as f64,
+            dense_frac: dense_entries as f64 / ops as f64,
+            sell_fill: padded as f64 / ops.max(1) as f64,
+        }
+    }
+}
+
+/// Stored-entry count (real + padding) of the SELL lowering without
+/// materializing it: sum over chunks of `C ×` the chunk's widest row.
+fn sell_padded_entries(csr: &CsrKernel, c: usize, sigma: usize) -> usize {
+    let order = sell_order(csr, c, sigma);
+    order
+        .chunks(c)
+        .map(|chunk| {
+            let widest = chunk
+                .iter()
+                .map(|&s| (csr.row_ptr[s as usize + 1] - csr.row_ptr[s as usize]) as usize)
+                .max()
+                .unwrap_or(0);
+            widest * c
+        })
+        .sum()
+}
+
+/// Segment order after the σ-windowed descending length sort (stable,
+/// so equal-length rows keep their original relative order).
+fn sell_order(csr: &CsrKernel, c: usize, sigma: usize) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..csr.rows.len() as u32).collect();
+    let window = sigma.max(c);
+    for win in order.chunks_mut(window) {
+        win.sort_by_key(|&s| {
+            std::cmp::Reverse(csr.row_ptr[s as usize + 1] - csr.row_ptr[s as usize])
+        });
+    }
+    order
+}
+
+/// Picks a concrete format for one kernel from its statistics.
+///
+/// The policy, in order:
+/// 1. kernels dominated by consecutive-column runs (≥ 50 % of entries —
+///    the split-dense-row shape, however few rows carry it) take dense
+///    spans;
+/// 2. kernels with enough short irregular rows and acceptable padding
+///    (≤ 25 % fill overhead after the σ-sort) take SELL — the row
+///    floor applies here only: a handful of rows cannot amortize the
+///    chunk machinery;
+/// 3. everything else (including empty/trivial kernels) stays CSR.
+pub(crate) fn auto_pick(st: &KernelStats) -> KernelFormat {
+    if st.ops == 0 {
+        return KernelFormat::CsrSlice;
+    }
+    if st.dense_frac >= 0.5 {
+        return KernelFormat::DenseRowSplit;
+    }
+    if st.rows >= 4 * 8 && st.sell_fill <= 1.25 {
+        return KernelFormat::DEFAULT_SELL;
+    }
+    KernelFormat::CsrSlice
+}
+
+/// A compute phase lowered to one of the pluggable storage formats.
+///
+/// All variants run the same arithmetic (see the module docs for the
+/// bitwise contract); they differ in the memory layout the inner loop
+/// walks. [`Kernel::ops`] is **format-invariant**: it counts the real
+/// multiply-adds of the lowered task list, never format padding — so
+/// `CompiledPlan::total_ops` equals the plan's op count whatever the
+/// format.
+#[derive(Clone, Debug)]
+pub enum Kernel {
+    /// Run-length grouped CSR slice.
+    Csr(CsrKernel),
+    /// SELL-C-σ sorted chunks.
+    Sell(SellKernel),
+    /// Dense-span / indexed split.
+    DenseSplit(DenseSplitKernel),
+}
+
+impl Default for Kernel {
+    fn default() -> Kernel {
+        Kernel::Csr(CsrKernel::default())
+    }
+}
+
+impl Kernel {
+    /// Lowers a CSR slice into `format` (resolving [`KernelFormat::Auto`]
+    /// per kernel). Falls back to the CSR slice where a format cannot
+    /// represent the kernel faithfully (SELL with duplicated row
+    /// segments).
+    pub fn from_csr(csr: CsrKernel, format: KernelFormat) -> Kernel {
+        let format = match format {
+            KernelFormat::Auto => auto_pick(&KernelStats::of(&csr)),
+            fixed => fixed,
+        };
+        match format {
+            KernelFormat::CsrSlice => Kernel::Csr(csr),
+            KernelFormat::SellCSigma { c, sigma } => match SellKernel::build(&csr, c, sigma) {
+                Some(sell) => Kernel::Sell(sell),
+                None => Kernel::Csr(csr),
+            },
+            KernelFormat::DenseRowSplit => Kernel::DenseSplit(DenseSplitKernel::build(&csr)),
+            KernelFormat::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Number of real multiply-adds (format-invariant; padding entries
+    /// in SELL chunks are not counted).
+    pub fn ops(&self) -> usize {
+        match self {
+            Kernel::Csr(k) => k.ops(),
+            Kernel::Sell(k) => k.ops,
+            Kernel::DenseSplit(k) => k.vals.len(),
+        }
+    }
+
+    /// Number of row segments the kernel accumulates into.
+    pub fn segments(&self) -> usize {
+        match self {
+            Kernel::Csr(k) => k.rows.len(),
+            Kernel::Sell(k) => k.rows.iter().filter(|&&r| r != NO_LANE).count(),
+            Kernel::DenseSplit(k) => k.rows.len(),
+        }
+    }
+
+    /// The concrete format this kernel was lowered to.
+    pub fn format(&self) -> KernelFormat {
+        match self {
+            Kernel::Csr(_) => KernelFormat::CsrSlice,
+            Kernel::Sell(k) => KernelFormat::SellCSigma { c: k.c as usize, sigma: k.sigma },
+            Kernel::DenseSplit(_) => KernelFormat::DenseRowSplit,
+        }
+    }
+
+    /// Runs the kernel over flat local vectors (batch width 1).
+    #[inline]
+    pub fn run(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            Kernel::Csr(k) => k.run(x, y),
+            Kernel::Sell(k) => k.run_batch(x, y, 1),
+            Kernel::DenseSplit(k) => k.run_batch(x, y, 1),
+        }
+    }
+
+    /// Runs the kernel over row-major multi-vector blocks: local slot
+    /// `s` of an `r`-wide batch occupies `buf[s*r .. (s+1)*r]`, one
+    /// word per right-hand side. `r ∈ {1, 2, 4, 8}` dispatch to
+    /// fixed-width specializations; other widths take a strided
+    /// fallback.
+    #[inline]
+    pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
+        match self {
+            Kernel::Csr(k) => k.run_batch(x, y, r),
+            Kernel::Sell(k) => k.run_batch(x, y, r),
+            Kernel::DenseSplit(k) => k.run_batch(x, y, r),
+        }
+    }
+
+    /// Checks the structural invariants execution relies on against the
+    /// rank's local footprint (`nx` x-slots, `ny` y-slots). Used by the
+    /// worker pool, whose shared-buffer execution must reject hand-built
+    /// plans before any thread runs.
+    pub fn validate(&self, nx: usize, ny: usize) -> Result<(), String> {
+        match self {
+            Kernel::Csr(k) => k.validate(nx, ny),
+            Kernel::Sell(k) => k.validate(nx, ny),
+            Kernel::DenseSplit(k) => k.validate(nx, ny),
+        }
+    }
+}
+
+/// A compute phase lowered to a CSR slice over local indices.
+///
+/// `rows` holds run-length grouped local `y` slots: segment `s` of
+/// `cols`/`vals` (bounded by `row_ptr[s]..row_ptr[s + 1]`) accumulates
+/// into `rows[s]`. A row may appear in several segments if the original
+/// task list interleaved rows — grouping is order-preserving, so
+/// floating-point accumulation order matches the mailbox executor
+/// bit for bit.
+#[derive(Clone, Debug, Default)]
+pub struct CsrKernel {
+    /// Segment boundaries into `cols` / `vals` (`rows.len() + 1` entries).
+    pub row_ptr: Vec<u32>,
+    /// Local `y` slot per segment.
+    pub rows: Vec<u32>,
+    /// Local `x` slot per multiply-add.
+    pub cols: Vec<u32>,
+    /// Matrix value per multiply-add.
+    pub vals: Vec<f64>,
+}
+
+impl CsrKernel {
+    /// Number of multiply-adds in the kernel.
+    pub fn ops(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Runs the kernel over flat local vectors.
+    #[inline]
+    pub fn run(&self, x: &[f64], y: &mut [f64]) {
+        // Dedicated scalar loop: semantically the r = 1 specialization
+        // of `run_batch` (identical accumulation order, bit for bit),
+        // but written with scalar loads/stores — the array-of-one
+        // shape costs measurable throughput on the hot path.
+        for s in 0..self.rows.len() {
+            let lo = self.row_ptr[s] as usize;
+            let hi = self.row_ptr[s + 1] as usize;
+            let mut acc = y[self.rows[s] as usize];
+            for e in lo..hi {
+                acc += self.vals[e] * x[self.cols[e] as usize];
+            }
+            y[self.rows[s] as usize] = acc;
+        }
+    }
+
+    /// Runs the kernel over row-major multi-vector blocks (see
+    /// [`Kernel::run_batch`] for the layout and dispatch).
+    #[inline]
+    pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
+        match r {
+            1 => self.run(x, y),
+            2 => self.run_fixed::<2>(x, y),
+            4 => self.run_fixed::<4>(x, y),
+            8 => self.run_fixed::<8>(x, y),
+            _ => self.run_dyn(x, y, r),
+        }
+    }
+
+    /// Fixed-width inner loop: `R` accumulators live in registers.
+    #[inline]
+    fn run_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
+        for s in 0..self.rows.len() {
+            let lo = self.row_ptr[s] as usize;
+            let hi = self.row_ptr[s + 1] as usize;
+            let row = self.rows[s] as usize * R;
+            let mut acc = [0.0f64; R];
+            acc.copy_from_slice(&y[row..row + R]);
+            for e in lo..hi {
+                let v = self.vals[e];
+                let col = self.cols[e] as usize * R;
+                for (q, a) in acc.iter_mut().enumerate() {
+                    *a += v * x[col + q];
+                }
+            }
+            y[row..row + R].copy_from_slice(&acc);
+        }
+    }
+
+    /// Generic strided fallback for widths without a specialization.
+    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize) {
+        for s in 0..self.rows.len() {
+            let lo = self.row_ptr[s] as usize;
+            let hi = self.row_ptr[s + 1] as usize;
+            let row = self.rows[s] as usize * r;
+            for e in lo..hi {
+                let v = self.vals[e];
+                let col = self.cols[e] as usize * r;
+                for q in 0..r {
+                    y[row + q] += v * x[col + q];
+                }
+            }
+        }
+    }
+
+    fn validate(&self, nx: usize, ny: usize) -> Result<(), String> {
+        if self.row_ptr.len() != self.rows.len() + 1 {
+            return Err("malformed kernel row_ptr".into());
+        }
+        if self.cols.len() != self.vals.len() {
+            return Err("malformed kernel arrays".into());
+        }
+        if !(self.rows.iter().all(|&s| (s as usize) < ny)
+            && self.cols.iter().all(|&s| (s as usize) < nx))
+        {
+            return Err("kernel slot out of range".into());
+        }
+        Ok(())
+    }
+}
+
+/// SELL-C-σ storage: segments sorted by descending length inside σ-row
+/// windows, packed into chunks of `c` lanes. Within a chunk, entry `e`
+/// of lane `l` lives at `chunk_ptr[ch] + e·c + l` — entry-major, so the
+/// inner loop advances `c` accumulators with one uniform trip count
+/// (the chunk's widest row). Shorter lanes are padded with `val = 0.0`
+/// repeating the lane's last column; whole padding lanes carry
+/// [`NO_LANE`] and their accumulator is discarded.
+#[derive(Clone, Debug)]
+pub struct SellKernel {
+    /// Chunk height (lanes per chunk), in `2..=16`.
+    pub(crate) c: u32,
+    /// Sorting window the kernel was built with (metadata only).
+    pub(crate) sigma: usize,
+    /// Entry offsets per chunk (`nchunks + 1`, multiples of `c` apart).
+    pub(crate) chunk_ptr: Vec<u32>,
+    /// Local `y` slot per lane (`nchunks × c`; [`NO_LANE`] = padding).
+    pub(crate) rows: Vec<u32>,
+    /// Local `x` slot per stored entry (incl. padding entries).
+    pub(crate) cols: Vec<u32>,
+    /// Value per stored entry (0.0 on padding entries).
+    pub(crate) vals: Vec<f64>,
+    /// Real multiply-adds (excludes padding).
+    pub(crate) ops: usize,
+}
+
+impl SellKernel {
+    /// Lowers a CSR slice. Returns `None` when the slice repeats a row
+    /// across segments (interleaved task lists) — reordering same-row
+    /// segments would regroup the accumulation, breaking the bitwise
+    /// contract — or when `c` is outside `2..=16`.
+    pub fn build(csr: &CsrKernel, c: usize, sigma: usize) -> Option<SellKernel> {
+        if !(SELL_C_MIN..=SELL_C_MAX).contains(&c) {
+            return None;
+        }
+        let nseg = csr.rows.len();
+        let mut seen = csr.rows.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        let order = sell_order(csr, c, sigma);
+        let nchunks = nseg.div_ceil(c);
+        let mut chunk_ptr = Vec::with_capacity(nchunks + 1);
+        chunk_ptr.push(0u32);
+        let mut rows = Vec::with_capacity(nchunks * c);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for chunk in order.chunks(c) {
+            let seg_len =
+                |&s: &u32| (csr.row_ptr[s as usize + 1] - csr.row_ptr[s as usize]) as usize;
+            let widest = chunk.iter().map(seg_len).max().unwrap_or(0);
+            let base = vals.len();
+            cols.resize(base + widest * c, 0u32);
+            vals.resize(base + widest * c, 0.0f64);
+            for (l, &s) in chunk.iter().enumerate() {
+                let lo = csr.row_ptr[s as usize] as usize;
+                let len = seg_len(&s);
+                rows.push(csr.rows[s as usize]);
+                for e in 0..widest {
+                    // Padding repeats the lane's last real column with
+                    // val 0.0: `acc += 0.0 · x[c]` is a bitwise no-op
+                    // for finite x (see the module docs).
+                    let src = lo + e.min(len - 1);
+                    cols[base + e * c + l] = csr.cols[src];
+                    vals[base + e * c + l] = if e < len { csr.vals[src] } else { 0.0 };
+                }
+            }
+            // Whole padding lanes: col 0 is always a valid slot for a
+            // nonempty kernel; the accumulator is discarded.
+            rows.resize(rows.len() + (c - chunk.len()), NO_LANE);
+            chunk_ptr.push(vals.len() as u32);
+        }
+        Some(SellKernel { c: c as u32, sigma, chunk_ptr, rows, cols, vals, ops: csr.ops() })
+    }
+
+    /// Stored entries per real multiply-add (1.0 = padding-free).
+    pub fn fill(&self) -> f64 {
+        self.vals.len() as f64 / self.ops.max(1) as f64
+    }
+
+    /// See [`Kernel::run_batch`].
+    ///
+    /// Two loop shapes, both order-preserving per row: the chunk runs
+    /// **entry-major** (all `C` lanes advance in lockstep through one
+    /// uniform trip count — the classic SELL vectorization) whenever
+    /// the `C × R` accumulator block fits in registers (≤ 16 f64
+    /// words); beyond that it runs **lane-major** (`R` accumulators per
+    /// lane, like a CSR row over σ-sorted rows) — entry-major with a
+    /// spilled accumulator block measures *slower* than the CSR slice.
+    /// Wide batches therefore want small chunks: the default `sell:2`
+    /// keeps entry-major up to r = 8, `sell:8` only up to r = 2.
+    #[inline]
+    pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
+        match (self.c, r) {
+            (2, 1) => self.run_cr::<2, 1>(x, y),
+            (2, 2) => self.run_cr::<2, 2>(x, y),
+            (2, 4) => self.run_cr::<2, 4>(x, y),
+            (2, 8) => self.run_cr::<2, 8>(x, y),
+            (4, 1) => self.run_cr::<4, 1>(x, y),
+            (4, 2) => self.run_cr::<4, 2>(x, y),
+            (4, 4) => self.run_cr::<4, 4>(x, y),
+            (8, 1) => self.run_cr::<8, 1>(x, y),
+            (8, 2) => self.run_cr::<8, 2>(x, y),
+            (16, 1) => self.run_cr::<16, 1>(x, y),
+            (_, 1) => self.run_lanes_fixed::<1>(x, y),
+            (_, 2) => self.run_lanes_fixed::<2>(x, y),
+            (_, 4) => self.run_lanes_fixed::<4>(x, y),
+            (_, 8) => self.run_lanes_fixed::<8>(x, y),
+            _ => self.run_dyn(x, y, r),
+        }
+    }
+
+    /// Fully unrolled shape: `C` chunk lanes × `R` right-hand sides of
+    /// accumulators in registers, uniform inner trip count.
+    /// `chunks_exact(C)` gives the optimizer a compile-time row width,
+    /// eliding the per-entry bounds checks.
+    #[inline]
+    fn run_cr<const C: usize, const R: usize>(&self, x: &[f64], y: &mut [f64]) {
+        for ch in 0..self.chunk_ptr.len() - 1 {
+            let base = self.chunk_ptr[ch] as usize;
+            let end = self.chunk_ptr[ch + 1] as usize;
+            let lanes = &self.rows[ch * C..(ch + 1) * C];
+            let mut acc = [[0.0f64; R]; C];
+            for (l, &row) in lanes.iter().enumerate() {
+                if row != NO_LANE {
+                    let at = row as usize * R;
+                    acc[l].copy_from_slice(&y[at..at + R]);
+                }
+            }
+            let vals = &self.vals[base..end];
+            let cols = &self.cols[base..end];
+            for (ev, ec) in vals.chunks_exact(C).zip(cols.chunks_exact(C)) {
+                for l in 0..C {
+                    let v = ev[l];
+                    let at = ec[l] as usize * R;
+                    let xs = &x[at..at + R];
+                    for q in 0..R {
+                        acc[l][q] += v * xs[q];
+                    }
+                }
+            }
+            for (l, &row) in lanes.iter().enumerate() {
+                if row != NO_LANE {
+                    let at = row as usize * R;
+                    y[at..at + R].copy_from_slice(&acc[l]);
+                }
+            }
+        }
+    }
+
+    /// Lane-major walk: each lane runs like a CSR row with `R`
+    /// accumulators in registers (same per-row entry order, so the
+    /// bitwise contract holds), but over σ-sorted rows with the chunk's
+    /// uniform trip count — the batched (`r ≥ 2`) SELL shape.
+    #[inline]
+    fn run_lanes_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
+        let c = self.c as usize;
+        for ch in 0..self.chunk_ptr.len() - 1 {
+            let base = self.chunk_ptr[ch] as usize;
+            let w = (self.chunk_ptr[ch + 1] as usize - base) / c;
+            for (l, &row) in self.rows[ch * c..(ch + 1) * c].iter().enumerate() {
+                if row == NO_LANE {
+                    continue;
+                }
+                let at = row as usize * R;
+                let mut acc = [0.0f64; R];
+                acc.copy_from_slice(&y[at..at + R]);
+                for e in 0..w {
+                    let v = self.vals[base + e * c + l];
+                    let col = self.cols[base + e * c + l] as usize * R;
+                    for q in 0..R {
+                        acc[q] += v * x[col + q];
+                    }
+                }
+                y[at..at + R].copy_from_slice(&acc);
+            }
+        }
+    }
+
+    /// Strided fallback for widths without a specialization.
+    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize) {
+        let c = self.c as usize;
+        for ch in 0..self.chunk_ptr.len() - 1 {
+            let base = self.chunk_ptr[ch] as usize;
+            let w = (self.chunk_ptr[ch + 1] as usize - base) / c;
+            for (l, &row) in self.rows[ch * c..(ch + 1) * c].iter().enumerate() {
+                if row == NO_LANE {
+                    continue;
+                }
+                let at = row as usize * r;
+                for e in 0..w {
+                    let v = self.vals[base + e * c + l];
+                    let col = self.cols[base + e * c + l] as usize * r;
+                    for q in 0..r {
+                        y[at + q] += v * x[col + q];
+                    }
+                }
+            }
+        }
+    }
+
+    fn validate(&self, nx: usize, ny: usize) -> Result<(), String> {
+        let c = self.c as usize;
+        if !(SELL_C_MIN..=SELL_C_MAX).contains(&c) {
+            return Err("malformed kernel chunk height".into());
+        }
+        let nchunks = self.chunk_ptr.len().saturating_sub(1);
+        if self.chunk_ptr.first() != Some(&0)
+            || self.chunk_ptr.last().map(|&e| e as usize) != Some(self.vals.len())
+            || self.rows.len() != nchunks * c
+            || self.cols.len() != self.vals.len()
+        {
+            return Err("malformed kernel arrays".into());
+        }
+        for pair in self.chunk_ptr.windows(2) {
+            if pair[1] < pair[0] || (pair[1] - pair[0]) as usize % c != 0 {
+                return Err("malformed kernel chunk_ptr".into());
+            }
+        }
+        if !(self.rows.iter().all(|&s| s == NO_LANE || (s as usize) < ny)
+            && self.cols.iter().all(|&s| (s as usize) < nx))
+        {
+            return Err("kernel slot out of range".into());
+        }
+        Ok(())
+    }
+}
+
+/// Dense-span storage for split-dense-row kernels: each segment's entry
+/// list is cut into maximal runs of consecutive local columns. Runs of
+/// at least [`DENSE_MIN_RUN`] entries execute as dense dot products
+/// (`col0 + i` — no index loads); shorter stretches stay indexed. The
+/// operation sequence is exactly the CSR slice's, so results are
+/// bitwise identical.
+#[derive(Clone, Debug, Default)]
+pub struct DenseSplitKernel {
+    /// Span range per segment (`rows.len() + 1` entries).
+    pub(crate) seg_ptr: Vec<u32>,
+    /// Local `y` slot per segment.
+    pub(crate) rows: Vec<u32>,
+    /// Per span: start offset into `vals`/`cols`.
+    pub(crate) span_start: Vec<u32>,
+    /// Per span: entry count.
+    pub(crate) span_len: Vec<u32>,
+    /// Per span: first local column of a dense run, or [`NO_LANE`] for
+    /// an indexed span.
+    pub(crate) span_col0: Vec<u32>,
+    /// Local `x` slot per entry (used by indexed spans; kept for all
+    /// entries so validation and debugging see the full pattern).
+    pub(crate) cols: Vec<u32>,
+    /// Value per entry, in original task order.
+    pub(crate) vals: Vec<f64>,
+}
+
+impl DenseSplitKernel {
+    /// Lowers a CSR slice (always succeeds; order is preserved).
+    pub fn build(csr: &CsrKernel) -> DenseSplitKernel {
+        let mut k = DenseSplitKernel {
+            seg_ptr: vec![0],
+            rows: csr.rows.clone(),
+            cols: csr.cols.clone(),
+            vals: csr.vals.clone(),
+            ..DenseSplitKernel::default()
+        };
+        for s in 0..csr.rows.len() {
+            let (lo, hi) = (csr.row_ptr[s] as usize, csr.row_ptr[s + 1] as usize);
+            let mut run_start = lo;
+            let mut pending_start = lo; // start of the current indexed stretch
+            let push = |k: &mut DenseSplitKernel, pend: usize, dlo: usize, dhi: usize| {
+                // Emit the indexed stretch before the dense run, then
+                // the dense run itself.
+                if dlo > pend {
+                    k.span_start.push(pend as u32);
+                    k.span_len.push((dlo - pend) as u32);
+                    k.span_col0.push(NO_LANE);
+                }
+                if dhi > dlo {
+                    k.span_start.push(dlo as u32);
+                    k.span_len.push((dhi - dlo) as u32);
+                    k.span_col0.push(csr.cols[dlo]);
+                }
+            };
+            for e in lo + 1..=hi {
+                let run_continues = e < hi && csr.cols[e] == csr.cols[e - 1] + 1;
+                if !run_continues {
+                    if e - run_start >= DENSE_MIN_RUN {
+                        push(&mut k, pending_start, run_start, e);
+                        pending_start = e;
+                    }
+                    run_start = e;
+                }
+            }
+            if hi > pending_start {
+                k.span_start.push(pending_start as u32);
+                k.span_len.push((hi - pending_start) as u32);
+                k.span_col0.push(NO_LANE);
+            }
+            k.seg_ptr.push(k.span_start.len() as u32);
+        }
+        k
+    }
+
+    /// Fraction of entries executed as dense spans.
+    pub fn dense_frac(&self) -> f64 {
+        let dense: usize = self
+            .span_len
+            .iter()
+            .zip(&self.span_col0)
+            .filter(|&(_, &c0)| c0 != NO_LANE)
+            .map(|(&len, _)| len as usize)
+            .sum();
+        dense as f64 / self.vals.len().max(1) as f64
+    }
+
+    /// See [`Kernel::run_batch`].
+    #[inline]
+    pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
+        match r {
+            1 => self.run_fixed::<1>(x, y),
+            2 => self.run_fixed::<2>(x, y),
+            4 => self.run_fixed::<4>(x, y),
+            8 => self.run_fixed::<8>(x, y),
+            _ => self.run_dyn(x, y, r),
+        }
+    }
+
+    #[inline]
+    fn run_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
+        for s in 0..self.rows.len() {
+            let row = self.rows[s] as usize * R;
+            let mut acc = [0.0f64; R];
+            acc.copy_from_slice(&y[row..row + R]);
+            for sp in self.seg_ptr[s] as usize..self.seg_ptr[s + 1] as usize {
+                let start = self.span_start[sp] as usize;
+                let len = self.span_len[sp] as usize;
+                let c0 = self.span_col0[sp];
+                if c0 != NO_LANE {
+                    let c0 = c0 as usize;
+                    for i in 0..len {
+                        let v = self.vals[start + i];
+                        let col = (c0 + i) * R;
+                        for q in 0..R {
+                            acc[q] += v * x[col + q];
+                        }
+                    }
+                } else {
+                    for i in 0..len {
+                        let v = self.vals[start + i];
+                        let col = self.cols[start + i] as usize * R;
+                        for q in 0..R {
+                            acc[q] += v * x[col + q];
+                        }
+                    }
+                }
+            }
+            y[row..row + R].copy_from_slice(&acc);
+        }
+    }
+
+    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize) {
+        for s in 0..self.rows.len() {
+            let row = self.rows[s] as usize * r;
+            for sp in self.seg_ptr[s] as usize..self.seg_ptr[s + 1] as usize {
+                let start = self.span_start[sp] as usize;
+                let len = self.span_len[sp] as usize;
+                let c0 = self.span_col0[sp];
+                for i in 0..len {
+                    let v = self.vals[start + i];
+                    let col = if c0 != NO_LANE {
+                        (c0 as usize + i) * r
+                    } else {
+                        self.cols[start + i] as usize * r
+                    };
+                    for q in 0..r {
+                        y[row + q] += v * x[col + q];
+                    }
+                }
+            }
+        }
+    }
+
+    fn validate(&self, nx: usize, ny: usize) -> Result<(), String> {
+        if self.seg_ptr.len() != self.rows.len() + 1
+            || self.cols.len() != self.vals.len()
+            || self.seg_ptr.first() != Some(&0)
+            || self.seg_ptr.last().map(|&e| e as usize) != Some(self.span_start.len())
+            || self.span_start.len() != self.span_len.len()
+            || self.span_start.len() != self.span_col0.len()
+        {
+            return Err("malformed kernel arrays".into());
+        }
+        if self.seg_ptr.windows(2).any(|w| w[1] < w[0]) {
+            return Err("malformed kernel seg_ptr".into());
+        }
+        for sp in 0..self.span_start.len() {
+            let start = self.span_start[sp] as usize;
+            let len = self.span_len[sp] as usize;
+            if start + len > self.vals.len() {
+                return Err("kernel span out of range".into());
+            }
+            let c0 = self.span_col0[sp];
+            if c0 != NO_LANE && c0 as usize + len > nx {
+                return Err("kernel slot out of range".into());
+            }
+        }
+        if !(self.rows.iter().all(|&s| (s as usize) < ny)
+            && self.cols.iter().all(|&s| (s as usize) < nx))
+        {
+            return Err("kernel slot out of range".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a CSR kernel from (row, col, val) triples in task order.
+    fn csr_of(tasks: &[(u32, u32, f64)]) -> CsrKernel {
+        let mut k = CsrKernel::default();
+        k.row_ptr.push(0);
+        let mut current: Option<u32> = None;
+        for &(row, col, val) in tasks {
+            if current != Some(row) {
+                if current.is_some() {
+                    k.row_ptr.push(k.cols.len() as u32);
+                }
+                k.rows.push(row);
+                current = Some(row);
+            }
+            k.cols.push(col);
+            k.vals.push(val);
+        }
+        if current.is_some() {
+            k.row_ptr.push(k.cols.len() as u32);
+        }
+        k
+    }
+
+    /// An irregular kernel: row lengths 1..=7 over 14 rows, scattered
+    /// columns.
+    fn irregular(nx: u32) -> (CsrKernel, usize, usize) {
+        let mut tasks = Vec::new();
+        for row in 0..14u32 {
+            let len = (row % 7 + 1) as usize;
+            for e in 0..len {
+                let col = (row.wrapping_mul(13) + e as u32 * 5 + 1) % nx;
+                tasks.push((row, col, (row as f64 + 1.0) * 0.25 - e as f64 * 0.5));
+            }
+        }
+        let k = csr_of(&tasks);
+        (k, nx as usize, 14)
+    }
+
+    fn x_for(nx: usize, r: usize) -> Vec<f64> {
+        (0..nx * r).map(|i| ((i * 29) % 23) as f64 / 7.0 - 1.5).collect()
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        for (s, want) in [
+            ("csr", KernelFormat::CsrSlice),
+            ("sell", KernelFormat::DEFAULT_SELL),
+            ("sell:4", KernelFormat::SellCSigma { c: 4, sigma: 256 }),
+            ("sell:4:64", KernelFormat::SellCSigma { c: 4, sigma: 64 }),
+            ("dense-split", KernelFormat::DenseRowSplit),
+            ("dense", KernelFormat::DenseRowSplit),
+            ("auto", KernelFormat::Auto),
+        ] {
+            assert_eq!(s.parse::<KernelFormat>().unwrap(), want, "{s}");
+        }
+        assert!("warp".parse::<KernelFormat>().is_err());
+        assert!("sell:1".parse::<KernelFormat>().is_err(), "c below the dispatch floor");
+        assert!("sell:99".parse::<KernelFormat>().is_err());
+        assert!("sell:x".parse::<KernelFormat>().is_err());
+        // Display round-trips through FromStr.
+        for f in KernelFormat::all() {
+            assert_eq!(f.to_string().parse::<KernelFormat>().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn every_format_matches_csr_bitwise_on_irregular_kernels() {
+        let (csr, nx, ny) = irregular(11);
+        for r in [1usize, 2, 3, 4, 5, 8] {
+            let x = x_for(nx, r);
+            let mut want = vec![0.1; ny * r];
+            csr.run_batch(&x, &mut want, r);
+            for format in KernelFormat::all() {
+                let k = Kernel::from_csr(csr.clone(), format);
+                k.validate(nx, ny).unwrap();
+                let mut got = vec![0.1; ny * r];
+                k.run_batch(&x, &mut got, r);
+                assert_eq!(got, want, "{format} r={r}");
+                assert_eq!(k.ops(), csr.ops(), "{format}: ops must be format-invariant");
+            }
+        }
+    }
+
+    #[test]
+    fn sell_chunk_heights_all_agree() {
+        let (csr, nx, ny) = irregular(9);
+        let x = x_for(nx, 1);
+        let mut want = vec![0.0; ny];
+        csr.run(&x, &mut want);
+        for c in [2usize, 3, 4, 7, 8, 16] {
+            for sigma in [2usize, 8, 1024] {
+                let sell = SellKernel::build(&csr, c, sigma).expect("unique rows");
+                sell.validate(nx, ny).unwrap();
+                let mut got = vec![0.0; ny];
+                sell.run_batch(&x, &mut got, 1);
+                assert_eq!(got, want, "c={c} sigma={sigma}");
+                assert!(sell.fill() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sell_rejects_interleaved_rows() {
+        // Rows 0, 1, 0 — segment order carries accumulation grouping.
+        let csr = csr_of(&[(0, 0, 1.0), (1, 0, 2.0), (0, 1, 4.0)]);
+        assert!(SellKernel::build(&csr, 4, 64).is_none());
+        // from_csr falls back to the CSR slice instead of failing.
+        let k = Kernel::from_csr(csr, KernelFormat::DEFAULT_SELL);
+        assert_eq!(k.format(), KernelFormat::CsrSlice);
+    }
+
+    #[test]
+    fn dense_split_finds_consecutive_runs() {
+        // Row 0: 12 consecutive cols (dense), row 1: scattered.
+        let mut tasks = Vec::new();
+        for e in 0..12u32 {
+            tasks.push((0, 3 + e, e as f64 + 0.5));
+        }
+        for e in 0..3u32 {
+            tasks.push((1, e * 7, 1.0 - e as f64));
+        }
+        let csr = csr_of(&tasks);
+        let k = DenseSplitKernel::build(&csr);
+        k.validate(24, 2).unwrap();
+        assert!(k.dense_frac() > 0.7, "12 of 15 entries are in the dense run");
+        let x = x_for(24, 1);
+        let mut want = vec![0.0; 2];
+        csr.run(&x, &mut want);
+        let mut got = vec![0.0; 2];
+        k.run_batch(&x, &mut got, 1);
+        assert_eq!(got, want);
+    }
+
+    fn pick(csr: &CsrKernel) -> KernelFormat {
+        auto_pick(&KernelStats::of(csr))
+    }
+
+    #[test]
+    fn auto_picks_by_profile() {
+        // Dense-run dominated → DenseRowSplit.
+        let mut tasks = Vec::new();
+        for row in 0..40u32 {
+            for e in 0..16u32 {
+                tasks.push((row, e, 1.0 + (row * 16 + e) as f64 * 0.01));
+            }
+        }
+        let dense = csr_of(&tasks);
+        assert_eq!(pick(&dense), KernelFormat::DenseRowSplit);
+
+        // ONE huge split dense row — the flagship semi-2D shape: the
+        // dense-run check must fire regardless of the row count (the
+        // row floor gates only the SELL branch).
+        let tasks: Vec<(u32, u32, f64)> =
+            (0..512u32).map(|e| (0, e, 1.0 + e as f64 * 0.125)).collect();
+        let one_row = csr_of(&tasks);
+        assert_eq!(pick(&one_row), KernelFormat::DenseRowSplit);
+
+        // Many short scattered rows, low padding → SELL.
+        let mut tasks = Vec::new();
+        for row in 0..64u32 {
+            for e in 0..3u32 {
+                tasks.push((row, (row * 17 + e * 29) % 64, 0.5));
+            }
+        }
+        let short = csr_of(&tasks);
+        assert_eq!(pick(&short), KernelFormat::DEFAULT_SELL);
+
+        // Tiny scattered kernel → CSR.
+        let tiny = csr_of(&[(0, 0, 1.0)]);
+        assert_eq!(pick(&tiny), KernelFormat::CsrSlice);
+    }
+
+    #[test]
+    fn fixed_format_compiles_skip_stats_gathering() {
+        // `kernel_stats` is the Auto policy's evidence; fixed-format
+        // compiles must not pay the per-kernel σ-sort for it.
+        use s2d_spmv::{MultTask, PlanPhase, SpmvPlan};
+        let plan = SpmvPlan {
+            k: 1,
+            nrows: 2,
+            ncols: 2,
+            x_part: vec![0, 0],
+            y_part: vec![0, 0],
+            phases: vec![PlanPhase::Compute(vec![vec![
+                MultTask { row: 0, col: 0, val: 2.0 },
+                MultTask { row: 1, col: 1, val: 3.0 },
+            ]])],
+        };
+        let csr = crate::CompiledPlan::compile(&plan);
+        assert!(csr.kernel_stats().is_empty());
+        let auto = crate::CompiledPlan::compile_with(&plan, KernelFormat::Auto);
+        assert_eq!(auto.kernel_stats().len(), 1);
+        assert_eq!(auto.kernel_stats()[0].ops, 2);
+    }
+
+    #[test]
+    fn empty_kernel_is_fine_in_every_format() {
+        let csr = CsrKernel { row_ptr: vec![0], ..CsrKernel::default() };
+        for format in KernelFormat::all() {
+            let k = Kernel::from_csr(csr.clone(), format);
+            k.validate(0, 0).unwrap();
+            let mut y: Vec<f64> = vec![];
+            k.run_batch(&[], &mut y, 4);
+            assert_eq!(k.ops(), 0);
+            assert_eq!(k.segments(), 0);
+        }
+    }
+
+    #[test]
+    fn stats_describe_the_kernel() {
+        let (csr, ..) = irregular(11);
+        let st = KernelStats::of(&csr);
+        assert_eq!(st.rows, 14);
+        assert_eq!(st.ops, csr.ops());
+        assert_eq!(st.max_row, 7);
+        assert!(st.sell_fill >= 1.0);
+        assert!((0.0..=1.0).contains(&st.dense_frac));
+    }
+}

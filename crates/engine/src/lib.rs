@@ -19,12 +19,49 @@
 //! ```
 //!
 //! * [`compile`] — renumbers every rank's `x`/`y` footprint into dense
-//!   local indices, lowers compute phases to CSR-slice kernels and
-//!   messages to gather/scatter index lists with staging offsets;
+//!   local indices, lowers compute phases to format-pluggable kernels
+//!   and messages to gather/scatter index lists with staging offsets;
+//! * [`formats`] — the kernel storage formats ([`KernelFormat`]):
+//!   CSR slices, SELL-C-σ sorted chunks, dense-span splits, and the
+//!   per-kernel `auto` selection policy;
 //! * [`exec`] — the sequential executor over a reusable [`Workspace`];
 //! * [`pool`] — the [`ParallelEngine`]: long-lived OS threads running
 //!   `execute_iters(n)` for solver loops with zero per-iteration
 //!   allocation.
+//!
+//! # Kernel formats
+//!
+//! The kernel body is a pluggable storage format, not a single CSR
+//! loop: [`CompiledPlan::compile_with`] lowers every compute phase to
+//! the requested [`KernelFormat`], and the format is baked into the
+//! kernel's buffer layout (chunk packing, padding, span tables) —
+//! every executor (sequential workspace, worker pool, the solver's
+//! per-rank programs) runs whatever format the plan carries through
+//! the one [`Kernel::run_batch`] entry point.
+//!
+//! Selection guidance:
+//!
+//! * [`KernelFormat::CsrSlice`] (the default) — the PR 1 kernel,
+//!   bitwise-preserved; right for mixed/long-row slices and the
+//!   baseline every other format is differentially held to.
+//! * [`KernelFormat::SellCSigma`] — sorts rows by length inside σ-row
+//!   windows and packs C-lane padded chunks whose inner loop has a
+//!   uniform trip count; wins on many short irregular rows (graph
+//!   matrices), loses when padding fill gets large.
+//! * [`KernelFormat::DenseRowSplit`] — turns runs of consecutive local
+//!   columns into index-free dense spans; right for the heavy split
+//!   rows semi-2D partitions produce (after dense renumbering a split
+//!   dense row is exactly such a run).
+//! * [`KernelFormat::Auto`] — per rank × phase choice from compile-time
+//!   row-length statistics ([`KernelStats`]); use it unless you are
+//!   pinning a format for comparison.
+//!
+//! All formats preserve per-row entry order and accumulate through a
+//! single chain per row, so results are bitwise identical across
+//! formats for finite inputs (see the [`formats`] module docs for the
+//! exact contract), and [`Kernel::ops`] /
+//! [`CompiledPlan::total_ops`] are format-invariant — padding never
+//! counts.
 //!
 //! # Batched (multi-RHS) execution
 //!
@@ -78,9 +115,13 @@
 pub mod backend;
 pub mod compile;
 pub mod exec;
+pub mod formats;
 pub mod pool;
 
 pub use backend::{Backend, CompiledPoolOperator, CompiledSeqOperator};
-pub use compile::{CompiledMsg, CompiledPlan, Kernel, RankProgram, RankStep, NO_SLOT};
+pub use compile::{CompiledMsg, CompiledPlan, RankProgram, RankStep, NO_SLOT};
 pub use exec::Workspace;
+pub use formats::{
+    CsrKernel, DenseSplitKernel, Kernel, KernelFormat, KernelStats, SellKernel, NO_LANE,
+};
 pub use pool::ParallelEngine;

@@ -38,7 +38,8 @@ use std::thread::JoinHandle;
 
 use s2d_spmv::SpmvPlan;
 
-use crate::compile::{CompiledMsg, CompiledPlan, Kernel, RankStep};
+use crate::compile::{CompiledMsg, CompiledPlan, RankStep};
+use crate::formats::KernelFormat;
 
 /// A flat `f64` buffer shareable across worker threads (see the module
 /// docs for the access discipline that makes this sound). Indexing is
@@ -65,6 +66,31 @@ impl ShBuf {
     fn set(&self, i: usize, v: f64) {
         // SAFETY: module invariants — no concurrent access to element i.
         unsafe { *self.0[i].get() = v }
+    }
+
+    /// Whole-buffer shared view.
+    ///
+    /// # Safety
+    /// The caller must guarantee no thread writes any element of this
+    /// buffer for the lifetime of the returned slice (rank-ownership /
+    /// barrier invariants, see the module docs).
+    #[inline]
+    unsafe fn as_slice(&self) -> &[f64] {
+        // UnsafeCell<f64> is repr(transparent) over f64.
+        std::slice::from_raw_parts(self.0.as_ptr() as *const f64, self.0.len())
+    }
+
+    /// Whole-buffer exclusive view.
+    ///
+    /// # Safety
+    /// The caller must be the unique accessor of this buffer for the
+    /// lifetime of the returned slice — true for a worker and the
+    /// `x`/`y` buffers of the ranks it owns (spatial invariant), with
+    /// barriers ordering every cross-thread handoff.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn as_mut_slice(&self) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.0.as_ptr() as *mut f64, self.0.len())
     }
 }
 
@@ -195,21 +221,11 @@ fn validate_for_pool(plan: &CompiledPlan) {
         for (p, step) in rp.steps.iter().enumerate() {
             match step {
                 RankStep::Compute(kernel) => {
-                    assert_eq!(
-                        kernel.row_ptr.len(),
-                        kernel.rows.len() + 1,
-                        "rank {r} phase {p}: malformed kernel row_ptr"
-                    );
-                    assert_eq!(
-                        kernel.cols.len(),
-                        kernel.vals.len(),
-                        "rank {r} phase {p}: malformed kernel arrays"
-                    );
-                    assert!(
-                        kernel.rows.iter().all(|&s| (s as usize) < rp.ny)
-                            && kernel.cols.iter().all(|&s| (s as usize) < rp.nx),
-                        "rank {r} phase {p}: kernel slot out of range"
-                    );
+                    // Per-format structural checks (array shapes, slot
+                    // ranges, chunk/span bounds) — see Kernel::validate.
+                    if let Err(e) = kernel.validate(rp.nx, rp.ny) {
+                        panic!("rank {r} phase {p}: {e}");
+                    }
                 }
                 RankStep::Comm { phase, sends, recvs } => {
                     let ph = *phase as usize;
@@ -366,6 +382,13 @@ impl ParallelEngine {
         &self.shared.plan
     }
 
+    /// The [`KernelFormat`] policy the plan (and thus every job this
+    /// pool runs) was compiled with — the format travels with the plan
+    /// inside the job descriptor, workers never re-decide it.
+    pub fn kernel_format(&self) -> KernelFormat {
+        self.shared.plan.format
+    }
+
     /// One SpMV: `y = A·x` on the pool.
     pub fn execute(&mut self, x: &[f64], y: &mut [f64]) {
         self.execute_iters(x, y, 1);
@@ -434,61 +457,6 @@ impl Drop for ParallelEngine {
         let _ = self.shared.gate.wait(&self.shared.poisoned);
         for h in self.workers.drain(..) {
             let _ = h.join();
-        }
-    }
-}
-
-/// Runs `kernel` at batch width `r` over shared buffers (same
-/// arithmetic as [`Kernel::run_batch`], element access through
-/// [`ShBuf`]): widths 1, 2, 4 and 8 dispatch to fixed-width inner
-/// loops, others to a strided fallback.
-#[inline]
-fn run_kernel(kernel: &Kernel, x: &ShBuf, y: &ShBuf, r: usize) {
-    match r {
-        1 => run_kernel_fixed::<1>(kernel, x, y),
-        2 => run_kernel_fixed::<2>(kernel, x, y),
-        4 => run_kernel_fixed::<4>(kernel, x, y),
-        8 => run_kernel_fixed::<8>(kernel, x, y),
-        _ => run_kernel_dyn(kernel, x, y, r),
-    }
-}
-
-/// Fixed-width shared-buffer kernel: `R` accumulators in registers.
-#[inline]
-fn run_kernel_fixed<const R: usize>(kernel: &Kernel, x: &ShBuf, y: &ShBuf) {
-    for s in 0..kernel.rows.len() {
-        let lo = kernel.row_ptr[s] as usize;
-        let hi = kernel.row_ptr[s + 1] as usize;
-        let row = kernel.rows[s] as usize * R;
-        let mut acc = [0.0f64; R];
-        for (q, a) in acc.iter_mut().enumerate() {
-            *a = y.get(row + q);
-        }
-        for e in lo..hi {
-            let v = kernel.vals[e];
-            let col = kernel.cols[e] as usize * R;
-            for (q, a) in acc.iter_mut().enumerate() {
-                *a += v * x.get(col + q);
-            }
-        }
-        for (q, a) in acc.iter().enumerate() {
-            y.set(row + q, *a);
-        }
-    }
-}
-
-/// Generic strided shared-buffer kernel for other widths.
-fn run_kernel_dyn(kernel: &Kernel, x: &ShBuf, y: &ShBuf, r: usize) {
-    for s in 0..kernel.rows.len() {
-        let lo = kernel.row_ptr[s] as usize;
-        let hi = kernel.row_ptr[s + 1] as usize;
-        let row = kernel.rows[s] as usize * r;
-        for e in lo..hi {
-            let v = kernel.vals[e];
-            let col = kernel.cols[e] as usize * r;
-            for q in 0..r {
-                y.set(row + q, y.get(row + q) + v * x.get(col + q));
-            }
         }
     }
 }
@@ -572,7 +540,17 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
             for rk in my.clone() {
                 match &plan.ranks[rk].steps[p] {
                     RankStep::Compute(kernel) => {
-                        run_kernel(kernel, &shared.x[rk], &shared.y[rk], r);
+                        // SAFETY: rank rk belongs to this worker alone
+                        // (spatial invariant), x and y are distinct
+                        // buffers, and barriers order every handoff —
+                        // so these are the only live views. Running
+                        // through plain slices shares one kernel
+                        // implementation (every KernelFormat) with the
+                        // sequential executor instead of duplicating
+                        // the format dispatch over UnsafeCell access.
+                        let (x, y) =
+                            unsafe { (shared.x[rk].as_slice(), shared.y[rk].as_mut_slice()) };
+                        kernel.run_batch(x, y, r);
                     }
                     RankStep::Comm { phase, sends, .. } => {
                         let staging = &shared.staging[*phase as usize];
@@ -815,6 +793,25 @@ mod tests {
     }
 
     #[test]
+    fn every_kernel_format_agrees_on_the_pool() {
+        // The pool shares one kernel implementation with the sequential
+        // executor (slice views over the shared buffers), so every
+        // format must agree bitwise with the CSR pool result.
+        let (a, plan) = crate::exec::tests::square_setup(24, 4);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64).sin() * 2.0).collect();
+        let mut want = vec![0.0; a.nrows()];
+        ParallelEngine::with_threads(CompiledPlan::compile(&plan), 3).execute(&x, &mut want);
+        for format in KernelFormat::all() {
+            let cp = CompiledPlan::compile_with(&plan, format);
+            let mut engine = ParallelEngine::with_threads(cp, 3);
+            assert_eq!(engine.kernel_format(), format);
+            let mut y = vec![0.0; a.nrows()];
+            engine.execute(&x, &mut y);
+            assert_eq!(y, want, "{format}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "pool was built for batches of 1")]
     fn oversized_batch_is_rejected() {
         let a = fig1_matrix();
@@ -866,7 +863,7 @@ mod tests {
             .iter_mut()
             .flat_map(|rp| &mut rp.steps)
             .find_map(|s| match s {
-                RankStep::Compute(k) => k.cols.first_mut(),
+                RankStep::Compute(crate::formats::Kernel::Csr(k)) => k.cols.first_mut(),
                 _ => None,
             })
             .expect("plan has a nonempty kernel");
@@ -888,7 +885,7 @@ mod tests {
             .iter_mut()
             .flat_map(|rp| &mut rp.steps)
             .find_map(|s| match s {
-                RankStep::Compute(k) if !k.rows.is_empty() => Some(k),
+                RankStep::Compute(crate::formats::Kernel::Csr(k)) if !k.rows.is_empty() => Some(k),
                 _ => None,
             })
             .expect("plan has a nonempty kernel");

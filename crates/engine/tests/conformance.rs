@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use s2d_core::optimal::s2d_optimal;
 use s2d_core::partition::SpmvPartition;
-use s2d_engine::Backend;
+use s2d_engine::{Backend, KernelFormat};
 use s2d_gen::fem::fem_like;
 use s2d_gen::rmat::{rmat, RmatConfig};
 use s2d_sparse::{Coo, Csr};
@@ -156,6 +156,56 @@ fn every_backend_conforms_on_every_plan_kind() {
                     let mut op = backend.build(&plan, MAX_R);
                     check_operator(&mut *op, &a, &format!("{mname}/k{k}/{kind}/{backend}"));
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_kernel_format_conforms_on_every_plan_kind() {
+    // The full property set (reference agreement, per-column bitwise
+    // batch equality at every width incl. on-demand growth, repeated-
+    // apply stability, chained iters) for every KernelFormat on both
+    // compiled backends — over the same matrix set, whose `edge` entry
+    // carries a dense row plus empty rows, and at k = 1 (single rank)
+    // and k = 4 (empty-rank programs on the edge matrix).
+    for (mname, a) in matrices() {
+        for k in [1usize, 4] {
+            let p = partition_for(&a, k);
+            for kind in PlanKind::all() {
+                let plan = Arc::new(kind.build(&a, &p));
+                for format in KernelFormat::all() {
+                    for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 0 }] {
+                        let mut op = backend.build_with(&plan, MAX_R, format);
+                        check_operator(
+                            &mut *op,
+                            &a,
+                            &format!("{mname}/k{k}/{kind}/{backend}/{format}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_formats_agree_bitwise_with_csr() {
+    // Formats preserve per-row entry order and single-chain
+    // accumulation, so on finite inputs every format's result is the
+    // CSR slice's result — identical floats, not just within tolerance
+    // (the padded-SELL and dense-span contract from the formats docs).
+    for (mname, a) in matrices() {
+        let p = partition_for(&a, 3);
+        for kind in PlanKind::all() {
+            let plan = Arc::new(kind.build(&a, &p));
+            let x = block_for(a.ncols(), 1, 21);
+            let mut want = vec![0.0; a.nrows()];
+            Backend::CompiledSeq.build(&plan, 1).apply(&x, &mut want);
+            for format in KernelFormat::all() {
+                let mut y = vec![0.0; a.nrows()];
+                Backend::CompiledSeq.build_with(&plan, 1, format).apply(&x, &mut y);
+                assert_eq!(y, want, "{mname}/{kind}/{format} must match CSR bitwise");
             }
         }
     }

@@ -9,7 +9,7 @@
 //! control thread instead of deadlocking on a barrier.
 
 use s2d_core::optimal::s2d_optimal;
-use s2d_engine::{CompiledPlan, ParallelEngine, RankStep};
+use s2d_engine::{CompiledPlan, Kernel, KernelFormat, ParallelEngine, RankStep};
 use s2d_gen::rmat::{rmat, RmatConfig};
 use s2d_spmv::SpmvPlan;
 
@@ -89,6 +89,28 @@ fn batch_width_does_not_change_a_column() {
 }
 
 #[test]
+fn every_kernel_format_is_bitwise_deterministic_and_reproduces_csr() {
+    // Two pins at once: (1) `CompiledPlan::compile` (the CSR default)
+    // reproduces `compile_with(_, CsrSlice)` exactly — today's results
+    // are bitwise-preserved; (2) every format's pool result is bitwise
+    // stable across thread counts AND bitwise equal to the CSR result
+    // on finite inputs (the formats-module contract).
+    let (n, plan) = mesh_setup();
+    let x = x_for(n);
+    let mut want = vec![0.0; n];
+    ParallelEngine::new(CompiledPlan::compile(&plan)).execute_iters(&x, &mut want, 3);
+    for format in KernelFormat::all() {
+        let cp = CompiledPlan::compile_with(&plan, format);
+        for threads in [1usize, 3, 8] {
+            let mut engine = ParallelEngine::with_threads(cp.clone(), threads);
+            let mut y = vec![0.0; n];
+            engine.execute_iters(&x, &mut y, 3);
+            assert_eq!(y, want, "{format} x{threads} threads must match the CSR default bitwise");
+        }
+    }
+}
+
+#[test]
 fn poisoned_pool_reports_the_panic_instead_of_hanging() {
     // Corrupt one kernel so a worker panics mid-job (the row_ptr end is
     // bounds-checked at run time, not validated at construction): the
@@ -101,7 +123,7 @@ fn poisoned_pool_reports_the_panic_instead_of_hanging() {
         .iter_mut()
         .flat_map(|rp| &mut rp.steps)
         .find_map(|s| match s {
-            RankStep::Compute(k) if !k.rows.is_empty() => Some(k),
+            RankStep::Compute(Kernel::Csr(k)) if !k.rows.is_empty() => Some(k),
             _ => None,
         })
         .expect("plan has a nonempty kernel");

@@ -9,7 +9,10 @@
 //! tested over all four plan kinds, K ∈ {1, 2, 4, 7, 16} and batch
 //! widths r ∈ {1, 2, 3, 8} on R-MAT, power-law and FEM-stencil
 //! matrices, plus deterministic edge shapes (empty ranks, dense rows,
-//! n = 1).
+//! n = 1). On top of the backend set, every non-default `KernelFormat`
+//! (SELL-C-σ, dense-split, auto) joins the pairwise matrix through the
+//! compiled paths, so a format bug diverges against every backend at
+//! once.
 //!
 //! Any future execution path becomes a `Backend` variant and is
 //! differentially tested against every existing path for free — no
@@ -20,7 +23,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use s2d_core::optimal::s2d_optimal;
 use s2d_core::partition::SpmvPartition;
-use s2d_engine::{Backend, CompiledPlan};
+use s2d_engine::{Backend, CompiledPlan, KernelFormat};
 use s2d_gen::fem::fem_like;
 use s2d_gen::powerlaw::power_law;
 use s2d_gen::rmat::{rmat, RmatConfig};
@@ -109,6 +112,28 @@ fn differential_check(
     let plan = Arc::new(plan.clone());
     let mut ops: Vec<(String, Box<dyn SpmvOperator + Send>)> =
         Backend::all().iter().map(|b| (b.to_string(), b.build(&plan, MAX_R))).collect();
+    // Kernel-format sweep: every non-default format on the sequential
+    // compiled path (the format implementations), plus `auto` on the
+    // pool (format × shared-buffer execution). The CSR defaults are
+    // already in `Backend::all()`, so every format ends up pairwise-
+    // checked against every backend.
+    for format in KernelFormat::all() {
+        if format == KernelFormat::CsrSlice {
+            continue;
+        }
+        // One compilation per format: checked for op-count invariance
+        // (padding never counts), then wrapped as the operator.
+        let cpf = CompiledPlan::compile_with(&plan, format);
+        prop_assert_eq!(cpf.total_ops(), plan.total_ops(), "{}/{}: op count drift", kind, format);
+        ops.push((
+            format!("compiled-seq/{format}"),
+            Box::new(s2d_engine::CompiledSeqOperator::new(cpf, MAX_R)),
+        ));
+    }
+    ops.push((
+        "compiled-pool/auto".to_string(),
+        Backend::CompiledPool { threads: 0 }.build_with(&plan, MAX_R, KernelFormat::Auto),
+    ));
 
     // Single-RHS apply on x: every pair of backends must agree.
     let singles: Vec<(String, Vec<f64>)> = ops

@@ -19,9 +19,13 @@
 //! `spmv` runs on one of two engines ([`EnginePath`]):
 //!
 //! * **Compiled** (default) — the rank's [`s2d_engine::RankProgram`]:
-//!   dense local renumbering, CSR-slice kernels, message payloads built
-//!   by precomputed gather lists and applied by precomputed scatter
-//!   lists. No hashing anywhere in the iteration path.
+//!   dense local renumbering, format-lowered kernels (CSR slices by
+//!   default; whatever `s2d_engine::KernelFormat` the plan was compiled
+//!   with runs unchanged here, since the per-rank walk executes kernels
+//!   through the same `Kernel::run_batch` entry point), message
+//!   payloads built by precomputed gather lists and applied by
+//!   precomputed scatter lists. No hashing anywhere in the iteration
+//!   path.
 //! * **Interpreted** — the original `HashMap`-keyed walk of the plan's
 //!   phases, kept as the semantic cross-check oracle.
 //!

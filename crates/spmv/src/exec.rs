@@ -15,8 +15,8 @@ use crate::plan::{PlanPhase, SpmvPlan};
 ///
 /// Building the state once (see
 /// [`MailboxOperator`](crate::operator::MailboxOperator)) and reusing it
-/// across calls keeps the per-call cost to clearing the maps — the
-/// Vec-returning [`execute_mailbox`] shim rebuilds it on every call.
+/// across calls keeps the per-call cost to clearing the maps instead of
+/// reallocating them.
 #[derive(Clone, Debug)]
 pub struct MailboxState {
     xbuf: Vec<HashMap<u32, f64>>,
@@ -122,23 +122,6 @@ pub fn execute_mailbox_into(plan: &SpmvPlan, x: &[f64], y: &mut [f64], state: &m
     }
 }
 
-/// Executes `plan` on input `x`, returning a freshly allocated `y`.
-///
-/// Thin shim over [`execute_mailbox_into`], kept for compatibility.
-/// Prefer the out-param form (or a
-/// [`MailboxOperator`](crate::operator::MailboxOperator)) — this shim
-/// rebuilds the interpretation state and allocates the output on every
-/// call.
-#[deprecated(
-    since = "0.1.0",
-    note = "use execute_mailbox_into (out-param, reusable state) or MailboxOperator"
-)]
-pub fn execute_mailbox(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
-    let mut y = vec![0.0f64; plan.nrows];
-    execute_mailbox_into(plan, x, &mut y, &mut MailboxState::for_plan(plan));
-    y
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,12 +219,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn vec_returning_shim_matches_out_param_core() {
+    fn reused_state_matches_fresh_state() {
+        // One MailboxState across calls (the MailboxOperator pattern)
+        // must give the same answer as a throwaway state per call.
         let a = fig1_matrix();
         let p = fig1_partition();
         let plan = SpmvPlan::single_phase(&a, &p);
-        let x = x_for(a.ncols());
-        assert_eq!(execute_mailbox(&plan, &x), mailbox(&plan, &x));
+        let mut state = MailboxState::for_plan(&plan);
+        for seed in 0..3 {
+            let x: Vec<f64> = (0..a.ncols()).map(|j| ((j + seed) % 5) as f64 - 2.0).collect();
+            let mut y = vec![0.0; plan.nrows];
+            execute_mailbox_into(&plan, &x, &mut y, &mut state);
+            assert_eq!(y, mailbox(&plan, &x));
+        }
     }
 }

@@ -32,4 +32,4 @@ pub mod threaded;
 
 pub use bridge::{simulate_plan, to_phase_specs};
 pub use operator::{apply_batch_columnwise, MailboxOperator, SpmvOperator, ThreadedOperator};
-pub use plan::{MsgSpec, MultTask, PlanKind, PlanPhase, SpmvPlan};
+pub use plan::{MsgSpec, MultTask, PlanKind, PlanPhase, RowProfile, SpmvPlan};

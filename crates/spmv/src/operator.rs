@@ -182,9 +182,8 @@ fn check_shapes(plan: &SpmvPlan, x: &[f64], y: &[f64], r: usize) {
 ///
 /// Holds the per-processor interpretation state ([`MailboxState`])
 /// across calls, so repeated applications reuse the hash maps and the
-/// flat capture buffer instead of reallocating them — the Vec-returning
-/// [`execute_mailbox`](crate::exec::execute_mailbox) shim pays that
-/// setup on every call.
+/// flat capture buffer instead of reallocating them — the convenience
+/// [`SpmvPlan::execute_mailbox`] method pays that setup on every call.
 pub struct MailboxOperator {
     plan: std::sync::Arc<SpmvPlan>,
     state: MailboxState,

@@ -257,6 +257,50 @@ impl SpmvPlan {
         loads
     }
 
+    /// Per-processor row-length profiles over all compute phases — the
+    /// shape evidence behind kernel-format selection: semi-2D
+    /// partitions deliberately give some ranks split dense rows (few
+    /// rows, huge `max_row`) and others regular sparse slices (many
+    /// rows near `mean_row`), and the compiled engine's
+    /// `KernelFormat::Auto` policy keys on exactly this skew.
+    ///
+    /// A "row" here is one `(phase, output row)` run of tasks on the
+    /// rank — the same granularity the engine's kernels segment by.
+    pub fn row_profiles(&self) -> Vec<RowProfile> {
+        let mut profiles: Vec<RowProfile> =
+            (0..self.k).map(|rank| RowProfile { rank, ..RowProfile::default() }).collect();
+        for ph in &self.phases {
+            if let PlanPhase::Compute(tasks) = ph {
+                for (p, list) in tasks.iter().enumerate() {
+                    let prof = &mut profiles[p];
+                    let mut current: Option<u32> = None;
+                    let mut len = 0usize;
+                    for t in list {
+                        if current == Some(t.row) {
+                            len += 1;
+                        } else {
+                            if current.is_some() {
+                                prof.rows += 1;
+                                prof.max_row = prof.max_row.max(len);
+                            }
+                            current = Some(t.row);
+                            len = 1;
+                        }
+                    }
+                    if current.is_some() {
+                        prof.rows += 1;
+                        prof.max_row = prof.max_row.max(len);
+                    }
+                    prof.ops += list.len() as u64;
+                }
+            }
+        }
+        for prof in &mut profiles {
+            prof.mean_row = if prof.rows > 0 { prof.ops as f64 / prof.rows as f64 } else { 0.0 };
+        }
+        profiles
+    }
+
     /// Executes the plan with the deterministic mailbox executor.
     ///
     /// Convenience wrapper over
@@ -284,6 +328,23 @@ impl SpmvPlan {
         crate::threaded::execute_threaded_into(self, x, &mut y);
         y
     }
+}
+
+/// Row-length profile of one processor's compute work — see
+/// [`SpmvPlan::row_profiles`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RowProfile {
+    /// The processor.
+    pub rank: usize,
+    /// Row segments (`(phase, row)` task runs) on this rank.
+    pub rows: usize,
+    /// Multiply-adds on this rank (equals its entry in
+    /// [`SpmvPlan::loads`]).
+    pub ops: u64,
+    /// Longest row segment.
+    pub max_row: usize,
+    /// Mean row segment length (0 when the rank has no work).
+    pub mean_row: f64,
 }
 
 /// Which plan construction a [`Session`-style] consumer wants — the
@@ -449,6 +510,27 @@ mod tests {
         // is direct phase-2.
         if let PlanPhase::Comm(msgs) = &plan.phases[1] {
             assert!(msgs.is_empty());
+        }
+    }
+
+    #[test]
+    fn row_profiles_match_loads() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        for plan in [SpmvPlan::single_phase(&a, &p), SpmvPlan::two_phase(&a, &p)] {
+            let profiles = plan.row_profiles();
+            assert_eq!(profiles.len(), plan.k);
+            let loads = plan.loads();
+            for prof in &profiles {
+                assert_eq!(prof.ops, loads[prof.rank], "rank {}", prof.rank);
+                if prof.rows > 0 {
+                    assert!(prof.max_row >= 1);
+                    assert!((prof.mean_row * prof.rows as f64 - prof.ops as f64).abs() < 1e-9);
+                    assert!(prof.max_row as f64 >= prof.mean_row);
+                }
+            }
+            let total: u64 = profiles.iter().map(|pr| pr.ops).sum();
+            assert_eq!(total, a.nnz() as u64);
         }
     }
 

@@ -71,18 +71,6 @@ pub fn execute_threaded_into(plan: &SpmvPlan, x: &[f64], y: &mut [f64]) {
     execute_on_cluster(plan, x, y, ChaosConfig::off())
 }
 
-/// Executes `plan` on input `x` with `plan.k` ranks (OS threads).
-///
-/// Thin shim over [`execute_threaded_into`]; prefer the out-param form
-/// (or a [`ThreadedOperator`](crate::operator::ThreadedOperator)) —
-/// this shim allocates the output on every call.
-#[deprecated(since = "0.1.0", note = "use execute_threaded_into (out-param) or ThreadedOperator")]
-pub fn execute_threaded(plan: &SpmvPlan, x: &[f64]) -> Vec<f64> {
-    let mut y = vec![0.0f64; plan.nrows];
-    execute_threaded_into(plan, x, &mut y);
-    y
-}
-
 /// Threaded execution with delivery-delay injection — used by tests to
 /// shake out ordering assumptions.
 pub fn execute_chaotic(plan: &SpmvPlan, x: &[f64], chaos: ChaosConfig) -> Vec<f64> {

@@ -6,8 +6,10 @@
 //!
 //! Re-exports every subsystem crate under one roof, and provides the
 //! [`Session`] builder — the one-stop entry point tying a matrix, a
-//! partition, a plan kind ([`PlanKind`]) and an execution backend
-//! ([`Backend`]) into a ready [`SpmvOperator`]:
+//! partition, a plan kind ([`PlanKind`]), an execution backend
+//! ([`Backend`]) and a compiled kernel format ([`KernelFormat`], e.g.
+//! `.kernel_format(KernelFormat::Auto)` for the per-rank automatic
+//! choice) into a ready [`SpmvOperator`]:
 //!
 //! * [`sparse`] — COO/CSR/CSC matrices, Matrix Market I/O, block structure.
 //! * [`dm`] — Hopcroft–Karp matching, Dulmage–Mendelsohn decomposition.
@@ -101,6 +103,6 @@ pub use s2d_solver as solver;
 pub use s2d_sparse as sparse;
 pub use s2d_spmv as spmv;
 
-pub use s2d_engine::Backend;
+pub use s2d_engine::{Backend, KernelFormat};
 pub use s2d_spmv::{PlanKind, SpmvOperator};
 pub use session::{Session, SessionBuilder};

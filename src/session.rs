@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use s2d_core::comm::CommStats;
 use s2d_core::partition::SpmvPartition;
-use s2d_engine::Backend;
+use s2d_engine::{Backend, KernelFormat};
 use s2d_sparse::Csr;
 use s2d_spmv::{PlanKind, SpmvOperator, SpmvPlan};
 
@@ -24,6 +24,7 @@ pub struct SessionBuilder<'a> {
     partition: Option<&'a SpmvPartition>,
     plan_kind: Option<PlanKind>,
     backend: Backend,
+    kernel_format: KernelFormat,
     batch_width: usize,
 }
 
@@ -49,6 +50,16 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// The [`KernelFormat`] compiled kernels are lowered to (default
+    /// [`KernelFormat::CsrSlice`]; [`KernelFormat::Auto`] picks per
+    /// rank × phase from compile-time row statistics — see the
+    /// `s2d_engine::formats` docs for selection guidance). The
+    /// interpreting backends have no kernels and ignore it.
+    pub fn kernel_format(mut self, format: KernelFormat) -> Self {
+        self.kernel_format = format;
+        self
+    }
+
     /// Widest multi-RHS batch the session will run (default 1).
     /// Buffers are sized for it up front; wider batches later still
     /// work but pay a one-time regrowth.
@@ -70,13 +81,14 @@ impl<'a> SessionBuilder<'a> {
         let kind = self.plan_kind.unwrap_or_else(|| PlanKind::auto(self.a, p));
         let plan = Arc::new(kind.build(self.a, p));
         let stats = plan.comm_stats();
-        let operator = self.backend.build(&plan, self.batch_width);
+        let operator = self.backend.build_with(&plan, self.batch_width, self.kernel_format);
         Session {
             plan,
             operator,
             stats,
             kind,
             backend: self.backend,
+            kernel_format: self.kernel_format,
             batch_width: self.batch_width,
         }
     }
@@ -90,6 +102,7 @@ pub struct Session {
     stats: CommStats,
     kind: PlanKind,
     backend: Backend,
+    kernel_format: KernelFormat,
     batch_width: usize,
 }
 
@@ -101,6 +114,7 @@ impl Session {
             partition: None,
             plan_kind: None,
             backend: Backend::CompiledSeq,
+            kernel_format: KernelFormat::CsrSlice,
             batch_width: 1,
         }
     }
@@ -134,6 +148,12 @@ impl Session {
     /// The backend executing this session.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The kernel-format policy the session's compiled kernels were
+    /// lowered with (meaningful for the compiled backends only).
+    pub fn kernel_format(&self) -> KernelFormat {
+        self.kernel_format
     }
 
     /// The batch width requested at build time (what the buffers were
@@ -225,6 +245,22 @@ mod tests {
                     assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{kind}/{backend}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn kernel_formats_flow_through_the_facade() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 - 5.0).collect();
+        let mut want = vec![0.0; a.nrows()];
+        Session::builder(&a).partition(&p).build().apply(&x, &mut want);
+        for format in KernelFormat::all() {
+            let mut s = Session::builder(&a).partition(&p).kernel_format(format).build();
+            assert_eq!(s.kernel_format(), format);
+            let mut y = vec![0.0; a.nrows()];
+            s.apply(&x, &mut y);
+            assert_eq!(y, want, "{format} must match the CSR default bitwise");
         }
     }
 
