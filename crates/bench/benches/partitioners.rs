@@ -1,0 +1,116 @@
+//! Strategy sweep: the unified partitioner table.
+//!
+//! Runs every [`Strategy`] (including `auto`) over both generator
+//! suites and prints the paper-style comparison — per (matrix,
+//! strategy): communication volume, load imbalance, message counts and
+//! the modeled per-iteration time under the α–β–γ machine model. This
+//! is the cross-method table the ad-hoc `tableN` harnesses each showed
+//! a slice of, driven from the single enum.
+//!
+//! Acceptance (asserted):
+//! * on the dense-row suite (suite B), semi-2D (Algorithm 1) beats 1D
+//!   rowwise in geomean modeled per-iteration time *and* in geomean
+//!   volume — the paper's headline claim;
+//! * `auto` is never pathological: its geomean modeled time stays
+//!   within 25% of the best fixed strategy's.
+//!
+//! `S2D_SCALE=tiny|small|paper` sizes the doubles; `S2D_PARTITION_K`
+//! overrides the processor count (default 16).
+
+use std::collections::BTreeMap;
+
+use s2d_bench::{banner, fmt_e, fmt_li, geomean};
+use s2d_gen::{suite_a, suite_b, Scale};
+use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, Strategy};
+
+fn main() {
+    banner("Partitioner sweep", "Strategy::all() x generator suites");
+    let scale = Scale::from_env();
+    let k: usize = std::env::var("S2D_PARTITION_K").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let cfg = PartitionerConfig::default();
+
+    // strategy label -> per-suite metric streams for the geomeans.
+    let mut volumes: BTreeMap<(char, String), Vec<f64>> = BTreeMap::new();
+    let mut times: BTreeMap<(char, String), Vec<f64>> = BTreeMap::new();
+    let mut lis: BTreeMap<(char, String), Vec<f64>> = BTreeMap::new();
+    let mut best_fixed_times: BTreeMap<char, Vec<f64>> = BTreeMap::new();
+
+    for (suite_tag, specs) in [('A', suite_a()), ('B', suite_b())] {
+        println!("\n=== suite {suite_tag} (K = {k}) ===");
+        for spec in &specs {
+            let a = spec.generate(scale, 1);
+            println!("\n{:<14} {}x{}, {} nnz", spec.name, a.nrows(), a.ncols(), a.nnz());
+            println!(
+                "  {:<10} {:>9} {:>7} {:>5}/{:>4} {:>10} {:>7}",
+                "strategy", "volume", "LI", "avg", "max", "t/iter us", "Sp"
+            );
+            let mut best_fixed: f64 = f64::INFINITY;
+            for s in Strategy::all() {
+                if s.requires_square() && a.nrows() != a.ncols() {
+                    continue;
+                }
+                let p = s.partition_with(&a, k, &cfg);
+                let q = PartitionQuality::measure(&a, &p, s.to_string());
+                println!(
+                    "  {:<10} {:>9} {:>7} {:>5.1}/{:>4} {:>10.1} {:>7.1}",
+                    q.strategy,
+                    fmt_e(q.volume as f64),
+                    fmt_li(q.load_imbalance),
+                    q.avg_send_msgs,
+                    q.max_send_msgs,
+                    q.alpha_beta_time * 1e6,
+                    q.speedup,
+                );
+                let key = (suite_tag, q.strategy.clone());
+                volumes.entry(key.clone()).or_default().push(q.volume.max(1) as f64);
+                times.entry(key.clone()).or_default().push(q.alpha_beta_time);
+                lis.entry(key).or_default().push(1.0 + q.load_imbalance);
+                if s != Strategy::Auto {
+                    best_fixed = best_fixed.min(q.alpha_beta_time);
+                }
+            }
+            best_fixed_times.entry(suite_tag).or_default().push(best_fixed);
+        }
+    }
+
+    println!("\ngeomeans per suite (volume | LI | t/iter us):");
+    for ((suite_tag, strategy), vols) in &volumes {
+        let t = geomean(&times[&(*suite_tag, strategy.clone())]);
+        let li = geomean(&lis[&(*suite_tag, strategy.clone())]) - 1.0;
+        println!(
+            "  {suite_tag} {:<10} {:>9} | {:>7} | {:>10.1}",
+            strategy,
+            fmt_e(geomean(vols)),
+            fmt_li(li),
+            t * 1e6
+        );
+    }
+
+    // Acceptance: semi-2D beats 1D rowwise on the dense-row suite.
+    let g = |m: &BTreeMap<(char, String), Vec<f64>>, tag: char, s: &str| {
+        geomean(m.get(&(tag, s.to_string())).expect("strategy measured"))
+    };
+    let (v_s2d, v_1d) = (g(&volumes, 'B', "s2d"), g(&volumes, 'B', "1d"));
+    let (t_s2d, t_1d) = (g(&times, 'B', "s2d"), g(&times, 'B', "1d"));
+    println!("\nsuite B: s2d vs 1d — volume {:.3}x, t/iter {:.3}x", v_s2d / v_1d, t_s2d / t_1d);
+    assert!(
+        v_s2d < v_1d,
+        "semi-2D must beat 1D rowwise volume on the dense-row suite ({v_s2d} vs {v_1d})"
+    );
+    assert!(
+        t_s2d < t_1d,
+        "semi-2D must beat 1D rowwise modeled time on the dense-row suite ({t_s2d} vs {t_1d})"
+    );
+
+    // Acceptance: auto stays within 25% of the best fixed strategy.
+    for tag in ['A', 'B'] {
+        let t_auto = g(&times, tag, "auto");
+        let t_best = geomean(&best_fixed_times[&tag]);
+        println!("suite {tag}: auto/best-fixed t/iter {:.3}x", t_auto / t_best);
+        assert!(
+            t_auto <= 1.25 * t_best,
+            "suite {tag}: auto geomean {t_auto} exceeds best fixed {t_best} by more than 25%"
+        );
+    }
+    println!("\npartitioner sweep acceptance: ok");
+}

@@ -1,15 +1,11 @@
 //! Subcommand dispatch and implementations.
 
-use s2d_baselines::{
-    partition_1d_b, partition_1d_colwise, partition_1d_rowwise, partition_2d_fine_grain,
-    partition_checkerboard, partition_s2d_mg,
-};
 use s2d_core::comm::{comm_requirements, single_phase_messages, two_phase_messages, CommStats};
-use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
-use s2d_core::optimal::s2d_optimal;
 use s2d_core::partition::SpmvPartition;
 use s2d_engine::{Backend, KernelFormat};
 use s2d_gen::{suite_a, suite_b, Scale};
+use s2d_partition::quality::{fmt_quality_row, quality_header};
+use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, Strategy};
 use s2d_sim::MachineModel;
 use s2d_sparse::{read_matrix_market_file, write_matrix_market_file, Csr, MatrixStats};
 use s2d_spmv::{simulate_plan, PlanKind, SpmvOperator, SpmvPlan};
@@ -23,15 +19,33 @@ s2d — semi-two-dimensional sparse matrix partitioning
 USAGE
   s2d gen       --name <suite matrix> [--scale tiny|small|paper] [--seed N] --out m.mtx
   s2d gen       --list
-  s2d partition <m.mtx> --method <M> --k <K> [--epsilon E] [--seed N] --out p.s2dpart
+  s2d partition <m.mtx> --method <M> --k <K> [--epsilon E] [--seed N]
+                [--out p.s2dpart] [--quality] [--json report.json]
+  s2d partition-quality [--suite a|b|both] [--k K] [--epsilon E] [--seed N]
+                [--method <M>|all] [--json PARTITION_QUALITY.json]
   s2d analyze   <m.mtx> <p.s2dpart> [--alg single|two|mesh]
-  s2d spmv      <m.mtx> <p.s2dpart> [--alg single|two|mesh]
-                [--engine <backend>] [--kernel-format <fmt>]
-                [--iters N] [--rhs R]
+  s2d spmv      <m.mtx> [p.s2dpart] [--alg single|two|mesh]
+                [--partitioner <M> --k K] [--engine <backend>]
+                [--kernel-format <fmt>] [--iters N] [--rhs R]
   s2d help
 
-METHODS (--method)
-  1d | 1d-col | 2d | s2d | s2d-opt | s2d-mg | 2d-b | 1d-b
+METHODS (--method / --partitioner) — the unified Strategy enum
+  s2d      semi-2D, Algorithm 1 (the paper's headline method)
+  s2d-gen  semi-2D, generalized heuristic w/ balance pass
+  s2d-opt  semi-2D, per-block DM optimum
+  s2d-it   semi-2D, alternating vector/nonzero refinement (square only)
+  1d       1D rowwise (column-net model)       1d-col  1D columnwise
+  2d       2D fine-grain (nonzero-based)       2d-b    checkerboard (square)
+  s2d-mg   medium-grain adapted to s2D (square) 1d-b   Boman mesh post-proc (square)
+  hg-kway  raw multilevel k-way engine
+  auto     cost-model-driven selection (stats prune, alpha-beta model picks)
+
+`partition --quality` prints the full quality report (volume, LI,
+messages, phase count, modeled alpha-beta/LogGP per-iteration times);
+`--json` writes it as one JSON object. `partition-quality` sweeps the
+strategies over the paper's generator suites and emits the same table
+per (matrix, strategy), with `--json` collecting everything into one
+report file (the CI smoke artifact).
 
 ENGINES (--engine <backend>)
   mailbox            deterministic sequential interpreter (the oracle)
@@ -72,6 +86,7 @@ pub fn run(raw: Vec<String>) {
     match cmd {
         "gen" => cmd_gen(&args),
         "partition" => cmd_partition(&args),
+        "partition-quality" => cmd_partition_quality(&args),
         "analyze" => cmd_analyze(&args),
         "spmv" => cmd_spmv(&args),
         "help" | "--help" | "-h" => print!("{HELP}"),
@@ -138,60 +153,139 @@ fn cmd_partition(args: &Args) {
     let k = args.parse_or("k", 16usize);
     let epsilon = args.parse_or("epsilon", 0.03f64);
     let seed = args.parse_or("seed", 1u64);
-    let out = args.get("out").unwrap_or_else(|| fail("partition requires --out <file>"));
 
     let a = load_matrix(path);
-    let p = build_partition(&a, method, k, epsilon, seed);
-    if let Err(e) = write_partition_file(&p, out) {
-        fail(format!("cannot write {out}: {e}"));
+    let (p, q) = build_partition_measured(&a, method, k, epsilon, seed);
+    if let Some(out) = args.get("out") {
+        if let Err(e) = write_partition_file(&p, out) {
+            fail(format!("cannot write {out}: {e}"));
+        }
     }
-    let reqs = comm_requirements(&a, &p);
+    let chosen = if q.strategy == method { String::new() } else { format!(" -> {}", q.strategy) };
     println!(
-        "{method}: K={k}, LI {:.1}%, volume {} words, s2D {}",
-        p.load_imbalance() * 100.0,
-        reqs.total_volume(),
-        if p.is_s2d(&a) { "yes" } else { "no" }
+        "{method}{chosen}: K={k}, LI {:.1}%, volume {} words, s2D {}",
+        q.load_imbalance * 100.0,
+        q.volume,
+        if q.s2d { "yes" } else { "no" }
     );
+    if args.has("quality") {
+        println!("{}", quality_header());
+        println!("{}", fmt_quality_row(&q));
+    }
+    if let Some(json) = args.get("json") {
+        if let Err(e) = std::fs::write(json, q.to_json() + "\n") {
+            fail(format!("cannot write {json}: {e}"));
+        }
+    }
 }
 
-/// Builds a partition by method name — shared by `partition` and tests.
+/// Parses `method` into a [`Strategy`] (exiting on unknown names),
+/// partitions, and measures the quality. For `auto` the quality's
+/// strategy label reports the concrete winner, and the measurement
+/// `auto_pick` already made is reused rather than repeated.
+fn build_partition_measured(
+    a: &Csr,
+    method: &str,
+    k: usize,
+    epsilon: f64,
+    seed: u64,
+) -> (SpmvPartition, PartitionQuality) {
+    let strategy: Strategy = match method.parse() {
+        Ok(s) => s,
+        Err(e) => fail(e),
+    };
+    let cfg = PartitionerConfig { epsilon, seed };
+    if strategy == Strategy::Auto {
+        let pick = Strategy::auto_pick(a, k, &cfg);
+        (pick.partition, pick.quality)
+    } else {
+        let p = strategy.partition_with(a, k, &cfg);
+        let q = PartitionQuality::measure(a, &p, strategy.to_string());
+        (p, q)
+    }
+}
+
+/// Builds a partition by method name — shared by `partition`, `spmv
+/// --partitioner` and tests. Every name of the unified [`Strategy`]
+/// enum is accepted (including the legacy spellings).
 pub fn build_partition(a: &Csr, method: &str, k: usize, epsilon: f64, seed: u64) -> SpmvPartition {
-    match method {
-        "1d" => partition_1d_rowwise(a, k, epsilon, seed).partition,
-        "1d-col" => partition_1d_colwise(a, k, epsilon, seed).partition,
-        "2d" => partition_2d_fine_grain(a, k, epsilon, seed),
-        "s2d" => {
-            let oned = partition_1d_rowwise(a, k, epsilon, seed);
-            s2d_from_vector_partition(
-                a,
-                &oned.row_part,
-                &oned.col_part,
-                &HeuristicConfig { epsilon, ..Default::default() },
-            )
+    let strategy: Strategy = match method.parse() {
+        Ok(s) => s,
+        Err(e) => fail(e),
+    };
+    strategy.partition_with(a, k, &PartitionerConfig { epsilon, seed })
+}
+
+fn cmd_partition_quality(args: &Args) {
+    let k = args.parse_or("k", 8usize);
+    let epsilon = args.parse_or("epsilon", 0.03f64);
+    let seed = args.parse_or("seed", 1u64);
+    let scale = Scale::from_env();
+    let suite = args.get_or("suite", "both");
+    let specs: Vec<_> = match suite {
+        "a" => suite_a(),
+        "b" => suite_b(),
+        "both" => suite_a().into_iter().chain(suite_b()).collect(),
+        other => fail(format!("unknown suite {other:?} (a|b|both)")),
+    };
+    let method = args.get_or("method", "all");
+    let strategies: Vec<Strategy> = if method == "all" {
+        Strategy::all()
+    } else {
+        match method.parse() {
+            Ok(s) => vec![s],
+            Err(e) => fail(e),
         }
-        "s2d-opt" => {
-            let oned = partition_1d_rowwise(a, k, epsilon, seed);
-            s2d_optimal(a, &oned.row_part, &oned.col_part, k)
+    };
+    let cfg = PartitionerConfig { epsilon, seed };
+
+    let mut json_rows: Vec<String> = Vec::new();
+    for spec in &specs {
+        let a = spec.generate(scale, seed);
+        println!("\n{} ({}x{}, {} nnz)", spec.name, a.nrows(), a.ncols(), a.nnz());
+        println!("{}", quality_header());
+        for &s in &strategies {
+            if s.requires_square() && a.nrows() != a.ncols() {
+                continue;
+            }
+            // Reuse the measurement auto_pick already made; relabel so
+            // the report shows both the mode and the winner.
+            let q = if s == Strategy::Auto {
+                let mut q = Strategy::auto_pick(&a, k, &cfg).quality;
+                q.strategy = format!("auto:{}", q.strategy);
+                q
+            } else {
+                let p = s.partition_with(&a, k, &cfg);
+                PartitionQuality::measure(&a, &p, s.to_string())
+            };
+            println!("{}", fmt_quality_row(&q));
+            json_rows.push(format!("{{\"matrix\":\"{}\",\"quality\":{}}}", spec.name, q.to_json()));
         }
-        "s2d-mg" => partition_s2d_mg(a, k, epsilon, seed),
-        "2d-b" => partition_checkerboard(a, k, epsilon, seed).partition,
-        "1d-b" => {
-            let oned = partition_1d_rowwise(a, k, epsilon, seed);
-            partition_1d_b(a, &oned.row_part, k)
+    }
+    if let Some(json) = args.get("json") {
+        let body = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        if let Err(e) = std::fs::write(json, body) {
+            fail(format!("cannot write {json}: {e}"));
         }
-        other => fail(format!("unknown method {other:?}")),
+        println!("\nwrote {} rows to {json}", json_rows.len());
+    }
+}
+
+/// Resolves the `--alg` name to a plan kind (default: the best legal
+/// one for `(a, p)`).
+fn kind_for(a: &Csr, p: &SpmvPartition, alg: &str) -> PlanKind {
+    if alg == "auto" {
+        return PlanKind::auto(a, p);
+    }
+    match alg.parse::<PlanKind>() {
+        Ok(kind) => kind,
+        Err(e) => fail(e),
     }
 }
 
 /// Compiles the plan named by `--alg` (default: the best legal one).
 fn plan_for(a: &Csr, p: &SpmvPartition, alg: &str) -> SpmvPlan {
-    if alg == "auto" {
-        return PlanKind::auto(a, p).build(a, p);
-    }
-    match alg.parse::<PlanKind>() {
-        Ok(kind) => kind.build(a, p),
-        Err(e) => fail(e),
-    }
+    kind_for(a, p, alg).build(a, p)
 }
 
 fn cmd_analyze(args: &Args) {
@@ -204,7 +298,8 @@ fn cmd_analyze(args: &Args) {
     };
     p.assert_shape(&a);
     let alg = args.get_or("alg", "auto");
-    let plan = plan_for(&a, &p, alg);
+    let kind = kind_for(&a, &p, alg);
+    let plan = kind.build(&a, &p);
     let stats: CommStats = plan.comm_stats();
     let report = simulate_plan(&plan, &MachineModel::cray_xe6());
 
@@ -256,6 +351,19 @@ fn cmd_analyze(args: &Args) {
         "model (XE6) : parallel {:.1} us, speedup {:.1} over serial",
         report.parallel_time * 1e6,
         report.speedup()
+    );
+    // The full partition-quality report (same columns as `partition
+    // --quality` / `partition-quality`), priced off the plan already
+    // built above: per-processor bottlenecks and the second machine
+    // model, so one command covers partition + kernel quality.
+    let q = PartitionQuality::measure_plan(&a, &p, kind, &plan, "partition");
+    println!(
+        "quality     : max send {} words / {} msgs, recv {} msgs; {} comm phase(s); LogGP {:.1} us",
+        q.max_send_volume,
+        q.max_send_msgs,
+        stats.recv_msgs.iter().max().copied().unwrap_or(0),
+        q.comm_phases,
+        q.loggp_time * 1e6,
     );
 }
 
@@ -335,11 +443,22 @@ pub fn run_engine_batch_with(
 
 fn cmd_spmv(args: &Args) {
     let mpath = args.positional.get(1).unwrap_or_else(|| fail("spmv requires a matrix file"));
-    let ppath = args.positional.get(2).unwrap_or_else(|| fail("spmv requires a partition file"));
     let a = load_matrix(mpath);
-    let p = match read_partition_file(ppath) {
-        Ok(p) => p,
-        Err(e) => fail(format!("cannot read {ppath}: {e}")),
+    // The partition comes from a file, or is built in-process by any
+    // Strategy via --partitioner (then no partition file is needed).
+    let p = match (args.positional.get(2), args.get("partitioner")) {
+        (Some(_), Some(_)) => fail("give either a partition file or --partitioner, not both"),
+        (Some(ppath), None) => match read_partition_file(ppath) {
+            Ok(p) => p,
+            Err(e) => fail(format!("cannot read {ppath}: {e}")),
+        },
+        (None, Some(method)) => {
+            let k = args.parse_or("k", 16usize);
+            let epsilon = args.parse_or("epsilon", 0.03f64);
+            let seed = args.parse_or("seed", 1u64);
+            build_partition(&a, method, k, epsilon, seed)
+        }
+        (None, None) => fail("spmv requires a partition file or --partitioner <method>"),
     };
     let alg = args.get_or("alg", "auto");
     let engine = args.get_or("engine", "threaded");
@@ -420,7 +539,11 @@ mod tests {
     #[test]
     fn build_partition_every_method_is_valid() {
         let a = grid(64);
-        for method in ["1d", "1d-col", "2d", "s2d", "s2d-opt", "s2d-mg", "2d-b", "1d-b"] {
+        // Legacy spellings and the unified Strategy names both work.
+        for method in [
+            "1d", "1d-col", "2d", "s2d", "s2d-opt", "s2d-mg", "2d-b", "1d-b", "s2d-gen", "s2d-it",
+            "hg-kway", "auto",
+        ] {
             let p = build_partition(&a, method, 4, 0.10, 3);
             p.assert_shape(&a);
             assert_eq!(p.k, 4, "{method}");
@@ -428,9 +551,20 @@ mod tests {
     }
 
     #[test]
+    fn build_partition_matches_the_strategy_enum() {
+        // The CLI path is the enum path: same name, same partition.
+        let a = grid(48);
+        for s in Strategy::fixed() {
+            let name = s.to_string();
+            let want = s.partition_with(&a, 4, &PartitionerConfig { epsilon: 0.10, seed: 5 });
+            assert_eq!(build_partition(&a, &name, 4, 0.10, 5), want, "{name}");
+        }
+    }
+
+    #[test]
     fn s2d_methods_produce_s2d_partitions() {
         let a = grid(48);
-        for method in ["1d", "s2d", "s2d-opt", "s2d-mg"] {
+        for method in ["1d", "s2d", "s2d-gen", "s2d-it", "s2d-opt", "s2d-mg", "hg-kway"] {
             let p = build_partition(&a, method, 4, 0.10, 5);
             assert!(p.is_s2d(&a), "{method} must satisfy the s2D property");
         }

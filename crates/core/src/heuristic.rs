@@ -11,14 +11,19 @@
 //! As the paper notes, when the initial maximum load `W̃` already exceeds
 //! `W_lim` the test degenerates to "do not exceed the current maximum",
 //! which monotonically improves the balance of overloaded instances.
+//!
+//! The sweep engine itself lives in [`crate::sweep`], shared with the
+//! generalized heuristic: **Algorithm 1 is exactly the volume pass
+//! restricted to the `{A1, A2}` alternative family** (no balance pass).
+//! [`crate::heuristic2`] widens the family to the full `{A1, A2, A4,
+//! A3}` set of [`crate::alternatives`] and adds a balance pass that can
+//! also *remove* load from overloaded row owners — the behavioral
+//! difference between the two `SemiTwoD` strategy variants.
 
-use std::collections::BTreeMap;
-
-use rayon::prelude::*;
-use s2d_sparse::{BlockStructure, Csr};
-
-use crate::optimal::{split_block, BlockSplit};
+use crate::alternatives::Alternative;
 use crate::partition::SpmvPartition;
+use crate::sweep::{analyze_blocks, apply_choices, load_limit, volume_sweeps};
+use s2d_sparse::Csr;
 
 /// Configuration of Algorithm 1.
 #[derive(Clone, Debug)]
@@ -33,44 +38,6 @@ pub struct HeuristicConfig {
 impl Default for HeuristicConfig {
     fn default() -> Self {
         HeuristicConfig { epsilon: 0.03, max_sweeps: 64 }
-    }
-}
-
-/// Multiset of processor loads supporting O(log K) updates of the max.
-struct LoadTracker {
-    loads: Vec<u64>,
-    histogram: BTreeMap<u64, u32>,
-}
-
-impl LoadTracker {
-    fn new(loads: Vec<u64>) -> Self {
-        let mut histogram = BTreeMap::new();
-        for &w in &loads {
-            *histogram.entry(w).or_insert(0u32) += 1;
-        }
-        LoadTracker { loads, histogram }
-    }
-
-    fn max(&self) -> u64 {
-        self.histogram.keys().next_back().copied().unwrap_or(0)
-    }
-
-    fn get(&self, p: usize) -> u64 {
-        self.loads[p]
-    }
-
-    fn transfer(&mut self, from: usize, to: usize, amount: u64) {
-        for (p, delta_neg) in [(from, true), (to, false)] {
-            let old = self.loads[p];
-            let new = if delta_neg { old - amount } else { old + amount };
-            self.loads[p] = new;
-            let cnt = self.histogram.get_mut(&old).expect("old load present");
-            *cnt -= 1;
-            if *cnt == 0 {
-                self.histogram.remove(&old);
-            }
-            *self.histogram.entry(new).or_insert(0) += 1;
-        }
     }
 }
 
@@ -97,46 +64,17 @@ pub fn s2d_heuristic_kway(
     k: usize,
     cfg: &HeuristicConfig,
 ) -> SpmvPartition {
-    let blocks = BlockStructure::build(a, y_part, x_part, k);
+    let (mut states, mut tracker) = analyze_blocks(a, y_part, x_part, k);
     let mut p = SpmvPartition::rowwise(a, y_part.to_vec(), x_part.to_vec(), k);
-
-    // DM-split every off-diagonal block once (flips reuse the splits).
-    let mut splits: Vec<BlockSplit> = blocks
-        .iter_off_diagonal()
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|((l, kk), nz)| split_block(a, l, kk, nz))
-        .filter(|s| s.lambda_minus() > 0 && !s.h_nz.is_empty())
-        .collect();
-    // Decreasing λ⁻; deterministic tiebreak on (l, k).
-    splits.sort_unstable_by_key(|s| (std::cmp::Reverse(s.lambda_minus()), s.l, s.k));
-
-    let w_lim = ((1.0 + cfg.epsilon) * a.nnz() as f64 / k as f64).ceil() as u64;
-    let mut tracker = LoadTracker::new(blocks.rowwise_loads());
-    let mut flipped = vec![false; splits.len()];
-
-    for _sweep in 0..cfg.max_sweeps {
-        let mut flag = false;
-        for (s, split) in splits.iter().enumerate() {
-            if flipped[s] {
-                continue;
-            }
-            let h = split.h_nz.len() as u64;
-            let dest = split.k as usize;
-            let w_tilde = tracker.max();
-            if tracker.get(dest) + h <= w_tilde.max(w_lim) {
-                flipped[s] = true;
-                for &e in &split.h_nz {
-                    p.nz_owner[e as usize] = split.k;
-                }
-                tracker.transfer(split.l as usize, dest, h);
-                flag = true;
-            }
-        }
-        if !flag {
-            break;
-        }
-    }
+    let w_lim = load_limit(a.nnz(), k, cfg.epsilon);
+    volume_sweeps(
+        &mut states,
+        &mut tracker,
+        w_lim,
+        cfg.max_sweeps,
+        &[Alternative::A1, Alternative::A2],
+    );
+    apply_choices(&states, &mut p);
     debug_assert!(p.is_s2d(a));
     debug_assert_eq!(p.loads(), tracker.loads);
     p
@@ -227,18 +165,6 @@ mod tests {
         let heur_max = heur.loads().into_iter().max().unwrap();
         // The paper's variant never exceeds max(initial W~, W_lim).
         assert!(heur_max <= rowwise_max.max((a.nnz() as u64).div_ceil(2)));
-    }
-
-    #[test]
-    fn load_tracker_transfers() {
-        let mut t = LoadTracker::new(vec![10, 20, 30]);
-        assert_eq!(t.max(), 30);
-        t.transfer(2, 0, 15);
-        assert_eq!(t.max(), 25);
-        assert_eq!(t.get(0), 25);
-        assert_eq!(t.get(2), 15);
-        t.transfer(1, 1, 5); // self-transfer keeps totals
-        assert_eq!(t.get(1), 20);
     }
 
     #[test]

@@ -12,24 +12,29 @@
 //! Algorithm 2 works with the full alternative family of
 //! [`crate::alternatives`]:
 //!
-//! 1. **Volume pass** — identical sweep structure to Algorithm 1, flips
-//!    `A1 → A2` in decreasing `λ⁻` order under the load cap (so with
-//!    `A2`-only this *is* Algorithm 1, which the ablation bench relies
-//!    on);
+//! 1. **Volume pass** — the shared sweep engine of [`crate::sweep`],
+//!    flipping blocks in decreasing `λ⁻` order under the load cap. With
+//!    `volume_alternatives = [A1, A2]` this *is* Algorithm 1 (the
+//!    ablation bench and the `restricted_config_reproduces_algorithm_1`
+//!    test rely on the two heuristics sharing this code path);
 //! 2. **Balance pass** — while some processor exceeds `W_lim`, upgrade
 //!    blocks whose *row owner* is the bottleneck: `A2 → A4` is free
 //!    (volume-optimal either way) and `A1/A2/A4 → A3` is admitted when
 //!    `allow_volume_increase` tolerates the volume delta. Upgrades are
 //!    accepted only when they strictly reduce the bottleneck without
-//!    overloading the column owner.
+//!    overloading the column owner. Algorithm 1 has no such pass — that
+//!    is the whole behavioral difference between the two `SemiTwoD`
+//!    strategy variants.
 
 use std::collections::BTreeMap;
 
-use rayon::prelude::*;
-use s2d_sparse::{BlockStructure, Csr};
+use s2d_sparse::Csr;
 
-use crate::alternatives::{Alternative, BlockAnalysis};
+use crate::alternatives::Alternative;
 use crate::partition::SpmvPartition;
+use crate::sweep::{
+    analyze_blocks, apply_choices, load_limit, volume_sweeps, BlockState, LoadTracker,
+};
 
 /// Configuration of Algorithm 2.
 #[derive(Clone, Debug)]
@@ -61,12 +66,6 @@ impl Default for Heuristic2Config {
     }
 }
 
-/// State of one block during the search.
-struct BlockState {
-    analysis: BlockAnalysis,
-    chosen: Alternative,
-}
-
 /// Runs Algorithm 2 on a given vector partition.
 ///
 /// # Panics
@@ -78,87 +77,29 @@ pub fn s2d_generalized(
     k: usize,
     cfg: &Heuristic2Config,
 ) -> SpmvPartition {
-    let blocks = BlockStructure::build(a, y_part, x_part, k);
+    let (mut states, mut tracker) = analyze_blocks(a, y_part, x_part, k);
     let mut p = SpmvPartition::rowwise(a, y_part.to_vec(), x_part.to_vec(), k);
+    let w_lim = load_limit(a.nnz(), k, cfg.epsilon);
 
-    let mut states: Vec<BlockState> = blocks
-        .iter_off_diagonal()
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|((l, kk), nz)| BlockState {
-            analysis: BlockAnalysis::analyze(a, l, kk, nz),
-            chosen: Alternative::A1,
-        })
-        .collect();
-
-    let w_lim = ((1.0 + cfg.epsilon) * a.nnz() as f64 / k as f64).ceil() as u64;
-    let mut loads = blocks.rowwise_loads();
-
-    volume_pass(&mut states, &mut loads, w_lim, cfg);
+    volume_sweeps(&mut states, &mut tracker, w_lim, cfg.max_sweeps, &cfg.volume_alternatives);
     if cfg.balance_pass {
-        balance_pass(&mut states, &mut loads, w_lim, cfg);
+        balance_pass(&mut states, &mut tracker, w_lim, cfg);
     }
 
-    for st in &states {
-        for &e in st.analysis.moved_nz(st.chosen) {
-            p.nz_owner[e as usize] = st.analysis.k;
-        }
-    }
+    apply_choices(&states, &mut p);
     debug_assert!(p.is_s2d(a));
-    debug_assert_eq!(&p.loads(), &loads);
+    debug_assert_eq!(p.loads(), tracker.loads);
     p
-}
-
-/// Algorithm-1-style sweeps choosing the cheapest-volume feasible
-/// alternative per block, in decreasing volume-reduction order.
-fn volume_pass(states: &mut [BlockState], loads: &mut [u64], w_lim: u64, cfg: &Heuristic2Config) {
-    let mut order: Vec<usize> = (0..states.len())
-        .filter(|&b| {
-            let a = &states[b].analysis;
-            a.volume(Alternative::A1) > a.min_volume()
-        })
-        .collect();
-    order.sort_unstable_by_key(|&b| {
-        let a = &states[b].analysis;
-        (std::cmp::Reverse(a.volume(Alternative::A1) - a.min_volume()), a.l, a.k)
-    });
-
-    for _sweep in 0..cfg.max_sweeps {
-        let mut flag = false;
-        for &b in &order {
-            let st = &states[b];
-            if st.chosen != Alternative::A1 {
-                continue;
-            }
-            let a = &st.analysis;
-            let w_tilde = loads.iter().copied().max().unwrap_or(0);
-            // Cheapest-volume, then least-moved feasible alternative.
-            let pick = cfg
-                .volume_alternatives
-                .iter()
-                .copied()
-                .filter(|&alt| alt != Alternative::A1)
-                .filter(|&alt| loads[a.k as usize] + a.moved(alt) <= w_tilde.max(w_lim))
-                .min_by_key(|&alt| (a.volume(alt), a.moved(alt)));
-            if let Some(alt) = pick {
-                if a.volume(alt) < a.volume(Alternative::A1) {
-                    let moved = a.moved(alt);
-                    loads[a.l as usize] -= moved;
-                    loads[a.k as usize] += moved;
-                    states[b].chosen = alt;
-                    flag = true;
-                }
-            }
-        }
-        if !flag {
-            break;
-        }
-    }
 }
 
 /// Offloads overloaded row owners by upgrading their blocks toward
 /// larger-transfer alternatives.
-fn balance_pass(states: &mut [BlockState], loads: &mut [u64], w_lim: u64, cfg: &Heuristic2Config) {
+fn balance_pass(
+    states: &mut [BlockState],
+    tracker: &mut LoadTracker,
+    w_lim: u64,
+    cfg: &Heuristic2Config,
+) {
     // Blocks indexed by row owner for bottleneck lookups.
     let mut by_row: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for (b, st) in states.iter().enumerate() {
@@ -166,11 +107,10 @@ fn balance_pass(states: &mut [BlockState], loads: &mut [u64], w_lim: u64, cfg: &
     }
 
     loop {
-        let (bottleneck, w_tilde) =
-            match loads.iter().enumerate().max_by_key(|&(_, &w)| w).map(|(p, &w)| (p as u32, w)) {
-                Some(x) => x,
-                None => return,
-            };
+        let (bottleneck, w_tilde) = match tracker.argmax() {
+            Some(x) => x,
+            None => return,
+        };
         if w_tilde <= w_lim {
             return;
         }
@@ -193,7 +133,7 @@ fn balance_pass(states: &mut [BlockState], loads: &mut [u64], w_lim: u64, cfg: &
                 if dvol > tolerated.max(0) {
                     continue;
                 }
-                if loads[a.k as usize] + extra >= w_tilde {
+                if tracker.get(a.k as usize) + extra >= w_tilde {
                     continue; // would just move the bottleneck
                 }
                 // Prefer the largest offload; tie-break on volume delta.
@@ -208,9 +148,8 @@ fn balance_pass(states: &mut [BlockState], loads: &mut [u64], w_lim: u64, cfg: &
         }
         match best {
             Some((extra, _dvol, b, alt)) => {
-                let a = &states[b].analysis;
-                loads[a.l as usize] -= extra;
-                loads[a.k as usize] += extra;
+                let (from, to) = (states[b].analysis.l as usize, states[b].analysis.k as usize);
+                tracker.transfer(from, to, extra);
                 states[b].chosen = alt;
             }
             None => return, // bottleneck cannot be improved further

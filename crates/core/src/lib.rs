@@ -23,6 +23,8 @@
 //!   derived from the square and vertical DM blocks;
 //! * [`heuristic2`] — "Algorithm 2", the generalized bi-objective
 //!   heuristic with a balance pass over that family;
+//! * [`sweep`] — the sweep engine both heuristics instantiate (block
+//!   analysis, load tracking, the greedy volume pass);
 //! * [`iterate`] — alternating vector/nonzero refinement (toward
 //!   simultaneous vector + nonzero partitioning).
 
@@ -35,6 +37,7 @@ pub mod iterate;
 pub mod mesh;
 pub mod optimal;
 pub mod partition;
+pub mod sweep;
 
 pub use alternatives::{Alternative, BlockAnalysis};
 pub use comm::{comm_requirements, CommRequirements, CommStats};
@@ -44,3 +47,4 @@ pub use iterate::{iterate_s2d, IterateConfig, IterateResult};
 pub use mesh::{mesh_dims, MeshRouting};
 pub use optimal::s2d_optimal;
 pub use partition::SpmvPartition;
+pub use sweep::load_limit;

@@ -13,32 +13,21 @@ use s2d_sparse::{BlockStructure, Csr};
 
 use crate::partition::SpmvPartition;
 
-/// The DM-based split of one off-diagonal block.
+/// The DM-based split of one off-diagonal block. The heuristics price
+/// the full alternative family through
+/// [`BlockAnalysis`](crate::alternatives::BlockAnalysis) instead; this
+/// lighter split keeps only what the optimal assembly needs.
 #[derive(Clone, Debug)]
 pub(crate) struct BlockSplit {
-    /// Row part (owner of `y` entries of the block).
-    pub l: u32,
     /// Column part (owner of `x` entries of the block).
     pub k: u32,
     /// Nonzero ids of the horizontal diagonal block `H_ℓk` — the nonzeros
     /// that move to the column owner under alternative (A2).
     pub h_nz: Vec<u32>,
-    /// `m̂(H_ℓk)`.
-    pub h_rows: u32,
-    /// `n̂(H_ℓk)`.
-    pub h_cols: u32,
 }
 
-impl BlockSplit {
-    /// The communication-volume reduction of flipping this block from
-    /// (A1) to (A2): `λ⁻ = n̂(H) − m̂(H)` (≥ 0 since `H` is horizontal).
-    pub fn lambda_minus(&self) -> u64 {
-        (self.h_cols - self.h_rows) as u64
-    }
-}
-
-/// Computes the DM split of the block `(l, k)` holding `nz_ids`.
-pub(crate) fn split_block(a: &Csr, l: u32, k: u32, nz_ids: &[u32]) -> BlockSplit {
+/// Computes the DM split of the block `(_l, k)` holding `nz_ids`.
+pub(crate) fn split_block(a: &Csr, _l: u32, k: u32, nz_ids: &[u32]) -> BlockSplit {
     // Compactify the block's rows and columns.
     let mut rows: Vec<u32> = Vec::with_capacity(nz_ids.len());
     let mut cols: Vec<u32> = Vec::with_capacity(nz_ids.len());
@@ -71,7 +60,7 @@ pub(crate) fn split_block(a: &Csr, l: u32, k: u32, nz_ids: &[u32]) -> BlockSplit
             h_nz.push(e);
         }
     }
-    BlockSplit { l, k, h_nz, h_rows: dm.h_rows as u32, h_cols: dm.h_cols as u32 }
+    BlockSplit { k, h_nz }
 }
 
 /// Builds the volume-optimal s2D partition for the given vector partition

@@ -1,0 +1,463 @@
+//! The [`Strategy`] enum and the [`Partitioner`] trait.
+
+use s2d_baselines::oned::majority_col_owner;
+use s2d_baselines::{
+    partition_1d_b, partition_1d_colwise, partition_1d_rowwise, partition_2d_fine_grain,
+    partition_checkerboard, partition_s2d_mg,
+};
+use s2d_core::heuristic::{s2d_heuristic_kway, HeuristicConfig};
+use s2d_core::heuristic2::{s2d_generalized, Heuristic2Config};
+use s2d_core::iterate::{iterate_s2d, IterateConfig};
+use s2d_core::optimal::s2d_optimal;
+use s2d_core::partition::SpmvPartition;
+use s2d_hypergraph::models::column_net_model;
+use s2d_hypergraph::{partition_kway, PartitionConfig};
+use s2d_sparse::{Csr, MatrixStats};
+
+use crate::quality::PartitionQuality;
+
+/// Shared partitioner knobs (the two every method accepts).
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionerConfig {
+    /// Load-balance tolerance ε (the paper's 3% default).
+    pub epsilon: f64,
+    /// RNG seed for the hypergraph engine; runs are deterministic given
+    /// a seed.
+    pub seed: u64,
+}
+
+impl Default for PartitionerConfig {
+    fn default() -> Self {
+        PartitionerConfig { epsilon: 0.03, seed: 1 }
+    }
+}
+
+/// A partitioning method: matrix + processor count in, full data
+/// partition out. Every [`Strategy`] variant implements this; custom
+/// partitioners slot in beside the built-ins (sessions and solvers only
+/// see the produced [`SpmvPartition`]).
+pub trait Partitioner {
+    /// Short stable label (bench ids, CLI output, JSON reports).
+    fn label(&self) -> String;
+
+    /// Partitions `a` over `k` processors with explicit knobs.
+    ///
+    /// # Panics
+    /// Panics when the method's structural prerequisites fail (the
+    /// mesh-shaped baselines and the iterative refinement require a
+    /// square matrix — see [`Strategy::requires_square`]).
+    fn partition_with(&self, a: &Csr, k: usize, cfg: &PartitionerConfig) -> SpmvPartition;
+
+    /// Partitions `a` over `k` processors with the default knobs
+    /// (ε = 3%, seed 1).
+    fn partition(&self, a: &Csr, k: usize) -> SpmvPartition {
+        self.partition_with(a, k, &PartitionerConfig::default())
+    }
+}
+
+/// Which semi-2D split refines the 1D-induced vector partition —
+/// the deduplicated `heuristic`/`heuristic2` surface (both run the
+/// shared sweep engine in `s2d_core::sweep`; see the module docs there
+/// for the exact behavioral difference).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum S2dVariant {
+    /// Algorithm 1 (Section IV-B): greedy `{A1, A2}` volume sweeps
+    /// under the load cap. The paper's headline `s2D` method.
+    Algorithm1,
+    /// The generalized heuristic (Section VII): full `{A1, A2, A4, A3}`
+    /// alternative family plus a balance pass that can offload
+    /// overloaded row owners.
+    Generalized,
+    /// The per-block DM optimum (Section IV-A): minimum possible volume
+    /// for the given vector partition, balance unconstrained.
+    Optimal,
+    /// Alternating vector/nonzero refinement (Section VII outlook);
+    /// square matrices only.
+    Iterative,
+}
+
+impl S2dVariant {
+    /// Every variant, in sweep order.
+    pub fn all() -> [S2dVariant; 4] {
+        [
+            S2dVariant::Algorithm1,
+            S2dVariant::Generalized,
+            S2dVariant::Optimal,
+            S2dVariant::Iterative,
+        ]
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            S2dVariant::Algorithm1 => "s2d",
+            S2dVariant::Generalized => "s2d-gen",
+            S2dVariant::Optimal => "s2d-opt",
+            S2dVariant::Iterative => "s2d-it",
+        }
+    }
+}
+
+/// Every partitioning method in the workspace as one selectable value.
+///
+/// `FromStr` accepts both the canonical labels (`Display` output) and
+/// the legacy CLI spellings; [`Strategy::all`] and [`Strategy::fixed`]
+/// drive the sweeps. The variants map onto the paper's method names:
+/// `s2d*` (Sections IV/VII), `1d`/`1d-col` (Catalyurek–Aykanat 1D),
+/// `2d` (fine-grain), `2d-b` (checkerboard), `1d-b` (Boman et al.),
+/// `s2d-mg` (medium-grain, Pelt–Bisseling adapted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Semi-2D: 1D-rowwise vector partition refined by `variant`.
+    SemiTwoD {
+        /// Which refinement runs on the induced vector partition.
+        variant: S2dVariant,
+    },
+    /// 1D rowwise via the column-net hypergraph model (the paper's `1D`).
+    OneDRow,
+    /// 1D columnwise via the row-net model (dual of [`Strategy::OneDRow`]).
+    OneDCol,
+    /// Cartesian checkerboard on the default mesh (the paper's `2D-b`);
+    /// square matrices only.
+    Checkerboard,
+    /// 2D nonzero-based fine-grain partitioning (the paper's `2D`).
+    FineGrain,
+    /// Medium-grain adapted to emit s2D partitions (the paper's
+    /// `s2D-mg`); square matrices only.
+    MediumGrain,
+    /// The 1D-to-mesh post-processing of Boman et al. (the paper's
+    /// `1D-b`); square matrices only.
+    Boman,
+    /// The raw multilevel k-way engine on the column-net model without
+    /// the 1D conventions (no diagonal pins) — isolates the hypergraph
+    /// partitioner itself as a baseline.
+    HypergraphKway,
+    /// Cost-model-driven selection: matrix statistics prune the
+    /// candidate set, the α–β–γ model picks the winner (see
+    /// [`Strategy::auto_pick`]).
+    Auto,
+}
+
+impl Strategy {
+    /// Every strategy including [`Strategy::Auto`] — the sweep set for
+    /// benches and conformance suites.
+    pub fn all() -> Vec<Strategy> {
+        let mut v = Self::fixed();
+        v.push(Strategy::Auto);
+        v
+    }
+
+    /// Every concrete strategy (everything but [`Strategy::Auto`]).
+    pub fn fixed() -> Vec<Strategy> {
+        let mut v: Vec<Strategy> =
+            S2dVariant::all().into_iter().map(|variant| Strategy::SemiTwoD { variant }).collect();
+        v.extend([
+            Strategy::OneDRow,
+            Strategy::OneDCol,
+            Strategy::Checkerboard,
+            Strategy::FineGrain,
+            Strategy::MediumGrain,
+            Strategy::Boman,
+            Strategy::HypergraphKway,
+        ]);
+        v
+    }
+
+    /// True when the produced partition is guaranteed to satisfy the
+    /// s2D property (and so supports the fused single-phase plan).
+    pub fn claims_s2d(&self) -> bool {
+        matches!(
+            self,
+            Strategy::SemiTwoD { .. }
+                | Strategy::OneDRow
+                | Strategy::OneDCol
+                | Strategy::MediumGrain
+                | Strategy::HypergraphKway
+        )
+    }
+
+    /// True when the method only accepts square matrices (mesh-shaped
+    /// baselines and the symmetric iterative refinement).
+    pub fn requires_square(&self) -> bool {
+        matches!(
+            self,
+            Strategy::Checkerboard
+                | Strategy::MediumGrain
+                | Strategy::Boman
+                | Strategy::SemiTwoD { variant: S2dVariant::Iterative }
+        )
+    }
+
+    /// Runs the auto-selection and reports what won and why: matrix
+    /// statistics prune [`Strategy::fixed`] down to a candidate
+    /// shortlist, each candidate partitions the matrix, and the α–β–γ
+    /// model prices each one's best legal plan; the cheapest modeled
+    /// per-iteration time wins (ties to the earlier candidate).
+    ///
+    /// The shortlist always contains `1d` and `s2d`; dense-row/skewed
+    /// matrices add `s2d-gen` and `2d` (1D row balance collapses
+    /// there); square matrices add `2d-b` once the mesh is nontrivial
+    /// (K ≥ 4 — latency-bound routing starts paying when the α term
+    /// dominates) and `s2d-mg` when skewed.
+    pub fn auto_pick(a: &Csr, k: usize, cfg: &PartitionerConfig) -> AutoPick {
+        let stats = MatrixStats::of(a);
+        let square = a.nrows() == a.ncols();
+        let skewed = stats.row_dmax as f64 > 8.0 * stats.row_davg.max(1.0)
+            || stats.col_dmax as f64 > 8.0 * stats.col_davg.max(1.0);
+
+        let mut candidates =
+            vec![Strategy::OneDRow, Strategy::SemiTwoD { variant: S2dVariant::Algorithm1 }];
+        if skewed {
+            candidates.push(Strategy::SemiTwoD { variant: S2dVariant::Generalized });
+            candidates.push(Strategy::FineGrain);
+        }
+        if square && k >= 4 {
+            candidates.push(Strategy::Checkerboard);
+        }
+        if square && skewed {
+            candidates.push(Strategy::MediumGrain);
+        }
+
+        let mut best: Option<(f64, Strategy, SpmvPartition, PartitionQuality)> = None;
+        for s in candidates {
+            let p = s.partition_with(a, k, cfg);
+            let q = PartitionQuality::measure(a, &p, s.to_string());
+            let better = match &best {
+                None => true,
+                Some((t, ..)) => q.alpha_beta_time < *t,
+            };
+            if better {
+                best = Some((q.alpha_beta_time, s, p, q));
+            }
+        }
+        let (_, strategy, partition, quality) = best.expect("candidate set is never empty");
+        AutoPick { strategy, partition, quality }
+    }
+}
+
+/// What [`Strategy::auto_pick`] decided.
+#[derive(Clone, Debug)]
+pub struct AutoPick {
+    /// The winning concrete strategy.
+    pub strategy: Strategy,
+    /// Its partition.
+    pub partition: SpmvPartition,
+    /// Its measured quality (the modeled time that won the comparison).
+    pub quality: PartitionQuality,
+}
+
+impl Partitioner for Strategy {
+    fn label(&self) -> String {
+        self.to_string()
+    }
+
+    fn partition_with(&self, a: &Csr, k: usize, cfg: &PartitionerConfig) -> SpmvPartition {
+        let (eps, seed) = (cfg.epsilon, cfg.seed);
+        match *self {
+            Strategy::SemiTwoD { variant } => {
+                let oned = partition_1d_rowwise(a, k, eps, seed);
+                match variant {
+                    S2dVariant::Algorithm1 => s2d_heuristic_kway(
+                        a,
+                        &oned.row_part,
+                        &oned.col_part,
+                        k,
+                        &HeuristicConfig { epsilon: eps, ..Default::default() },
+                    ),
+                    S2dVariant::Generalized => s2d_generalized(
+                        a,
+                        &oned.row_part,
+                        &oned.col_part,
+                        k,
+                        &Heuristic2Config { epsilon: eps, ..Default::default() },
+                    ),
+                    S2dVariant::Optimal => s2d_optimal(a, &oned.row_part, &oned.col_part, k),
+                    S2dVariant::Iterative => {
+                        assert_eq!(
+                            a.nrows(),
+                            a.ncols(),
+                            "s2d-it requires a square matrix (symmetric refinement)"
+                        );
+                        let inner = Heuristic2Config { epsilon: eps, ..Default::default() };
+                        let cfg = IterateConfig { inner, ..Default::default() };
+                        iterate_s2d(a, &oned.row_part, k, &cfg).partition
+                    }
+                }
+            }
+            Strategy::OneDRow => partition_1d_rowwise(a, k, eps, seed).partition,
+            Strategy::OneDCol => partition_1d_colwise(a, k, eps, seed).partition,
+            Strategy::Checkerboard => partition_checkerboard(a, k, eps, seed).partition,
+            Strategy::FineGrain => partition_2d_fine_grain(a, k, eps, seed),
+            Strategy::MediumGrain => partition_s2d_mg(a, k, eps, seed),
+            Strategy::Boman => {
+                assert_eq!(a.nrows(), a.ncols(), "1d-b requires a square matrix");
+                let oned = partition_1d_rowwise(a, k, eps, seed);
+                partition_1d_b(a, &oned.row_part, k)
+            }
+            Strategy::HypergraphKway => {
+                let square = a.nrows() == a.ncols();
+                let hg = column_net_model(a, false);
+                let kcfg = PartitionConfig { epsilon: eps, seed, ..Default::default() };
+                let row_part = partition_kway(&hg, k, &kcfg).parts;
+                let col_part =
+                    if square { row_part.clone() } else { majority_col_owner(a, &row_part, k) };
+                SpmvPartition::rowwise(a, row_part, col_part, k)
+            }
+            Strategy::Auto => Strategy::auto_pick(a, k, cfg).partition,
+        }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parses both the canonical labels and the legacy CLI spellings
+    /// (`1d`, `1d-col`, `2d`, `s2d`, `s2d-opt`, `s2d-mg`, `2d-b`,
+    /// `1d-b` keep working unchanged).
+    fn from_str(s: &str) -> Result<Strategy, String> {
+        match s {
+            "s2d" => Ok(Strategy::SemiTwoD { variant: S2dVariant::Algorithm1 }),
+            "s2d-gen" | "s2d2" => Ok(Strategy::SemiTwoD { variant: S2dVariant::Generalized }),
+            "s2d-opt" => Ok(Strategy::SemiTwoD { variant: S2dVariant::Optimal }),
+            "s2d-it" | "s2d-iter" => Ok(Strategy::SemiTwoD { variant: S2dVariant::Iterative }),
+            "1d" | "1d-row" => Ok(Strategy::OneDRow),
+            "1d-col" => Ok(Strategy::OneDCol),
+            "2d-b" | "checkerboard" => Ok(Strategy::Checkerboard),
+            "2d" | "fine-grain" => Ok(Strategy::FineGrain),
+            "s2d-mg" | "medium-grain" => Ok(Strategy::MediumGrain),
+            "1d-b" | "boman" => Ok(Strategy::Boman),
+            "hg-kway" | "kway" => Ok(Strategy::HypergraphKway),
+            "auto" => Ok(Strategy::Auto),
+            other => Err(format!(
+                "unknown partitioner {other:?} \
+                 (s2d|s2d-gen|s2d-opt|s2d-it|1d|1d-col|2d|2d-b|s2d-mg|1d-b|hg-kway|auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::SemiTwoD { variant } => variant.label(),
+            Strategy::OneDRow => "1d",
+            Strategy::OneDCol => "1d-col",
+            Strategy::Checkerboard => "2d-b",
+            Strategy::FineGrain => "2d",
+            Strategy::MediumGrain => "s2d-mg",
+            Strategy::Boman => "1d-b",
+            Strategy::HypergraphKway => "hg-kway",
+            Strategy::Auto => "auto",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_core::comm::comm_requirements;
+    use s2d_sparse::Coo;
+
+    fn grid(n: usize) -> Csr {
+        let mut m = Coo::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 4.0);
+            if i + 1 < n {
+                m.push(i, i + 1, -1.0);
+                m.push(i + 1, i, -1.0);
+            }
+        }
+        m.compress();
+        m.to_csr()
+    }
+
+    #[test]
+    fn display_fromstr_roundtrip_covers_every_strategy() {
+        for s in Strategy::all() {
+            let back: Strategy = s.to_string().parse().expect("canonical label parses");
+            assert_eq!(back, s, "{s}");
+        }
+        assert!("nonsense".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn legacy_cli_spellings_still_parse() {
+        for (name, want) in [
+            ("1d", Strategy::OneDRow),
+            ("1d-col", Strategy::OneDCol),
+            ("2d", Strategy::FineGrain),
+            ("s2d", Strategy::SemiTwoD { variant: S2dVariant::Algorithm1 }),
+            ("s2d-opt", Strategy::SemiTwoD { variant: S2dVariant::Optimal }),
+            ("s2d-mg", Strategy::MediumGrain),
+            ("2d-b", Strategy::Checkerboard),
+            ("1d-b", Strategy::Boman),
+        ] {
+            assert_eq!(name.parse::<Strategy>().unwrap(), want, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_is_fixed_plus_auto() {
+        let all = Strategy::all();
+        let fixed = Strategy::fixed();
+        assert_eq!(all.len(), fixed.len() + 1);
+        assert_eq!(*all.last().unwrap(), Strategy::Auto);
+        assert!(!fixed.contains(&Strategy::Auto));
+    }
+
+    #[test]
+    fn every_fixed_strategy_partitions_a_grid() {
+        let a = grid(48);
+        for s in Strategy::fixed() {
+            let p = s.partition(&a, 4);
+            p.assert_shape(&a);
+            assert_eq!(p.k, 4, "{s}");
+            if s.claims_s2d() {
+                assert!(p.validate_s2d(&a).is_ok(), "{s} must be s2D");
+            }
+        }
+    }
+
+    #[test]
+    fn semi_2d_never_exceeds_1d_volume() {
+        // Algorithm 1 starts from 1D rowwise and only takes
+        // volume-reducing flips: λ(s2d) ≤ λ(1d) with the same seed.
+        let a = grid(64);
+        let cfg = PartitionerConfig::default();
+        let v1 =
+            comm_requirements(&a, &Strategy::OneDRow.partition_with(&a, 4, &cfg)).total_volume();
+        let vs = comm_requirements(
+            &a,
+            &Strategy::SemiTwoD { variant: S2dVariant::Algorithm1 }.partition_with(&a, 4, &cfg),
+        )
+        .total_volume();
+        assert!(vs <= v1, "s2d {vs} > 1d {v1}");
+    }
+
+    #[test]
+    fn auto_picks_a_concrete_strategy() {
+        let a = grid(48);
+        let pick = Strategy::auto_pick(&a, 4, &PartitionerConfig::default());
+        assert_ne!(pick.strategy, Strategy::Auto);
+        pick.partition.assert_shape(&a);
+        // The Partitioner impl returns the same partition.
+        assert_eq!(Strategy::Auto.partition(&a, 4), pick.partition);
+    }
+
+    #[test]
+    fn rectangular_matrices_work_on_the_rect_capable_subset() {
+        let a = Coo::from_pattern(
+            6,
+            4,
+            &[(0, 0), (1, 1), (2, 2), (3, 3), (4, 0), (5, 1), (0, 3), (2, 0)],
+        )
+        .to_csr();
+        for s in Strategy::fixed().into_iter().filter(|s| !s.requires_square()) {
+            let p = s.partition(&a, 2);
+            p.assert_shape(&a);
+            if s.claims_s2d() {
+                assert!(p.validate_s2d(&a).is_ok(), "{s}");
+            }
+        }
+    }
+}

@@ -1,22 +1,20 @@
-//! A small command-line partitioner for Matrix Market files.
+//! A small command-line partitioner for Matrix Market files, driven by
+//! the unified [`Strategy`] enum.
 //!
 //! ```text
 //! cargo run --release --example mm_partition -- <matrix.mtx> [K] [method]
 //! ```
 //!
-//! `method` is one of `1d`, `2d`, `s2d` (default), `s2d-opt`, `mg`, `cb`.
-//! Without arguments a demo matrix is generated and partitioned. Prints
-//! per-processor loads and communication statistics; writes
-//! `<matrix>.part.<K>` with one owner id per nonzero (CSR order).
+//! `method` is any strategy name (`s2d` default, `1d`, `1d-col`, `2d`,
+//! `2d-b`, `s2d-gen`, `s2d-opt`, `s2d-it`, `s2d-mg`, `1d-b`, `hg-kway`,
+//! `auto` — see `s2d::partition::Strategy`). Without arguments a demo
+//! matrix is generated and partitioned. Prints the partition-quality
+//! report and per-processor loads; writes `<matrix>.part.<K>` with one
+//! owner id per nonzero (CSR order).
 
 use std::io::Write;
 
-use s2d::baselines::{
-    partition_1d_rowwise, partition_2d_fine_grain, partition_checkerboard, partition_s2d_mg,
-};
-use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
-use s2d::core::optimal::s2d_optimal;
-use s2d::core::partition::SpmvPartition;
+use s2d::partition::{quality, PartitionQuality, Partitioner, Strategy};
 use s2d::sparse::io::read_matrix_market_file;
 use s2d::sparse::Csr;
 
@@ -42,44 +40,21 @@ fn main() {
     println!("matrix {name}: {} x {}, nnz {}", a.nrows(), a.ncols(), a.nnz());
     println!("partitioning into K = {k} parts with method `{method}`\n");
 
-    let p: SpmvPartition = match method {
-        "1d" => partition_1d_rowwise(&a, k, 0.03, 1).partition,
-        "2d" => partition_2d_fine_grain(&a, k, 0.03, 1),
-        "s2d" => {
-            let oned = partition_1d_rowwise(&a, k, 0.03, 1);
-            s2d_from_vector_partition(
-                &a,
-                &oned.row_part,
-                &oned.col_part,
-                &HeuristicConfig::default(),
-            )
-        }
-        "s2d-opt" => {
-            let oned = partition_1d_rowwise(&a, k, 0.03, 1);
-            s2d_optimal(&a, &oned.row_part, &oned.col_part, k)
-        }
-        "mg" => partition_s2d_mg(&a, k, 0.03, 1),
-        "cb" => partition_checkerboard(&a, k, 0.03, 1).partition,
-        other => {
-            eprintln!("unknown method {other:?} (use 1d|2d|s2d|s2d-opt|mg|cb)");
-            std::process::exit(2);
-        }
-    };
+    let strategy: Strategy = method.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let p = strategy.partition(&a, k);
+    let q = PartitionQuality::measure(&a, &p, strategy.to_string());
 
-    let loads = p.loads();
-    let stats = s2d::core::comm::two_phase_comm_stats(&a, &p);
-    println!("load imbalance: {:.1}%", p.load_imbalance() * 100.0);
-    println!("total comm volume: {} words", stats.total_volume);
-    println!(
-        "messages: avg {:.1} / max {} per processor",
-        stats.avg_send_msgs(),
-        stats.max_send_msgs()
-    );
+    println!("{}", quality::quality_header());
+    println!("{}\n", quality::fmt_quality_row(&q));
     println!(
         "s2D property: {}",
-        if p.is_s2d(&a) { "satisfied" } else { "not satisfied (general 2D)" }
+        if q.s2d { "satisfied (fused single-phase plan)" } else { "not satisfied (general 2D)" }
     );
     println!("\nper-processor loads (nonzeros):");
+    let loads = p.loads();
     for (proc_id, load) in loads.iter().enumerate() {
         println!("  P{proc_id:<3} {load:>10}");
         if proc_id >= 15 && loads.len() > 17 {

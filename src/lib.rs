@@ -6,8 +6,9 @@
 //!
 //! Re-exports every subsystem crate under one roof, and provides the
 //! [`Session`] builder — the one-stop entry point tying a matrix, a
-//! partition, a plan kind ([`PlanKind`]), an execution backend
-//! ([`Backend`]) and a compiled kernel format ([`KernelFormat`], e.g.
+//! partitioning strategy ([`Strategy`], or a hand-built partition), a
+//! plan kind ([`PlanKind`]), an execution backend ([`Backend`]) and a
+//! compiled kernel format ([`KernelFormat`], e.g.
 //! `.kernel_format(KernelFormat::Auto)` for the per-rank automatic
 //! choice) into a ready [`SpmvOperator`]:
 //!
@@ -16,6 +17,9 @@
 //! * [`hypergraph`] — multilevel hypergraph partitioner + SpMV models.
 //! * [`core`] — the s2D partitioning methods (the paper's contribution).
 //! * [`baselines`] — 1D, 2D fine-grain, checkerboard, 1D-b, medium-grain.
+//! * [`partition`] — the unified [`Partitioner`] layer: every method
+//!   behind one [`Strategy`] enum, quality reports, cost-model-driven
+//!   [`Strategy::Auto`].
 //! * [`sim`] — α–β–γ distributed machine model and metrics.
 //! * [`spmv`] — the SpMV plan language and interpreting executors.
 //! * [`engine`] — the compiled execution engine (flat-buffer plan
@@ -28,26 +32,23 @@
 //!
 //! Partition once, build a [`Session`] once, then multiply as often as
 //! you like — the session owns the built plan and a ready backend
-//! operator, so the setup cost (plan construction, compilation, buffer
-//! allocation) is paid exactly once:
+//! operator, so the setup cost (partitioning, plan construction,
+//! compilation, buffer allocation) is paid exactly once:
 //!
 //! ```
 //! use s2d::gen::rmat::{rmat, RmatConfig};
-//! use s2d::baselines::oned::partition_1d_rowwise;
-//! use s2d::core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
 //! use s2d::{Backend, PlanKind, Session};
 //!
-//! // A scale-free matrix and an s2D partition over 4 processors.
+//! // A scale-free matrix, partitioned by the paper's semi-2D heuristic
+//! // over 4 processors right inside the builder ("s2d".parse() works
+//! // too, and Strategy::Auto lets the cost model choose the method).
 //! let a = rmat(&RmatConfig::graph500(8, 8), 42).to_csr();
-//! let oned = partition_1d_rowwise(&a, 4, 0.03, 1);
-//! let s2d = s2d_from_vector_partition(&a, &oned.row_part, &oned.col_part, &HeuristicConfig::default());
-//!
-//! // Matrix + partition + plan kind + backend, fluently.
 //! let mut session = Session::builder(&a)
-//!     .partition(&s2d)
+//!     .partitioner("s2d".parse().unwrap(), 4)
 //!     .plan_kind(PlanKind::SinglePhase)
 //!     .backend(Backend::CompiledSeq)
 //!     .build();
+//! assert_eq!(session.strategy().map(|s| s.to_string()).as_deref(), Some("s2d"));
 //! println!("comm volume per iteration: {} words", session.stats().total_volume);
 //!
 //! // Steady state: apply into caller-owned buffers, zero allocation.
@@ -97,6 +98,7 @@ pub use s2d_dm as dm;
 pub use s2d_engine as engine;
 pub use s2d_gen as gen;
 pub use s2d_hypergraph as hypergraph;
+pub use s2d_partition as partition;
 pub use s2d_runtime as runtime;
 pub use s2d_sim as sim;
 pub use s2d_solver as solver;
@@ -104,5 +106,6 @@ pub use s2d_sparse as sparse;
 pub use s2d_spmv as spmv;
 
 pub use s2d_engine::{Backend, KernelFormat};
+pub use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, S2dVariant, Strategy};
 pub use s2d_spmv::{PlanKind, SpmvOperator};
 pub use session::{Session, SessionBuilder};

@@ -1,4 +1,5 @@
-//! The [`Session`] facade: matrix + partition + plan kind + backend +
+//! The [`Session`] facade: matrix + partition (hand-built, or produced
+//! in-build by a partitioning [`Strategy`]) + plan kind + backend +
 //! batch width, chosen fluently, yielding a ready [`SpmvOperator`] plus
 //! plan statistics.
 //!
@@ -14,6 +15,7 @@ use std::sync::Arc;
 use s2d_core::comm::CommStats;
 use s2d_core::partition::SpmvPartition;
 use s2d_engine::{Backend, KernelFormat};
+use s2d_partition::{Partitioner, PartitionerConfig, Strategy};
 use s2d_sparse::Csr;
 use s2d_spmv::{PlanKind, SpmvOperator, SpmvPlan};
 
@@ -22,6 +24,8 @@ use s2d_spmv::{PlanKind, SpmvOperator, SpmvPlan};
 pub struct SessionBuilder<'a> {
     a: &'a Csr,
     partition: Option<&'a SpmvPartition>,
+    strategy: Option<(Strategy, usize)>,
+    partitioner_cfg: PartitionerConfig,
     plan_kind: Option<PlanKind>,
     backend: Backend,
     kernel_format: KernelFormat,
@@ -29,9 +33,27 @@ pub struct SessionBuilder<'a> {
 }
 
 impl<'a> SessionBuilder<'a> {
-    /// The partition to run on (required).
+    /// The partition to run on. Either this or
+    /// [`SessionBuilder::partitioner`] is required.
     pub fn partition(mut self, p: &'a SpmvPartition) -> Self {
         self.partition = Some(p);
+        self
+    }
+
+    /// Partition the matrix inside [`SessionBuilder::build`] with
+    /// `strategy` over `k` processors — the alternative to hand-building
+    /// a partition first. [`Strategy::Auto`] runs the cost-model-driven
+    /// selection.
+    pub fn partitioner(mut self, strategy: Strategy, k: usize) -> Self {
+        assert!(k >= 1, "partitioner needs at least one processor");
+        self.strategy = Some((strategy, k));
+        self
+    }
+
+    /// Knobs for [`SessionBuilder::partitioner`] (ε tolerance, seed);
+    /// ignored when an explicit partition is supplied.
+    pub fn partitioner_config(mut self, cfg: PartitionerConfig) -> Self {
+        self.partitioner_cfg = cfg;
         self
     }
 
@@ -70,22 +92,33 @@ impl<'a> SessionBuilder<'a> {
     }
 
     /// Builds the plan, pays the backend's setup cost, and returns the
-    /// ready session.
+    /// ready session. When a [`SessionBuilder::partitioner`] strategy
+    /// was chosen, the partitioning runs here too.
     ///
     /// # Panics
-    /// Panics if no partition was supplied, the partition doesn't fit
-    /// the matrix, or the chosen plan kind's prerequisites fail (e.g.
+    /// Panics if neither a partition nor a partitioner was supplied
+    /// (or both were), the partition doesn't fit the matrix, or the
+    /// chosen plan kind's prerequisites fail (e.g.
     /// [`PlanKind::SinglePhase`] on a non-s2D partition).
     pub fn build(self) -> Session {
-        let p = self.partition.expect("SessionBuilder: a partition is required");
-        let kind = self.plan_kind.unwrap_or_else(|| PlanKind::auto(self.a, p));
-        let plan = Arc::new(kind.build(self.a, p));
+        let partition = match (self.partition, self.strategy) {
+            (Some(p), None) => p.clone(),
+            (None, Some((s, k))) => s.partition_with(self.a, k, &self.partitioner_cfg),
+            (Some(_), Some(_)) => {
+                panic!("SessionBuilder: choose either .partition() or .partitioner(), not both")
+            }
+            (None, None) => panic!("SessionBuilder: a partition or a partitioner is required"),
+        };
+        let kind = self.plan_kind.unwrap_or_else(|| PlanKind::auto(self.a, &partition));
+        let plan = Arc::new(kind.build(self.a, &partition));
         let stats = plan.comm_stats();
         let operator = self.backend.build_with(&plan, self.batch_width, self.kernel_format);
         Session {
             plan,
             operator,
             stats,
+            partition,
+            strategy: self.strategy.map(|(s, _)| s),
             kind,
             backend: self.backend,
             kernel_format: self.kernel_format,
@@ -100,6 +133,8 @@ pub struct Session {
     plan: Arc<SpmvPlan>,
     operator: Box<dyn SpmvOperator + Send>,
     stats: CommStats,
+    partition: SpmvPartition,
+    strategy: Option<Strategy>,
     kind: PlanKind,
     backend: Backend,
     kernel_format: KernelFormat,
@@ -112,6 +147,8 @@ impl Session {
         SessionBuilder {
             a,
             partition: None,
+            strategy: None,
+            partitioner_cfg: PartitionerConfig::default(),
             plan_kind: None,
             backend: Backend::CompiledSeq,
             kernel_format: KernelFormat::CsrSlice,
@@ -138,6 +175,21 @@ impl Session {
     /// Per-iteration communication statistics of the plan.
     pub fn stats(&self) -> &CommStats {
         &self.stats
+    }
+
+    /// The partition the session runs on (hand-built or produced by the
+    /// chosen [`Strategy`]).
+    pub fn partition(&self) -> &SpmvPartition {
+        &self.partition
+    }
+
+    /// The partitioning strategy that produced the session's partition,
+    /// when one was chosen through [`SessionBuilder::partitioner`]
+    /// (`None` for hand-built partitions). For [`Strategy::Auto`] this
+    /// reports `Auto`, not the concrete winner — use
+    /// [`Strategy::auto_pick`] directly when the choice matters.
+    pub fn strategy(&self) -> Option<Strategy> {
+        self.strategy
     }
 
     /// The plan kind that was built.
@@ -295,9 +347,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "partition is required")]
+    #[should_panic(expected = "partition or a partitioner is required")]
     fn missing_partition_is_rejected() {
         let a = fig1_matrix();
         let _ = Session::builder(&a).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "not both")]
+    fn partition_and_partitioner_together_are_rejected() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let _ = Session::builder(&a).partition(&p).partitioner(Strategy::OneDRow, 2).build();
+    }
+
+    #[test]
+    fn partitioner_strategies_build_ready_sessions() {
+        let a = fig1_matrix();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 0.5 * j as f64 - 2.0).collect();
+        let want = a.spmv_alloc(&x);
+        for strategy in Strategy::all() {
+            if strategy.requires_square() {
+                continue; // fig1 is 10×13
+            }
+            let mut s = Session::builder(&a).partitioner(strategy, 3).build();
+            assert_eq!(s.strategy(), Some(strategy));
+            assert_eq!(s.partition().k, 3);
+            if strategy.claims_s2d() {
+                assert_eq!(s.plan_kind(), PlanKind::SinglePhase, "{strategy}");
+            }
+            let mut y = vec![0.0; a.nrows()];
+            s.apply(&x, &mut y);
+            for (g, w) in y.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{strategy}: {g} vs {w}");
+            }
+        }
     }
 }
