@@ -20,7 +20,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Instant;
 
 use s2d_baselines::partition_1d_rowwise;
 use s2d_core::heuristic::{s2d_from_vector_partition, HeuristicConfig};
@@ -29,6 +28,7 @@ use s2d_gen::fem::fem_like;
 use s2d_gen::powerlaw::power_law;
 use s2d_gen::rmat::{rmat, RmatConfig};
 use s2d_gen::{suite_a, Scale};
+use s2d_obs::{best_of, TelemetrySink};
 use s2d_sparse::Csr;
 use s2d_spmv::SpmvOperator;
 use s2d_spmv::SpmvPlan;
@@ -232,46 +232,18 @@ fn acceptance_summary(_c: &mut Criterion) {
     // Best-of sampling on both sides: min is the noise-robust estimator
     // for "how fast does this run when the machine cooperates".
     let mut want = Vec::new();
-    let mailbox = (0..3)
-        .map(|_| {
-            let t = Instant::now();
-            want = plan.execute_mailbox(&x);
-            t.elapsed()
-        })
-        .min()
-        .expect("nonempty");
+    let mailbox = best_of(3, 1, || want = plan.execute_mailbox(&x));
 
-    let t = Instant::now();
-    let cp = CompiledPlan::compile(&plan);
-    let compile = t.elapsed();
+    let (cp, compile) = s2d_obs::time(|| CompiledPlan::compile(&plan));
 
     let mut ws = cp.workspace();
     let mut y = vec![0.0; a.nrows()];
     cp.execute(&mut ws, &x, &mut y); // warm the buffers
-    let iters = 20;
-    let seq = (0..3)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..iters {
-                cp.execute(&mut ws, &x, &mut y);
-            }
-            t.elapsed() / iters
-        })
-        .min()
-        .expect("nonempty");
+    let seq = best_of(3, 20, || cp.execute(&mut ws, &x, &mut y));
 
     let mut pool = ParallelEngine::new(cp);
     pool.execute(&x, &mut y);
-    let pooled = (0..3)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..iters {
-                pool.execute(&x, &mut y);
-            }
-            t.elapsed() / iters
-        })
-        .min()
-        .expect("nonempty");
+    let pooled = best_of(3, 20, || pool.execute(&x, &mut y));
 
     let err =
         y.iter().zip(&want).map(|(g, w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0f64, f64::max);
@@ -314,33 +286,16 @@ fn batched_acceptance_summary(_c: &mut Criterion) {
     let mut ws = cp.workspace_batch(R);
     let mut y = vec![0.0; a.nrows() * R];
     cp.execute_batch(&mut ws, &x, &mut y, R); // warm the buffers
-    let iters = 10;
-    let batched = (0..3)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..iters {
-                cp.execute_batch(&mut ws, &x, &mut y, R);
-            }
-            t.elapsed() / iters
-        })
-        .min()
-        .expect("nonempty");
+    let batched = best_of(3, 10, || cp.execute_batch(&mut ws, &x, &mut y, R));
 
     let mut ws1 = cp.workspace();
     let mut y1 = vec![0.0; a.nrows()];
     cp.execute(&mut ws1, &cols[0], &mut y1); // warm
-    let singles = (0..3)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..iters {
-                for col in &cols {
-                    cp.execute(&mut ws1, col, &mut y1);
-                }
-            }
-            t.elapsed() / iters
-        })
-        .min()
-        .expect("nonempty");
+    let singles = best_of(3, 10, || {
+        for col in &cols {
+            cp.execute(&mut ws1, col, &mut y1);
+        }
+    });
 
     // Columns of the batch must match the last single-RHS run bitwise.
     for g in 0..a.nrows() {
@@ -389,18 +344,7 @@ fn format_acceptance_summary(_c: &mut Criterion) {
             let mut ws = cp.workspace_batch(R);
             let mut y = vec![0.0; a.nrows() * R];
             cp.execute_batch(&mut ws, &x, &mut y, R); // warm
-            let iters = 10;
-            (0..3)
-                .map(|_| {
-                    let t = Instant::now();
-                    for _ in 0..iters {
-                        cp.execute_batch(&mut ws, &x, &mut y, R);
-                    }
-                    t.elapsed() / iters
-                })
-                .min()
-                .expect("nonempty")
-                .as_secs_f64()
+            best_of(3, 10, || cp.execute_batch(&mut ws, &x, &mut y, R)).as_secs_f64()
         };
         let csr = time_of(KernelFormat::CsrSlice);
         // The default chunk height (c = 2) keeps the entry-major
@@ -449,10 +393,62 @@ fn format_acceptance_summary(_c: &mut Criterion) {
     println!("--------------------------------------------------------------");
 }
 
+/// Telemetry acceptance: instrumentation must be invisible in the
+/// results (telemetry-on output bitwise equal to telemetry-off, on
+/// both compiled backends) and cheap (< 5% per-iteration overhead on
+/// the sequential path; relaxed on the small fast-mode matrix where a
+/// handful of clock reads is a visible fraction of an iteration).
+fn telemetry_acceptance_summary(_c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(rmat_scale(), 8), 1).to_csr();
+    let plan = Arc::new(plan_for(&a));
+    let x = x_for(a.ncols());
+    let format = KernelFormat::CsrSlice;
+
+    // Bitwise identity on both compiled backends.
+    for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 0 }] {
+        let sink = Arc::new(TelemetrySink::new(K));
+        let mut plain = backend.build_with(&plan, 1, format);
+        let mut obs = backend.build_obs(&plan, 1, format, Some(Arc::clone(&sink)));
+        let mut y_plain = vec![0.0; a.nrows()];
+        let mut y_obs = vec![0.0; a.nrows()];
+        plain.apply(&x, &mut y_plain);
+        obs.apply(&x, &mut y_obs);
+        assert_eq!(y_plain, y_obs, "telemetry must be bitwise invisible on {backend}");
+        assert!(sink.wall_nanos() > 0, "{backend}: sink recorded nothing");
+    }
+
+    // Overhead on the sequential path, best-of-3 batches of 20.
+    let sink = Arc::new(TelemetrySink::new(K));
+    let mut plain = Backend::CompiledSeq.build_with(&plan, 1, format);
+    let mut obs = Backend::CompiledSeq.build_obs(&plan, 1, format, Some(Arc::clone(&sink)));
+    let mut y = vec![0.0; a.nrows()];
+    plain.apply(&x, &mut y); // warm
+    obs.apply(&x, &mut y);
+    let off = best_of(3, 20, || plain.apply(&x, &mut y));
+    let on = best_of(3, 20, || obs.apply(&x, &mut y));
+    let overhead = on.as_secs_f64() / off.as_secs_f64() - 1.0;
+    println!("--------------------------------------------------------------");
+    println!(
+        "telemetry acceptance {}/k{K}: off {:.3} ms/iter, on {:.3} ms/iter, overhead {:+.2}%",
+        rmat_label(),
+        off.as_secs_f64() * 1e3,
+        on.as_secs_f64() * 1e3,
+        overhead * 100.0
+    );
+    let cap = if fast_mode() { 0.25 } else { 0.05 };
+    assert!(
+        overhead < cap,
+        "telemetry overhead must stay under {:.0}%/iter (got {:+.2}%)",
+        cap * 100.0,
+        overhead * 100.0
+    );
+    println!("--------------------------------------------------------------");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_suite, bench_rmat14, bench_batched, bench_formats, acceptance_summary,
-        batched_acceptance_summary, format_acceptance_summary
+        batched_acceptance_summary, format_acceptance_summary, telemetry_acceptance_summary
 }
 criterion_main!(benches);

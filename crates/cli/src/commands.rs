@@ -1,9 +1,13 @@
 //! Subcommand dispatch and implementations.
 
+use std::sync::Arc;
+
+use s2d::Session;
 use s2d_core::comm::{comm_requirements, single_phase_messages, two_phase_messages, CommStats};
 use s2d_core::partition::SpmvPartition;
 use s2d_engine::{Backend, KernelFormat};
 use s2d_gen::{suite_a, suite_b, Scale};
+use s2d_obs::{ExecutionReport, ModelRef, TelemetrySink};
 use s2d_partition::quality::{fmt_quality_row, quality_header};
 use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, Strategy};
 use s2d_sim::MachineModel;
@@ -23,10 +27,13 @@ USAGE
                 [--out p.s2dpart] [--quality] [--json report.json]
   s2d partition-quality [--suite a|b|both] [--k K] [--epsilon E] [--seed N]
                 [--method <M>|all] [--json PARTITION_QUALITY.json]
-  s2d analyze   <m.mtx> <p.s2dpart> [--alg single|two|mesh]
+  s2d analyze   <m.mtx> <p.s2dpart> [--alg single|two|mesh] [--json out.json]
   s2d spmv      <m.mtx> [p.s2dpart] [--alg single|two|mesh]
                 [--partitioner <M> --k K] [--engine <backend>]
-                [--kernel-format <fmt>] [--iters N] [--rhs R]
+                [--kernel-format <fmt>] [--iters N] [--rhs R] [--profile]
+  s2d profile   <m.mtx> [p.s2dpart] [--partitioner <M> --k K]
+                [--engine E[,E...]] [--kernel-format <fmt>]
+                [--iters N] [--rhs R] [--json PROFILE.json]
   s2d help
 
 METHODS (--method / --partitioner) — the unified Strategy enum
@@ -73,6 +80,15 @@ compiled backends execute the whole block at once (row-major X, one
 len x R message block per exchange); the interpreters run column by
 column as the oracle.
 
+`spmv --profile` runs the multiply with telemetry on and prints the
+execution report: per-rank phase times (compute / gather / scatter /
+barrier / reduce), observed load imbalance, and observed communication
+words held against the alpha-beta / LogGP cost-model predictions.
+`profile` does the same across a comma-separated list of engines
+(default compiled-seq,compiled-pool) through the Session facade, with
+`--json` writing one report object per engine. `analyze --json` writes
+the full partition-quality report plus the per-rank row profiles.
+
 Matrices for `gen --name` come from the paper's two suites (Table I and
 Table IV); `gen --list` prints them. Partition files are plain text
 (see crates/cli/src/partfile.rs).
@@ -89,6 +105,7 @@ pub fn run(raw: Vec<String>) {
         "partition-quality" => cmd_partition_quality(&args),
         "analyze" => cmd_analyze(&args),
         "spmv" => cmd_spmv(&args),
+        "profile" => cmd_profile(&args),
         "help" | "--help" | "-h" => print!("{HELP}"),
         other => {
             eprintln!("error: unknown subcommand {other:?}\n");
@@ -284,6 +301,7 @@ fn kind_for(a: &Csr, p: &SpmvPartition, alg: &str) -> PlanKind {
 }
 
 /// Compiles the plan named by `--alg` (default: the best legal one).
+#[cfg(test)]
 fn plan_for(a: &Csr, p: &SpmvPartition, alg: &str) -> SpmvPlan {
     kind_for(a, p, alg).build(a, p)
 }
@@ -365,6 +383,33 @@ fn cmd_analyze(args: &Args) {
         q.comm_phases,
         q.loggp_time * 1e6,
     );
+    // One JSON object bundling everything machine-readable the command
+    // printed: matrix shape, the full quality report, and the per-rank
+    // row profiles the kernel auto-selection keys on.
+    if let Some(json) = args.get("json") {
+        let rows: Vec<String> = profiles
+            .iter()
+            .map(|pr| {
+                format!(
+                    "{{\"rank\":{},\"rows\":{},\"ops\":{},\"max_row\":{},\"mean_row\":{:.3}}}",
+                    pr.rank, pr.rows, pr.ops, pr.max_row, pr.mean_row
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\"matrix\":{{\"nrows\":{},\"ncols\":{},\"nnz\":{}}},\
+             \"quality\":{},\"row_profiles\":[{}]}}\n",
+            a.nrows(),
+            a.ncols(),
+            a.nnz(),
+            q.to_json(),
+            rows.join(",")
+        );
+        if let Err(e) = std::fs::write(json, body) {
+            fail(format!("cannot write {json}: {e}"));
+        }
+        println!("wrote {json}");
+    }
 }
 
 /// Executes `plan` on `x` with the named backend, `iters` chained
@@ -408,37 +453,75 @@ pub fn run_engine_batch_with(
     iters: usize,
     rhs: usize,
 ) -> (Vec<f64>, Option<std::time::Duration>) {
+    run_engine_batch_obs(plan, x, engine, format, iters, rhs, None)
+}
+
+/// [`run_engine_batch_with`] with an optional telemetry sink: when
+/// `sink` is given the operator is built instrumented
+/// (`Backend::build_obs`) and records per-rank phase spans, work
+/// counters and wall time for the whole chained run. Results are
+/// bitwise identical either way.
+pub fn run_engine_batch_obs(
+    plan: &std::sync::Arc<SpmvPlan>,
+    x: &[f64],
+    engine: &str,
+    format: KernelFormat,
+    iters: usize,
+    rhs: usize,
+    sink: Option<&Arc<TelemetrySink>>,
+) -> (Vec<f64>, Option<std::time::Duration>) {
     assert!(rhs >= 1, "at least one right-hand side");
     assert!(iters >= 1, "at least one iteration");
     assert_eq!(x.len(), plan.ncols * rhs, "input block length mismatch");
     // Time the whole session setup (compilation + buffers + workers) —
     // that is the one-time cost a session amortizes.
-    let t = std::time::Instant::now();
-    let (mut op, compiled): (Box<dyn SpmvOperator + Send>, bool) = if engine == "auto" {
-        // Compile once, decide from the compiled op count, and reuse
-        // the compiled plan for the chosen operator — no recompilation.
-        let cp = s2d_engine::CompiledPlan::compile_with(plan, format);
-        match Backend::auto(&cp) {
-            Backend::CompiledPool { threads } => {
-                (Box::new(s2d_engine::CompiledPoolOperator::new(cp, threads, rhs)), true)
-            }
-            _ => (Box::new(s2d_engine::CompiledSeqOperator::new(cp, rhs)), true),
-        }
-    } else {
-        let backend: Backend = match engine.parse() {
-            Ok(b) => b,
-            Err(e) => fail(e),
-        };
-        let compiled = matches!(backend, Backend::CompiledSeq | Backend::CompiledPool { .. });
-        (backend.build_with(plan, rhs, format), compiled)
-    };
-    let setup = compiled.then(|| t.elapsed());
+    let ((mut op, compiled), setup_time) =
+        s2d_obs::time(|| build_engine_op(plan, engine, format, rhs, sink));
+    let setup = compiled.then_some(setup_time);
     let mut y = vec![0.0; plan.nrows * rhs];
     // One dispatch for the whole chain: the compiled pool keeps its
     // workers hot across iterations instead of paying a barrier
     // wake/seed/assemble round trip per application.
     op.apply_batch_iters(x, &mut y, rhs, iters);
     (y, setup)
+}
+
+/// Builds the operator for `--engine`, optionally instrumented.
+/// Returns the operator and whether the path is a compiled one (i.e.
+/// setup time is meaningful to report).
+fn build_engine_op(
+    plan: &std::sync::Arc<SpmvPlan>,
+    engine: &str,
+    format: KernelFormat,
+    rhs: usize,
+    sink: Option<&Arc<TelemetrySink>>,
+) -> (Box<dyn SpmvOperator + Send>, bool) {
+    if engine == "auto" {
+        // Compile once, decide from the compiled op count, and reuse
+        // the compiled plan for the chosen operator — no recompilation.
+        let cp = s2d_engine::CompiledPlan::compile_with(plan, format);
+        let backend = Backend::auto(&cp);
+        let op: Box<dyn SpmvOperator + Send> = match (backend, sink) {
+            (Backend::CompiledPool { threads }, None) => {
+                Box::new(s2d_engine::CompiledPoolOperator::new(cp, threads, rhs))
+            }
+            (Backend::CompiledPool { threads }, Some(s)) => Box::new(
+                s2d_engine::CompiledPoolOperator::with_telemetry(cp, threads, rhs, Arc::clone(s)),
+            ),
+            (_, None) => Box::new(s2d_engine::CompiledSeqOperator::new(cp, rhs)),
+            (_, Some(s)) => {
+                Box::new(s2d_engine::CompiledSeqOperator::with_telemetry(cp, rhs, Arc::clone(s)))
+            }
+        };
+        (op, true)
+    } else {
+        let backend: Backend = match engine.parse() {
+            Ok(b) => b,
+            Err(e) => fail(e),
+        };
+        let compiled = matches!(backend, Backend::CompiledSeq | Backend::CompiledPool { .. });
+        (backend.build_obs(plan, rhs, format, sink.map(Arc::clone)), compiled)
+    }
 }
 
 fn cmd_spmv(args: &Args) {
@@ -477,7 +560,8 @@ fn cmd_spmv(args: &Args) {
     if iters > 1 && a.nrows() != a.ncols() {
         fail("--iters > 1 needs a square matrix (chained applications)");
     }
-    let plan = std::sync::Arc::new(plan_for(&a, &p, alg));
+    let kind = kind_for(&a, &p, alg);
+    let plan = std::sync::Arc::new(kind.build(&a, &p));
     // Row-major ncols × rhs block; column q shifts the pattern so the
     // columns are genuinely different vectors.
     let x: Vec<f64> = (0..a.ncols() * rhs)
@@ -497,9 +581,10 @@ fn cmd_spmv(args: &Args) {
             want[g * rhs + q] = val;
         }
     }
-    let t = std::time::Instant::now();
-    let (got, setup_time) = run_engine_batch_with(&plan, &x, engine, format, iters, rhs);
-    let elapsed = t.elapsed();
+    let sink = args.has("profile").then(|| Arc::new(TelemetrySink::new(p.k)));
+    let ((got, setup_time), elapsed) = s2d_obs::time(|| {
+        run_engine_batch_obs(&plan, &x, engine, format, iters, rhs, sink.as_ref())
+    });
     let max_err =
         got.iter().zip(&want).map(|(g, w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0f64, f64::max);
     let compile_note = setup_time
@@ -513,8 +598,124 @@ fn cmd_spmv(args: &Args) {
         elapsed.as_secs_f64() * 1e3,
         if max_err < 1e-9 { "(ok)" } else { "(FAILED)" }
     );
+    if let Some(sink) = &sink {
+        // Score the observed run against the partition's cost-model
+        // prediction — the same comparison `profile` makes per engine.
+        let q = PartitionQuality::measure_plan(&a, &p, kind, &plan, "profile");
+        let model = ModelRef {
+            comm_words: q.volume,
+            alpha_beta_secs: q.alpha_beta_time,
+            loggp_secs: q.loggp_time,
+        };
+        print!("{}", ExecutionReport::collect(sink, engine, Some(model)).render());
+    }
     if max_err >= 1e-9 {
         std::process::exit(1);
+    }
+}
+
+/// `s2d profile`: runs the multiply through the [`Session`] facade
+/// with telemetry on for each engine in the `--engine` list (default
+/// the two compiled backends), prints one execution report per engine,
+/// and optionally collects them into a JSON array (`--json`).
+fn cmd_profile(args: &Args) {
+    let mpath = args.positional.get(1).unwrap_or_else(|| fail("profile requires a matrix file"));
+    let a = load_matrix(mpath);
+    let p = match (args.positional.get(2), args.get("partitioner")) {
+        (Some(_), Some(_)) => fail("give either a partition file or --partitioner, not both"),
+        (Some(ppath), None) => match read_partition_file(ppath) {
+            Ok(p) => p,
+            Err(e) => fail(format!("cannot read {ppath}: {e}")),
+        },
+        (None, Some(method)) => {
+            let k = args.parse_or("k", 16usize);
+            let epsilon = args.parse_or("epsilon", 0.03f64);
+            let seed = args.parse_or("seed", 1u64);
+            build_partition(&a, method, k, epsilon, seed)
+        }
+        (None, None) => fail("profile requires a partition file or --partitioner <method>"),
+    };
+    p.assert_shape(&a);
+    let kind = kind_for(&a, &p, args.get_or("alg", "auto"));
+    let format: KernelFormat = match args.get_or("kernel-format", "csr").parse() {
+        Ok(f) => f,
+        Err(e) => fail(e),
+    };
+    let iters = args.parse_or("iters", 10usize);
+    let rhs = args.parse_or("rhs", 1usize);
+    if iters == 0 || rhs == 0 {
+        fail("--iters and --rhs must be >= 1");
+    }
+    if iters > 1 && a.nrows() != a.ncols() {
+        fail("--iters > 1 needs a square matrix (chained applications)");
+    }
+    let x: Vec<f64> = (0..a.ncols() * rhs)
+        .map(|i| {
+            let (g, q) = (i / rhs, i % rhs);
+            ((g * 37 + q * 11) % 19) as f64 - 9.0
+        })
+        .collect();
+    // Serial reference for the last iterate — profiling numbers are
+    // only worth reporting for a run that computed the right answer.
+    let mut want = vec![0.0; a.nrows() * rhs];
+    for q in 0..rhs {
+        let mut col: Vec<f64> = (0..a.ncols()).map(|g| x[g * rhs + q]).collect();
+        for _ in 0..iters {
+            col = a.spmv_alloc(&col);
+        }
+        for (g, val) in col.into_iter().enumerate() {
+            want[g * rhs + q] = val;
+        }
+    }
+
+    let engines = args.get_or("engine", "compiled-seq,compiled-pool");
+    let mut json_reports: Vec<String> = Vec::new();
+    for (i, name) in engines.split(',').map(str::trim).filter(|s| !s.is_empty()).enumerate() {
+        let backend: Backend = match name.parse() {
+            Ok(b) => b,
+            Err(e) => fail(e),
+        };
+        let (mut session, setup) = s2d_obs::time(|| {
+            Session::builder(&a)
+                .partition(&p)
+                .plan_kind(kind)
+                .backend(backend)
+                .kernel_format(format)
+                .batch_width(rhs)
+                .telemetry(true)
+                .build()
+        });
+        let mut y = vec![0.0; a.nrows() * rhs];
+        session.apply_batch_iters(&x, &mut y, rhs, iters);
+        let max_err = y
+            .iter()
+            .zip(&want)
+            .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+            .fold(0.0f64, f64::max);
+        if max_err >= 1e-9 {
+            fail(format!("{name}: max relative error {max_err:.2e} — refusing to report"));
+        }
+        let report = session.report().expect("telemetry was requested");
+        if i > 0 {
+            println!();
+        }
+        println!(
+            "setup {:.1} ms ({} plan, {format} kernels)",
+            setup.as_secs_f64() * 1e3,
+            kind.label()
+        );
+        print!("{}", report.render());
+        json_reports.push(report.to_json());
+    }
+    if json_reports.is_empty() {
+        fail("--engine lists no engines");
+    }
+    if let Some(json) = args.get("json") {
+        let body = format!("[\n{}\n]\n", json_reports.join(",\n"));
+        if let Err(e) = std::fs::write(json, body) {
+            fail(format!("cannot write {json}: {e}"));
+        }
+        println!("\nwrote {} report(s) to {json}", json_reports.len());
     }
 }
 

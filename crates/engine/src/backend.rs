@@ -45,13 +45,16 @@
 //! up front, by building with the right width).
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use s2d_obs::{Phase, TelemetrySink};
 use s2d_spmv::{MailboxOperator, SpmvOperator, SpmvPlan, ThreadedOperator};
 
 use crate::compile::CompiledPlan;
 use crate::exec::Workspace;
 use crate::formats::KernelFormat;
 use crate::pool::ParallelEngine;
+use crate::telemetry::ExecTelemetry;
 
 /// Selects one of the four SpMV execution backends.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,6 +131,46 @@ impl Backend {
         }
     }
 
+    /// [`Backend::build_with`] with optional telemetry. With a sink
+    /// attached, the compiled backends record per-rank phase spans and
+    /// work counters; the interpreting backends (which have no phase
+    /// structure to hook) are wrapped in an [`ObservedOperator`] that
+    /// accounts whole applications under rank 0. Results are bitwise
+    /// identical to the sink-less build.
+    ///
+    /// # Panics
+    /// Panics if the sink was sized for a rank count other than the
+    /// plan's.
+    pub fn build_obs(
+        &self,
+        plan: &Arc<SpmvPlan>,
+        width: usize,
+        format: KernelFormat,
+        sink: Option<Arc<TelemetrySink>>,
+    ) -> Box<dyn SpmvOperator + Send> {
+        let Some(sink) = sink else { return self.build_with(plan, width, format) };
+        assert!(width >= 1, "batch width must be at least 1");
+        match *self {
+            Backend::Mailbox => {
+                Box::new(ObservedOperator::new(MailboxOperator::new(Arc::clone(plan)), sink))
+            }
+            Backend::Threaded => {
+                Box::new(ObservedOperator::new(ThreadedOperator::new(Arc::clone(plan)), sink))
+            }
+            Backend::CompiledSeq => Box::new(CompiledSeqOperator::with_telemetry(
+                CompiledPlan::compile_with(plan, format),
+                width,
+                sink,
+            )),
+            Backend::CompiledPool { threads } => Box::new(CompiledPoolOperator::with_telemetry(
+                CompiledPlan::compile_with(plan, format),
+                threads,
+                width,
+                sink,
+            )),
+        }
+    }
+
     /// Picks the compiled backend an already-compiled plan should run
     /// on: the persistent pool wins only when one iteration carries
     /// enough work to amortize its barrier round trips (PR 1 measured
@@ -192,6 +235,7 @@ impl std::fmt::Display for Backend {
 pub struct CompiledSeqOperator {
     cp: CompiledPlan,
     ws: Workspace,
+    obs: Option<ExecTelemetry>,
 }
 
 impl CompiledSeqOperator {
@@ -199,7 +243,19 @@ impl CompiledSeqOperator {
     /// up to `width`.
     pub fn new(cp: CompiledPlan, width: usize) -> CompiledSeqOperator {
         let ws = cp.workspace_batch(width.max(1));
-        CompiledSeqOperator { cp, ws }
+        CompiledSeqOperator { cp, ws, obs: None }
+    }
+
+    /// [`CompiledSeqOperator::new`] with a telemetry sink: every
+    /// application records per-rank phase spans and work counters.
+    /// Results stay bitwise identical to the sink-less operator.
+    pub fn with_telemetry(
+        cp: CompiledPlan,
+        width: usize,
+        sink: Arc<TelemetrySink>,
+    ) -> CompiledSeqOperator {
+        let obs = Some(ExecTelemetry::new(&cp, sink));
+        CompiledSeqOperator { obs, ..CompiledSeqOperator::new(cp, width) }
     }
 
     /// The compiled plan this operator executes.
@@ -218,25 +274,22 @@ impl SpmvOperator for CompiledSeqOperator {
     }
 
     fn apply(&mut self, x: &[f64], y: &mut [f64]) {
-        self.cp.execute(&mut self.ws, x, y);
+        self.cp.execute_batch_iters_obs(&mut self.ws, x, y, 1, 1, self.obs.as_ref());
     }
 
     fn apply_batch(&mut self, x: &[f64], y: &mut [f64], r: usize) {
+        self.apply_batch_iters(x, y, r, 1);
+    }
+
+    fn apply_batch_iters(&mut self, x: &[f64], y: &mut [f64], r: usize, iters: usize) {
         if r > self.ws.width() {
             // One-time growth; steady-state calls at a seen width do
             // not allocate.
             self.ws = self.cp.workspace_batch(r);
         }
-        self.cp.execute_batch(&mut self.ws, x, y, r);
-    }
-
-    fn apply_batch_iters(&mut self, x: &[f64], y: &mut [f64], r: usize, iters: usize) {
-        if r > self.ws.width() {
-            self.ws = self.cp.workspace_batch(r);
-        }
         // Native chained path: the workspace's carrier ferries the
         // iterate, no caller-side copies.
-        self.cp.execute_batch_iters(&mut self.ws, x, y, r, iters);
+        self.cp.execute_batch_iters_obs(&mut self.ws, x, y, r, iters, self.obs.as_ref());
     }
 }
 
@@ -247,19 +300,43 @@ pub struct CompiledPoolOperator {
     /// Requested worker count (0 = default sizing), kept so a
     /// width-growth rebuild preserves the choice.
     threads: usize,
+    /// Telemetry sink, kept so a width-growth rebuild stays
+    /// instrumented (the rebuilt pool records into the same sink).
+    sink: Option<Arc<TelemetrySink>>,
 }
 
 impl CompiledPoolOperator {
     /// Builds the pool over an already-compiled plan (`threads = 0` →
     /// default sizing) with buffers for batches of up to `width`.
     pub fn new(cp: CompiledPlan, threads: usize, width: usize) -> CompiledPoolOperator {
+        CompiledPoolOperator::build(cp, threads, width, None)
+    }
+
+    /// [`CompiledPoolOperator::new`] with a telemetry sink: workers
+    /// record per-rank phase spans (including barrier waits) and work
+    /// counters. Results stay bitwise identical to the sink-less pool.
+    pub fn with_telemetry(
+        cp: CompiledPlan,
+        threads: usize,
+        width: usize,
+        sink: Arc<TelemetrySink>,
+    ) -> CompiledPoolOperator {
+        CompiledPoolOperator::build(cp, threads, width, Some(sink))
+    }
+
+    fn build(
+        cp: CompiledPlan,
+        threads: usize,
+        width: usize,
+        sink: Option<Arc<TelemetrySink>>,
+    ) -> CompiledPoolOperator {
         let width = width.max(1);
-        let engine = if threads == 0 {
-            ParallelEngine::new_batch(cp, width)
-        } else {
-            ParallelEngine::with_threads_batch(cp, threads, width)
+        let engine = match &sink {
+            Some(s) => ParallelEngine::with_telemetry(cp, threads, width, Arc::clone(s)),
+            None if threads == 0 => ParallelEngine::new_batch(cp, width),
+            None => ParallelEngine::with_threads_batch(cp, threads, width),
         };
-        CompiledPoolOperator { engine, threads }
+        CompiledPoolOperator { engine, threads, sink }
     }
 
     /// The underlying pool (e.g. to query `threads()`).
@@ -291,11 +368,70 @@ impl SpmvOperator for CompiledPoolOperator {
             // means rebuilding the pool — expensive, so build with the
             // widest batch you plan to use.
             let cp = self.engine.plan().clone();
-            *self = CompiledPoolOperator::new(cp, self.threads, r);
+            *self = CompiledPoolOperator::build(cp, self.threads, r, self.sink.take());
         }
         // Native chained path: one dispatch, workers stay hot across
         // iterations.
         self.engine.execute_batch_iters(x, y, r, iters);
+    }
+}
+
+/// Whole-application telemetry for operators with no internal phase
+/// structure to hook (the interpreting backends): each apply is
+/// recorded as one compute span under rank 0, plus run-level wall
+/// time and iteration counts on the sink.
+///
+/// Purely additive — the wrapped operator's results (and its
+/// [`SpmvOperator::deterministic`] contract) pass through untouched.
+pub struct ObservedOperator<O> {
+    inner: O,
+    sink: Arc<TelemetrySink>,
+}
+
+impl<O: SpmvOperator> ObservedOperator<O> {
+    /// Wraps `inner` so every application is accounted on `sink`.
+    pub fn new(inner: O, sink: Arc<TelemetrySink>) -> ObservedOperator<O> {
+        ObservedOperator { inner, sink }
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    fn observe(&mut self, iters: u64, body: impl FnOnce(&mut O)) {
+        let t = Instant::now();
+        body(&mut self.inner);
+        let ns = t.elapsed().as_nanos() as u64;
+        self.sink.rank(0).record(Phase::Compute, ns);
+        self.sink.add_wall(ns);
+        self.sink.add_iterations(iters);
+    }
+}
+
+impl<O: SpmvOperator> SpmvOperator for ObservedOperator<O> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.observe(1, |op| op.apply(x, y));
+    }
+
+    fn apply_batch(&mut self, x: &[f64], y: &mut [f64], r: usize) {
+        self.observe(1, |op| op.apply_batch(x, y, r));
+    }
+
+    fn apply_batch_iters(&mut self, x: &[f64], y: &mut [f64], r: usize, iters: usize) {
+        self.observe(iters as u64, |op| op.apply_batch_iters(x, y, r, iters));
+    }
+
+    fn deterministic(&self) -> bool {
+        self.inner.deterministic()
     }
 }
 

@@ -29,7 +29,12 @@
 //! scatter and assembly are format-oblivious — one workspace executes
 //! the same plan compiled to any format.
 
+use std::time::Instant;
+
+use s2d_obs::Phase;
+
 use crate::compile::{CompiledMsg, CompiledPlan, RankStep, NO_SLOT};
+use crate::telemetry::ExecTelemetry;
 
 /// Preallocated buffers for executing one [`CompiledPlan`] at batch
 /// widths up to the allocated `width`.
@@ -120,24 +125,26 @@ impl CompiledPlan {
     // `memcpy` (measured ~25% slower per iteration at r = 1).
     #[allow(clippy::manual_memcpy)]
     #[inline(always)]
-    fn seed(&self, ws: &mut Workspace, x: &[f64], r: usize) {
-        for (rk, rp) in self.ranks.iter().enumerate() {
-            debug_assert_eq!(
-                ws.x[rk].len(),
-                rp.nx * ws.width,
-                "workspace belongs to a different plan"
-            );
-            let xloc = &mut ws.x[rk];
-            // Element loops, not `copy_from_slice`: the region length
-            // `r` is a runtime value, so slice copies lower to per-call
-            // `memcpy` — measurably slower at the common small widths.
-            for &(g, slot) in &rp.x_seed {
-                let (src, dst) = (g as usize * r, slot as usize * r);
-                for q in 0..r {
-                    xloc[dst + q] = x[src + q];
-                }
+    fn seed_rank(&self, ws: &mut Workspace, x: &[f64], r: usize, rk: usize) {
+        let rp = &self.ranks[rk];
+        debug_assert_eq!(ws.x[rk].len(), rp.nx * ws.width, "workspace belongs to a different plan");
+        let xloc = &mut ws.x[rk];
+        // Element loops, not `copy_from_slice`: the region length
+        // `r` is a runtime value, so slice copies lower to per-call
+        // `memcpy` — measurably slower at the common small widths.
+        for &(g, slot) in &rp.x_seed {
+            let (src, dst) = (g as usize * r, slot as usize * r);
+            for q in 0..r {
+                xloc[dst + q] = x[src + q];
             }
-            ws.y[rk][..rp.ny * r].fill(0.0);
+        }
+        ws.y[rk][..rp.ny * r].fill(0.0);
+    }
+
+    #[inline(always)]
+    fn seed(&self, ws: &mut Workspace, x: &[f64], r: usize) {
+        for rk in 0..self.ranks.len() {
+            self.seed_rank(ws, x, r, rk);
         }
     }
 
@@ -215,15 +222,7 @@ impl CompiledPlan {
         r: usize,
         iters: usize,
     ) {
-        assert!(iters >= 1, "at least one iteration");
-        assert!(r >= 1, "batch width must be at least 1");
-        assert_eq!(x.len(), self.ncols * r, "input length mismatch");
-        assert_eq!(y.len(), self.nrows * r, "output length mismatch");
-        assert_eq!(ws.x.len(), self.k, "workspace belongs to a different plan");
-        assert!(ws.width >= r, "workspace width {} cannot hold a batch of {r}", ws.width);
-        if iters > 1 {
-            assert_eq!(self.nrows, self.ncols, "chained SpMV needs a square plan");
-        }
+        self.check_batch(ws, x, y, r, iters);
         // Monomorphize the common widths: `pass` is `inline(always)`
         // all the way down, so a constant `r` const-folds the `0..r`
         // block loops in seed / staging / assembly into straight-line
@@ -234,6 +233,55 @@ impl CompiledPlan {
             4 => self.pass::<4>(ws, x, y, iters),
             8 => self.pass::<8>(ws, x, y, iters),
             _ => self.pass_impl(ws, x, y, r, iters),
+        }
+    }
+
+    /// [`CompiledPlan::execute_batch_iters`] with optional telemetry:
+    /// with a sink attached, per-rank phase spans and work counters are
+    /// recorded along the way. The numeric path is untouched — results
+    /// are bitwise identical with and without a sink (the instrumented
+    /// pass interleaves clock reads between the same calls in the same
+    /// order).
+    pub fn execute_batch_iters_obs(
+        &self,
+        ws: &mut Workspace,
+        x: &[f64],
+        y: &mut [f64],
+        r: usize,
+        iters: usize,
+        obs: Option<&ExecTelemetry>,
+    ) {
+        match obs {
+            None => self.execute_batch_iters(ws, x, y, r, iters),
+            Some(obs) => {
+                self.check_batch(ws, x, y, r, iters);
+                let t = Instant::now();
+                // Same const-width monomorphization as the uninstrumented
+                // dispatch: without it the instrumented pass runs the
+                // generic-width loops and the comparison bench would
+                // blame telemetry for a codegen difference.
+                match r {
+                    1 => self.pass_obs_w::<1>(ws, x, y, iters, obs),
+                    2 => self.pass_obs_w::<2>(ws, x, y, iters, obs),
+                    4 => self.pass_obs_w::<4>(ws, x, y, iters, obs),
+                    8 => self.pass_obs_w::<8>(ws, x, y, iters, obs),
+                    _ => self.pass_obs(ws, x, y, r, iters, obs),
+                }
+                obs.sink().add_wall(t.elapsed().as_nanos() as u64);
+                obs.sink().add_iterations(iters as u64);
+            }
+        }
+    }
+
+    fn check_batch(&self, ws: &Workspace, x: &[f64], y: &[f64], r: usize, iters: usize) {
+        assert!(iters >= 1, "at least one iteration");
+        assert!(r >= 1, "batch width must be at least 1");
+        assert_eq!(x.len(), self.ncols * r, "input length mismatch");
+        assert_eq!(y.len(), self.nrows * r, "output length mismatch");
+        assert_eq!(ws.x.len(), self.k, "workspace belongs to a different plan");
+        assert!(ws.width >= r, "workspace width {} cannot hold a batch of {r}", ws.width);
+        if iters > 1 {
+            assert_eq!(self.nrows, self.ncols, "chained SpMV needs a square plan");
         }
     }
 
@@ -256,6 +304,105 @@ impl CompiledPlan {
         }
         self.assemble(ws, y, r);
         ws.carrier = carrier;
+    }
+
+    /// Fixed-width instantiation of the instrumented pass.
+    fn pass_obs_w<const R: usize>(
+        &self,
+        ws: &mut Workspace,
+        x: &[f64],
+        y: &mut [f64],
+        iters: usize,
+        obs: &ExecTelemetry,
+    ) {
+        self.pass_obs(ws, x, y, R, iters, obs);
+    }
+
+    /// The instrumented twin of [`CompiledPlan::pass_impl`]: identical
+    /// call sequence (bitwise-identical results), with per-rank phase
+    /// spans and per-iteration work counters recorded into `obs`. See
+    /// the `telemetry` module docs for the phase attribution.
+    #[inline(always)]
+    fn pass_obs(
+        &self,
+        ws: &mut Workspace,
+        x: &[f64],
+        y: &mut [f64],
+        r: usize,
+        iters: usize,
+        obs: &ExecTelemetry,
+    ) {
+        let mut carrier = std::mem::take(&mut ws.carrier);
+        self.seed_obs(ws, x, r, obs);
+        self.run_phases_obs(ws, r, obs);
+        self.bump_all(r, obs);
+        for _ in 1..iters {
+            let t = Instant::now();
+            self.assemble(ws, &mut carrier[..self.nrows * r], r);
+            obs.rec(0).record(Phase::Scatter, t.elapsed().as_nanos() as u64);
+            self.seed_obs(ws, &carrier[..self.nrows * r], r, obs);
+            self.run_phases_obs(ws, r, obs);
+            self.bump_all(r, obs);
+        }
+        let t = Instant::now();
+        self.assemble(ws, y, r);
+        obs.rec(0).record(Phase::Scatter, t.elapsed().as_nanos() as u64);
+        ws.carrier = carrier;
+    }
+
+    #[inline(always)]
+    fn seed_obs(&self, ws: &mut Workspace, x: &[f64], r: usize, obs: &ExecTelemetry) {
+        for rk in 0..self.ranks.len() {
+            let t = Instant::now();
+            self.seed_rank(ws, x, r, rk);
+            obs.rec(rk).record(Phase::Gather, t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn bump_all(&self, r: usize, obs: &ExecTelemetry) {
+        for rk in 0..self.ranks.len() {
+            obs.bump_iter(rk, r);
+        }
+    }
+
+    /// Instrumented twin of [`CompiledPlan::run_phases`] — same phase
+    /// walk, same per-rank order, clock reads in between.
+    #[inline(always)]
+    fn run_phases_obs(&self, ws: &mut Workspace, r: usize, obs: &ExecTelemetry) {
+        let num_phases = self.ranks.first().map_or(0, |rp| rp.steps.len());
+        for p in 0..num_phases {
+            let mut is_comm = false;
+            for (rk, rp) in self.ranks.iter().enumerate() {
+                match &rp.steps[p] {
+                    RankStep::Compute(kernel) => {
+                        let t = Instant::now();
+                        kernel.run_batch(&ws.x[rk], &mut ws.y[rk], r);
+                        obs.rec(rk).record(Phase::Compute, t.elapsed().as_nanos() as u64);
+                    }
+                    RankStep::Comm { phase, sends, .. } => {
+                        is_comm = true;
+                        let t = Instant::now();
+                        let staging = &mut ws.staging[*phase as usize];
+                        for m in sends {
+                            stage_send(m, &ws.x[rk], &mut ws.y[rk], staging, r);
+                        }
+                        obs.rec(rk).record(Phase::Gather, t.elapsed().as_nanos() as u64);
+                    }
+                }
+            }
+            if is_comm {
+                for (rk, rp) in self.ranks.iter().enumerate() {
+                    if let RankStep::Comm { phase, recvs, .. } = &rp.steps[p] {
+                        let t = Instant::now();
+                        let staging = &ws.staging[*phase as usize];
+                        for m in recvs {
+                            apply_recv(m, &mut ws.x[rk], &mut ws.y[rk], staging, r);
+                        }
+                        obs.rec(rk).record(Phase::Scatter, t.elapsed().as_nanos() as u64);
+                    }
+                }
+            }
+        }
     }
 }
 

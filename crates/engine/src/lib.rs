@@ -117,11 +117,13 @@ pub mod compile;
 pub mod exec;
 pub mod formats;
 pub mod pool;
+pub mod telemetry;
 
-pub use backend::{Backend, CompiledPoolOperator, CompiledSeqOperator};
+pub use backend::{Backend, CompiledPoolOperator, CompiledSeqOperator, ObservedOperator};
 pub use compile::{CompiledMsg, CompiledPlan, RankProgram, RankStep, NO_SLOT};
 pub use exec::Workspace;
 pub use formats::{
     CsrKernel, DenseSplitKernel, Kernel, KernelFormat, KernelStats, SellKernel, NO_LANE,
 };
 pub use pool::ParallelEngine;
+pub use telemetry::ExecTelemetry;

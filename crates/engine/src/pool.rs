@@ -35,11 +35,14 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use s2d_obs::{Phase, TelemetrySink};
 use s2d_spmv::SpmvPlan;
 
 use crate::compile::{CompiledMsg, CompiledPlan, RankStep};
 use crate::formats::KernelFormat;
+use crate::telemetry::ExecTelemetry;
 
 /// A flat `f64` buffer shareable across worker threads (see the module
 /// docs for the access discipline that makes this sound). Indexing is
@@ -174,6 +177,10 @@ struct Shared {
     gate: SpinBarrier,
     /// Workers only: phase-internal synchronization.
     sync: SpinBarrier,
+    /// Optional telemetry (fixed at construction — `Shared` is
+    /// immutable once workers spawn). `None` keeps the job loop free
+    /// of clock reads.
+    obs: Option<ExecTelemetry>,
 }
 
 /// A persistent pool of worker threads executing one compiled plan.
@@ -314,6 +321,36 @@ impl ParallelEngine {
     /// batches of up to `width` right-hand sides (row-major blocks, see
     /// the `exec` module docs for the layout).
     pub fn with_threads_batch(plan: CompiledPlan, threads: usize, width: usize) -> ParallelEngine {
+        ParallelEngine::build(plan, threads, width, None)
+    }
+
+    /// A telemetry-recording pool: workers time their compute / gather
+    /// / scatter work per owned rank and their barrier waits (recorded
+    /// under the first rank of each worker's range) into `sink`.
+    /// `threads = 0` selects the default sizing. Results are bitwise
+    /// identical to an uninstrumented pool.
+    pub fn with_telemetry(
+        plan: CompiledPlan,
+        threads: usize,
+        width: usize,
+        sink: Arc<TelemetrySink>,
+    ) -> ParallelEngine {
+        let threads = if threads == 0 {
+            let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+            plan.k.min(cpus).max(1)
+        } else {
+            threads
+        };
+        let obs = ExecTelemetry::new(&plan, sink);
+        ParallelEngine::build(plan, threads, width, Some(obs))
+    }
+
+    fn build(
+        plan: CompiledPlan,
+        threads: usize,
+        width: usize,
+        obs: Option<ExecTelemetry>,
+    ) -> ParallelEngine {
         validate_for_pool(&plan);
         assert!(width >= 1, "batch width must be at least 1");
         let k = plan.k;
@@ -353,6 +390,7 @@ impl ParallelEngine {
             poisoned: AtomicBool::new(false),
             gate: SpinBarrier::new(threads + 1),
             sync: SpinBarrier::new(threads),
+            obs,
             plan,
         });
         let workers = (0..threads)
@@ -439,6 +477,7 @@ impl ParallelEngine {
         self.shared.job_x.store(x.as_ptr() as *mut f64, Ordering::Relaxed);
         self.shared.job_iters.store(iters, Ordering::Relaxed);
         self.shared.job_width.store(r, Ordering::Relaxed);
+        let t = self.shared.obs.as_ref().map(|_| Instant::now());
         let _ = self.shared.gate.wait(&self.shared.poisoned); // release the workers
         let _ = self.shared.gate.wait(&self.shared.poisoned); // wait for completion
         assert!(
@@ -447,6 +486,10 @@ impl ParallelEngine {
         );
         for (i, yi) in y.iter_mut().enumerate() {
             *yi = self.shared.global.get(i);
+        }
+        if let (Some(obs), Some(t)) = (&self.shared.obs, t) {
+            obs.sink().add_wall(t.elapsed().as_nanos() as u64);
+            obs.sink().add_iterations(iters as u64);
         }
     }
 }
@@ -503,17 +546,38 @@ fn apply_recv(m: &CompiledMsg, x: &ShBuf, y: &ShBuf, staging: &ShBuf, r: usize) 
     }
 }
 
+/// Starts a span clock only when telemetry is attached — the `None`
+/// path keeps the job loop free of clock reads.
+#[inline]
+fn obs_start(obs: &Option<ExecTelemetry>) -> Option<Instant> {
+    obs.as_ref().map(|_| Instant::now())
+}
+
+/// Records a span started by [`obs_start`] under `(rank, phase)`.
+#[inline]
+fn obs_record(obs: &Option<ExecTelemetry>, rk: usize, ph: Phase, t: Option<Instant>) {
+    if let (Some(o), Some(t)) = (obs.as_ref(), t) {
+        o.rec(rk).record(ph, t.elapsed().as_nanos() as u64);
+    }
+}
+
 /// One worker's share of one job at batch width `r`. Returns early
 /// (without touching the shared buffers again) as soon as a poisoned
 /// barrier reports that a peer died — see the module docs.
+///
+/// When `shared.obs` is attached, the worker also times its phase work
+/// per owned rank (barrier waits under `my.start`) — clock reads only,
+/// the numeric path is identical.
 fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *const f64, r: usize) {
     let plan = &shared.plan;
+    let obs = &shared.obs;
     let num_phases = plan.ranks.first().map_or(0, |rp| rp.steps.len());
     for it in 0..iters {
         // Seed owned x entries (iteration 0 from the caller's input,
         // later ones from the previous gathered result) and reset the
         // partial sums.
         for rk in my.clone() {
+            let t = obs_start(obs);
             let rp = &plan.ranks[rk];
             for &(g, slot) in &rp.x_seed {
                 for q in 0..r {
@@ -532,6 +596,7 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
             for i in 0..rp.ny * r {
                 shared.y[rk].set(i, 0.0);
             }
+            obs_record(obs, rk, Phase::Gather, t);
         }
         for p in 0..num_phases {
             // Step kinds agree across ranks at a given phase index
@@ -540,6 +605,7 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
             for rk in my.clone() {
                 match &plan.ranks[rk].steps[p] {
                     RankStep::Compute(kernel) => {
+                        let t = obs_start(obs);
                         // SAFETY: rank rk belongs to this worker alone
                         // (spatial invariant), x and y are distinct
                         // buffers, and barriers order every handoff —
@@ -551,31 +617,42 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
                         let (x, y) =
                             unsafe { (shared.x[rk].as_slice(), shared.y[rk].as_mut_slice()) };
                         kernel.run_batch(x, y, r);
+                        obs_record(obs, rk, Phase::Compute, t);
                     }
                     RankStep::Comm { phase, sends, .. } => {
+                        let t = obs_start(obs);
                         let staging = &shared.staging[*phase as usize];
                         for m in sends {
                             stage_send(m, &shared.x[rk], &shared.y[rk], staging, r);
                         }
+                        obs_record(obs, rk, Phase::Gather, t);
                     }
                 }
             }
             if is_comm {
                 // Everyone staged (and drained) before anyone applies.
-                if shared.sync.wait(&shared.poisoned) {
+                let t = obs_start(obs);
+                let poisoned = shared.sync.wait(&shared.poisoned);
+                obs_record(obs, my.start, Phase::BarrierWait, t);
+                if poisoned {
                     return;
                 }
                 for rk in my.clone() {
                     if let RankStep::Comm { phase, recvs, .. } = &plan.ranks[rk].steps[p] {
+                        let t = obs_start(obs);
                         let staging = &shared.staging[*phase as usize];
                         for m in recvs {
                             apply_recv(m, &shared.x[rk], &shared.y[rk], staging, r);
                         }
+                        obs_record(obs, rk, Phase::Scatter, t);
                     }
                 }
                 // Applies finish before the next writer reuses the
                 // staging buffer (next iteration, same phase).
-                if shared.sync.wait(&shared.poisoned) {
+                let t = obs_start(obs);
+                let poisoned = shared.sync.wait(&shared.poisoned);
+                obs_record(obs, my.start, Phase::BarrierWait, t);
+                if poisoned {
                     return;
                 }
             }
@@ -594,6 +671,7 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
         // iteration (a previous job of a different width may have left
         // stale words at these positions).
         for rk in my.clone() {
+            let t = obs_start(obs);
             for &(g, slot) in &plan.ranks[rk].y_emit {
                 for q in 0..r {
                     shared.global.set(g as usize * r + q, shared.y[rk].get(slot as usize * r + q));
@@ -606,10 +684,19 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
                     }
                 }
             }
+            obs_record(obs, rk, Phase::Scatter, t);
+        }
+        if let Some(o) = obs {
+            for rk in my.clone() {
+                o.bump_iter(rk, r);
+            }
         }
         if it + 1 < iters {
             // Reseeding reads the global block other workers wrote.
-            if shared.sync.wait(&shared.poisoned) {
+            let t = obs_start(obs);
+            let poisoned = shared.sync.wait(&shared.poisoned);
+            obs_record(obs, my.start, Phase::BarrierWait, t);
+            if poisoned {
                 return;
             }
         }

@@ -1,0 +1,89 @@
+//! Engine-side glue for the `s2d-obs` telemetry sink.
+//!
+//! [`ExecTelemetry`] pairs a shared [`TelemetrySink`] with the plan's
+//! *static* per-iteration work profile — rows emitted, multiply-adds
+//! and staged send words per rank — precomputed once at operator
+//! construction so the hot loop's counter updates are three relaxed
+//! atomic adds per rank per iteration, never a plan walk.
+//!
+//! Phase attribution on the compiled paths (see the `s2d-obs` crate
+//! docs for phase semantics):
+//!
+//! * **compute** — each kernel's `run_batch` call;
+//! * **gather** — input seeding plus send staging;
+//! * **scatter** — receive application plus output assembly (on the
+//!   sequential executor, whole-output assembly is recorded under
+//!   rank 0);
+//! * **barrier-wait** — the worker pool's phase barriers, recorded
+//!   under the first rank of the waiting worker's contiguous range.
+//!
+//! Instrumentation never touches the numeric path: the instrumented
+//! executors interleave clock reads between exactly the same seeding /
+//! kernel / staging / assembly calls in the same order, so
+//! telemetry-on results are bitwise identical to telemetry-off.
+
+use std::sync::Arc;
+
+use s2d_obs::{PhaseRecorder, TelemetrySink};
+
+use crate::compile::{CompiledPlan, RankStep};
+
+/// A telemetry sink bound to one compiled plan: the sink plus the
+/// plan's static per-rank, per-iteration work counters.
+pub struct ExecTelemetry {
+    sink: Arc<TelemetrySink>,
+    /// Rows each rank emits per iteration (owner-assembled outputs).
+    rows: Vec<u64>,
+    /// Multiply-adds each rank executes per iteration
+    /// (format-invariant).
+    madds: Vec<u64>,
+    /// Words each rank stages into send regions per iteration (batch
+    /// width 1).
+    words: Vec<u64>,
+}
+
+impl ExecTelemetry {
+    /// Binds `sink` to `cp`'s shape, precomputing the per-iteration
+    /// work profile.
+    ///
+    /// # Panics
+    /// Panics if the sink was sized for a different rank count.
+    pub fn new(cp: &CompiledPlan, sink: Arc<TelemetrySink>) -> ExecTelemetry {
+        assert_eq!(sink.k(), cp.k, "telemetry sink sized for a different rank count");
+        let mut rows = vec![0u64; cp.k];
+        let mut madds = vec![0u64; cp.k];
+        let mut words = vec![0u64; cp.k];
+        for (rk, rp) in cp.ranks.iter().enumerate() {
+            rows[rk] = rp.y_emit.len() as u64;
+            for step in &rp.steps {
+                match step {
+                    RankStep::Compute(kernel) => madds[rk] += kernel.ops() as u64,
+                    RankStep::Comm { sends, .. } => {
+                        words[rk] += sends.iter().map(|m| m.words() as u64).sum::<u64>();
+                    }
+                }
+            }
+        }
+        ExecTelemetry { sink, rows, madds, words }
+    }
+
+    /// The shared sink.
+    pub fn sink(&self) -> &Arc<TelemetrySink> {
+        &self.sink
+    }
+
+    /// Rank `rk`'s recorder.
+    #[inline]
+    pub(crate) fn rec(&self, rk: usize) -> &PhaseRecorder {
+        self.sink.rank(rk)
+    }
+
+    /// Accounts one iteration of rank `rk`'s static work at batch
+    /// width `r` (all three counters scale with the batch width — an
+    /// `r`-wide iteration does `r×` the single-RHS work).
+    #[inline]
+    pub(crate) fn bump_iter(&self, rk: usize, r: usize) {
+        let r = r as u64;
+        self.rec(rk).add_counts(self.rows[rk] * r, self.madds[rk] * r, self.words[rk] * r);
+    }
+}

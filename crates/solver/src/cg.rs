@@ -5,11 +5,17 @@
 //! allreduces — precisely the workload whose communication volume and
 //! latency the paper's partitionings optimize.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use s2d_core::partition::SpmvPartition;
+use s2d_obs::TelemetrySink;
 use s2d_sparse::Csr;
 use s2d_spmv::{SpmvOperator, SpmvPlan};
 
-use crate::engine::{gather_global, scatter, spmd_compute_on, EnginePath, RankCtx};
+use crate::engine::{
+    gather_global, scatter, spmd_compute_obs, spmd_compute_on, EnginePath, RankCtx,
+};
 use crate::operator::{axpy, dot, dot_self, Reduce, Solo};
 
 /// Options for [`cg_solve`].
@@ -75,11 +81,43 @@ pub fn cg_solve_on(
 
     let rank_out = spmd_compute_on(path, a, p, plan, |ctx: &mut RankCtx| {
         let b_local = std::mem::take(&mut b_parts.lock()[ctx.rank() as usize]);
-        let core = cg_core(ctx, &b_local, &opts);
+        let core = cg_core(ctx, &b_local, &opts, None);
         (ctx.owned.clone(), core)
     });
 
-    let n = a.nrows();
+    assemble(rank_out, a.nrows())
+}
+
+/// [`cg_solve`] with telemetry: every rank records its SpMV phase
+/// spans, work counters and reduction spans on `sink`
+/// ([`RankCtx::set_telemetry`]), and rank 0 records one solver-
+/// iteration span per CG iteration (rank 0 only, so the sink's
+/// iteration count is not multiplied by `k` — SPMD ranks iterate in
+/// lockstep). Results are bitwise identical to [`cg_solve`].
+pub fn cg_solve_obs(
+    a: &Csr,
+    p: &SpmvPartition,
+    plan: &SpmvPlan,
+    b: &[f64],
+    opts: &CgOptions,
+    sink: &Arc<TelemetrySink>,
+) -> CgResult {
+    assert_eq!(b.len(), a.nrows(), "right-hand side length mismatch");
+    let b_parts = parking_lot::Mutex::new(scatter(b, p));
+    let opts = *opts;
+
+    let rank_out = spmd_compute_obs(a, p, plan, sink, |ctx: &mut RankCtx| {
+        let b_local = std::mem::take(&mut b_parts.lock()[ctx.rank() as usize]);
+        let iter_obs = if ctx.rank() == 0 { Some(sink.as_ref()) } else { None };
+        let core = cg_core(ctx, &b_local, &opts, iter_obs);
+        (ctx.owned.clone(), core)
+    });
+
+    assemble(rank_out, a.nrows())
+}
+
+/// Gathers per-rank CG outcomes into the global result.
+fn assemble(rank_out: Vec<(Vec<u32>, CgCore)>, n: usize) -> CgResult {
     let locals: Vec<(Vec<u32>, Vec<f64>)> =
         rank_out.iter().map(|(owned, core)| (owned.clone(), core.x.clone())).collect();
     let x = gather_global(&locals, n);
@@ -101,10 +139,32 @@ pub fn cg_solve_on(
 /// # Panics
 /// Panics if the operator is not square or `b.len() != op.nrows()`.
 pub fn cg_solve_with(op: impl SpmvOperator, b: &[f64], opts: &CgOptions) -> CgResult {
+    cg_solve_with_inner(op, b, opts, None)
+}
+
+/// [`cg_solve_with`] recording one solver-iteration span per CG
+/// iteration on `sink` ([`TelemetrySink::record_solver_iter`]). Pair
+/// with an operator built by `Backend::build_obs` on the same sink to
+/// get phase-level detail under the iteration spans.
+pub fn cg_solve_with_obs(
+    op: impl SpmvOperator,
+    b: &[f64],
+    opts: &CgOptions,
+    sink: &TelemetrySink,
+) -> CgResult {
+    cg_solve_with_inner(op, b, opts, Some(sink))
+}
+
+fn cg_solve_with_inner(
+    op: impl SpmvOperator,
+    b: &[f64],
+    opts: &CgOptions,
+    obs: Option<&TelemetrySink>,
+) -> CgResult {
     let mut c = Solo(op);
     assert_eq!(c.nrows(), c.ncols(), "CG needs a square operator");
     assert_eq!(b.len(), c.nrows(), "right-hand side length mismatch");
-    let core = cg_core(&mut c, b, opts);
+    let core = cg_core(&mut c, b, opts, obs);
     CgResult {
         x: core.x,
         iterations: core.iterations,
@@ -129,7 +189,16 @@ struct CgCore {
 /// Under SPMD every rank executes identical control flow — every branch
 /// depends only on globally-reduced scalars. The iteration loop is
 /// allocation-free: `Ap` lives in a buffer allocated once up front.
-fn cg_core<C: SpmvOperator + Reduce>(c: &mut C, b_local: &[f64], opts: &CgOptions) -> CgCore {
+///
+/// When `obs` is set, one solver-iteration span is recorded per loop
+/// iteration; the clock reads sit between iterations, never inside the
+/// numeric path, so instrumented runs are bitwise identical.
+fn cg_core<C: SpmvOperator + Reduce>(
+    c: &mut C,
+    b_local: &[f64],
+    opts: &CgOptions,
+    obs: Option<&TelemetrySink>,
+) -> CgCore {
     let m = b_local.len();
     let mut x = vec![0.0f64; m];
     let mut r = b_local.to_vec();
@@ -142,6 +211,7 @@ fn cg_core<C: SpmvOperator + Reduce>(c: &mut C, b_local: &[f64], opts: &CgOption
     let mut iterations = 0usize;
 
     while !converged && iterations < opts.max_iters {
+        let t0 = obs.map(|_| Instant::now());
         c.apply(&pdir, &mut ap);
         let pap = dot(c, &pdir, &ap);
         if pap <= 0.0 {
@@ -160,6 +230,9 @@ fn cg_core<C: SpmvOperator + Reduce>(c: &mut C, b_local: &[f64], opts: &CgOption
         iterations += 1;
         history.push(rr.sqrt() / b_norm);
         converged = rr.sqrt() <= opts.tol * b_norm;
+        if let (Some(sink), Some(t)) = (obs, t0) {
+            sink.record_solver_iter(t.elapsed().as_nanos() as u64);
+        }
     }
 
     CgCore { x, iterations, relative_residual: rr.sqrt() / b_norm, history, converged }
@@ -289,6 +362,26 @@ mod tests {
         assert_eq!(compiled.iterations, interpreted.iterations);
         assert_eq!(compiled.relative_residual, interpreted.relative_residual);
         assert_eq!(compiled.x, interpreted.x);
+    }
+
+    #[test]
+    fn telemetry_run_is_bitwise_identical_and_recorded() {
+        let a = laplacian2d(8);
+        let p = block_rowwise(&a, 4);
+        let plan = SpmvPlan::single_phase(&a, &p);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let plain = cg_solve(&a, &p, &plan, &b, &CgOptions::default());
+        let sink = Arc::new(TelemetrySink::new(4));
+        let observed = cg_solve_obs(&a, &p, &plan, &b, &CgOptions::default(), &sink);
+        assert_eq!(plain.x, observed.x, "telemetry must not perturb the iterate");
+        assert_eq!(plain.iterations, observed.iterations);
+        // Rank 0 recorded one span per CG iteration; every rank
+        // recorded reduction spans and compute phase work.
+        assert_eq!(sink.solver_iters(), plain.iterations as u64);
+        for rk in 0..4 {
+            assert!(sink.rank(rk).spans(s2d_obs::Phase::Reduce) > 0, "rank {rk}: no reduces");
+            assert!(sink.rank(rk).madds() > 0, "rank {rk}: no madds counted");
+        }
     }
 
     #[test]

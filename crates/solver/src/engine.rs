@@ -42,9 +42,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use s2d_core::partition::SpmvPartition;
 use s2d_engine::{CompiledPlan, RankProgram, RankStep, NO_SLOT};
+use s2d_obs::{Phase, PhaseRecorder, TelemetrySink};
 use s2d_runtime::collectives::allreduce;
 use s2d_runtime::{spmd, Cluster, Endpoint};
 use s2d_sparse::Csr;
@@ -125,6 +127,8 @@ pub struct RankCtx {
     /// symmetric vector partition).
     pub owned: Vec<u32>,
     engine: RankEngine,
+    /// Shared telemetry sink; this rank records under its own recorder.
+    obs: Option<Arc<TelemetrySink>>,
 }
 
 impl RankCtx {
@@ -188,7 +192,26 @@ impl RankCtx {
                 }
             }
         };
-        RankCtx { ep, comm_phases, tags: TagAlloc { next: 0 }, owned, engine }
+        RankCtx { ep, comm_phases, tags: TagAlloc { next: 0 }, owned, engine, obs: None }
+    }
+
+    /// Attaches a shared telemetry sink: subsequent SpMVs record
+    /// gather / compute / scatter phase spans and work counters under
+    /// this rank's recorder (compiled path only — the interpreted
+    /// oracle stays uninstrumented), and reductions record
+    /// [`Phase::Reduce`] spans. Purely observational: instrumented
+    /// runs are bitwise identical to uninstrumented ones.
+    ///
+    /// # Panics
+    /// Panics if the sink was sized for a different rank count.
+    pub fn set_telemetry(&mut self, sink: Arc<TelemetrySink>) {
+        assert_eq!(sink.k(), self.size(), "telemetry sink sized for a different rank count");
+        self.obs = Some(sink);
+    }
+
+    /// This rank's recorder, when telemetry is attached.
+    fn rec(&self) -> Option<&PhaseRecorder> {
+        self.obs.as_ref().map(|s| s.rank(self.ep.rank() as usize))
     }
 
     /// This rank's id.
@@ -250,6 +273,8 @@ impl RankCtx {
         assert!(r >= 1, "batch width must be at least 1");
         assert_eq!(v.len(), self.owned.len() * r, "local block length mismatch");
         assert_eq!(out.len(), self.owned.len() * r, "output block length mismatch");
+        let rk = self.ep.rank() as usize;
+        let obs_rec = self.obs.as_ref().map(|s| s.rank(rk));
         match &mut self.engine {
             RankEngine::Compiled { compiled, rank, xloc, yloc, seed_slots, result_slots } => {
                 let tag0 = self.tags.take(self.comm_phases.max(1));
@@ -273,6 +298,7 @@ impl RankCtx {
                     out,
                     r,
                     tag0,
+                    obs_rec,
                 );
             }
             RankEngine::Interpreted { phases, xbuf, ybuf, col } => {
@@ -325,18 +351,22 @@ impl RankCtx {
     /// Global sum of a per-rank scalar.
     pub fn sum(&mut self, local: f64) -> f64 {
         let tag = self.tags.take(2);
+        let t = self.obs.as_ref().map(|_| Instant::now());
         let out = allreduce(&mut self.ep, tag, (vec![local], Vec::new()), |a, b| {
             (vec![a.0[0] + b.0[0]], Vec::new())
         });
+        self.record_reduce(t);
         out.0[0]
     }
 
     /// Global max of a per-rank scalar.
     pub fn max(&mut self, local: f64) -> f64 {
         let tag = self.tags.take(2);
+        let t = self.obs.as_ref().map(|_| Instant::now());
         let out = allreduce(&mut self.ep, tag, (vec![local], Vec::new()), |a, b| {
             (vec![a.0[0].max(b.0[0])], Vec::new())
         });
+        self.record_reduce(t);
         out.0[0]
     }
 
@@ -345,13 +375,24 @@ impl RankCtx {
     /// fused multi-scalar reductions (e.g. CG's `(r·r, p·Ap)` pair).
     pub fn sum_vec(&mut self, vals: Vec<f64>) -> Vec<f64> {
         let tag = self.tags.take(2);
+        let t = self.obs.as_ref().map(|_| Instant::now());
         let out = allreduce(&mut self.ep, tag, (vals, Vec::new()), |mut a, b| {
             for (av, bv) in a.0.iter_mut().zip(&b.0) {
                 *av += *bv;
             }
             a
         });
+        self.record_reduce(t);
         out.0
+    }
+
+    /// Closes a [`Phase::Reduce`] span opened before an allreduce.
+    fn record_reduce(&self, t: Option<Instant>) {
+        if let Some(t) = t {
+            if let Some(rec) = self.rec() {
+                rec.record(Phase::Reduce, t.elapsed().as_nanos() as u64);
+            }
+        }
     }
 
     /// `y += alpha · x`, purely local.
@@ -406,11 +447,32 @@ impl crate::operator::Reduce for RankCtx {
     }
 }
 
+/// Opens a span iff a recorder is attached (the off path reads no
+/// clock at all).
+#[inline]
+fn span_start(obs: Option<&PhaseRecorder>) -> Option<Instant> {
+    obs.map(|_| Instant::now())
+}
+
+/// Closes a span opened by [`span_start`].
+#[inline]
+fn span_end(obs: Option<&PhaseRecorder>, ph: Phase, t: Option<Instant>) {
+    if let (Some(rec), Some(t)) = (obs, t) {
+        rec.record(ph, t.elapsed().as_nanos() as u64);
+    }
+}
+
 /// The compiled path: flat buffers, precomputed index lists, zero
 /// hashing, batch width `r` (message payloads are `len × r` word
 /// blocks, `r` consecutive words per listed slot). Writes the owned
 /// result block into `out`; payload vectors are the only per-call
 /// allocations (they move into the runtime's channels).
+///
+/// When `obs` carries this rank's recorder, phase spans and work
+/// counters are recorded around (never inside) the numeric steps:
+/// seeding and send staging as gather, kernels as compute, receive
+/// application and result copy-out as scatter. The instrumented walk
+/// performs the identical operations in the identical order.
 #[allow(clippy::too_many_arguments)]
 fn spmv_compiled(
     ep: &mut Endpoint<Payload>,
@@ -423,19 +485,31 @@ fn spmv_compiled(
     out: &mut [f64],
     r: usize,
     tag0: u32,
+    obs: Option<&PhaseRecorder>,
 ) {
+    let (mut madds, mut words) = (0u64, 0u64);
+    let t = span_start(obs);
     for &(pos, slot) in seed_slots {
         let (src, dst) = (pos as usize * r, slot as usize * r);
         xloc[dst..dst + r].copy_from_slice(&v[src..src + r]);
     }
     yloc[..prog.ny * r].fill(0.0);
+    span_end(obs, Phase::Gather, t);
     let mut comm_idx = 0u32;
     for step in &prog.steps {
         match step {
-            RankStep::Compute(kernel) => kernel.run_batch(xloc, yloc, r),
+            RankStep::Compute(kernel) => {
+                let t = span_start(obs);
+                kernel.run_batch(xloc, yloc, r);
+                span_end(obs, Phase::Compute, t);
+                if obs.is_some() {
+                    madds += kernel.ops() as u64;
+                }
+            }
             RankStep::Comm { sends, recvs, .. } => {
                 let tag = tag0 + comm_idx;
                 comm_idx += 1;
+                let t = span_start(obs);
                 for m in sends {
                     let mut xs = Vec::with_capacity(m.x_idx.len() * r);
                     for &s in &m.x_idx {
@@ -447,10 +521,15 @@ fn spmv_compiled(
                         ys.extend_from_slice(&yloc[at..at + r]);
                         yloc[at..at + r].fill(0.0); // moved, not copied
                     }
+                    if obs.is_some() {
+                        words += m.words() as u64;
+                    }
                     ep.send(m.peer, tag, (xs, ys));
                 }
+                span_end(obs, Phase::Gather, t);
                 // All sends are posted; targeted receives can land in
                 // spec order without deadlock.
+                let t = span_start(obs);
                 for m in recvs {
                     let (xs, ys) = ep.recv_match(m.peer, tag).payload;
                     debug_assert_eq!(xs.len(), m.x_idx.len() * r);
@@ -466,15 +545,23 @@ fn spmv_compiled(
                         }
                     }
                 }
+                span_end(obs, Phase::Scatter, t);
             }
         }
     }
+    let t = span_start(obs);
     for (i, &s) in result_slots.iter().enumerate() {
         if s == NO_SLOT {
             out[i * r..(i + 1) * r].fill(0.0);
         } else {
             out[i * r..(i + 1) * r].copy_from_slice(&yloc[s as usize * r..s as usize * r + r]);
         }
+    }
+    span_end(obs, Phase::Scatter, t);
+    if let Some(rec) = obs {
+        let rows = result_slots.iter().filter(|&&s| s != NO_SLOT).count() as u64;
+        let r = r as u64;
+        rec.add_counts(rows * r, madds * r, words * r);
     }
 }
 
@@ -600,6 +687,39 @@ where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Sync,
 {
+    spmd_compute_inner(path, a, p, plan, None, body)
+}
+
+/// [`spmd_compute`] with a telemetry sink attached to every rank's
+/// context ([`RankCtx::set_telemetry`]): each rank records its SpMV
+/// phase spans, work counters and reduction spans under its own
+/// recorder. The sink must be sized for `plan.k` ranks.
+pub fn spmd_compute_obs<R, F>(
+    a: &Csr,
+    p: &SpmvPartition,
+    plan: &SpmvPlan,
+    sink: &Arc<TelemetrySink>,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    spmd_compute_inner(EnginePath::Compiled, a, p, plan, Some(sink), body)
+}
+
+fn spmd_compute_inner<R, F>(
+    path: EnginePath,
+    a: &Csr,
+    p: &SpmvPartition,
+    plan: &SpmvPlan,
+    obs: Option<&Arc<TelemetrySink>>,
+    body: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
     assert_eq!(a.nrows(), plan.nrows);
     assert_eq!(a.ncols(), plan.ncols);
     let owned = owned_indices(plan, p);
@@ -618,6 +738,9 @@ where
         // whole body.
         let ep = std::mem::replace(ep, dummy_endpoint());
         let mut ctx = RankCtx::compile(plan, compiled.as_ref(), path, rank, my_owned, ep);
+        if let Some(sink) = obs {
+            ctx.set_telemetry(Arc::clone(sink));
+        }
         body(&mut ctx)
     })
 }

@@ -98,6 +98,7 @@ pub use s2d_dm as dm;
 pub use s2d_engine as engine;
 pub use s2d_gen as gen;
 pub use s2d_hypergraph as hypergraph;
+pub use s2d_obs as obs;
 pub use s2d_partition as partition;
 pub use s2d_runtime as runtime;
 pub use s2d_sim as sim;
@@ -106,6 +107,7 @@ pub use s2d_sparse as sparse;
 pub use s2d_spmv as spmv;
 
 pub use s2d_engine::{Backend, KernelFormat};
+pub use s2d_obs::{ExecutionReport, TelemetrySink};
 pub use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, S2dVariant, Strategy};
 pub use s2d_spmv::{PlanKind, SpmvOperator};
 pub use session::{Session, SessionBuilder};

@@ -15,7 +15,8 @@ use std::sync::Arc;
 use s2d_core::comm::CommStats;
 use s2d_core::partition::SpmvPartition;
 use s2d_engine::{Backend, KernelFormat};
-use s2d_partition::{Partitioner, PartitionerConfig, Strategy};
+use s2d_obs::{ExecutionReport, ModelRef, TelemetrySink};
+use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, Strategy};
 use s2d_sparse::Csr;
 use s2d_spmv::{PlanKind, SpmvOperator, SpmvPlan};
 
@@ -30,6 +31,7 @@ pub struct SessionBuilder<'a> {
     backend: Backend,
     kernel_format: KernelFormat,
     batch_width: usize,
+    telemetry: bool,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -91,6 +93,17 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Collect execution telemetry (default off). When on, the built
+    /// operator records per-rank phase spans, work counters and wall
+    /// time on a shared `s2d_obs::TelemetrySink`, and
+    /// [`Session::report`] renders them against the partition's cost-
+    /// model prediction. Results are bitwise identical either way;
+    /// instrumentation adds only clock reads around the numeric steps.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     /// Builds the plan, pays the backend's setup cost, and returns the
     /// ready session. When a [`SessionBuilder::partitioner`] strategy
     /// was chosen, the partitioning runs here too.
@@ -112,7 +125,21 @@ impl<'a> SessionBuilder<'a> {
         let kind = self.plan_kind.unwrap_or_else(|| PlanKind::auto(self.a, &partition));
         let plan = Arc::new(kind.build(self.a, &partition));
         let stats = plan.comm_stats();
-        let operator = self.backend.build_with(&plan, self.batch_width, self.kernel_format);
+        let (operator, telemetry) = if self.telemetry {
+            let sink = Arc::new(TelemetrySink::new(partition.k));
+            let label =
+                self.strategy.map(|(s, _)| s.to_string()).unwrap_or_else(|| "explicit".to_string());
+            let quality = PartitionQuality::measure_plan(self.a, &partition, kind, &plan, label);
+            let op = self.backend.build_obs(
+                &plan,
+                self.batch_width,
+                self.kernel_format,
+                Some(Arc::clone(&sink)),
+            );
+            (op, Some((sink, quality)))
+        } else {
+            (self.backend.build_with(&plan, self.batch_width, self.kernel_format), None)
+        };
         Session {
             plan,
             operator,
@@ -123,6 +150,7 @@ impl<'a> SessionBuilder<'a> {
             backend: self.backend,
             kernel_format: self.kernel_format,
             batch_width: self.batch_width,
+            telemetry,
         }
     }
 }
@@ -139,6 +167,9 @@ pub struct Session {
     backend: Backend,
     kernel_format: KernelFormat,
     batch_width: usize,
+    /// Telemetry sink plus the partition's modeled quality, present
+    /// when the session was built with `.telemetry(true)`.
+    telemetry: Option<(Arc<TelemetrySink>, PartitionQuality)>,
 }
 
 impl Session {
@@ -153,6 +184,7 @@ impl Session {
             backend: Backend::CompiledSeq,
             kernel_format: KernelFormat::CsrSlice,
             batch_width: 1,
+            telemetry: false,
         }
     }
 
@@ -213,6 +245,37 @@ impl Session {
     /// operator's buffers without updating this).
     pub fn batch_width(&self) -> usize {
         self.batch_width
+    }
+
+    /// The telemetry sink, when the session was built with
+    /// [`SessionBuilder::telemetry`] — e.g. to pass to the solver
+    /// `*_with_obs` entry points so solver-iteration spans land in the
+    /// same report, or to `reset()` between measured windows.
+    pub fn telemetry_sink(&self) -> Option<&Arc<TelemetrySink>> {
+        self.telemetry.as_ref().map(|(sink, _)| sink)
+    }
+
+    /// The partition's modeled quality (measured at build time), when
+    /// the session was built with [`SessionBuilder::telemetry`].
+    pub fn quality(&self) -> Option<&PartitionQuality> {
+        self.telemetry.as_ref().map(|(_, q)| q)
+    }
+
+    /// Snapshot of everything observed so far as an
+    /// [`ExecutionReport`]: per-rank × per-phase times and histograms,
+    /// observed load imbalance, and observed communication words held
+    /// against the partition's α–β / LogGP cost-model prediction.
+    /// `None` unless the session was built with
+    /// [`SessionBuilder::telemetry`].
+    pub fn report(&self) -> Option<ExecutionReport> {
+        self.telemetry.as_ref().map(|(sink, quality)| {
+            let model = ModelRef {
+                comm_words: quality.volume,
+                alpha_beta_secs: quality.alpha_beta_time,
+                loggp_secs: quality.loggp_time,
+            };
+            ExecutionReport::collect(sink, self.backend.label(), Some(model))
+        })
     }
 
     /// Mutable access to the underlying operator (e.g. to hand it to a
@@ -344,6 +407,41 @@ mod tests {
         for (u, v) in ax.iter().zip(&b) {
             assert!((u - v).abs() < 1e-7, "{u} vs {v}");
         }
+    }
+
+    #[test]
+    fn telemetry_sessions_report_and_stay_bitwise_identical() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 - 5.0).collect();
+        let mut want = vec![0.0; a.nrows()];
+        Session::builder(&a).partition(&p).build().apply(&x, &mut want);
+
+        for backend in Backend::all() {
+            let mut s = Session::builder(&a).partition(&p).backend(backend).telemetry(true).build();
+            assert!(s.telemetry_sink().is_some());
+            let mut y = vec![f64::NAN; a.nrows()];
+            s.apply(&x, &mut y);
+            s.apply(&x, &mut y);
+            if s.deterministic() {
+                assert_eq!(y, want, "{backend}: telemetry must not perturb results");
+            }
+            let report = s.report().expect("telemetry session must report");
+            assert_eq!(report.backend, backend.label());
+            assert_eq!(report.k, p.k);
+            assert_eq!(report.iterations, 2);
+            assert!(report.wall_nanos > 0, "{backend}: no wall time");
+            let model = report.model.as_ref().expect("session reports carry the model");
+            assert_eq!(model.modeled_comm_words, s.quality().unwrap().volume);
+            // The report renders and serializes without panicking.
+            assert!(report.render().contains(backend.label()));
+            assert!(report.to_json().starts_with('{'));
+        }
+
+        // Telemetry off: no sink, no report.
+        let s = Session::builder(&a).partition(&p).build();
+        assert!(s.telemetry_sink().is_none());
+        assert!(s.report().is_none());
     }
 
     #[test]
