@@ -1,15 +1,19 @@
 //! Subcommand dispatch and implementations.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use s2d::Session;
 use s2d_core::comm::{comm_requirements, single_phase_messages, two_phase_messages, CommStats};
 use s2d_core::partition::SpmvPartition;
 use s2d_engine::{Backend, KernelFormat};
+use s2d_gen::rmat::{rmat, RmatConfig};
 use s2d_gen::{suite_a, suite_b, Scale};
 use s2d_obs::{ExecutionReport, ModelRef, TelemetrySink};
 use s2d_partition::quality::{fmt_quality_row, quality_header};
 use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, Strategy};
+use s2d_runtime::ChaosConfig;
+use s2d_serve::{ServeError, Server, ServerConfig, SessionId};
 use s2d_sim::MachineModel;
 use s2d_sparse::{read_matrix_market_file, write_matrix_market_file, Csr, MatrixStats};
 use s2d_spmv::{simulate_plan, PlanKind, SpmvOperator, SpmvPlan};
@@ -34,6 +38,15 @@ USAGE
   s2d profile   <m.mtx> [p.s2dpart] [--partitioner <M> --k K]
                 [--engine E[,E...]] [--kernel-format <fmt>]
                 [--iters N] [--rhs R] [--json PROFILE.json]
+  s2d serve     <m.mtx> [--partitioner <M>] [--k K] [--clients N]
+                [--requests N] [--wide-every W] [--engine <backend>]
+                [--kernel-format <fmt>] [--max-coalesce R]
+                [--window-us U] [--queue Q] [--cache-capacity C]
+                [--sharded [--chaos-us U] [--chaos-seed S]]
+                [--json SERVE.json]
+  s2d bench-serve [--scale S] [--k K] [--method <M>] [--clients N]
+                [--requests N] [--max-coalesce R]
+                [--json SERVE_BENCH.json]
   s2d help
 
 METHODS (--method / --partitioner) — the unified Strategy enum
@@ -89,6 +102,24 @@ words held against the alpha-beta / LogGP cost-model predictions.
 `--json` writing one report object per engine. `analyze --json` writes
 the full partition-quality report plus the per-rank row profiles.
 
+`serve` registers the matrix with the serving layer (s2d-serve) and
+drives a burst of concurrent requests through it from --clients client
+threads: the session worker coalesces up to --max-coalesce pending
+single-RHS requests arriving within --window-us into one batched
+execution and scatters the columns back. --wide-every W makes every
+Wth request a pre-batched width-2 block (mixed-width traffic);
+--sharded runs the session rank-sharded over the runtime endpoints,
+optionally with --chaos-us delivery-delay injection (results stay
+bitwise identical). One solve is cross-checked against the serial
+reference before the burst; the summary reports throughput plus the
+admission / coalescing / preparation-cache counters. `bench-serve`
+runs the same burst twice on a generated R-MAT — coalescing off
+(--max-coalesce 1) then on — and reports the throughput ratio;
+--json writes SERVE_BENCH.json (requests/sec both ways, coalescing
+rate, cache hit rate — the CI serve-smoke artifact). Set
+S2D_SERVE_BENCH_FAST=1 to shrink bench-serve's matrix and burst for
+smoke runs.
+
 Matrices for `gen --name` come from the paper's two suites (Table I and
 Table IV); `gen --list` prints them. Partition files are plain text
 (see crates/cli/src/partfile.rs).
@@ -106,6 +137,8 @@ pub fn run(raw: Vec<String>) {
         "analyze" => cmd_analyze(&args),
         "spmv" => cmd_spmv(&args),
         "profile" => cmd_profile(&args),
+        "serve" => cmd_serve(&args),
+        "bench-serve" => cmd_bench_serve(&args),
         "help" | "--help" | "-h" => print!("{HELP}"),
         other => {
             eprintln!("error: unknown subcommand {other:?}\n");
@@ -716,6 +749,243 @@ fn cmd_profile(args: &Args) {
             fail(format!("cannot write {json}: {e}"));
         }
         println!("\nwrote {} report(s) to {json}", json_reports.len());
+    }
+}
+
+/// One load burst against a registered serving session: `clients`
+/// threads each fire `per_client` requests — width 1, except every
+/// `wide_every`th (when `wide_every > 0`), which goes in as a
+/// pre-batched width-2 block — then wait for every ticket. QueueFull
+/// submissions retry after a yield: the burst measures throughput, not
+/// admission policy. Returns the burst's wall time.
+fn drive_burst(
+    server: &Server,
+    sid: SessionId,
+    ncols: usize,
+    clients: usize,
+    per_client: usize,
+    wide_every: usize,
+) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut tickets = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let width =
+                        if wide_every > 0 && i % wide_every == wide_every - 1 { 2 } else { 1 };
+                    let x: Vec<f64> = (0..ncols * width)
+                        .map(|j| ((j * 31 + c * 13 + i * 17) % 23) as f64 - 11.0)
+                        .collect();
+                    loop {
+                        let res = if width == 1 {
+                            server.submit(sid, x.clone())
+                        } else {
+                            server.submit_batch(sid, x.clone(), width)
+                        };
+                        match res {
+                            Ok(t) => {
+                                tickets.push(t);
+                                break;
+                            }
+                            Err(ServeError::QueueFull) => std::thread::yield_now(),
+                            Err(e) => fail(format!("submit: {e}")),
+                        }
+                    }
+                }
+                for t in tickets {
+                    if let Err(e) = t.wait() {
+                        fail(format!("serve request failed: {e}"));
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Cross-checks one served solve against the serial reference —
+/// serving numbers are only worth reporting for a server that returns
+/// right answers.
+fn check_served_solve(server: &Server, sid: SessionId, a: &Csr) {
+    let x: Vec<f64> = (0..a.ncols()).map(|j| ((j * 37) % 19) as f64 - 9.0).collect();
+    let want = a.spmv_alloc(&x);
+    let got = match server.solve(sid, x) {
+        Ok(y) => y,
+        Err(e) => fail(format!("reference solve: {e}")),
+    };
+    let max_err =
+        got.iter().zip(&want).map(|(g, w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0f64, f64::max);
+    if max_err >= 1e-9 {
+        fail(format!("served result off by {max_err:.2e} — refusing to report"));
+    }
+}
+
+fn cmd_serve(args: &Args) {
+    let mpath = args.positional.get(1).unwrap_or_else(|| fail("serve requires a matrix file"));
+    let a = load_matrix(mpath);
+    let method = args.get_or("partitioner", "s2d");
+    let strategy: Strategy = match method.parse() {
+        Ok(s) => s,
+        Err(e) => fail(e),
+    };
+    let k = args.parse_or("k", 16usize);
+    let clients = args.parse_or("clients", 4usize);
+    let per_client = args.parse_or("requests", 32usize);
+    let wide_every = args.parse_or("wide-every", 0usize);
+    let backend: Backend = match args.get_or("engine", "compiled-seq").parse() {
+        Ok(b) => b,
+        Err(e) => fail(e),
+    };
+    let format: KernelFormat = match args.get_or("kernel-format", "csr").parse() {
+        Ok(f) => f,
+        Err(e) => fail(e),
+    };
+    let sharded = args.has("sharded");
+    let chaos_us = args.parse_or("chaos-us", 0u32);
+    if chaos_us > 0 && !sharded {
+        fail("--chaos-us injects delivery delays into the sharded runtime; add --sharded");
+    }
+    let config = ServerConfig {
+        backend,
+        format,
+        queue_capacity: args.parse_or("queue", (clients * per_client).max(64)),
+        max_coalesce: args.parse_or("max-coalesce", 8usize),
+        batch_window: Duration::from_micros(args.parse_or("window-us", 200u64)),
+        cache_capacity: args.parse_or("cache-capacity", 8usize),
+        sharded,
+        chaos: if chaos_us > 0 {
+            ChaosConfig::with_delays(chaos_us, args.parse_or("chaos-seed", 1u64))
+        } else {
+            ChaosConfig::off()
+        },
+    };
+    let server = Server::new(config);
+    let (sid, reg) = s2d_obs::time(|| server.register(&a, strategy, k));
+    check_served_solve(&server, sid, &a);
+
+    let elapsed = drive_burst(&server, sid, a.ncols(), clients, per_client, wide_every);
+    let snap = server.snapshot();
+    server.shutdown();
+
+    let total = clients * per_client;
+    let rps = total as f64 / elapsed.as_secs_f64();
+    println!(
+        "serve {mpath}: {}x{} over {method}/k{k}, register {:.1} ms{}",
+        a.nrows(),
+        a.ncols(),
+        reg.as_secs_f64() * 1e3,
+        if sharded { " (sharded)" } else { "" }
+    );
+    println!(
+        "serve: {total} requests from {clients} clients in {:.3} s — {rps:.0} req/s",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "serve: {} admitted, {} completed, {} rejected (queue full), {} expired",
+        snap.admitted, snap.completed, snap.rejected_full, snap.expired
+    );
+    println!(
+        "serve: {} batches / {} requests ({:.2}x coalescing), cache {}/{} hits, {} evicted",
+        snap.batches,
+        snap.coalesced,
+        snap.coalescing_rate(),
+        snap.cache_hits,
+        snap.cache_hits + snap.cache_misses,
+        snap.cache_evictions
+    );
+    if let Some(path) = args.get("json") {
+        let body = format!(
+            "{{\"matrix\":{mpath:?},\"method\":{method:?},\"k\":{k},\"clients\":{clients},\
+             \"requests\":{total},\"seconds\":{},\"requests_per_sec\":{rps},\"serve\":{}}}\n",
+            elapsed.as_secs_f64(),
+            snap.to_json()
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            fail(format!("cannot write {path}: {e}"));
+        }
+        println!("wrote {path}");
+    }
+}
+
+/// CI smoke mode for `bench-serve`: smaller matrix and burst.
+/// `S2D_SERVE_BENCH_FAST=0` (or empty) keeps the full run.
+fn serve_fast_mode() -> bool {
+    std::env::var("S2D_SERVE_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn cmd_bench_serve(args: &Args) {
+    let fast = serve_fast_mode();
+    let scale: u32 = args.parse_or("scale", if fast { 10 } else { 14 });
+    let k = args.parse_or("k", 16usize);
+    let clients = args.parse_or("clients", 8usize);
+    let per_client = args.parse_or("requests", if fast { 8usize } else { 32 });
+    let max_coalesce = args.parse_or("max-coalesce", 8usize);
+    let method = args.get_or("method", "1d");
+    let strategy: Strategy = match method.parse() {
+        Ok(s) => s,
+        Err(e) => fail(e),
+    };
+    let a = rmat(&RmatConfig::graph500(scale, 8), 1).to_csr();
+    println!(
+        "bench-serve: rmat{scale} ({} rows, {} nnz), {method}/k{k}, \
+         {clients} clients x {per_client} requests",
+        a.nrows(),
+        a.nnz()
+    );
+
+    let run = |coalesce: usize| {
+        let config = ServerConfig {
+            max_coalesce: coalesce,
+            queue_capacity: clients * per_client + clients,
+            ..ServerConfig::default()
+        };
+        let server = Server::new(config);
+        // Register twice: the second registration hits the preparation
+        // cache, so the artifact also exercises (and reports) the
+        // cached path a reconnecting tenant takes.
+        let _cold = server.register(&a, strategy, k);
+        let sid = server.register(&a, strategy, k);
+        check_served_solve(&server, sid, &a);
+        let elapsed = drive_burst(&server, sid, a.ncols(), clients, per_client, 0);
+        let snap = server.snapshot();
+        server.shutdown();
+        (elapsed, snap)
+    };
+
+    let (t_un, snap_un) = run(1);
+    let (t_co, snap_co) = run(max_coalesce);
+    let total = (clients * per_client) as f64;
+    let rps_un = total / t_un.as_secs_f64();
+    let rps_co = total / t_co.as_secs_f64();
+    let speedup = rps_co / rps_un;
+    println!("  uncoalesced (max-coalesce 1): {:.3} s — {rps_un:.0} req/s", t_un.as_secs_f64());
+    println!(
+        "  coalesced   (max-coalesce {max_coalesce}): {:.3} s — {rps_co:.0} req/s \
+         ({:.2}x coalescing)",
+        t_co.as_secs_f64(),
+        snap_co.coalescing_rate()
+    );
+    println!("  speedup {speedup:.2}x, cache hit rate {:.0}%", snap_co.cache_hit_rate() * 100.0);
+    if let Some(path) = args.get("json") {
+        let body = format!(
+            "{{\"matrix\":\"rmat{scale}\",\"method\":{method:?},\"k\":{k},\
+             \"clients\":{clients},\"requests_per_client\":{per_client},\
+             \"uncoalesced\":{{\"seconds\":{},\"requests_per_sec\":{rps_un},\"serve\":{}}},\
+             \"coalesced\":{{\"seconds\":{},\"requests_per_sec\":{rps_co},\
+             \"coalescing_rate\":{},\"cache_hit_rate\":{},\"serve\":{}}},\
+             \"speedup\":{speedup}}}\n",
+            t_un.as_secs_f64(),
+            snap_un.to_json(),
+            t_co.as_secs_f64(),
+            snap_co.coalescing_rate(),
+            snap_co.cache_hit_rate(),
+            snap_co.to_json()
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            fail(format!("cannot write {path}: {e}"));
+        }
+        println!("wrote {path}");
     }
 }
 

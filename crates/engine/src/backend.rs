@@ -171,6 +171,31 @@ impl Backend {
         }
     }
 
+    /// Builds this backend's operator from an **already-compiled** plan
+    /// — the cache-hit path: a serving layer that cached the
+    /// [`CompiledPlan`] of a (matrix, partition, format) combination
+    /// skips recompilation entirely and pays only the buffer/worker
+    /// setup. The compiled backends clone `cp` (flat-buffer memcpy);
+    /// the interpreting backends take the shared plan as usual. Each
+    /// call yields an independent operator, so several worker threads
+    /// can each hold one over the same cached artifact.
+    pub fn build_from_compiled(
+        &self,
+        plan: &Arc<SpmvPlan>,
+        cp: &CompiledPlan,
+        width: usize,
+    ) -> Box<dyn SpmvOperator + Send> {
+        assert!(width >= 1, "batch width must be at least 1");
+        match *self {
+            Backend::Mailbox => Box::new(MailboxOperator::new(Arc::clone(plan))),
+            Backend::Threaded => Box::new(ThreadedOperator::new(Arc::clone(plan))),
+            Backend::CompiledSeq => Box::new(CompiledSeqOperator::new(cp.clone(), width)),
+            Backend::CompiledPool { threads } => {
+                Box::new(CompiledPoolOperator::new(cp.clone(), threads, width))
+            }
+        }
+    }
+
     /// Picks the compiled backend an already-compiled plan should run
     /// on: the persistent pool wins only when one iteration carries
     /// enough work to amortize its barrier round trips (PR 1 measured
@@ -498,6 +523,35 @@ mod tests {
                 let mut y = vec![0.0; a.nrows()];
                 op.apply(&x, &mut y);
                 assert_eq!(y, want, "{backend}/{format} must match the CSR default bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn build_from_compiled_matches_fresh_builds_bitwise() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = Arc::new(SpmvPlan::single_phase(&a, &p));
+        let cp = CompiledPlan::compile_with(&plan, KernelFormat::CsrSlice);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64) * 0.5 - 3.0).collect();
+        for backend in Backend::all() {
+            let mut fresh = backend.build(&plan, 1);
+            // Two operators over the same cached artifact, as serve
+            // workers would hold them.
+            let mut cached_a = backend.build_from_compiled(&plan, &cp, 1);
+            let mut cached_b = backend.build_from_compiled(&plan, &cp, 1);
+            let mut want = vec![0.0; a.nrows()];
+            let mut got_a = vec![0.0; a.nrows()];
+            let mut got_b = vec![0.0; a.nrows()];
+            fresh.apply(&x, &mut want);
+            cached_a.apply(&x, &mut got_a);
+            cached_b.apply(&x, &mut got_b);
+            if fresh.deterministic() {
+                assert_eq!(got_a, want, "{backend}");
+                assert_eq!(got_b, want, "{backend}");
+            } else {
+                assert_close(&got_a, &want);
+                assert_close(&got_b, &want);
             }
         }
     }

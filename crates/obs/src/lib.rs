@@ -39,8 +39,10 @@
 //! `Instant` timing previously duplicated across the CLI and benches.
 
 mod report;
+mod serve;
 
 pub use report::{ExecutionReport, ModelComparison, ModelRef, PhaseTimes, RankReport};
+pub use serve::{ServeSnapshot, ServeStats};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};

@@ -4,7 +4,7 @@
 //! imbalance, and (when a model prediction is attached)
 //! observed-vs-modeled ratio columns scoring the α–β / LogGP models.
 
-use crate::{Phase, TelemetrySink};
+use crate::{Phase, ServeSnapshot, TelemetrySink};
 
 /// One phase's recorded time on one rank.
 #[derive(Clone, Debug, PartialEq)]
@@ -89,6 +89,9 @@ pub struct ExecutionReport {
     pub comm_words_per_iter: f64,
     /// Observed-vs-modeled scoring, when a prediction was attached.
     pub model: Option<ModelComparison>,
+    /// Serving-layer counters, when the run went through `s2d-serve`
+    /// (attach with [`ExecutionReport::with_serve`]).
+    pub serve: Option<ServeSnapshot>,
 }
 
 fn ratio(observed: f64, modeled: f64) -> f64 {
@@ -160,6 +163,7 @@ impl ExecutionReport {
             load_imbalance,
             comm_words_per_iter,
             model: None,
+            serve: None,
         };
         let model = model.map(|m| ModelComparison {
             modeled_comm_words: m.comm_words,
@@ -170,6 +174,14 @@ impl ExecutionReport {
             loggp_ratio: ratio(report.iter_secs(), m.loggp_secs),
         });
         ExecutionReport { model, ..report }
+    }
+
+    /// Attaches a serving-layer snapshot: the serve section then shows
+    /// in [`ExecutionReport::render`] and [`ExecutionReport::to_json`].
+    /// Reports without one render and serialize exactly as before.
+    pub fn with_serve(mut self, serve: ServeSnapshot) -> ExecutionReport {
+        self.serve = Some(serve);
+        self
     }
 
     /// Observed seconds per engine iteration (0 when none ran).
@@ -228,11 +240,18 @@ impl ExecutionReport {
                 )
             })
             .collect();
+        // The serve key is additive: absent (not null) when no serving
+        // layer was attached, so pre-serve consumers see byte-identical
+        // output.
+        let serve = match &self.serve {
+            None => String::new(),
+            Some(s) => format!(",\"serve\":{}", s.to_json()),
+        };
         format!(
             concat!(
                 "{{\"backend\":\"{}\",\"k\":{},\"iterations\":{},\"wall_ns\":{},",
                 "\"solver_iters\":{},\"solver_ns\":{},\"load_imbalance\":{:.4},",
-                "\"comm_words_per_iter\":{:.2},\"model\":{},\"ranks\":[{}]}}"
+                "\"comm_words_per_iter\":{:.2},\"model\":{}{},\"ranks\":[{}]}}"
             ),
             self.backend,
             self.k,
@@ -243,6 +262,7 @@ impl ExecutionReport {
             self.load_imbalance,
             self.comm_words_per_iter,
             model,
+            serve,
             ranks.join(",")
         )
     }
@@ -307,6 +327,22 @@ impl ExecutionReport {
                 "solver iterations: {} (mean {})\n",
                 self.solver_iters,
                 fmt_ns(self.solver_nanos as f64 / self.solver_iters as f64)
+            ));
+        }
+        if let Some(s) = &self.serve {
+            out.push_str(&format!(
+                "serve: {} admitted, {} completed, {} rejected (full), {} expired\n",
+                s.admitted, s.completed, s.rejected_full, s.expired
+            ));
+            out.push_str(&format!(
+                "serve: {} batches / {} requests (coalescing {:.2}x), cache {}/{} hits ({:.0}%), {} evicted\n",
+                s.batches,
+                s.coalesced,
+                s.coalescing_rate(),
+                s.cache_hits,
+                s.cache_hits + s.cache_misses,
+                s.cache_hit_rate() * 100.0,
+                s.cache_evictions
             ));
         }
         out
@@ -438,6 +474,36 @@ mod tests {
         // A phase with no spans serializes an empty histogram.
         let reduce = &rep.ranks[0].phases[Phase::Reduce.index()];
         assert!(reduce.hist.is_empty() && reduce.spans == 0);
+    }
+
+    #[test]
+    fn serve_section_is_additive() {
+        use crate::ServeStats;
+        let bare = ExecutionReport::collect(&sample_sink(), "compiled-seq", None);
+        let bare_json = bare.to_json();
+        let bare_lines = bare.render().lines().count();
+        assert!(!bare_json.contains("\"serve\""), "absent, not null, without a server");
+
+        let stats = ServeStats::new();
+        for _ in 0..6 {
+            stats.admit();
+            stats.complete();
+        }
+        stats.batch(4);
+        stats.batch(2);
+        stats.cache_hit();
+        stats.cache_miss();
+        let rep = bare.clone().with_serve(stats.snapshot());
+        let json = rep.to_json();
+        assert_eq!(field(&json, "backend"), field(&bare_json, "backend"));
+        assert_eq!(field(&json, "admitted").parse::<u64>().unwrap(), 6);
+        assert_eq!(field(&json, "batches").parse::<u64>().unwrap(), 2);
+        assert!((field(&json, "coalescing_rate").parse::<f64>().unwrap() - 3.0).abs() < 1e-3);
+        assert!((field(&json, "cache_hit_rate").parse::<f64>().unwrap() - 0.5).abs() < 1e-3);
+        let text = rep.render();
+        assert_eq!(text.lines().count(), bare_lines + 2, "serve adds exactly two lines");
+        assert!(text.contains("coalescing 3.00x"));
+        assert!(text.contains("cache 1/2 hits (50%)"));
     }
 
     #[test]

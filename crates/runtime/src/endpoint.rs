@@ -51,6 +51,9 @@ pub trait Words {
     fn words(&self) -> u64;
 }
 
+/// One word per entry — the paper's convention: a communicated vector
+/// entry costs a single word, and the index accompanying it is folded
+/// into that unit rather than billed separately.
 impl Words for Vec<f64> {
     fn words(&self) -> u64 {
         self.len() as u64
@@ -87,9 +90,13 @@ impl<A: Words, B: Words> Words for (A, B) {
     }
 }
 
-impl<T> Words for Vec<(u32, T)> {
+/// Indexed payloads: one word for each `u32` index plus whatever the
+/// payload itself reports. (`Vec<(u32, f64)>` thus counts 2 words per
+/// element — explicit index streams are billed, unlike the implicit
+/// index of the plain `Vec<f64>` convention above.)
+impl<T: Words> Words for Vec<(u32, T)> {
     fn words(&self) -> u64 {
-        self.len() as u64
+        self.len() as u64 + self.iter().map(|(_, p)| p.words()).sum::<u64>()
     }
 }
 
@@ -264,6 +271,25 @@ mod tests {
         assert_eq!(out[0].sent_words, 3);
         assert_eq!(out[1].recv_msgs, 1);
         assert_eq!(out[1].recv_words, 3);
+    }
+
+    #[test]
+    fn indexed_payloads_count_index_and_payload_words() {
+        use super::Words;
+        // (index, scalar): 1 index word + 1 payload word per element.
+        assert_eq!(vec![(3u32, 1.5f64), (7, 2.5)].words(), 4);
+        // (index, vector): 1 index word + len payload words per element.
+        assert_eq!(vec![(0u32, vec![1.0f64, 2.0, 3.0])].words(), 4);
+        let out = spmd(Cluster::<Vec<(u32, f64)>>::new(2), |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 0, vec![(4, 1.0), (9, 2.0), (2, 3.0)]);
+            } else {
+                let _ = ep.recv_tag(0);
+            }
+            ep.stats()
+        });
+        assert_eq!(out[0].sent_words, 6);
+        assert_eq!(out[1].recv_words, 6);
     }
 
     #[test]

@@ -31,7 +31,16 @@ impl Mesh2d {
     /// divisor of `k` with `pr ≤ √k`, so `pr·pc = k` exactly.
     pub fn squarest(k: usize) -> Self {
         assert!(k > 0, "mesh needs at least one processor");
-        let mut pr = (k as f64).sqrt().floor() as usize;
+        // `sqrt` on a large u64 can round either way; correct the float
+        // estimate by integer search so `pr` starts at the true ⌊√k⌋.
+        let sq = |v: usize| v as u128 * v as u128;
+        let mut pr = ((k as f64).sqrt().floor() as usize).max(1);
+        while pr > 1 && sq(pr) > k as u128 {
+            pr -= 1;
+        }
+        while sq(pr + 1) <= k as u128 {
+            pr += 1;
+        }
         while k % pr != 0 {
             pr -= 1;
         }
@@ -108,8 +117,18 @@ impl Torus3d {
     /// A roughly-cubic torus holding at least `k` nodes.
     pub fn cubic_for(k: usize) -> Self {
         assert!(k > 0, "torus needs at least one node");
-        let side = (k as f64).cbrt().ceil() as usize;
-        let mut t = Torus3d { dx: side.max(1), dy: side.max(1), dz: side.max(1) };
+        // `cbrt` can round below the true value on large k (making the
+        // cube too small) or a full step above; integer-correct the
+        // estimate to the smallest side with side³ ≥ k.
+        let cube = |v: usize| v as u128 * v as u128 * v as u128;
+        let mut side = ((k as f64).cbrt().ceil() as usize).max(1);
+        while cube(side) < k as u128 {
+            side += 1;
+        }
+        while side > 1 && cube(side - 1) >= k as u128 {
+            side -= 1;
+        }
+        let mut t = Torus3d { dx: side, dy: side, dz: side };
         // Trim excess planes while capacity stays ≥ k.
         while t.dx > 1 && (t.dx - 1) * t.dy * t.dz >= k {
             t.dx -= 1;
@@ -179,6 +198,22 @@ mod tests {
     }
 
     #[test]
+    fn squarest_survives_float_rounding_at_large_k() {
+        // Perfect squares large enough that `sqrt` can land a ULP off
+        // the true root; the integer correction must recover it.
+        for root in [94906265usize, 94906266, 1 << 31, (1 << 31) + 1] {
+            let k = root * root;
+            let m = Mesh2d::squarest(k);
+            assert_eq!((m.pr, m.pc), (root, root), "k={k}");
+        }
+        // root² − 1 must not pick pr above ⌊√k⌋ and must still divide.
+        let k = (1usize << 31) * (1 << 31) - 1;
+        let m = Mesh2d::squarest(k);
+        assert_eq!(m.pr * m.pc, k);
+        assert!(m.pr <= m.pc);
+    }
+
+    #[test]
     fn via_lies_on_dst_row_and_src_col() {
         let m = Mesh2d::new(4, 4);
         for src in 0..16u32 {
@@ -235,6 +270,24 @@ mod tests {
             let t = Torus3d::cubic_for(k);
             assert!(t.size() >= k, "k={k} got {}", t.size());
         }
+    }
+
+    #[test]
+    fn cubic_for_survives_float_rounding_at_large_k() {
+        // Perfect cubes where `cbrt` may round a ULP under the true
+        // root (ceil then yields a side one too small) — the integer
+        // correction must restore coverage and exactness.
+        for side in [1_442_249usize, 2_097_152, 2_642_245] {
+            let k = side * side * side;
+            let t = Torus3d::cubic_for(k);
+            assert!(t.size() >= k, "side={side}: {} < {k}", t.size());
+            assert_eq!((t.dx, t.dy, t.dz), (side, side, side), "side={side}");
+        }
+        // side³ + 1 needs the next side up on at least one axis.
+        let k = 1000usize * 1000 * 1000 + 1;
+        let t = Torus3d::cubic_for(k);
+        assert!(t.size() >= k);
+        assert!(t.dx <= 1001 && t.dy <= 1001 && t.dz <= 1001);
     }
 }
 

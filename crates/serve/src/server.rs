@@ -1,0 +1,470 @@
+//! The serving front end: session registry, request admission and
+//! cross-request coalescing.
+//!
+//! One [`Server`] owns any number of registered sessions (matrix +
+//! partitioning + compiled backend), each with a bounded request queue
+//! and a dedicated worker thread. Clients submit right-hand sides and
+//! get a [`Ticket`] to wait on; the worker packs up to
+//! [`ServerConfig::max_coalesce`] pending single-RHS requests arriving
+//! within [`ServerConfig::batch_window`] into **one** `apply_batch`
+//! execution — the multi-RHS reuse win the engine benches measured —
+//! and scatters the result columns back to their callers. Admission is
+//! strict: a full queue rejects immediately ([`ServeError::QueueFull`])
+//! and a request whose deadline passed before execution is refused
+//! ([`ServeError::Expired`]), so overload degrades by shedding load,
+//! never by growing latency without bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use s2d::{Backend, KernelFormat, Session, SpmvOperator, Strategy};
+use s2d_obs::{ServeSnapshot, ServeStats};
+use s2d_runtime::ChaosConfig;
+use s2d_sparse::Csr;
+
+use crate::cache::{PlanCache, PrepKey};
+use crate::sharded::ShardedOperator;
+
+/// Serving knobs; [`ServerConfig::default`] is the sensible production
+/// shape (coalescing on, bounded queues, in-process compiled backend).
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Backend each session's worker executes on.
+    pub backend: Backend,
+    /// Kernel format sessions compile to.
+    pub format: KernelFormat,
+    /// Bounded queue depth per session; submissions beyond it are
+    /// rejected with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Most single-RHS requests packed into one batch execution
+    /// (1 disables coalescing).
+    pub max_coalesce: usize,
+    /// How long a worker holding a partial batch waits for more
+    /// requests before executing what it has.
+    pub batch_window: Duration,
+    /// Preparation-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Run sessions rank-sharded over `s2d-runtime` endpoints instead
+    /// of the in-process backend (the distributed-execution path;
+    /// results are bitwise identical).
+    pub sharded: bool,
+    /// Delivery-delay injection for sharded sessions (ignored
+    /// otherwise) — fault-testing knob, results stay bitwise identical.
+    pub chaos: ChaosConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            backend: Backend::CompiledSeq,
+            format: KernelFormat::CsrSlice,
+            queue_capacity: 64,
+            max_coalesce: 8,
+            batch_window: Duration::from_micros(200),
+            cache_capacity: 8,
+            sharded: false,
+            chaos: ChaosConfig::off(),
+        }
+    }
+}
+
+/// Why a request was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The session's queue was full at submission time.
+    QueueFull,
+    /// The request's deadline passed before execution started.
+    Expired,
+    /// The session was shut down before the request could run.
+    SessionClosed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeError::QueueFull => "queue full",
+            ServeError::Expired => "deadline expired",
+            ServeError::SessionClosed => "session closed",
+        })
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Handle to a registered session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionId(u64);
+
+/// A pending result: wait on it to get the solve's output vector.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Vec<f64>, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request is executed or refused.
+    pub fn wait(self) -> Result<Vec<f64>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::SessionClosed))
+    }
+}
+
+struct Request {
+    x: Vec<f64>,
+    width: usize,
+    deadline: Option<Instant>,
+    resp: mpsc::Sender<Result<Vec<f64>, ServeError>>,
+}
+
+/// Shared per-session queue state: the deque plus a closed flag,
+/// signalled through one condvar (std primitives — the workspace shims
+/// carry no bounded channels).
+struct SessionQueue {
+    state: Mutex<(VecDeque<Request>, bool)>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl SessionQueue {
+    fn new(capacity: usize) -> SessionQueue {
+        SessionQueue { state: Mutex::new((VecDeque::new(), false)), cond: Condvar::new(), capacity }
+    }
+
+    fn push(&self, req: Request) -> Result<(), ServeError> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.1 {
+            return Err(ServeError::SessionClosed);
+        }
+        if st.0.len() >= self.capacity {
+            return Err(ServeError::QueueFull);
+        }
+        st.0.push_back(req);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").1 = true;
+        self.cond.notify_all();
+    }
+}
+
+struct SessionEntry {
+    queue: Arc<SessionQueue>,
+    worker: Option<JoinHandle<()>>,
+    nrows: usize,
+    ncols: usize,
+}
+
+/// A long-lived, multi-tenant SpMV server. See the module docs.
+pub struct Server {
+    config: ServerConfig,
+    stats: Arc<ServeStats>,
+    cache: PlanCache,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    next_id: AtomicU64,
+}
+
+impl Server {
+    /// A server with the given knobs and an empty registry.
+    pub fn new(config: ServerConfig) -> Server {
+        let stats = Arc::new(ServeStats::new());
+        let cache = PlanCache::new(config.cache_capacity, Arc::clone(&stats));
+        Server {
+            config,
+            stats,
+            cache,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The live serving counters.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+
+    /// Plain-value reading of the counters, for reports
+    /// (`ExecutionReport::with_serve`).
+    pub fn snapshot(&self) -> ServeSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The preparation cache (inspection / tests).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Registers `a` partitioned by `strategy` over `k` ranks and
+    /// starts its worker. Repeat registrations of the same (matrix,
+    /// strategy, k) hit the preparation cache and skip partitioning and
+    /// compilation entirely — only the per-session operator setup runs.
+    pub fn register(&self, a: &Csr, strategy: Strategy, k: usize) -> SessionId {
+        let width = self.config.max_coalesce.max(1);
+        let key = PrepKey {
+            fingerprint: a.fingerprint(),
+            strategy: Some(strategy),
+            k,
+            plan_kind: None,
+            format: self.config.format,
+            width,
+        };
+        let prep = self.cache.get_or_prepare(key, || {
+            Session::builder(a).partitioner(strategy, k).kernel_format(self.config.format).prepare()
+        });
+        let operator: Box<dyn SpmvOperator + Send> = if self.config.sharded {
+            Box::new(ShardedOperator::with_chaos(Arc::clone(prep.plan()), self.config.chaos))
+        } else {
+            Box::new(prep.session(self.config.backend, width))
+        };
+        let (nrows, ncols) = (operator.nrows(), operator.ncols());
+        let queue = Arc::new(SessionQueue::new(self.config.queue_capacity));
+        let worker = spawn_worker(
+            operator,
+            Arc::clone(&queue),
+            Arc::clone(&self.stats),
+            self.config.max_coalesce.max(1),
+            self.config.batch_window,
+        );
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .expect("registry lock")
+            .insert(id, SessionEntry { queue, worker: Some(worker), nrows, ncols });
+        SessionId(id)
+    }
+
+    /// Submits one right-hand side (`x.len()` = the session's `ncols`)
+    /// with no deadline.
+    pub fn submit(&self, sid: SessionId, x: Vec<f64>) -> Result<Ticket, ServeError> {
+        self.submit_request(sid, x, 1, None)
+    }
+
+    /// [`Server::submit`] with a deadline: if the request is still
+    /// queued when `deadline` passes, it is refused with
+    /// [`ServeError::Expired`] instead of executed late.
+    pub fn submit_with_deadline(
+        &self,
+        sid: SessionId,
+        x: Vec<f64>,
+        deadline: Instant,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_request(sid, x, 1, Some(deadline))
+    }
+
+    /// Submits an already-batched request of `width` right-hand sides
+    /// (row-major, `x.len()` = `ncols * width`). Wide requests run as
+    /// their own batch; they are not coalesced with others.
+    pub fn submit_batch(
+        &self,
+        sid: SessionId,
+        x: Vec<f64>,
+        width: usize,
+    ) -> Result<Ticket, ServeError> {
+        assert!(width >= 1, "batch width must be at least 1");
+        self.submit_request(sid, x, width, None)
+    }
+
+    /// Submit-and-wait convenience.
+    pub fn solve(&self, sid: SessionId, x: Vec<f64>) -> Result<Vec<f64>, ServeError> {
+        self.submit(sid, x)?.wait()
+    }
+
+    fn submit_request(
+        &self,
+        sid: SessionId,
+        x: Vec<f64>,
+        width: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        let (queue, ncols) = {
+            let sessions = self.sessions.lock().expect("registry lock");
+            let entry = sessions.get(&sid.0).ok_or(ServeError::SessionClosed)?;
+            (Arc::clone(&entry.queue), entry.ncols)
+        };
+        assert_eq!(x.len(), ncols * width, "input length must be ncols * width");
+        let (tx, rx) = mpsc::channel();
+        match queue.push(Request { x, width, deadline, resp: tx }) {
+            Ok(()) => {
+                self.stats.admit();
+                Ok(Ticket { rx })
+            }
+            Err(e) => {
+                if e == ServeError::QueueFull {
+                    self.stats.reject_full();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The (nrows, ncols) shape a session serves.
+    pub fn shape(&self, sid: SessionId) -> Option<(usize, usize)> {
+        self.sessions.lock().expect("registry lock").get(&sid.0).map(|e| (e.nrows, e.ncols))
+    }
+
+    /// Closes one session: pending requests still execute, then the
+    /// worker exits and the id stops resolving.
+    pub fn unregister(&self, sid: SessionId) {
+        let entry = self.sessions.lock().expect("registry lock").remove(&sid.0);
+        if let Some(mut entry) = entry {
+            entry.queue.close();
+            if let Some(w) = entry.worker.take() {
+                let _ = w.join();
+            }
+        }
+    }
+
+    /// Closes every session and joins all workers (also run on drop).
+    pub fn shutdown(&self) {
+        let drained: Vec<SessionEntry> = {
+            let mut sessions = self.sessions.lock().expect("registry lock");
+            sessions.drain().map(|(_, e)| e).collect()
+        };
+        for mut entry in drained {
+            entry.queue.close();
+            if let Some(w) = entry.worker.take() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns one session's worker: pull, coalesce, execute, scatter.
+fn spawn_worker(
+    mut operator: Box<dyn SpmvOperator + Send>,
+    queue: Arc<SessionQueue>,
+    stats: Arc<ServeStats>,
+    max_coalesce: usize,
+    batch_window: Duration,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let nrows = operator.nrows();
+        loop {
+            // Block for the first request (or exit once closed AND
+            // drained — close still lets queued work finish).
+            let first = {
+                let mut st = queue.state.lock().expect("queue lock");
+                loop {
+                    if let Some(req) = st.0.pop_front() {
+                        break req;
+                    }
+                    if st.1 {
+                        return;
+                    }
+                    st = queue.cond.wait(st).expect("queue lock");
+                }
+            };
+            let Some(first) = admit_or_expire(first, &stats) else { continue };
+
+            if first.width > 1 {
+                // Pre-batched request: runs alone.
+                run_batch(&mut *operator, nrows, vec![first], &stats);
+                continue;
+            }
+
+            // Coalesce: gather more single-RHS requests until the batch
+            // is full, a wide request heads the queue, or the window
+            // closes.
+            let mut batch = vec![first];
+            let window_end = Instant::now() + batch_window;
+            loop {
+                if batch.len() >= max_coalesce {
+                    break;
+                }
+                let mut st = queue.state.lock().expect("queue lock");
+                while batch.len() < max_coalesce && st.0.front().is_some_and(|r| r.width == 1) {
+                    let req = st.0.pop_front().expect("front checked");
+                    drop(st);
+                    if let Some(req) = admit_or_expire(req, &stats) {
+                        batch.push(req);
+                    }
+                    st = queue.state.lock().expect("queue lock");
+                }
+                if batch.len() >= max_coalesce || st.0.front().is_some_and(|r| r.width > 1) || st.1
+                {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= window_end {
+                    break;
+                }
+                let (guard, timeout) =
+                    queue.cond.wait_timeout(st, window_end - now).expect("queue lock");
+                drop(guard);
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            run_batch(&mut *operator, nrows, batch, &stats);
+        }
+    })
+}
+
+/// Deadline gate at dequeue time: refused requests answer immediately.
+fn admit_or_expire(req: Request, stats: &ServeStats) -> Option<Request> {
+    if req.deadline.is_some_and(|d| Instant::now() >= d) {
+        stats.expire();
+        let _ = req.resp.send(Err(ServeError::Expired));
+        return None;
+    }
+    Some(req)
+}
+
+/// Executes one batch and scatters result columns back to the callers.
+///
+/// Determinism contract: a single-request batch runs `apply` (width
+/// `r > 1` requests run `apply_batch` with their own width), and a
+/// coalesced batch runs one `apply_batch` whose column `q` is bitwise
+/// identical to running request `q` alone — both the compiled backends
+/// and the sharded executor keep per-column accumulation order
+/// independent of the batch width.
+fn run_batch(
+    operator: &mut dyn SpmvOperator,
+    nrows: usize,
+    batch: Vec<Request>,
+    stats: &ServeStats,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    if batch.len() == 1 {
+        let req = &batch[0];
+        let mut y = vec![0.0; nrows * req.width];
+        if req.width == 1 {
+            operator.apply(&req.x, &mut y);
+        } else {
+            operator.apply_batch(&req.x, &mut y, req.width);
+        }
+        stats.batch(1);
+        // Count before replying: a caller that saw its result must also
+        // see it in any later stats snapshot.
+        stats.complete();
+        let _ = batch[0].resp.send(Ok(y));
+        return;
+    }
+    // Pack the coalesced single-RHS requests into one row-major block.
+    let r = batch.len();
+    let ncols = batch[0].x.len();
+    let mut packed = vec![0.0; ncols * r];
+    for (q, req) in batch.iter().enumerate() {
+        for (j, &v) in req.x.iter().enumerate() {
+            packed[j * r + q] = v;
+        }
+    }
+    let mut y = vec![0.0; nrows * r];
+    operator.apply_batch(&packed, &mut y, r);
+    stats.batch(r as u64);
+    for (q, req) in batch.into_iter().enumerate() {
+        let col: Vec<f64> = (0..nrows).map(|g| y[g * r + q]).collect();
+        stats.complete();
+        let _ = req.resp.send(Ok(col));
+    }
+}

@@ -1,0 +1,272 @@
+//! Rank-sharded execution over `s2d-runtime` endpoints, hardened for
+//! serving: **bitwise deterministic under arbitrary delivery
+//! interleavings**, including chaos-injected delays, and batch-capable
+//! so coalesced requests run through the same code path as single
+//! solves.
+//!
+//! The stock threaded executor accumulates partial sums in arrival
+//! order, so two runs of the same plan can differ in the last ulp —
+//! fine for validation against a tolerance, fatal for a serving layer
+//! that promises coalesced results identical to per-request ones. This
+//! executor closes the gap with two rules: every per-rank buffer is an
+//! ordered map (`BTreeMap`), and each communication phase first
+//! collects *all* expected messages, sorts them by sender, and only
+//! then folds them in. The floating-point reduction order is therefore
+//! a pure function of the plan, never of the scheduler — a chaotic run
+//! and a quiet run produce the same bits, and column `q` of a width-`r`
+//! batch produces the same bits as a width-1 run of that column.
+
+use std::collections::BTreeMap;
+
+use s2d_runtime::{spmd, ChaosConfig, Cluster, Endpoint, Envelope};
+use s2d_spmv::{MsgSpec, PlanPhase, SpmvOperator, SpmvPlan};
+use std::sync::Arc;
+
+/// Payload of one phase message: `x` columns and partial-`y` rows, each
+/// carrying `r` lanes (one per coalesced right-hand side).
+type Payload = (Vec<(u32, Vec<f64>)>, Vec<(u32, Vec<f64>)>);
+
+/// A batch-capable, chaos-proof distributed SpMV operator: `plan.k`
+/// ranks on OS threads exchanging plan messages through the runtime,
+/// with a deterministic reduction order (see the module docs).
+pub struct ShardedOperator {
+    plan: Arc<SpmvPlan>,
+    chaos: ChaosConfig,
+}
+
+impl ShardedOperator {
+    /// A quiet sharded operator over `plan`.
+    pub fn new(plan: Arc<SpmvPlan>) -> ShardedOperator {
+        ShardedOperator::with_chaos(plan, ChaosConfig::off())
+    }
+
+    /// A sharded operator with delivery-delay injection — results are
+    /// bitwise identical to the quiet operator's, only slower.
+    pub fn with_chaos(plan: Arc<SpmvPlan>, chaos: ChaosConfig) -> ShardedOperator {
+        ShardedOperator { plan, chaos }
+    }
+}
+
+impl SpmvOperator for ShardedOperator {
+    fn nrows(&self) -> usize {
+        self.plan.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.plan.ncols
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        execute_sharded(&self.plan, x, y, 1, self.chaos);
+    }
+
+    fn apply_batch(&mut self, x: &[f64], y: &mut [f64], r: usize) {
+        execute_sharded(&self.plan, x, y, r, self.chaos);
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+}
+
+/// Per-rank view of one phase (mirrors the plan's phase list).
+enum RankPhase<'a> {
+    Compute(&'a [s2d_spmv::MultTask]),
+    Comm { tag: u32, outgoing: Vec<&'a MsgSpec>, expected: usize },
+}
+
+fn rank_scripts(plan: &SpmvPlan) -> Vec<Vec<RankPhase<'_>>> {
+    let k = plan.k;
+    let mut scripts: Vec<Vec<RankPhase<'_>>> = (0..k).map(|_| Vec::new()).collect();
+    for (idx, phase) in plan.phases.iter().enumerate() {
+        match phase {
+            PlanPhase::Compute(tasks) => {
+                for (p, list) in tasks.iter().enumerate() {
+                    scripts[p].push(RankPhase::Compute(list));
+                }
+            }
+            PlanPhase::Comm(msgs) => {
+                let mut outgoing: Vec<Vec<&MsgSpec>> = vec![Vec::new(); k];
+                let mut expected = vec![0usize; k];
+                for m in msgs {
+                    outgoing[m.src as usize].push(m);
+                    expected[m.dst as usize] += 1;
+                }
+                for (p, out) in outgoing.into_iter().enumerate() {
+                    scripts[p].push(RankPhase::Comm {
+                        tag: idx as u32,
+                        outgoing: out,
+                        expected: expected[p],
+                    });
+                }
+            }
+        }
+    }
+    scripts
+}
+
+/// Executes `plan` on the row-major batch `x` (`x[j*r + q]` = column
+/// `q` of input `j`), writing the row-major result into `y`.
+fn execute_sharded(plan: &SpmvPlan, x: &[f64], y: &mut [f64], r: usize, chaos: ChaosConfig) {
+    assert!(r >= 1, "batch width must be at least 1");
+    assert_eq!(x.len(), plan.ncols * r, "input length mismatch");
+    assert_eq!(y.len(), plan.nrows * r, "output length mismatch");
+    let k = plan.k;
+    let scripts = rank_scripts(plan);
+
+    // Initial x placement: each rank's owned columns, all r lanes.
+    let mut init_x: Vec<Vec<(u32, Vec<f64>)>> = vec![Vec::new(); k];
+    for j in 0..plan.ncols {
+        init_x[plan.x_part[j] as usize].push((j as u32, x[j * r..(j + 1) * r].to_vec()));
+    }
+    let init_x = std::sync::Mutex::new(init_x);
+
+    let results = spmd(Cluster::<Payload>::with_chaos(k, chaos), |ep| {
+        let p = ep.rank() as usize;
+        let my_x = std::mem::take(&mut init_x.lock().expect("init lock")[p]);
+        let final_y = run_rank(ep, &scripts[p], my_x, r);
+        debug_assert!(ep.drained(), "rank {p} exits with unconsumed messages");
+        final_y
+    });
+
+    // Assemble y from each owner's final accumulators.
+    let mut owner_y: Vec<BTreeMap<u32, Vec<f64>>> =
+        results.into_iter().map(|pairs| pairs.into_iter().collect()).collect();
+    for i in 0..plan.nrows {
+        match owner_y[plan.y_part[i] as usize].remove(&(i as u32)) {
+            Some(lanes) => y[i * r..(i + 1) * r].copy_from_slice(&lanes),
+            None => y[i * r..(i + 1) * r].fill(0.0),
+        }
+    }
+}
+
+fn run_rank(
+    ep: &mut Endpoint<Payload>,
+    script: &[RankPhase<'_>],
+    my_x: Vec<(u32, Vec<f64>)>,
+    r: usize,
+) -> Vec<(u32, Vec<f64>)> {
+    let p = ep.rank();
+    let mut xbuf: BTreeMap<u32, Vec<f64>> = my_x.into_iter().collect();
+    let mut ybuf: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for phase in script {
+        match phase {
+            RankPhase::Compute(tasks) => {
+                for t in *tasks {
+                    let xv = xbuf
+                        .get(&t.col)
+                        .unwrap_or_else(|| panic!("rank {p} lacks x[{}]: plan bug", t.col));
+                    let acc = ybuf.entry(t.row).or_insert_with(|| vec![0.0; r]);
+                    for q in 0..r {
+                        acc[q] += t.val * xv[q];
+                    }
+                }
+            }
+            RankPhase::Comm { tag, outgoing, expected } => {
+                for m in outgoing {
+                    let xs: Vec<(u32, Vec<f64>)> = m
+                        .x_cols
+                        .iter()
+                        .map(|&j| {
+                            (
+                                j,
+                                xbuf.get(&j)
+                                    .unwrap_or_else(|| {
+                                        panic!("rank {p} lacks x[{j}] to send: plan bug")
+                                    })
+                                    .clone(),
+                            )
+                        })
+                        .collect();
+                    let ys: Vec<(u32, Vec<f64>)> = m
+                        .y_rows
+                        .iter()
+                        .map(|&i| {
+                            (
+                                i,
+                                ybuf.remove(&i).unwrap_or_else(|| {
+                                    panic!("rank {p} lacks partial y[{i}] to send: plan bug")
+                                }),
+                            )
+                        })
+                        .collect();
+                    ep.send(m.dst, *tag, (xs, ys));
+                }
+                // Collect ALL of this phase's messages first, then fold
+                // them in sender order: the reduction order becomes a
+                // pure function of the plan, so chaotic delivery cannot
+                // perturb the result bits.
+                let mut arrived: Vec<Envelope<Payload>> =
+                    (0..*expected).map(|_| ep.recv_tag(*tag)).collect();
+                arrived.sort_by_key(|env| env.src);
+                for env in arrived {
+                    let (xs, ys) = env.payload;
+                    for (j, v) in xs {
+                        xbuf.insert(j, v);
+                    }
+                    for (i, v) in ys {
+                        let acc = ybuf.entry(i).or_insert_with(|| vec![0.0; r]);
+                        for q in 0..r {
+                            acc[q] += v[q];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ybuf.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2d_core::fig1::{fig1_matrix, fig1_partition};
+    use s2d_spmv::PlanKind;
+
+    #[test]
+    fn sharded_runs_are_bitwise_reproducible_under_chaos() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64).sin() + 2.0).collect();
+        for kind in PlanKind::all() {
+            let plan = Arc::new(kind.build(&a, &p));
+            let mut quiet = ShardedOperator::new(Arc::clone(&plan));
+            let mut y_quiet = vec![0.0; a.nrows()];
+            quiet.apply(&x, &mut y_quiet);
+            // Tolerance check against serial once; everything else is
+            // exact equality.
+            let want = a.spmv_alloc(&x);
+            for (g, w) in y_quiet.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{kind}: {g} vs {w}");
+            }
+            for seed in 0..4 {
+                let chaos = ChaosConfig::with_delays(150, seed);
+                let mut noisy = ShardedOperator::with_chaos(Arc::clone(&plan), chaos);
+                let mut y_noisy = vec![f64::NAN; a.nrows()];
+                noisy.apply(&x, &mut y_noisy);
+                assert_eq!(y_noisy, y_quiet, "{kind} seed {seed}: chaos must not change bits");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_columns_match_single_runs_bitwise() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = Arc::new(PlanKind::SinglePhase.build(&a, &p));
+        let r = 4;
+        let x: Vec<f64> = (0..a.ncols() * r).map(|i| ((i * 7) % 19) as f64 - 9.0).collect();
+        let mut op =
+            ShardedOperator::with_chaos(Arc::clone(&plan), ChaosConfig::with_delays(100, 11));
+        let mut y = vec![0.0; a.nrows() * r];
+        op.apply_batch(&x, &mut y, r);
+        for q in 0..r {
+            let xq: Vec<f64> = (0..a.ncols()).map(|g| x[g * r + q]).collect();
+            let mut quiet = ShardedOperator::new(Arc::clone(&plan));
+            let mut yq = vec![0.0; a.nrows()];
+            quiet.apply(&xq, &mut yq);
+            let got: Vec<f64> = (0..a.nrows()).map(|g| y[g * r + q]).collect();
+            assert_eq!(got, yq, "column {q} must match its quiet single-RHS run bitwise");
+        }
+    }
+}

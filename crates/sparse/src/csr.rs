@@ -72,6 +72,37 @@ impl Csr {
         self.colind.len()
     }
 
+    /// A 64-bit content fingerprint over the matrix shape, sparsity
+    /// structure and value bits (FNV-1a). Two matrices fingerprint
+    /// equally iff they are bitwise-identical CSR instances (up to hash
+    /// collision), which makes the fingerprint a stable cache key for
+    /// per-matrix preparation (partitioning, plan compilation) across
+    /// repeat registrations.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.nrows as u64);
+        mix(self.ncols as u64);
+        mix(self.colind.len() as u64);
+        for &p in &self.rowptr {
+            mix(p as u64);
+        }
+        for &c in &self.colind {
+            mix(u64::from(c));
+        }
+        for &v in &self.vals {
+            mix(v.to_bits());
+        }
+        h
+    }
+
     /// Row pointer array (`nrows + 1` entries).
     #[inline]
     pub fn rowptr(&self) -> &[usize] {

@@ -110,4 +110,4 @@ pub use s2d_engine::{Backend, KernelFormat};
 pub use s2d_obs::{ExecutionReport, TelemetrySink};
 pub use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, S2dVariant, Strategy};
 pub use s2d_spmv::{PlanKind, SpmvOperator};
-pub use session::{Session, SessionBuilder};
+pub use session::{Prepared, Session, SessionBuilder};

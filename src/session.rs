@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use s2d_core::comm::CommStats;
 use s2d_core::partition::SpmvPartition;
-use s2d_engine::{Backend, KernelFormat};
+use s2d_engine::{Backend, CompiledPlan, KernelFormat};
 use s2d_obs::{ExecutionReport, ModelRef, TelemetrySink};
 use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, Strategy};
 use s2d_sparse::Csr;
@@ -104,6 +104,46 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Runs the expensive per-matrix preparation — partitioning, plan
+    /// construction, kernel compilation — and returns the reusable
+    /// [`Prepared`] artifact *without* building an operator. This is
+    /// the cacheable half of [`SessionBuilder::build`]: a serving layer
+    /// keys the result on (matrix fingerprint, strategy, k, plan kind,
+    /// kernel format) and later stamps out any number of independent
+    /// sessions from it via [`Prepared::session`], skipping every step
+    /// this method performed. Backend, batch width and telemetry
+    /// settings on the builder are deliberately *not* baked in — they
+    /// are per-session choices made at stamp-out time.
+    ///
+    /// # Panics
+    /// As [`SessionBuilder::build`].
+    pub fn prepare(self) -> Prepared {
+        let (partition, strategy) = self.resolve_partition();
+        let kind = self.plan_kind.unwrap_or_else(|| PlanKind::auto(self.a, &partition));
+        let plan = Arc::new(kind.build(self.a, &partition));
+        let compiled = CompiledPlan::compile_with(&plan, self.kernel_format);
+        Prepared {
+            fingerprint: self.a.fingerprint(),
+            partition,
+            strategy,
+            kind,
+            plan,
+            compiled,
+            kernel_format: self.kernel_format,
+        }
+    }
+
+    fn resolve_partition(&self) -> (SpmvPartition, Option<Strategy>) {
+        match (self.partition, self.strategy) {
+            (Some(p), None) => (p.clone(), None),
+            (None, Some((s, k))) => (s.partition_with(self.a, k, &self.partitioner_cfg), Some(s)),
+            (Some(_), Some(_)) => {
+                panic!("SessionBuilder: choose either .partition() or .partitioner(), not both")
+            }
+            (None, None) => panic!("SessionBuilder: a partition or a partitioner is required"),
+        }
+    }
+
     /// Builds the plan, pays the backend's setup cost, and returns the
     /// ready session. When a [`SessionBuilder::partitioner`] strategy
     /// was chosen, the partitioning runs here too.
@@ -114,14 +154,7 @@ impl<'a> SessionBuilder<'a> {
     /// chosen plan kind's prerequisites fail (e.g.
     /// [`PlanKind::SinglePhase`] on a non-s2D partition).
     pub fn build(self) -> Session {
-        let partition = match (self.partition, self.strategy) {
-            (Some(p), None) => p.clone(),
-            (None, Some((s, k))) => s.partition_with(self.a, k, &self.partitioner_cfg),
-            (Some(_), Some(_)) => {
-                panic!("SessionBuilder: choose either .partition() or .partitioner(), not both")
-            }
-            (None, None) => panic!("SessionBuilder: a partition or a partitioner is required"),
-        };
+        let (partition, _) = self.resolve_partition();
         let kind = self.plan_kind.unwrap_or_else(|| PlanKind::auto(self.a, &partition));
         let plan = Arc::new(kind.build(self.a, &partition));
         let stats = plan.comm_stats();
@@ -150,7 +183,75 @@ impl<'a> SessionBuilder<'a> {
             backend: self.backend,
             kernel_format: self.kernel_format,
             batch_width: self.batch_width,
+            fingerprint: self.a.fingerprint(),
             telemetry,
+        }
+    }
+}
+
+/// The cacheable product of [`SessionBuilder::prepare`]: partition,
+/// plan and compiled kernels for one (matrix, strategy/partition, plan
+/// kind, kernel format) combination. Immutable and cheap to share
+/// (`Arc<Prepared>` in a cache); [`Prepared::session`] stamps out
+/// independent ready-to-run sessions from it without re-partitioning
+/// or recompiling.
+pub struct Prepared {
+    fingerprint: u64,
+    partition: SpmvPartition,
+    strategy: Option<Strategy>,
+    kind: PlanKind,
+    plan: Arc<SpmvPlan>,
+    compiled: CompiledPlan,
+    kernel_format: KernelFormat,
+}
+
+impl Prepared {
+    /// The source matrix's [`Csr::fingerprint`], captured at prepare
+    /// time — the matrix half of a cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The partition the preparation ran on.
+    pub fn partition(&self) -> &SpmvPartition {
+        &self.partition
+    }
+
+    /// The plan kind that was built.
+    pub fn plan_kind(&self) -> PlanKind {
+        self.kind
+    }
+
+    /// The built (uncompiled) plan.
+    pub fn plan(&self) -> &Arc<SpmvPlan> {
+        &self.plan
+    }
+
+    /// The kernel format the plan was compiled with.
+    pub fn kernel_format(&self) -> KernelFormat {
+        self.kernel_format
+    }
+
+    /// Builds a ready [`Session`] from the cached artifacts: only the
+    /// backend's buffer/worker setup cost is paid here — no
+    /// partitioning, no plan construction, no kernel compilation. Each
+    /// call yields an independent session, so concurrent workers can
+    /// each hold one over the same `Prepared`.
+    pub fn session(&self, backend: Backend, batch_width: usize) -> Session {
+        assert!(batch_width >= 1, "batch width must be at least 1");
+        let operator = backend.build_from_compiled(&self.plan, &self.compiled, batch_width);
+        Session {
+            plan: Arc::clone(&self.plan),
+            operator,
+            stats: self.plan.comm_stats(),
+            partition: self.partition.clone(),
+            strategy: self.strategy,
+            kind: self.kind,
+            backend,
+            kernel_format: self.kernel_format,
+            batch_width,
+            fingerprint: self.fingerprint,
+            telemetry: None,
         }
     }
 }
@@ -167,6 +268,7 @@ pub struct Session {
     backend: Backend,
     kernel_format: KernelFormat,
     batch_width: usize,
+    fingerprint: u64,
     /// Telemetry sink plus the partition's modeled quality, present
     /// when the session was built with `.telemetry(true)`.
     telemetry: Option<(Arc<TelemetrySink>, PartitionQuality)>,
@@ -245,6 +347,13 @@ impl Session {
     /// operator's buffers without updating this).
     pub fn batch_width(&self) -> usize {
         self.batch_width
+    }
+
+    /// The source matrix's [`Csr::fingerprint`], captured at build
+    /// time — lets holders of a bare session key caches without
+    /// re-hashing the matrix.
+    pub fn matrix_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The telemetry sink, when the session was built with
@@ -442,6 +551,37 @@ mod tests {
         let s = Session::builder(&a).partition(&p).build();
         assert!(s.telemetry_sink().is_none());
         assert!(s.report().is_none());
+    }
+
+    #[test]
+    fn prepared_sessions_match_direct_builds_bitwise() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 - 5.0).collect();
+        let mut want = vec![0.0; a.nrows()];
+        Session::builder(&a).partition(&p).build().apply(&x, &mut want);
+
+        let prep = Session::builder(&a).partition(&p).prepare();
+        assert_eq!(prep.fingerprint(), a.fingerprint());
+        assert_eq!(prep.plan_kind(), PlanKind::SinglePhase);
+        // Stamp out several independent sessions from one preparation.
+        for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2 }] {
+            let mut s = prep.session(backend, 1);
+            assert_eq!(s.matrix_fingerprint(), a.fingerprint());
+            assert_eq!(s.backend(), backend);
+            let mut y = vec![0.0; a.nrows()];
+            s.apply(&x, &mut y);
+            assert_eq!(y, want, "{backend}: prepared session must match direct build");
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_structure_and_values() {
+        let a = fig1_matrix();
+        assert_eq!(a.fingerprint(), fig1_matrix().fingerprint(), "deterministic");
+        let mut b = fig1_matrix();
+        b.values_mut()[0] += 1.0;
+        assert_ne!(a.fingerprint(), b.fingerprint(), "value change must show");
     }
 
     #[test]
