@@ -1,0 +1,113 @@
+//! Autotuning bench: the measured winner against the static models'
+//! pick across a small suite chosen to be *imperfect* for the models —
+//! a scale-free R-MAT (skewed rows), an FEM-like mesh (regular, where
+//! 1D is near-optimal and the search should mostly agree with the
+//! model) and a power-law matrix (the shape whose kernel-format and
+//! backend crossovers the closed-form constants get wrong most often).
+//! The acceptance asserts the tuner's contract on every matrix: the
+//! measured pick is never meaningfully slower than the model pick
+//! (<= 1.05x, noise margin — by construction the model pick is in the
+//! candidate set, so the winner can only tie or beat it), and a second
+//! tuned build against a warm cache is a pure replay with zero
+//! re-measurement.
+//!
+//! Run with `cargo bench -p s2d-bench --bench tuning`.
+//!
+//! **Fast mode** (CI smoke): set `S2D_TUNE_FAST=1` — the tuner itself
+//! drops to its 1-trial smoke budget via `TuneBudget::from_env`, and
+//! this bench shrinks the matrices. Every assertion still runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use s2d_gen::fem::fem_like;
+use s2d_gen::powerlaw::power_law;
+use s2d_gen::rmat::{rmat, RmatConfig};
+use s2d_sparse::Csr;
+use s2d_tune::{TuneBudget, Tuner, TuningCache};
+
+const K: usize = 8;
+const RHS: usize = 4;
+
+fn fast_mode() -> bool {
+    std::env::var("S2D_TUNE_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The imperfect-model suite: (label, matrix).
+fn suite() -> Vec<(&'static str, Csr)> {
+    let n = if fast_mode() { 1 << 8 } else { 1 << 12 };
+    vec![
+        ("rmat", rmat(&RmatConfig::graph500(if fast_mode() { 8 } else { 12 }, 8), 1).to_csr()),
+        ("fem", fem_like(n, 6.0, 16, 2)),
+        ("powerlaw", power_law(n, 8 * n, 2.1, n / 4, 3)),
+    ]
+}
+
+fn bench_tuning(c: &mut Criterion) {
+    let (label, a) = suite().remove(0);
+    let path = std::env::temp_dir().join(format!("s2d-tune-bench-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    // Cold: full search (dominated by partitioning + timed trials).
+    c.bench_function(&format!("tune/cold/{label}/k{K}"), |b| {
+        b.iter(|| Tuner::new(&a, K).width(RHS).run())
+    });
+    // Warm: one verdict on disk, every run replays it.
+    let _ = Tuner::new(&a, K).width(RHS).cache(&path).run();
+    c.bench_function(&format!("tune/replay/{label}/k{K}"), |b| {
+        b.iter(|| {
+            let v = Tuner::new(&a, K).width(RHS).cache(&path).run();
+            assert!(v.cache_hit);
+            v
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Direct acceptance: the tuner's two contracts, on every suite matrix.
+fn tuning_acceptance(_c: &mut Criterion) {
+    let path = std::env::temp_dir().join(format!("s2d-tune-accept-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    println!("--------------------------------------------------------------");
+    for (label, a) in suite() {
+        let budget = TuneBudget::from_env();
+        let verdict = Tuner::new(&a, K).width(RHS).budget(budget).cache(&path).run();
+        assert!(!verdict.cache_hit, "{label}: distinct matrices must each search once");
+        println!(
+            "tune acceptance {label} ({}x{}, {} nnz): winner {} {:.1} µs, \
+             model {} {:.1} µs (winner/model {:.3})",
+            a.nrows(),
+            a.ncols(),
+            a.nnz(),
+            verdict.winner,
+            verdict.winner_secs * 1e6,
+            verdict.model,
+            verdict.model_secs * 1e6,
+            verdict.speedup_over_model(),
+        );
+        // Contract 1: measurement never loses to the model (the model's
+        // pick is itself measured; 5% margin covers timer noise between
+        // the two measurements of an identical configuration).
+        assert!(
+            verdict.winner_secs <= verdict.model_secs * 1.05,
+            "{label}: tuned pick {:.1} µs must be <= 1.05x the model pick {:.1} µs",
+            verdict.winner_secs * 1e6,
+            verdict.model_secs * 1e6,
+        );
+
+        // Contract 2: the second tuned build is a pure cache replay —
+        // same winner, no measurements run.
+        let replay = Tuner::new(&a, K).width(RHS).budget(budget).cache(&path).run();
+        assert!(replay.cache_hit, "{label}: warm cache must hit");
+        assert_eq!(replay.winner, verdict.winner, "{label}: replay must return the stored winner");
+        assert!(
+            replay.measurements.is_empty(),
+            "{label}: a cache hit must not re-measure anything"
+        );
+    }
+    // All three verdicts live in one cache file, independently keyed.
+    assert_eq!(TuningCache::load(&path).len(), 3);
+    let _ = std::fs::remove_file(&path);
+    println!("--------------------------------------------------------------");
+}
+
+criterion_group!(benches, bench_tuning, tuning_acceptance);
+criterion_main!(benches);

@@ -42,11 +42,16 @@ USAGE
                 [--requests N] [--wide-every W] [--engine <backend>]
                 [--kernel-format <fmt>] [--max-coalesce R]
                 [--window-us U] [--queue Q] [--cache-capacity C]
+                [--tuning-cache FILE]
                 [--sharded [--chaos-us U] [--chaos-seed S]]
                 [--json SERVE.json]
   s2d bench-serve [--scale S] [--k K] [--method <M>] [--clients N]
                 [--requests N] [--max-coalesce R]
                 [--json SERVE_BENCH.json]
+  s2d tune      <m.mtx> | --rmat SCALE [--edge-factor F] [--seed N]
+                [--k K] [--rhs R] [--budget standard|fast|env]
+                [--epsilon E] [--cache tuning-cache.json]
+                [--json TUNE.json]
   s2d help
 
 METHODS (--method / --partitioner) — the unified Strategy enum
@@ -120,6 +125,21 @@ rate, cache hit rate — the CI serve-smoke artifact). Set
 S2D_SERVE_BENCH_FAST=1 to shrink bench-serve's matrix and burst for
 smoke runs.
 
+`tune` runs the measurement-based autotuner (s2d-tune) on a matrix
+file or a generated R-MAT (--rmat SCALE): it expands the static
+models' shortlist into (strategy x kernel-format x backend x
+batch-width) candidates, times each through the real Session stack,
+and prints the candidate table with the measured winner and the
+models' own pick flagged. --cache persists the verdict in the on-disk
+tuning cache, so the next tune of the same (matrix, k, rhs) — and any
+server started with --tuning-cache pointing at the same file — replays
+it without measuring. --budget fast (or S2D_TUNE_FAST=1 with --budget
+env, the default) is the 1-trial smoke budget; --json writes the full
+verdict as TUNE.json (the CI tune-smoke artifact). `serve
+--tuning-cache FILE` makes registrations consult the same cache:
+measured verdicts override the configured strategy/format/backend,
+counted as tuner hits/misses in the serve counters.
+
 Matrices for `gen --name` come from the paper's two suites (Table I and
 Table IV); `gen --list` prints them. Partition files are plain text
 (see crates/cli/src/partfile.rs).
@@ -139,6 +159,7 @@ pub fn run(raw: Vec<String>) {
         "profile" => cmd_profile(&args),
         "serve" => cmd_serve(&args),
         "bench-serve" => cmd_bench_serve(&args),
+        "tune" => cmd_tune(&args),
         "help" | "--help" | "-h" => print!("{HELP}"),
         other => {
             eprintln!("error: unknown subcommand {other:?}\n");
@@ -849,6 +870,7 @@ fn cmd_serve(args: &Args) {
     let config = ServerConfig {
         backend,
         format,
+        tuning_cache: args.get("tuning-cache").map(std::path::PathBuf::from),
         queue_capacity: args.parse_or("queue", (clients * per_client).max(64)),
         max_coalesce: args.parse_or("max-coalesce", 8usize),
         batch_window: Duration::from_micros(args.parse_or("window-us", 200u64)),
@@ -905,6 +927,54 @@ fn cmd_serve(args: &Args) {
             fail(format!("cannot write {path}: {e}"));
         }
         println!("wrote {path}");
+    }
+}
+
+fn cmd_tune(args: &Args) {
+    use s2d_tune::{TuneBudget, Tuner};
+    let (a, label) = if let Some(scale) = args.get("rmat") {
+        let scale: u32 =
+            scale.parse().unwrap_or_else(|_| fail(format!("bad --rmat scale {scale:?}")));
+        let ef = args.parse_or("edge-factor", 8usize);
+        let seed = args.parse_or("seed", 42u64);
+        (rmat(&RmatConfig::graph500(scale, ef), seed).to_csr(), format!("rmat-{scale}"))
+    } else {
+        let mpath = args
+            .positional
+            .get(1)
+            .unwrap_or_else(|| fail("tune requires a matrix file or --rmat SCALE"));
+        (load_matrix(mpath), mpath.clone())
+    };
+    let k = args.parse_or("k", 16usize);
+    let r = args.parse_or("rhs", 1usize);
+    let budget = match args.get_or("budget", "env") {
+        "standard" => TuneBudget::standard(),
+        "fast" => TuneBudget::fast(),
+        "env" => TuneBudget::from_env(),
+        other => fail(format!("unknown --budget {other:?} (standard|fast|env)")),
+    };
+    let cfg = PartitionerConfig {
+        epsilon: args.parse_or("epsilon", PartitionerConfig::default().epsilon),
+        ..PartitionerConfig::default()
+    };
+    let mut tuner = Tuner::new(&a, k).width(r).budget(budget).partitioner_config(cfg);
+    if let Some(path) = args.get("cache") {
+        tuner = tuner.cache(path);
+    }
+    let (verdict, took) = s2d_obs::time(|| tuner.run());
+    println!("tune {label}: {}x{} ({} nnz) over k{k}, rhs {r}", a.nrows(), a.ncols(), a.nnz());
+    print!("{}", verdict.render());
+    println!(
+        "tune: {} in {:.1} ms",
+        if verdict.cache_hit { "cache replay" } else { "measured search" },
+        took.as_secs_f64() * 1e3
+    );
+    if let Some(json) = args.get("json") {
+        let body = format!("{}\n", verdict.to_json());
+        if let Err(e) = std::fs::write(json, body) {
+            fail(format!("cannot write {json}: {e}"));
+        }
+        println!("wrote {json}");
     }
 }
 

@@ -196,18 +196,32 @@ impl Backend {
         }
     }
 
+    /// Default seq-vs-pool crossover for [`Backend::auto`], in
+    /// multiply-adds per iteration: PR 1 measured the pool's barrier
+    /// round trips amortizing around ~1 ms/iter, ≈ 5·10⁵ multiply-adds
+    /// at ~0.5 Gmadd/s. This is a *model* constant, measured on one
+    /// machine — when an `s2d-tune` tuning-cache entry exists for a
+    /// matrix, its measured backend pick takes precedence over this
+    /// threshold.
+    pub const POOL_OPS_CROSSOVER: u64 = 500_000;
+
     /// Picks the compiled backend an already-compiled plan should run
     /// on: the persistent pool wins only when one iteration carries
-    /// enough work to amortize its barrier round trips (PR 1 measured
-    /// the crossover around ~1 ms/iter, ≈ 5·10⁵ multiply-adds at
-    /// ~0.5 Gmadd/s), and only when there is more than one rank to
-    /// parallelize over. Everything smaller runs faster on the
-    /// sequential workspace.
+    /// enough work to amortize its barrier round trips
+    /// ([`Backend::POOL_OPS_CROSSOVER`] multiply-adds), and only when
+    /// there is more than one rank to parallelize over. Everything
+    /// smaller runs faster on the sequential workspace.
     ///
     /// This is the rule behind the CLI's `--engine auto`.
     pub fn auto(cp: &CompiledPlan) -> Backend {
-        const POOL_OPS_FLOOR: u64 = 500_000;
-        if cp.k > 1 && cp.total_ops() >= POOL_OPS_FLOOR {
+        Backend::auto_with_crossover(cp, Backend::POOL_OPS_CROSSOVER)
+    }
+
+    /// [`Backend::auto`] with an explicit crossover — for machines
+    /// whose measured seq/pool break-even differs from the default
+    /// (the tuner's measurements are the principled way to find it).
+    pub fn auto_with_crossover(cp: &CompiledPlan, crossover_ops: u64) -> Backend {
+        if cp.k > 1 && cp.total_ops() >= crossover_ops {
             Backend::CompiledPool { threads: 0 }
         } else {
             Backend::CompiledSeq
@@ -580,6 +594,15 @@ mod tests {
             panic!("fig1 plan starts with a compute phase");
         }
         assert_eq!(Backend::auto(&big), Backend::CompiledPool { threads: 0 });
+        // The crossover is an overridable constant, not magic: a floor
+        // below the tiny plan's op count flips even fig1 to the pool,
+        // and an unreachable floor pins the inflated plan to seq.
+        assert_eq!(
+            Backend::auto_with_crossover(&cp, 1),
+            Backend::CompiledPool { threads: 0 },
+            "fig1 has k > 1 and more than one madd"
+        );
+        assert_eq!(Backend::auto_with_crossover(&big, u64::MAX), Backend::CompiledSeq);
     }
 
     #[test]

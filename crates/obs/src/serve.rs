@@ -19,6 +19,8 @@ pub struct ServeStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    tuner_hits: AtomicU64,
+    tuner_misses: AtomicU64,
 }
 
 impl ServeStats {
@@ -69,6 +71,18 @@ impl ServeStats {
         self.cache_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A registration found a measured configuration in the on-disk
+    /// tuning cache (the tuner's pick overrode the static models).
+    pub fn tuner_hit(&self) {
+        self.tuner_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A registration consulted the tuning cache and found no entry
+    /// (the static model pick was used).
+    pub fn tuner_miss(&self) {
+        self.tuner_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Plain-value copy of the counters for reporting.
     pub fn snapshot(&self) -> ServeSnapshot {
         ServeSnapshot {
@@ -81,6 +95,8 @@ impl ServeStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            tuner_hits: self.tuner_hits.load(Ordering::Relaxed),
+            tuner_misses: self.tuner_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,6 +124,10 @@ pub struct ServeSnapshot {
     pub cache_misses: u64,
     /// Preparation-cache evictions.
     pub cache_evictions: u64,
+    /// Registrations that found a measured entry in the tuning cache.
+    pub tuner_hits: u64,
+    /// Registrations that consulted the tuning cache and found none.
+    pub tuner_misses: u64,
 }
 
 impl ServeSnapshot {
@@ -138,7 +158,8 @@ impl ServeSnapshot {
                 "{{\"admitted\":{},\"completed\":{},\"rejected_full\":{},",
                 "\"expired\":{},\"batches\":{},\"coalesced\":{},",
                 "\"coalescing_rate\":{:.4},\"cache_hits\":{},\"cache_misses\":{},",
-                "\"cache_evictions\":{},\"cache_hit_rate\":{:.4}}}"
+                "\"cache_evictions\":{},\"cache_hit_rate\":{:.4},",
+                "\"tuner_hits\":{},\"tuner_misses\":{}}}"
             ),
             self.admitted,
             self.completed,
@@ -151,6 +172,8 @@ impl ServeSnapshot {
             self.cache_misses,
             self.cache_evictions,
             self.cache_hit_rate(),
+            self.tuner_hits,
+            self.tuner_misses,
         )
     }
 }
@@ -176,6 +199,9 @@ mod tests {
         s.cache_hit();
         s.cache_miss();
         s.cache_evict();
+        s.tuner_hit();
+        s.tuner_miss();
+        s.tuner_miss();
         let snap = s.snapshot();
         assert_eq!(snap.admitted, 5);
         assert_eq!(snap.completed, 4);
@@ -185,6 +211,7 @@ mod tests {
         assert!((snap.coalescing_rate() - 2.0).abs() < 1e-12);
         assert!((snap.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(snap.cache_evictions, 1);
+        assert_eq!((snap.tuner_hits, snap.tuner_misses), (1, 2));
     }
 
     #[test]
@@ -203,6 +230,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"coalescing_rate\":8.0000"));
         assert!(json.contains("\"cache_hit_rate\":1.0000"));
+        assert!(json.contains("\"tuner_hits\":0"));
     }
 
     #[test]

@@ -199,6 +199,31 @@ impl Strategy {
     /// (K ≥ 4 — latency-bound routing starts paying when the α term
     /// dominates) and `s2d-mg` when skewed.
     pub fn auto_pick(a: &Csr, k: usize, cfg: &PartitionerConfig) -> AutoPick {
+        let mut best: Option<(f64, Strategy, SpmvPartition, PartitionQuality)> = None;
+        for s in Strategy::auto_candidates(a, k) {
+            let p = s.partition_with(a, k, cfg);
+            let q = PartitionQuality::measure(a, &p, s.to_string());
+            let better = match &best {
+                None => true,
+                Some((t, ..)) => q.alpha_beta_time < *t,
+            };
+            if better {
+                best = Some((q.alpha_beta_time, s, p, q));
+            }
+        }
+        let (_, strategy, partition, quality) = best.expect("candidate set is never empty");
+        AutoPick { strategy, partition, quality }
+    }
+
+    /// The matrix-statistics-pruned candidate shortlist behind
+    /// [`Strategy::auto_pick`] — also the strategy axis of the
+    /// `s2d-tune` empirical search. Deterministic for a given matrix
+    /// (the statistics are pure functions of the structure) and never
+    /// empty: `1d` and `s2d` are always present; dense-row/skewed
+    /// matrices add `s2d-gen` and `2d` (1D row balance collapses
+    /// there); square matrices add `2d-b` once the mesh is nontrivial
+    /// (K ≥ 4) and `s2d-mg` when skewed.
+    pub fn auto_candidates(a: &Csr, k: usize) -> Vec<Strategy> {
         let stats = MatrixStats::of(a);
         let square = a.nrows() == a.ncols();
         let skewed = stats.row_dmax as f64 > 8.0 * stats.row_davg.max(1.0)
@@ -216,21 +241,7 @@ impl Strategy {
         if square && skewed {
             candidates.push(Strategy::MediumGrain);
         }
-
-        let mut best: Option<(f64, Strategy, SpmvPartition, PartitionQuality)> = None;
-        for s in candidates {
-            let p = s.partition_with(a, k, cfg);
-            let q = PartitionQuality::measure(a, &p, s.to_string());
-            let better = match &best {
-                None => true,
-                Some((t, ..)) => q.alpha_beta_time < *t,
-            };
-            if better {
-                best = Some((q.alpha_beta_time, s, p, q));
-            }
-        }
-        let (_, strategy, partition, quality) = best.expect("candidate set is never empty");
-        AutoPick { strategy, partition, quality }
+        candidates
     }
 }
 
@@ -442,6 +453,17 @@ mod tests {
         pick.partition.assert_shape(&a);
         // The Partitioner impl returns the same partition.
         assert_eq!(Strategy::Auto.partition(&a, 4), pick.partition);
+    }
+
+    #[test]
+    fn auto_candidates_are_deterministic_and_contain_the_pick() {
+        let a = grid(48);
+        let candidates = Strategy::auto_candidates(&a, 4);
+        assert!(!candidates.is_empty());
+        assert_eq!(candidates, Strategy::auto_candidates(&a, 4), "pure function of (a, k)");
+        assert!(candidates.contains(&Strategy::OneDRow), "1d is always shortlisted");
+        let pick = Strategy::auto_pick(&a, 4, &PartitionerConfig::default());
+        assert!(candidates.contains(&pick.strategy), "auto_pick chooses from the shortlist");
     }
 
     #[test]

@@ -17,27 +17,27 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use s2d::{PlanKind, Prepared, Strategy};
+use s2d::{ConfigKey, PlanKind, Prepared, Strategy};
 use s2d_engine::KernelFormat;
 use s2d_obs::ServeStats;
 
 /// Everything that determines a [`Prepared`] artifact (plus the batch
-/// width sessions are stamped for): the cache key.
+/// width sessions are stamped for): the cache key. The (matrix,
+/// workload) core is the shared [`ConfigKey`] — the same composition
+/// the tuner's on-disk `TuningCache` keys on, so the two caches cannot
+/// drift on what identifies a matrix/workload pair — extended here by
+/// the configuration axes that pin down one preparation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PrepKey {
-    /// [`Csr::fingerprint`](s2d_sparse::Csr::fingerprint) of the matrix.
-    pub fingerprint: u64,
+    /// Matrix fingerprint + processor count + stamped batch width.
+    pub key: ConfigKey,
     /// Partitioning strategy (`None` for hand-built partitions, which
     /// are distinguished by fingerprint alone).
     pub strategy: Option<Strategy>,
-    /// Processor count.
-    pub k: usize,
     /// Plan kind (`None` = the builder's automatic choice).
     pub plan_kind: Option<PlanKind>,
     /// Kernel format the plan compiles to.
     pub format: KernelFormat,
-    /// Batch width sessions are stamped for.
-    pub width: usize,
 }
 
 struct Entry {
@@ -116,12 +116,10 @@ mod tests {
 
     fn key(fp: u64, width: usize) -> PrepKey {
         PrepKey {
-            fingerprint: fp,
+            key: ConfigKey { fingerprint: fp, k: 3, width },
             strategy: None,
-            k: 3,
             plan_kind: None,
             format: KernelFormat::CsrSlice,
-            width,
         }
     }
 

@@ -15,27 +15,38 @@
 //! never by growing latency without bound.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use s2d::{Backend, KernelFormat, Session, SpmvOperator, Strategy};
+use s2d::{Backend, ConfigKey, KernelFormat, Session, SpmvOperator, Strategy};
 use s2d_obs::{ServeSnapshot, ServeStats};
 use s2d_runtime::ChaosConfig;
 use s2d_sparse::Csr;
+use s2d_tune::TuningCache;
 
 use crate::cache::{PlanCache, PrepKey};
 use crate::sharded::ShardedOperator;
 
 /// Serving knobs; [`ServerConfig::default`] is the sensible production
 /// shape (coalescing on, bounded queues, in-process compiled backend).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Backend each session's worker executes on.
     pub backend: Backend,
     /// Kernel format sessions compile to.
     pub format: KernelFormat,
+    /// Path of an `s2d-tune` [`TuningCache`] to consult at registration
+    /// time (`None` = don't). When the cache holds a measured verdict
+    /// for (matrix, k, coalescing width), its strategy, plan kind,
+    /// format and backend override the configured ones — measurement
+    /// beats the static models wherever a measurement exists. Lookups
+    /// are counted on [`ServeStats`] as tuner hits/misses. No search
+    /// ever runs at serve time: a miss just uses the configured
+    /// defaults.
+    pub tuning_cache: Option<PathBuf>,
     /// Bounded queue depth per session; submissions beyond it are
     /// rejected with [`ServeError::QueueFull`].
     pub queue_capacity: usize,
@@ -61,6 +72,7 @@ impl Default for ServerConfig {
         ServerConfig {
             backend: Backend::CompiledSeq,
             format: KernelFormat::CsrSlice,
+            tuning_cache: None,
             queue_capacity: 64,
             max_coalesce: 8,
             batch_window: Duration::from_micros(200),
@@ -200,23 +212,38 @@ impl Server {
     /// starts its worker. Repeat registrations of the same (matrix,
     /// strategy, k) hit the preparation cache and skip partitioning and
     /// compilation entirely — only the per-session operator setup runs.
+    ///
+    /// When [`ServerConfig::tuning_cache`] is set, the on-disk tuning
+    /// cache is consulted first: a measured verdict for this (matrix,
+    /// k, width) overrides `strategy` and the configured format and
+    /// backend with the tuner's winners.
     pub fn register(&self, a: &Csr, strategy: Strategy, k: usize) -> SessionId {
         let width = self.config.max_coalesce.max(1);
-        let key = PrepKey {
-            fingerprint: a.fingerprint(),
-            strategy: Some(strategy),
-            k,
-            plan_kind: None,
-            format: self.config.format,
-            width,
+        let ckey = ConfigKey::of(a, k, width);
+        let tuned = self.config.tuning_cache.as_ref().and_then(|path| {
+            let verdict = TuningCache::load(path).lookup(ckey).map(|e| e.choice);
+            match verdict {
+                Some(_) => self.stats.tuner_hit(),
+                None => self.stats.tuner_miss(),
+            }
+            verdict
+        });
+        let (strategy, plan_kind, format, backend) = match tuned {
+            Some(c) => (c.strategy, Some(c.plan_kind), c.format, c.backend),
+            None => (strategy, None, self.config.format, self.config.backend),
         };
+        let key = PrepKey { key: ckey, strategy: Some(strategy), plan_kind, format };
         let prep = self.cache.get_or_prepare(key, || {
-            Session::builder(a).partitioner(strategy, k).kernel_format(self.config.format).prepare()
+            let mut b = Session::builder(a).partitioner(strategy, k).kernel_format(format);
+            if let Some(kind) = plan_kind {
+                b = b.plan_kind(kind);
+            }
+            b.prepare()
         });
         let operator: Box<dyn SpmvOperator + Send> = if self.config.sharded {
             Box::new(ShardedOperator::with_chaos(Arc::clone(prep.plan()), self.config.chaos))
         } else {
-            Box::new(prep.session(self.config.backend, width))
+            Box::new(prep.session(backend, width))
         };
         let (nrows, ncols) = (operator.nrows(), operator.ncols());
         let queue = Arc::new(SessionQueue::new(self.config.queue_capacity));

@@ -287,6 +287,43 @@ fn mixed_width_requests_interleave_correctly() {
 }
 
 #[test]
+fn tuning_cache_verdicts_override_the_configured_defaults() {
+    use s2d_tune::{TuneBudget, Tuner};
+    let a = test_matrix(7);
+    let path = std::env::temp_dir().join(format!("s2d-serve-tune-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let config = ServerConfig { tuning_cache: Some(path.clone()), ..ServerConfig::default() };
+    let width = config.max_coalesce.max(1);
+
+    // No verdict on disk yet: the lookup is a miss and the configured
+    // defaults serve.
+    let server = Server::new(config.clone());
+    let sid = server.register(&a, Strategy::OneDRow, 4);
+    let snap = server.snapshot();
+    assert_eq!((snap.tuner_hits, snap.tuner_misses), (0, 1));
+    assert!(server.solve(sid, rhs(a.ncols(), 0)).is_ok());
+    drop(server);
+
+    // Tune the exact serve workload (same matrix, k, coalescing width)
+    // into the cache, then register again: hit, and the measured
+    // configuration overrides strategy/format/backend.
+    let verdict = Tuner::new(&a, 4).width(width).budget(TuneBudget::fast()).cache(&path).run();
+    let server = Server::new(config);
+    let sid = server.register(&a, Strategy::OneDRow, 4);
+    let snap = server.snapshot();
+    assert_eq!((snap.tuner_hits, snap.tuner_misses), (1, 0));
+    // The tuned strategy (not the requested OneDRow) produced the prep,
+    // and the served answers stay correct under it.
+    let x = rhs(a.ncols(), 3);
+    let want = a.spmv_alloc(&x);
+    let y = server.solve(sid, x).expect("tuned session serves");
+    for (g, w) in y.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{}: {g} vs {w}", verdict.winner);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn unregister_closes_the_session_and_runs_pending_work() {
     let a = test_matrix(7);
     let server = Server::new(ServerConfig::default());

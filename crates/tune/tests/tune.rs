@@ -1,0 +1,157 @@
+//! Tuning acceptance tests: cache round-trip and degradation, verdict
+//! determinism, and the bitwise contract between a tuned session and a
+//! hand-configured one.
+
+use std::path::PathBuf;
+
+use s2d::{Session, Strategy};
+use s2d_gen::rmat::{rmat, RmatConfig};
+use s2d_sparse::Csr;
+use s2d_tune::{TuneBudget, Tuned, Tuner, TuningCache, TUNER_VERSION};
+
+fn test_matrix(scale: u32) -> Csr {
+    rmat(&RmatConfig::graph500(scale, 8), 42).to_csr()
+}
+
+/// A per-process scratch file (the workspace has no tempfile crate);
+/// tests clean up after themselves.
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("s2d-tune-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{name}-{}.json", std::process::id()))
+}
+
+#[test]
+fn cache_round_trips_write_reload_hit() {
+    let a = test_matrix(7);
+    let path = temp_path("round-trip");
+    let _ = std::fs::remove_file(&path);
+
+    let first = Tuner::new(&a, 4).width(4).budget(TuneBudget::fast()).cache(&path).run();
+    assert!(!first.cache_hit, "cold cache must search");
+    assert!(!first.measurements.is_empty(), "a search measures candidates");
+    assert!(path.exists(), "the verdict must be persisted");
+
+    let second = Tuner::new(&a, 4).width(4).budget(TuneBudget::fast()).cache(&path).run();
+    assert!(second.cache_hit, "same (matrix, k, width) must replay");
+    assert_eq!(second.winner, first.winner);
+    assert_eq!(second.winner_secs, first.winner_secs);
+    assert!(second.measurements.is_empty(), "a hit skips measurement entirely");
+
+    // A different k is a different workload: miss, search, and the file
+    // now carries both verdicts.
+    let other = Tuner::new(&a, 2).width(4).budget(TuneBudget::fast()).cache(&path).run();
+    assert!(!other.cache_hit);
+    assert_eq!(TuningCache::load(&path).len(), 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_cache_falls_back_and_heals() {
+    let a = test_matrix(7);
+    let path = temp_path("corrupt");
+    std::fs::write(&path, "{{{ definitely not the cache you wrote").expect("plant garbage");
+
+    let tuned = Tuner::new(&a, 2).budget(TuneBudget::fast()).cache(&path).run();
+    assert!(!tuned.cache_hit, "garbage must read as empty, not panic or hit");
+    // The search's verdict overwrote the garbage with a valid file.
+    let healed = TuningCache::load(&path);
+    assert_eq!(healed.len(), 1);
+    assert_eq!(healed.lookup(tuned.key).expect("stored verdict").choice, tuned.winner);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn version_mismatch_discards_stale_verdicts() {
+    let a = test_matrix(7);
+    let path = temp_path("version");
+    let _ = std::fs::remove_file(&path);
+    let first = Tuner::new(&a, 2).budget(TuneBudget::fast()).cache(&path).run();
+    assert!(!first.cache_hit);
+
+    // Doctor the file to a future format version: every entry in it is
+    // now unreadable and the cache must act empty.
+    let body = std::fs::read_to_string(&path).expect("stored cache");
+    let stale = body.replace(&format!("\"version\":{TUNER_VERSION}"), "\"version\":9999");
+    assert_ne!(body, stale, "the version field must be present to doctor");
+    std::fs::write(&path, stale).expect("plant stale version");
+    assert!(TuningCache::load(&path).is_empty());
+
+    let again = Tuner::new(&a, 2).budget(TuneBudget::fast()).cache(&path).run();
+    assert!(!again.cache_hit, "stale version must re-measure, not replay");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn tuned_sessions_match_hand_configured_builds_bitwise() {
+    let a = test_matrix(7);
+    let (mut tuned, verdict) = Session::builder(&a)
+        .partitioner(Strategy::Auto, 4)
+        .batch_width(2)
+        .tuned(TuneBudget::fast())
+        .build();
+    let w = verdict.winner;
+    assert_eq!(tuned.strategy(), Some(w.strategy));
+    assert_eq!(tuned.kernel_format(), w.format);
+    assert_eq!(tuned.backend(), w.backend);
+
+    let mut direct = Session::builder(&a)
+        .partitioner(w.strategy, 4)
+        .plan_kind(w.plan_kind)
+        .kernel_format(w.format)
+        .backend(w.backend)
+        .batch_width(2)
+        .build();
+    let x: Vec<f64> = (0..a.ncols() * 2).map(|i| ((i * 29) % 17) as f64 - 8.0).collect();
+    let mut y_tuned = vec![0.0; a.nrows() * 2];
+    let mut y_direct = vec![0.0; a.nrows() * 2];
+    tuned.apply_batch(&x, &mut y_tuned, 2);
+    direct.apply_batch(&x, &mut y_direct, 2);
+    assert_eq!(y_tuned, y_direct, "tuning must be a pure configuration choice");
+
+    // And the answers are right, not just consistent with each other.
+    let xs: Vec<f64> = (0..a.ncols()).map(|j| x[j * 2]).collect();
+    let want = a.spmv_alloc(&xs);
+    let mut y = vec![0.0; a.nrows()];
+    tuned.apply(&xs, &mut y);
+    for (g, r) in y.iter().zip(&want) {
+        assert!((g - r).abs() <= 1e-9 * r.abs().max(1.0), "{g} vs {r}");
+    }
+}
+
+#[test]
+fn candidate_shortlist_is_deterministic_and_spans_every_axis() {
+    let a = test_matrix(8);
+    let cands = Tuner::new(&a, 4).width(4).candidates();
+    assert_eq!(cands, Tuner::new(&a, 4).width(4).candidates(), "same matrix, same shortlist");
+    assert!(!cands.is_empty());
+    // Every strategy the cost model considers is in the search space.
+    for s in Strategy::auto_candidates(&a, 4) {
+        assert!(cands.iter().any(|c| c.strategy == s), "missing strategy {s}");
+    }
+    // Both service widths (one width-4 batch vs. 4 single applies) and
+    // both backends are represented.
+    assert!(cands.iter().any(|c| c.width == 4) && cands.iter().any(|c| c.width == 1));
+    assert!(
+        cands.iter().any(|c| c.backend == s2d::Backend::CompiledSeq)
+            && cands.iter().any(|c| c.backend != s2d::Backend::CompiledSeq)
+    );
+}
+
+#[test]
+fn verdicts_render_and_serialize() {
+    let a = test_matrix(7);
+    let verdict = Tuner::new(&a, 2).budget(TuneBudget::fast()).run();
+    assert!(
+        verdict.winner_secs <= verdict.model_secs,
+        "the model pick is in the candidate set, so the winner can never lose to it"
+    );
+    let table = verdict.render();
+    assert!(table.contains("winner"));
+    assert!(table.contains("model"));
+    let json = verdict.to_json();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(json.contains("\"cache_hit\":false"));
+    assert!(json.contains("\"measurements\":["));
+    assert!(json.contains(&format!("\"k\":{}", 2)));
+}

@@ -90,6 +90,7 @@
 //! }
 //! ```
 
+pub mod key;
 pub mod session;
 
 pub use s2d_baselines as baselines;
@@ -106,6 +107,7 @@ pub use s2d_solver as solver;
 pub use s2d_sparse as sparse;
 pub use s2d_spmv as spmv;
 
+pub use key::ConfigKey;
 pub use s2d_engine::{Backend, KernelFormat};
 pub use s2d_obs::{ExecutionReport, TelemetrySink};
 pub use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, S2dVariant, Strategy};

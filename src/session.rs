@@ -35,6 +35,30 @@ pub struct SessionBuilder<'a> {
 }
 
 impl<'a> SessionBuilder<'a> {
+    /// The matrix this builder configures a session over — read access
+    /// for wrappers (e.g. the `s2d-tune` tuned builder) that need to
+    /// search configurations before delegating back to
+    /// [`SessionBuilder::build`].
+    pub fn matrix(&self) -> &'a Csr {
+        self.a
+    }
+
+    /// The `(strategy, k)` chosen through [`SessionBuilder::partitioner`],
+    /// if any.
+    pub fn chosen_partitioner(&self) -> Option<(Strategy, usize)> {
+        self.strategy
+    }
+
+    /// The partitioner knobs currently configured.
+    pub fn chosen_partitioner_config(&self) -> PartitionerConfig {
+        self.partitioner_cfg
+    }
+
+    /// The batch width currently configured (default 1).
+    pub fn chosen_batch_width(&self) -> usize {
+        self.batch_width
+    }
+
     /// The partition to run on. Either this or
     /// [`SessionBuilder::partitioner`] is required.
     pub fn partition(mut self, p: &'a SpmvPartition) -> Self {
@@ -230,6 +254,29 @@ impl Prepared {
     /// The kernel format the plan was compiled with.
     pub fn kernel_format(&self) -> KernelFormat {
         self.kernel_format
+    }
+
+    /// The compiled artifact itself — e.g. to read its
+    /// [`kernel_stats`](CompiledPlan::kernel_stats) when shortlisting
+    /// kernel formats, or its op count for [`Backend::auto`].
+    pub fn compiled(&self) -> &CompiledPlan {
+        &self.compiled
+    }
+
+    /// A new preparation over the *same* partition and plan with the
+    /// kernels re-lowered to `format`. This is the cheap leg of a
+    /// configuration search: partitioning and plan construction (the
+    /// expensive steps) are reused; only kernel compilation runs again.
+    pub fn with_format(&self, format: KernelFormat) -> Prepared {
+        Prepared {
+            fingerprint: self.fingerprint,
+            partition: self.partition.clone(),
+            strategy: self.strategy,
+            kind: self.kind,
+            plan: Arc::clone(&self.plan),
+            compiled: CompiledPlan::compile_with(&self.plan, format),
+            kernel_format: format,
+        }
     }
 
     /// Builds a ready [`Session`] from the cached artifacts: only the
