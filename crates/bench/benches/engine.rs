@@ -405,7 +405,7 @@ fn telemetry_acceptance_summary(_c: &mut Criterion) {
     let format = KernelFormat::CsrSlice;
 
     // Bitwise identity on both compiled backends.
-    for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 0 }] {
+    for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 0, pin: false }] {
         let sink = Arc::new(TelemetrySink::new(K));
         let mut plain = backend.build_with(&plan, 1, format);
         let mut obs = backend.build_obs(&plan, 1, format, Some(Arc::clone(&sink)));

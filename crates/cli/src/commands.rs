@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use s2d::Session;
 use s2d_core::comm::{comm_requirements, single_phase_messages, two_phase_messages, CommStats};
 use s2d_core::partition::SpmvPartition;
-use s2d_engine::{Backend, KernelFormat};
+use s2d_engine::{Backend, KernelFormat, KernelIsa};
 use s2d_gen::rmat::{rmat, RmatConfig};
 use s2d_gen::{suite_a, suite_b, Scale};
 use s2d_obs::{ExecutionReport, ModelRef, TelemetrySink};
@@ -34,9 +34,11 @@ USAGE
   s2d analyze   <m.mtx> <p.s2dpart> [--alg single|two|mesh] [--json out.json]
   s2d spmv      <m.mtx> [p.s2dpart] [--alg single|two|mesh]
                 [--partitioner <M> --k K] [--engine <backend>]
-                [--kernel-format <fmt>] [--iters N] [--rhs R] [--profile]
+                [--kernel-format <fmt>] [--isa auto|scalar|avx2]
+                [--iters N] [--rhs R] [--profile]
   s2d profile   <m.mtx> [p.s2dpart] [--partitioner <M> --k K]
                 [--engine E[,E...]] [--kernel-format <fmt>]
+                [--isa auto|scalar|avx2]
                 [--iters N] [--rhs R] [--json PROFILE.json]
   s2d serve     <m.mtx> [--partitioner <M>] [--k K] [--clients N]
                 [--requests N] [--wide-every W] [--engine <backend>]
@@ -76,12 +78,15 @@ ENGINES (--engine <backend>)
   mailbox            deterministic sequential interpreter (the oracle)
   threaded           one OS thread per rank over message-passing channels
   compiled-seq       compiled plan, sequential zero-alloc workspace
-  compiled-pool[:N]  compiled plan on the persistent worker pool
+  compiled-pool[:N][@pin]  compiled plan on the persistent worker pool
                      (N workers; default one per rank, capped at CPUs;
-                      `compiled` and `pool` are accepted aliases)
+                      `@pin` pins worker w to core w; `compiled` and
+                      `pool` are accepted aliases)
   auto               compile, then pick compiled-seq or compiled-pool
-                     from the plan's op count (pool barriers only pay
-                     off above ~5e5 multiply-adds per iteration)
+                     from the plan's op count (with NNZ-chunked
+                     scheduling the pool pays off above ~1.25e5
+                     multiply-adds per iteration scalar, ~2.5e5 when
+                     the SIMD kernels are active)
 
 KERNEL FORMATS (--kernel-format, compiled engines only)
   csr                run-length grouped CSR slices (default, bitwise
@@ -92,6 +97,15 @@ KERNEL FORMATS (--kernel-format, compiled engines only)
                      spans (the split-dense-row shape)
   auto               per rank x phase choice from compile-time
                      row-length statistics
+
+KERNEL ISA (--isa, compiled engines only)
+  auto               probe the CPU once at compile time, use AVX2
+                     batch kernels when available (default)
+  scalar             portable reference loops only
+  avx2               force the explicit AVX2 paths (fails off-x86)
+  The SIMD lanes map to the batch dimension (no FMA contraction), so
+  every ISA produces bitwise-identical results; --isa only changes
+  speed, and only for --rhs 4 or 8.
 
 --rhs R runs a batched multi-RHS SpMV (Y = A·X with R columns). The
 compiled backends execute the whole block at once (row-major X, one
@@ -507,37 +521,44 @@ pub fn run_engine_batch_with(
     iters: usize,
     rhs: usize,
 ) -> (Vec<f64>, Option<std::time::Duration>) {
-    run_engine_batch_obs(plan, x, engine, format, iters, rhs, None)
+    let (y, setup, _) =
+        run_engine_batch_obs(plan, x, engine, format, KernelIsa::Auto, iters, rhs, None);
+    (y, setup)
 }
 
-/// [`run_engine_batch_with`] with an optional telemetry sink: when
-/// `sink` is given the operator is built instrumented
-/// (`Backend::build_obs`) and records per-rank phase spans, work
-/// counters and wall time for the whole chained run. Results are
-/// bitwise identical either way.
+/// [`run_engine_batch_with`] with an explicit [`KernelIsa`] and an
+/// optional telemetry sink: when `sink` is given the operator is built
+/// instrumented (`Backend::build_cfg`) and records per-rank phase
+/// spans, work counters and wall time for the whole chained run.
+/// Results are bitwise identical either way (and across ISAs). Also
+/// returns the operator's per-worker multiply-add loads when the path
+/// is the worker pool, for the profile report.
+#[allow(clippy::too_many_arguments)]
 pub fn run_engine_batch_obs(
     plan: &std::sync::Arc<SpmvPlan>,
     x: &[f64],
     engine: &str,
     format: KernelFormat,
+    isa: KernelIsa,
     iters: usize,
     rhs: usize,
     sink: Option<&Arc<TelemetrySink>>,
-) -> (Vec<f64>, Option<std::time::Duration>) {
+) -> (Vec<f64>, Option<std::time::Duration>, Option<Vec<u64>>) {
     assert!(rhs >= 1, "at least one right-hand side");
     assert!(iters >= 1, "at least one iteration");
     assert_eq!(x.len(), plan.ncols * rhs, "input block length mismatch");
     // Time the whole session setup (compilation + buffers + workers) —
     // that is the one-time cost a session amortizes.
     let ((mut op, compiled), setup_time) =
-        s2d_obs::time(|| build_engine_op(plan, engine, format, rhs, sink));
+        s2d_obs::time(|| build_engine_op(plan, engine, format, isa, rhs, sink));
     let setup = compiled.then_some(setup_time);
     let mut y = vec![0.0; plan.nrows * rhs];
     // One dispatch for the whole chain: the compiled pool keeps its
     // workers hot across iterations instead of paying a barrier
     // wake/seed/assemble round trip per application.
     op.apply_batch_iters(x, &mut y, rhs, iters);
-    (y, setup)
+    let loads = op.worker_loads();
+    (y, setup, loads)
 }
 
 /// Builds the operator for `--engine`, optionally instrumented.
@@ -547,21 +568,26 @@ fn build_engine_op(
     plan: &std::sync::Arc<SpmvPlan>,
     engine: &str,
     format: KernelFormat,
+    isa: KernelIsa,
     rhs: usize,
     sink: Option<&Arc<TelemetrySink>>,
 ) -> (Box<dyn SpmvOperator + Send>, bool) {
     if engine == "auto" {
-        // Compile once, decide from the compiled op count, and reuse
-        // the compiled plan for the chosen operator — no recompilation.
-        let cp = s2d_engine::CompiledPlan::compile_with(plan, format);
+        // Compile once, decide from the compiled op count (the
+        // crossover is ISA-aware), and reuse the compiled plan for the
+        // chosen operator — no recompilation.
+        let cp = s2d_engine::CompiledPlan::compile_with_isa(plan, format, isa);
         let backend = Backend::auto(&cp);
         let op: Box<dyn SpmvOperator + Send> = match (backend, sink) {
-            (Backend::CompiledPool { threads }, None) => {
-                Box::new(s2d_engine::CompiledPoolOperator::new(cp, threads, rhs))
+            (Backend::CompiledPool { threads, pin }, s) => {
+                Box::new(s2d_engine::CompiledPoolOperator::with_config(
+                    cp,
+                    threads,
+                    rhs,
+                    pin,
+                    s.map(Arc::clone),
+                ))
             }
-            (Backend::CompiledPool { threads }, Some(s)) => Box::new(
-                s2d_engine::CompiledPoolOperator::with_telemetry(cp, threads, rhs, Arc::clone(s)),
-            ),
             (_, None) => Box::new(s2d_engine::CompiledSeqOperator::new(cp, rhs)),
             (_, Some(s)) => {
                 Box::new(s2d_engine::CompiledSeqOperator::with_telemetry(cp, rhs, Arc::clone(s)))
@@ -574,7 +600,7 @@ fn build_engine_op(
             Err(e) => fail(e),
         };
         let compiled = matches!(backend, Backend::CompiledSeq | Backend::CompiledPool { .. });
-        (backend.build_obs(plan, rhs, format, sink.map(Arc::clone)), compiled)
+        (backend.build_cfg(plan, rhs, format, isa, sink.map(Arc::clone)), compiled)
     }
 }
 
@@ -601,6 +627,10 @@ fn cmd_spmv(args: &Args) {
     let engine = args.get_or("engine", "threaded");
     let format: KernelFormat = match args.get_or("kernel-format", "csr").parse() {
         Ok(f) => f,
+        Err(e) => fail(e),
+    };
+    let isa: KernelIsa = match args.get_or("isa", "auto").parse() {
+        Ok(i) => i,
         Err(e) => fail(e),
     };
     let iters = args.parse_or("iters", 1usize);
@@ -636,8 +666,8 @@ fn cmd_spmv(args: &Args) {
         }
     }
     let sink = args.has("profile").then(|| Arc::new(TelemetrySink::new(p.k)));
-    let ((got, setup_time), elapsed) = s2d_obs::time(|| {
-        run_engine_batch_obs(&plan, &x, engine, format, iters, rhs, sink.as_ref())
+    let ((got, setup_time, loads), elapsed) = s2d_obs::time(|| {
+        run_engine_batch_obs(&plan, &x, engine, format, isa, iters, rhs, sink.as_ref())
     });
     let max_err =
         got.iter().zip(&want).map(|(g, w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0f64, f64::max);
@@ -661,7 +691,16 @@ fn cmd_spmv(args: &Args) {
             alpha_beta_secs: q.alpha_beta_time,
             loggp_secs: q.loggp_time,
         };
-        print!("{}", ExecutionReport::collect(sink, engine, Some(model)).render());
+        let mut report = ExecutionReport::collect(sink, engine, Some(model));
+        if let Some(madds) = loads {
+            // The pool path: per-worker planned multiply-adds under the
+            // fixed chunk→worker map (planned == achieved).
+            report = report.with_workers(s2d_obs::WorkerLoadReport::new(
+                s2d_engine::PoolSchedule::default().label(),
+                madds,
+            ));
+        }
+        print!("{}", report.render());
     }
     if max_err >= 1e-9 {
         std::process::exit(1);
@@ -693,6 +732,10 @@ fn cmd_profile(args: &Args) {
     let kind = kind_for(&a, &p, args.get_or("alg", "auto"));
     let format: KernelFormat = match args.get_or("kernel-format", "csr").parse() {
         Ok(f) => f,
+        Err(e) => fail(e),
+    };
+    let isa: KernelIsa = match args.get_or("isa", "auto").parse() {
+        Ok(i) => i,
         Err(e) => fail(e),
     };
     let iters = args.parse_or("iters", 10usize);
@@ -735,6 +778,7 @@ fn cmd_profile(args: &Args) {
                 .plan_kind(kind)
                 .backend(backend)
                 .kernel_format(format)
+                .kernel_isa(isa)
                 .batch_width(rhs)
                 .telemetry(true)
                 .build()

@@ -52,8 +52,8 @@ use s2d_spmv::{MailboxOperator, SpmvOperator, SpmvPlan, ThreadedOperator};
 
 use crate::compile::CompiledPlan;
 use crate::exec::Workspace;
-use crate::formats::KernelFormat;
-use crate::pool::ParallelEngine;
+use crate::formats::{KernelFormat, KernelIsa};
+use crate::pool::{ParallelEngine, PoolOptions};
 use crate::telemetry::ExecTelemetry;
 
 /// Selects one of the four SpMV execution backends.
@@ -66,10 +66,14 @@ pub enum Backend {
     /// Compiled plan, sequential zero-alloc workspace execution.
     CompiledSeq,
     /// Compiled plan on the persistent worker pool (`threads = 0` →
-    /// one worker per rank, capped at the available CPUs).
+    /// one worker per rank, capped at the available CPUs), running the
+    /// NNZ-chunked compute schedule.
     CompiledPool {
         /// Worker count; 0 selects the default sizing.
         threads: usize,
+        /// Pin worker `w` to CPU `w` (CLI spelling `pool:N@pin`);
+        /// Linux-only performance hint, a no-op elsewhere.
+        pin: bool,
     },
 }
 
@@ -81,7 +85,7 @@ impl Backend {
             Backend::Mailbox,
             Backend::Threaded,
             Backend::CompiledSeq,
-            Backend::CompiledPool { threads: 0 },
+            Backend::CompiledPool { threads: 0, pin: false },
         ]
     }
 
@@ -116,19 +120,7 @@ impl Backend {
         width: usize,
         format: KernelFormat,
     ) -> Box<dyn SpmvOperator + Send> {
-        assert!(width >= 1, "batch width must be at least 1");
-        match *self {
-            Backend::Mailbox => Box::new(MailboxOperator::new(Arc::clone(plan))),
-            Backend::Threaded => Box::new(ThreadedOperator::new(Arc::clone(plan))),
-            Backend::CompiledSeq => {
-                Box::new(CompiledSeqOperator::new(CompiledPlan::compile_with(plan, format), width))
-            }
-            Backend::CompiledPool { threads } => Box::new(CompiledPoolOperator::new(
-                CompiledPlan::compile_with(plan, format),
-                threads,
-                width,
-            )),
-        }
+        self.build_cfg(plan, width, format, KernelIsa::Auto, None)
     }
 
     /// [`Backend::build_with`] with optional telemetry. With a sink
@@ -148,26 +140,52 @@ impl Backend {
         format: KernelFormat,
         sink: Option<Arc<TelemetrySink>>,
     ) -> Box<dyn SpmvOperator + Send> {
-        let Some(sink) = sink else { return self.build_with(plan, width, format) };
+        self.build_cfg(plan, width, format, KernelIsa::Auto, sink)
+    }
+
+    /// The fully-general builder: kernel format **and** instruction-set
+    /// choice ([`KernelIsa`] — `Auto` probes the CPU once, `Scalar`
+    /// pins the bitwise reference loops, `Avx2` demands the SIMD paths)
+    /// plus optional telemetry. Every ISA produces bitwise-identical
+    /// results (the vector lanes map to the batch dimension, never the
+    /// accumulation chain); the knob exists for benchmarking and for
+    /// the tuner's ISA axis. The interpreting backends have no kernels
+    /// and ignore both knobs.
+    pub fn build_cfg(
+        &self,
+        plan: &Arc<SpmvPlan>,
+        width: usize,
+        format: KernelFormat,
+        isa: KernelIsa,
+        sink: Option<Arc<TelemetrySink>>,
+    ) -> Box<dyn SpmvOperator + Send> {
         assert!(width >= 1, "batch width must be at least 1");
         match *self {
             Backend::Mailbox => {
-                Box::new(ObservedOperator::new(MailboxOperator::new(Arc::clone(plan)), sink))
+                let op = MailboxOperator::new(Arc::clone(plan));
+                match sink {
+                    Some(s) => Box::new(ObservedOperator::new(op, s)),
+                    None => Box::new(op),
+                }
             }
             Backend::Threaded => {
-                Box::new(ObservedOperator::new(ThreadedOperator::new(Arc::clone(plan)), sink))
+                let op = ThreadedOperator::new(Arc::clone(plan));
+                match sink {
+                    Some(s) => Box::new(ObservedOperator::new(op, s)),
+                    None => Box::new(op),
+                }
             }
-            Backend::CompiledSeq => Box::new(CompiledSeqOperator::with_telemetry(
-                CompiledPlan::compile_with(plan, format),
-                width,
-                sink,
-            )),
-            Backend::CompiledPool { threads } => Box::new(CompiledPoolOperator::with_telemetry(
-                CompiledPlan::compile_with(plan, format),
-                threads,
-                width,
-                sink,
-            )),
+            Backend::CompiledSeq => {
+                let cp = CompiledPlan::compile_with_isa(plan, format, isa);
+                match sink {
+                    Some(s) => Box::new(CompiledSeqOperator::with_telemetry(cp, width, s)),
+                    None => Box::new(CompiledSeqOperator::new(cp, width)),
+                }
+            }
+            Backend::CompiledPool { threads, pin } => {
+                let cp = CompiledPlan::compile_with_isa(plan, format, isa);
+                Box::new(CompiledPoolOperator::with_config(cp, threads, width, pin, sink))
+            }
         }
     }
 
@@ -190,31 +208,47 @@ impl Backend {
             Backend::Mailbox => Box::new(MailboxOperator::new(Arc::clone(plan))),
             Backend::Threaded => Box::new(ThreadedOperator::new(Arc::clone(plan))),
             Backend::CompiledSeq => Box::new(CompiledSeqOperator::new(cp.clone(), width)),
-            Backend::CompiledPool { threads } => {
-                Box::new(CompiledPoolOperator::new(cp.clone(), threads, width))
+            Backend::CompiledPool { threads, pin } => {
+                Box::new(CompiledPoolOperator::with_config(cp.clone(), threads, width, pin, None))
             }
         }
     }
 
-    /// Default seq-vs-pool crossover for [`Backend::auto`], in
-    /// multiply-adds per iteration: PR 1 measured the pool's barrier
-    /// round trips amortizing around ~1 ms/iter, ≈ 5·10⁵ multiply-adds
-    /// at ~0.5 Gmadd/s. This is a *model* constant, measured on one
-    /// machine — when an `s2d-tune` tuning-cache entry exists for a
-    /// matrix, its measured backend pick takes precedence over this
-    /// threshold.
-    pub const POOL_OPS_CROSSOVER: u64 = 500_000;
+    /// Default seq-vs-pool crossover for [`Backend::auto`] on
+    /// scalar-kernel plans, in multiply-adds per iteration. PR 1
+    /// measured the pool's barrier round trips amortizing around
+    /// ≈ 5·10⁵ madds; the NNZ-chunked schedule removes the
+    /// serialize-on-the-heaviest-rank penalty that dominated that
+    /// figure, pulling the break-even 4× lower. This is a *model*
+    /// constant, measured on one machine — when an `s2d-tune`
+    /// tuning-cache entry exists for a matrix, its measured backend
+    /// pick takes precedence over this threshold.
+    pub const POOL_OPS_CROSSOVER: u64 = 125_000;
+
+    /// Crossover for SIMD-kernel plans: AVX2 speeds the *sequential*
+    /// baseline roughly 2× at batched widths, so the pool needs about
+    /// twice the per-iteration work before its barriers amortize.
+    pub const POOL_OPS_CROSSOVER_SIMD: u64 = 250_000;
 
     /// Picks the compiled backend an already-compiled plan should run
     /// on: the persistent pool wins only when one iteration carries
-    /// enough work to amortize its barrier round trips
-    /// ([`Backend::POOL_OPS_CROSSOVER`] multiply-adds), and only when
+    /// enough work to amortize its barrier round trips, and only when
     /// there is more than one rank to parallelize over. Everything
     /// smaller runs faster on the sequential workspace.
     ///
+    /// ISA-aware: a plan whose kernels resolved to SIMD
+    /// ([`CompiledPlan`]'s `isa`, `Auto` on an AVX2 machine) uses
+    /// [`Backend::POOL_OPS_CROSSOVER_SIMD`], a scalar plan
+    /// [`Backend::POOL_OPS_CROSSOVER`].
+    ///
     /// This is the rule behind the CLI's `--engine auto`.
     pub fn auto(cp: &CompiledPlan) -> Backend {
-        Backend::auto_with_crossover(cp, Backend::POOL_OPS_CROSSOVER)
+        let crossover = if cp.isa.simd() {
+            Backend::POOL_OPS_CROSSOVER_SIMD
+        } else {
+            Backend::POOL_OPS_CROSSOVER
+        };
+        Backend::auto_with_crossover(cp, crossover)
     }
 
     /// [`Backend::auto`] with an explicit crossover — for machines
@@ -222,7 +256,7 @@ impl Backend {
     /// (the tuner's measurements are the principled way to find it).
     pub fn auto_with_crossover(cp: &CompiledPlan, crossover_ops: u64) -> Backend {
         if cp.k > 1 && cp.total_ops() >= crossover_ops {
-            Backend::CompiledPool { threads: 0 }
+            Backend::CompiledPool { threads: 0, pin: false }
         } else {
             Backend::CompiledSeq
         }
@@ -234,24 +268,33 @@ impl std::str::FromStr for Backend {
 
     /// Parses the CLI spelling: `mailbox`, `threaded`, `compiled-seq`
     /// (alias `seq`), `compiled-pool` / `pool` with an optional worker
-    /// count as `pool:N`, and the legacy alias `compiled` for the pool.
+    /// count as `pool:N` and an optional `@pin` suffix for core
+    /// pinning (`pool:4@pin`), and the legacy alias `compiled` for the
+    /// pool.
     fn from_str(s: &str) -> Result<Backend, String> {
         match s {
-            "mailbox" => Ok(Backend::Mailbox),
-            "threaded" => Ok(Backend::Threaded),
-            "compiled-seq" | "seq" => Ok(Backend::CompiledSeq),
-            "compiled" | "compiled-pool" | "pool" => Ok(Backend::CompiledPool { threads: 0 }),
+            "mailbox" => return Ok(Backend::Mailbox),
+            "threaded" => return Ok(Backend::Threaded),
+            "compiled-seq" | "seq" => return Ok(Backend::CompiledSeq),
+            _ => {}
+        }
+        let (body, pin) = match s.strip_suffix("@pin") {
+            Some(body) => (body, true),
+            None => (s, false),
+        };
+        match body {
+            "compiled" | "compiled-pool" | "pool" => Ok(Backend::CompiledPool { threads: 0, pin }),
             other => {
                 if let Some(n) =
                     other.strip_prefix("pool:").or(other.strip_prefix("compiled-pool:"))
                 {
                     let threads: usize = n
                         .parse()
-                        .map_err(|_| format!("bad worker count in {other:?} (want pool:N)"))?;
-                    return Ok(Backend::CompiledPool { threads });
+                        .map_err(|_| format!("bad worker count in {s:?} (want pool:N[@pin])"))?;
+                    return Ok(Backend::CompiledPool { threads, pin });
                 }
                 Err(format!(
-                    "unknown engine {other:?} (mailbox|threaded|compiled-seq|compiled-pool[:N])"
+                    "unknown engine {s:?} (mailbox|threaded|compiled-seq|compiled-pool[:N][@pin])"
                 ))
             }
         }
@@ -261,8 +304,15 @@ impl std::str::FromStr for Backend {
 impl std::fmt::Display for Backend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Backend::CompiledPool { threads } if *threads > 0 => {
-                write!(f, "compiled-pool:{threads}")
+            Backend::CompiledPool { threads, pin } if *threads > 0 || *pin => {
+                f.write_str("compiled-pool")?;
+                if *threads > 0 {
+                    write!(f, ":{threads}")?;
+                }
+                if *pin {
+                    f.write_str("@pin")?;
+                }
+                Ok(())
             }
             other => f.write_str(other.label()),
         }
@@ -339,6 +389,8 @@ pub struct CompiledPoolOperator {
     /// Requested worker count (0 = default sizing), kept so a
     /// width-growth rebuild preserves the choice.
     threads: usize,
+    /// Core pinning, kept for the same rebuild reason.
+    pin: bool,
     /// Telemetry sink, kept so a width-growth rebuild stays
     /// instrumented (the rebuilt pool records into the same sink).
     sink: Option<Arc<TelemetrySink>>,
@@ -348,7 +400,7 @@ impl CompiledPoolOperator {
     /// Builds the pool over an already-compiled plan (`threads = 0` →
     /// default sizing) with buffers for batches of up to `width`.
     pub fn new(cp: CompiledPlan, threads: usize, width: usize) -> CompiledPoolOperator {
-        CompiledPoolOperator::build(cp, threads, width, None)
+        CompiledPoolOperator::with_config(cp, threads, width, false, None)
     }
 
     /// [`CompiledPoolOperator::new`] with a telemetry sink: workers
@@ -360,25 +412,33 @@ impl CompiledPoolOperator {
         width: usize,
         sink: Arc<TelemetrySink>,
     ) -> CompiledPoolOperator {
-        CompiledPoolOperator::build(cp, threads, width, Some(sink))
+        CompiledPoolOperator::with_config(cp, threads, width, false, Some(sink))
     }
 
-    fn build(
+    /// The fully-general constructor: worker count, batch capacity,
+    /// core pinning and optional telemetry.
+    pub fn with_config(
         cp: CompiledPlan,
         threads: usize,
         width: usize,
+        pin: bool,
         sink: Option<Arc<TelemetrySink>>,
     ) -> CompiledPoolOperator {
-        let width = width.max(1);
-        let engine = match &sink {
-            Some(s) => ParallelEngine::with_telemetry(cp, threads, width, Arc::clone(s)),
-            None if threads == 0 => ParallelEngine::new_batch(cp, width),
-            None => ParallelEngine::with_threads_batch(cp, threads, width),
-        };
-        CompiledPoolOperator { engine, threads, sink }
+        let engine = ParallelEngine::with_options(
+            cp,
+            PoolOptions {
+                threads,
+                width: width.max(1),
+                pin,
+                sink: sink.clone(),
+                ..PoolOptions::default()
+            },
+        );
+        CompiledPoolOperator { engine, threads, pin, sink }
     }
 
-    /// The underlying pool (e.g. to query `threads()`).
+    /// The underlying pool (e.g. to query `threads()` or
+    /// [`ParallelEngine::worker_loads`]).
     pub fn engine(&self) -> &ParallelEngine {
         &self.engine
     }
@@ -407,11 +467,16 @@ impl SpmvOperator for CompiledPoolOperator {
             // means rebuilding the pool — expensive, so build with the
             // widest batch you plan to use.
             let cp = self.engine.plan().clone();
-            *self = CompiledPoolOperator::build(cp, self.threads, r, self.sink.take());
+            *self =
+                CompiledPoolOperator::with_config(cp, self.threads, r, self.pin, self.sink.take());
         }
         // Native chained path: one dispatch, workers stay hot across
         // iterations.
         self.engine.execute_batch_iters(x, y, r, iters);
+    }
+
+    fn worker_loads(&self) -> Option<Vec<u64>> {
+        Some(self.engine.worker_loads().to_vec())
     }
 }
 
@@ -472,6 +537,10 @@ impl<O: SpmvOperator> SpmvOperator for ObservedOperator<O> {
     fn deterministic(&self) -> bool {
         self.inner.deterministic()
     }
+
+    fn worker_loads(&self) -> Option<Vec<u64>> {
+        self.inner.worker_loads()
+    }
 }
 
 #[cfg(test)]
@@ -509,18 +578,34 @@ mod tests {
             ("threaded", Backend::Threaded),
             ("compiled-seq", Backend::CompiledSeq),
             ("seq", Backend::CompiledSeq),
-            ("compiled", Backend::CompiledPool { threads: 0 }),
-            ("compiled-pool", Backend::CompiledPool { threads: 0 }),
-            ("pool", Backend::CompiledPool { threads: 0 }),
-            ("pool:4", Backend::CompiledPool { threads: 4 }),
-            ("compiled-pool:2", Backend::CompiledPool { threads: 2 }),
+            ("compiled", Backend::CompiledPool { threads: 0, pin: false }),
+            ("compiled-pool", Backend::CompiledPool { threads: 0, pin: false }),
+            ("pool", Backend::CompiledPool { threads: 0, pin: false }),
+            ("pool:4", Backend::CompiledPool { threads: 4, pin: false }),
+            ("compiled-pool:2", Backend::CompiledPool { threads: 2, pin: false }),
+            ("pool@pin", Backend::CompiledPool { threads: 0, pin: true }),
+            ("pool:4@pin", Backend::CompiledPool { threads: 4, pin: true }),
+            ("compiled-pool:2@pin", Backend::CompiledPool { threads: 2, pin: true }),
         ] {
             assert_eq!(s.parse::<Backend>().unwrap(), want, "{s}");
         }
         assert!("warp".parse::<Backend>().is_err());
         assert!("pool:x".parse::<Backend>().is_err());
-        assert_eq!(Backend::CompiledPool { threads: 3 }.to_string(), "compiled-pool:3");
-        assert_eq!(Backend::CompiledPool { threads: 0 }.to_string(), "compiled-pool");
+        assert!("mailbox@pin".parse::<Backend>().is_err(), "@pin is a pool-only suffix");
+        assert!("seq@pin".parse::<Backend>().is_err());
+        assert_eq!(Backend::CompiledPool { threads: 3, pin: false }.to_string(), "compiled-pool:3");
+        assert_eq!(Backend::CompiledPool { threads: 0, pin: false }.to_string(), "compiled-pool");
+        assert_eq!(
+            Backend::CompiledPool { threads: 4, pin: true }.to_string(),
+            "compiled-pool:4@pin"
+        );
+        assert_eq!(
+            Backend::CompiledPool { threads: 0, pin: true }.to_string(),
+            "compiled-pool@pin"
+        );
+        for backend in Backend::all() {
+            assert_eq!(backend.to_string().parse::<Backend>().unwrap(), backend);
+        }
     }
 
     #[test]
@@ -531,7 +616,7 @@ mod tests {
         let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64) * 0.5 - 3.0).collect();
         let mut want = vec![0.0; a.nrows()];
         Backend::CompiledSeq.build(&plan, 1).apply(&x, &mut want);
-        for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2 }] {
+        for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2, pin: false }] {
             for format in KernelFormat::all() {
                 let mut op = backend.build_with(&plan, 1, format);
                 let mut y = vec![0.0; a.nrows()];
@@ -593,13 +678,13 @@ mod tests {
         } else {
             panic!("fig1 plan starts with a compute phase");
         }
-        assert_eq!(Backend::auto(&big), Backend::CompiledPool { threads: 0 });
+        assert_eq!(Backend::auto(&big), Backend::CompiledPool { threads: 0, pin: false });
         // The crossover is an overridable constant, not magic: a floor
         // below the tiny plan's op count flips even fig1 to the pool,
         // and an unreachable floor pins the inflated plan to seq.
         assert_eq!(
             Backend::auto_with_crossover(&cp, 1),
-            Backend::CompiledPool { threads: 0 },
+            Backend::CompiledPool { threads: 0, pin: false },
             "fig1 has k > 1 and more than one madd"
         );
         assert_eq!(Backend::auto_with_crossover(&big, u64::MAX), Backend::CompiledSeq);
@@ -610,7 +695,7 @@ mod tests {
         let a = fig1_matrix();
         let p = fig1_partition();
         let plan = Arc::new(SpmvPlan::single_phase(&a, &p));
-        for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2 }] {
+        for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2, pin: false }] {
             let mut op = backend.build(&plan, 1);
             let r = 3;
             let x: Vec<f64> = (0..a.ncols() * r).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();

@@ -38,7 +38,7 @@ use std::collections::HashMap;
 
 use s2d_spmv::{MsgSpec, PlanPhase, SpmvPlan};
 
-use crate::formats::{CsrKernel, Kernel, KernelFormat, KernelStats};
+use crate::formats::{CsrKernel, Kernel, KernelFormat, KernelIsa, KernelStats};
 
 /// Local-slot sentinel: "this global row never materializes on its
 /// owner" (the assembled result is 0 there, matching the interpreters).
@@ -127,6 +127,10 @@ pub struct CompiledPlan {
     /// under [`KernelFormat::Auto`] individual kernels record their own
     /// concrete choice, see [`Kernel::format`]).
     pub format: KernelFormat,
+    /// The [`KernelIsa`] policy the plan was compiled with (the
+    /// CPU-resolved verdict lives in each kernel, see
+    /// [`Kernel::simd`]).
+    pub isa: KernelIsa,
     /// Row-length statistics of every nonempty compute kernel (phase-
     /// major, rank order), gathered from the CSR lowering before format
     /// conversion — populated only by [`KernelFormat::Auto`] compiles.
@@ -225,6 +229,19 @@ impl CompiledPlan {
     /// # Panics
     /// Same contract as [`CompiledPlan::compile`].
     pub fn compile_with(plan: &SpmvPlan, format: KernelFormat) -> CompiledPlan {
+        CompiledPlan::compile_with_isa(plan, format, KernelIsa::Auto)
+    }
+
+    /// [`CompiledPlan::compile_with`] with an explicit instruction-set
+    /// choice for the fixed-width batch loops. The default elsewhere is
+    /// [`KernelIsa::Auto`] — AVX2 whenever the CPU has it — which is
+    /// always safe because the SIMD paths are bitwise identical to the
+    /// scalar reference; [`KernelIsa::Scalar`] pins the reference loops
+    /// for differential runs.
+    ///
+    /// # Panics
+    /// Same contract as [`CompiledPlan::compile`].
+    pub fn compile_with_isa(plan: &SpmvPlan, format: KernelFormat, isa: KernelIsa) -> CompiledPlan {
         let k = plan.k;
         let mut states: Vec<RankState> = (0..k).map(|_| RankState::default()).collect();
         let mut programs: Vec<Vec<RankStep>> = (0..k).map(|_| Vec::new()).collect();
@@ -249,7 +266,8 @@ impl CompiledPlan {
                         } else {
                             format
                         };
-                        programs[r].push(RankStep::Compute(Kernel::from_csr(csr, concrete)));
+                        programs[r]
+                            .push(RankStep::Compute(Kernel::from_csr_isa(csr, concrete, isa)));
                     }
                 }
                 PlanPhase::Comm(msgs) => {
@@ -304,6 +322,7 @@ impl CompiledPlan {
             y_part: plan.y_part.clone(),
             y_slot,
             format,
+            isa,
             stats,
         }
     }

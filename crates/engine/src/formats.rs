@@ -51,6 +51,19 @@
 //! Non-finite inputs (±∞, NaN) void the bitwise guarantee for padded
 //! SELL lanes (`0.0 · ∞ = NaN`); the conformance suite pins the
 //! guarantee for finite data.
+//!
+//! # SIMD ([`KernelIsa`])
+//!
+//! The fixed-width batch paths (`r ∈ {4, 8}`) have explicit AVX2
+//! variants on x86-64, selected at lowering time by [`KernelIsa`]
+//! (runtime `is_x86_feature_detected!` under `auto`). The vector lanes
+//! map to the *batch* dimension — lane `q` of a 4-wide register is
+//! right-hand side `q` — so each lane is an independent accumulator
+//! chain and the vector code performs the exact scalar operation
+//! sequence per accumulator. No FMA, no horizontal reduction, no
+//! reassociation: the AVX2 results are **bitwise identical** to the
+//! scalar reference, and the differential suite pins that with exact
+//! equality. The scalar loops stay as the reference implementation.
 
 /// Lane sentinel in [`SellKernel`]: this lane of the chunk is pure
 /// padding, its accumulator is discarded. Also the "no dense run" marker
@@ -169,6 +182,86 @@ impl std::fmt::Display for KernelFormat {
             KernelFormat::SellCSigma { c, sigma } => write!(f, "sell:{c}:{sigma}"),
             other => f.write_str(other.label()),
         }
+    }
+}
+
+/// Selects the instruction set the fixed-width batch loops run on.
+///
+/// Like [`KernelFormat`], the choice is baked in at
+/// [`CompiledPlan::compile_with_isa`](crate::CompiledPlan::compile_with_isa)
+/// time: each lowered kernel stores a resolved "use SIMD" flag, so the
+/// hot dispatch is one branch, not a per-call feature probe. The
+/// default (`Auto`) turns AVX2 on whenever the CPU has it — safe
+/// because the vector paths are bitwise identical to scalar (see the
+/// module docs) — while `Scalar` pins the portable reference loops for
+/// differential testing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelIsa {
+    /// Use AVX2 when the running CPU supports it, scalar otherwise.
+    #[default]
+    Auto,
+    /// Portable scalar loops only — the bitwise reference.
+    Scalar,
+    /// Request AVX2 explicitly. On a CPU (or architecture) without
+    /// AVX2 this degrades to scalar rather than erroring: the results
+    /// are bitwise identical either way, so a hard failure would only
+    /// hurt portability of configs and caches.
+    Avx2,
+}
+
+impl KernelIsa {
+    /// Every ISA choice — the sweep set for differential tests.
+    pub fn all() -> [KernelIsa; 3] {
+        [KernelIsa::Auto, KernelIsa::Scalar, KernelIsa::Avx2]
+    }
+
+    /// Short stable label (bench ids, CLI output, cache files).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelIsa::Auto => "auto",
+            KernelIsa::Scalar => "scalar",
+            KernelIsa::Avx2 => "avx2",
+        }
+    }
+
+    /// True when the running CPU can execute the AVX2 kernels.
+    pub fn avx2_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Resolves the knob against the running CPU: should lowered
+    /// kernels take the AVX2 batch paths?
+    pub fn simd(self) -> bool {
+        match self {
+            KernelIsa::Scalar => false,
+            KernelIsa::Auto | KernelIsa::Avx2 => KernelIsa::avx2_available(),
+        }
+    }
+}
+
+impl std::str::FromStr for KernelIsa {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<KernelIsa, String> {
+        match s {
+            "auto" => Ok(KernelIsa::Auto),
+            "scalar" => Ok(KernelIsa::Scalar),
+            "avx2" => Ok(KernelIsa::Avx2),
+            other => Err(format!("unknown kernel isa {other:?} (auto|scalar|avx2)")),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -319,11 +412,19 @@ impl Kernel {
     /// represent the kernel faithfully (SELL with duplicated row
     /// segments).
     pub fn from_csr(csr: CsrKernel, format: KernelFormat) -> Kernel {
+        Kernel::from_csr_isa(csr, format, KernelIsa::Auto)
+    }
+
+    /// [`Kernel::from_csr`] with an explicit instruction-set choice:
+    /// `isa` is resolved against the running CPU once, here, and the
+    /// verdict is stored in the lowered kernel.
+    pub fn from_csr_isa(csr: CsrKernel, format: KernelFormat, isa: KernelIsa) -> Kernel {
         let format = match format {
             KernelFormat::Auto => auto_pick(&KernelStats::of(&csr)),
             fixed => fixed,
         };
-        match format {
+        let simd = isa.simd();
+        let mut kernel = match format {
             KernelFormat::CsrSlice => Kernel::Csr(csr),
             KernelFormat::SellCSigma { c, sigma } => match SellKernel::build(&csr, c, sigma) {
                 Some(sell) => Kernel::Sell(sell),
@@ -331,6 +432,27 @@ impl Kernel {
             },
             KernelFormat::DenseRowSplit => Kernel::DenseSplit(DenseSplitKernel::build(&csr)),
             KernelFormat::Auto => unreachable!("resolved above"),
+        };
+        kernel.set_simd(simd);
+        kernel
+    }
+
+    /// Sets the resolved "use the AVX2 batch paths" flag.
+    pub(crate) fn set_simd(&mut self, simd: bool) {
+        match self {
+            Kernel::Csr(k) => k.simd = simd,
+            Kernel::Sell(k) => k.simd = simd,
+            Kernel::DenseSplit(k) => k.simd = simd,
+        }
+    }
+
+    /// True when the kernel will take the AVX2 batch paths for
+    /// `r ∈ {4, 8}`.
+    pub fn simd(&self) -> bool {
+        match self {
+            Kernel::Csr(k) => k.simd,
+            Kernel::Sell(k) => k.simd,
+            Kernel::DenseSplit(k) => k.simd,
         }
     }
 
@@ -386,6 +508,63 @@ impl Kernel {
         }
     }
 
+    /// Number of schedulable **units** — the granularity the worker
+    /// pool's NNZ-chunked schedule may split this kernel at. A unit is
+    /// a row segment (CSR slice, dense-split) or a SELL chunk; units
+    /// execute independently when the kernel is [`Kernel::splittable`].
+    pub fn units(&self) -> usize {
+        match self {
+            Kernel::Csr(k) => k.rows.len(),
+            Kernel::Sell(k) => k.chunk_ptr.len().saturating_sub(1),
+            Kernel::DenseSplit(k) => k.rows.len(),
+        }
+    }
+
+    /// Stored work (multiply-adds, incl. SELL padding — that is what
+    /// the hardware executes) of unit `u`. Drives the NNZ-weighted
+    /// chunk split.
+    pub fn unit_ops(&self, u: usize) -> usize {
+        match self {
+            Kernel::Csr(k) => (k.row_ptr[u + 1] - k.row_ptr[u]) as usize,
+            Kernel::Sell(k) => (k.chunk_ptr[u + 1] - k.chunk_ptr[u]) as usize,
+            Kernel::DenseSplit(k) => (k.seg_ptr[u] as usize..k.seg_ptr[u + 1] as usize)
+                .map(|sp| k.span_len[sp] as usize)
+                .sum(),
+        }
+    }
+
+    /// True when distinct units write **disjoint** `y` slots, so unit
+    /// ranges may run on different workers concurrently. A CSR or
+    /// dense-split kernel whose task list interleaved a row into
+    /// several segments is not splittable (two units share an
+    /// accumulator target); SELL kernels are always splittable — the
+    /// builder rejects duplicated rows, and [`NO_LANE`] padding lanes
+    /// are never written.
+    pub fn splittable(&self) -> bool {
+        let rows = match self {
+            Kernel::Csr(k) => &k.rows,
+            Kernel::Sell(_) => return true,
+            Kernel::DenseSplit(k) => &k.rows,
+        };
+        let mut seen = rows.clone();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// [`Kernel::run_batch`] restricted to units `lo..hi` — the
+    /// chunked-schedule entry point. `run_batch_range(.., 0, units())`
+    /// is exactly `run_batch`, and because chunk boundaries never cut
+    /// a unit, running a kernel as any partition of unit ranges is
+    /// bitwise identical to one full pass.
+    #[inline]
+    pub fn run_batch_range(&self, x: &[f64], y: &mut [f64], r: usize, lo: usize, hi: usize) {
+        match self {
+            Kernel::Csr(k) => k.run_range(x, y, r, lo, hi),
+            Kernel::Sell(k) => k.run_range(x, y, r, lo, hi),
+            Kernel::DenseSplit(k) => k.run_range(x, y, r, lo, hi),
+        }
+    }
+
     /// Checks the structural invariants execution relies on against the
     /// rank's local footprint (`nx` x-slots, `ny` y-slots). Used by the
     /// worker pool, whose shared-buffer execution must reject hand-built
@@ -417,6 +596,9 @@ pub struct CsrKernel {
     pub cols: Vec<u32>,
     /// Matrix value per multiply-add.
     pub vals: Vec<f64>,
+    /// Take the AVX2 batch paths (resolved from [`KernelIsa`] at
+    /// lowering; bitwise-equivalent either way).
+    pub simd: bool,
 }
 
 impl CsrKernel {
@@ -428,15 +610,21 @@ impl CsrKernel {
     /// Runs the kernel over flat local vectors.
     #[inline]
     pub fn run(&self, x: &[f64], y: &mut [f64]) {
+        self.run_r1(x, y, 0, self.rows.len());
+    }
+
+    /// The r = 1 loop over segments `lo..hi`.
+    #[inline]
+    fn run_r1(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
         // Dedicated scalar loop: semantically the r = 1 specialization
-        // of `run_batch` (identical accumulation order, bit for bit),
+        // of `run_fixed` (identical accumulation order, bit for bit),
         // but written with scalar loads/stores — the array-of-one
         // shape costs measurable throughput on the hot path.
-        for s in 0..self.rows.len() {
-            let lo = self.row_ptr[s] as usize;
-            let hi = self.row_ptr[s + 1] as usize;
+        for s in lo..hi {
+            let elo = self.row_ptr[s] as usize;
+            let ehi = self.row_ptr[s + 1] as usize;
             let mut acc = y[self.rows[s] as usize];
-            for e in lo..hi {
+            for e in elo..ehi {
                 acc += self.vals[e] * x[self.cols[e] as usize];
             }
             y[self.rows[s] as usize] = acc;
@@ -447,25 +635,46 @@ impl CsrKernel {
     /// [`Kernel::run_batch`] for the layout and dispatch).
     #[inline]
     pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
+        self.run_range(x, y, r, 0, self.rows.len());
+    }
+
+    /// [`CsrKernel::run_batch`] over segments `lo..hi` only.
+    #[inline]
+    pub(crate) fn run_range(&self, x: &[f64], y: &mut [f64], r: usize, lo: usize, hi: usize) {
         match r {
-            1 => self.run(x, y),
-            2 => self.run_fixed::<2>(x, y),
-            4 => self.run_fixed::<4>(x, y),
-            8 => self.run_fixed::<8>(x, y),
-            _ => self.run_dyn(x, y, r),
+            1 => self.run_r1(x, y, lo, hi),
+            2 => self.run_fixed::<2>(x, y, lo, hi),
+            4 => {
+                #[cfg(target_arch = "x86_64")]
+                if self.simd {
+                    // SAFETY: `simd` is only set from `KernelIsa::simd`,
+                    // which requires a positive AVX2 feature probe.
+                    return unsafe { self.run_avx2::<1>(x, y, lo, hi) };
+                }
+                self.run_fixed::<4>(x, y, lo, hi)
+            }
+            8 => {
+                #[cfg(target_arch = "x86_64")]
+                if self.simd {
+                    // SAFETY: as above — AVX2 was detected at lowering.
+                    return unsafe { self.run_avx2::<2>(x, y, lo, hi) };
+                }
+                self.run_fixed::<8>(x, y, lo, hi)
+            }
+            _ => self.run_dyn(x, y, r, lo, hi),
         }
     }
 
     /// Fixed-width inner loop: `R` accumulators live in registers.
     #[inline]
-    fn run_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
-        for s in 0..self.rows.len() {
-            let lo = self.row_ptr[s] as usize;
-            let hi = self.row_ptr[s + 1] as usize;
+    fn run_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+        for s in lo..hi {
+            let elo = self.row_ptr[s] as usize;
+            let ehi = self.row_ptr[s + 1] as usize;
             let row = self.rows[s] as usize * R;
             let mut acc = [0.0f64; R];
             acc.copy_from_slice(&y[row..row + R]);
-            for e in lo..hi {
+            for e in elo..ehi {
                 let v = self.vals[e];
                 let col = self.cols[e] as usize * R;
                 for (q, a) in acc.iter_mut().enumerate() {
@@ -476,13 +685,53 @@ impl CsrKernel {
         }
     }
 
-    /// Generic strided fallback for widths without a specialization.
-    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize) {
-        for s in 0..self.rows.len() {
-            let lo = self.row_ptr[s] as usize;
-            let hi = self.row_ptr[s + 1] as usize;
+    /// AVX2 inner loop for `r = 4·NV`: each 4-wide vector register
+    /// holds 4 *batch* lanes of one accumulator chain, so the
+    /// operation sequence per lane is exactly [`CsrKernel::run_fixed`]'s
+    /// (`mul` then `add`, no FMA) — bitwise identical results.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified that the running CPU supports
+    /// AVX2 (`KernelIsa::avx2_available`). Memory safety does not
+    /// depend on that: all loads and stores go through bounds-checked
+    /// subslices.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2<const NV: usize>(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+        use std::arch::x86_64::*;
+        let r = NV * 4;
+        for s in lo..hi {
+            let elo = self.row_ptr[s] as usize;
+            let ehi = self.row_ptr[s + 1] as usize;
             let row = self.rows[s] as usize * r;
-            for e in lo..hi {
+            let yy = &mut y[row..row + r];
+            let mut acc = [_mm256_setzero_pd(); NV];
+            for (n, a) in acc.iter_mut().enumerate() {
+                *a = _mm256_loadu_pd(yy.as_ptr().add(4 * n));
+            }
+            for e in elo..ehi {
+                let v = _mm256_set1_pd(self.vals[e]);
+                let col = self.cols[e] as usize * r;
+                let xs = &x[col..col + r];
+                for (n, a) in acc.iter_mut().enumerate() {
+                    let xv = _mm256_loadu_pd(xs.as_ptr().add(4 * n));
+                    *a = _mm256_add_pd(*a, _mm256_mul_pd(v, xv));
+                }
+            }
+            for (n, a) in acc.iter().enumerate() {
+                _mm256_storeu_pd(yy.as_mut_ptr().add(4 * n), *a);
+            }
+        }
+    }
+
+    /// Generic strided fallback for widths without a specialization.
+    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize, lo: usize, hi: usize) {
+        for s in lo..hi {
+            let elo = self.row_ptr[s] as usize;
+            let ehi = self.row_ptr[s + 1] as usize;
+            let row = self.rows[s] as usize * r;
+            for e in elo..ehi {
                 let v = self.vals[e];
                 let col = self.cols[e] as usize * r;
                 for q in 0..r {
@@ -531,6 +780,9 @@ pub struct SellKernel {
     pub(crate) vals: Vec<f64>,
     /// Real multiply-adds (excludes padding).
     pub(crate) ops: usize,
+    /// Take the AVX2 batch paths (resolved from [`KernelIsa`] at
+    /// lowering; bitwise-equivalent either way).
+    pub(crate) simd: bool,
 }
 
 impl SellKernel {
@@ -580,7 +832,16 @@ impl SellKernel {
             rows.resize(rows.len() + (c - chunk.len()), NO_LANE);
             chunk_ptr.push(vals.len() as u32);
         }
-        Some(SellKernel { c: c as u32, sigma, chunk_ptr, rows, cols, vals, ops: csr.ops() })
+        Some(SellKernel {
+            c: c as u32,
+            sigma,
+            chunk_ptr,
+            rows,
+            cols,
+            vals,
+            ops: csr.ops(),
+            simd: false,
+        })
     }
 
     /// Stored entries per real multiply-add (1.0 = padding-free).
@@ -601,22 +862,94 @@ impl SellKernel {
     /// keeps entry-major up to r = 8, `sell:8` only up to r = 2.
     #[inline]
     pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
+        self.run_range(x, y, r, 0, self.chunk_ptr.len().saturating_sub(1));
+    }
+
+    /// [`SellKernel::run_batch`] over SELL chunks `lo..hi` only.
+    #[inline]
+    pub(crate) fn run_range(&self, x: &[f64], y: &mut [f64], r: usize, lo: usize, hi: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if self.simd && self.c == 2 && (r == 4 || r == 8) {
+            // SAFETY: `simd` is only set from `KernelIsa::simd`, which
+            // requires a positive AVX2 feature probe.
+            unsafe {
+                match r {
+                    4 => self.run_c2_avx2::<1>(x, y, lo, hi),
+                    _ => self.run_c2_avx2::<2>(x, y, lo, hi),
+                }
+            }
+            return;
+        }
         match (self.c, r) {
-            (2, 1) => self.run_cr::<2, 1>(x, y),
-            (2, 2) => self.run_cr::<2, 2>(x, y),
-            (2, 4) => self.run_cr::<2, 4>(x, y),
-            (2, 8) => self.run_cr::<2, 8>(x, y),
-            (4, 1) => self.run_cr::<4, 1>(x, y),
-            (4, 2) => self.run_cr::<4, 2>(x, y),
-            (4, 4) => self.run_cr::<4, 4>(x, y),
-            (8, 1) => self.run_cr::<8, 1>(x, y),
-            (8, 2) => self.run_cr::<8, 2>(x, y),
-            (16, 1) => self.run_cr::<16, 1>(x, y),
-            (_, 1) => self.run_lanes_fixed::<1>(x, y),
-            (_, 2) => self.run_lanes_fixed::<2>(x, y),
-            (_, 4) => self.run_lanes_fixed::<4>(x, y),
-            (_, 8) => self.run_lanes_fixed::<8>(x, y),
-            _ => self.run_dyn(x, y, r),
+            (2, 1) => self.run_cr::<2, 1>(x, y, lo, hi),
+            (2, 2) => self.run_cr::<2, 2>(x, y, lo, hi),
+            (2, 4) => self.run_cr::<2, 4>(x, y, lo, hi),
+            (2, 8) => self.run_cr::<2, 8>(x, y, lo, hi),
+            (4, 1) => self.run_cr::<4, 1>(x, y, lo, hi),
+            (4, 2) => self.run_cr::<4, 2>(x, y, lo, hi),
+            (4, 4) => self.run_cr::<4, 4>(x, y, lo, hi),
+            (8, 1) => self.run_cr::<8, 1>(x, y, lo, hi),
+            (8, 2) => self.run_cr::<8, 2>(x, y, lo, hi),
+            (16, 1) => self.run_cr::<16, 1>(x, y, lo, hi),
+            (_, 1) => self.run_lanes_fixed::<1>(x, y, lo, hi),
+            (_, 2) => self.run_lanes_fixed::<2>(x, y, lo, hi),
+            (_, 4) => self.run_lanes_fixed::<4>(x, y, lo, hi),
+            (_, 8) => self.run_lanes_fixed::<8>(x, y, lo, hi),
+            _ => self.run_dyn(x, y, r, lo, hi),
+        }
+    }
+
+    /// AVX2 entry-major loop for `c = 2`, `r = 4·NV`: the `2 × R`
+    /// accumulator block becomes `2 × NV` vector registers whose lanes
+    /// are batch lanes, performing [`SellKernel::run_cr`]'s exact
+    /// operation sequence per accumulator (`mul` then `add`, no FMA) —
+    /// bitwise identical results, [`NO_LANE`] discard behavior
+    /// included.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified that the running CPU supports
+    /// AVX2 (`KernelIsa::avx2_available`). All loads and stores go
+    /// through bounds-checked subslices.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_c2_avx2<const NV: usize>(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+        use std::arch::x86_64::*;
+        let r = NV * 4;
+        for ch in lo..hi {
+            let base = self.chunk_ptr[ch] as usize;
+            let end = self.chunk_ptr[ch + 1] as usize;
+            let lanes = &self.rows[ch * 2..(ch + 1) * 2];
+            let mut acc = [[_mm256_setzero_pd(); NV]; 2];
+            for (l, &row) in lanes.iter().enumerate() {
+                if row != NO_LANE {
+                    let yy = &y[row as usize * r..row as usize * r + r];
+                    for (n, a) in acc[l].iter_mut().enumerate() {
+                        *a = _mm256_loadu_pd(yy.as_ptr().add(4 * n));
+                    }
+                }
+            }
+            let vals = &self.vals[base..end];
+            let cols = &self.cols[base..end];
+            for (ev, ec) in vals.chunks_exact(2).zip(cols.chunks_exact(2)) {
+                for l in 0..2 {
+                    let v = _mm256_set1_pd(ev[l]);
+                    let at = ec[l] as usize * r;
+                    let xs = &x[at..at + r];
+                    for (n, a) in acc[l].iter_mut().enumerate() {
+                        let xv = _mm256_loadu_pd(xs.as_ptr().add(4 * n));
+                        *a = _mm256_add_pd(*a, _mm256_mul_pd(v, xv));
+                    }
+                }
+            }
+            for (l, &row) in lanes.iter().enumerate() {
+                if row != NO_LANE {
+                    let yy = &mut y[row as usize * r..row as usize * r + r];
+                    for (n, a) in acc[l].iter().enumerate() {
+                        _mm256_storeu_pd(yy.as_mut_ptr().add(4 * n), *a);
+                    }
+                }
+            }
         }
     }
 
@@ -625,8 +958,14 @@ impl SellKernel {
     /// `chunks_exact(C)` gives the optimizer a compile-time row width,
     /// eliding the per-entry bounds checks.
     #[inline]
-    fn run_cr<const C: usize, const R: usize>(&self, x: &[f64], y: &mut [f64]) {
-        for ch in 0..self.chunk_ptr.len() - 1 {
+    fn run_cr<const C: usize, const R: usize>(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        lo: usize,
+        hi: usize,
+    ) {
+        for ch in lo..hi {
             let base = self.chunk_ptr[ch] as usize;
             let end = self.chunk_ptr[ch + 1] as usize;
             let lanes = &self.rows[ch * C..(ch + 1) * C];
@@ -663,9 +1002,9 @@ impl SellKernel {
     /// bitwise contract holds), but over σ-sorted rows with the chunk's
     /// uniform trip count — the batched (`r ≥ 2`) SELL shape.
     #[inline]
-    fn run_lanes_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
+    fn run_lanes_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
         let c = self.c as usize;
-        for ch in 0..self.chunk_ptr.len() - 1 {
+        for ch in lo..hi {
             let base = self.chunk_ptr[ch] as usize;
             let w = (self.chunk_ptr[ch + 1] as usize - base) / c;
             for (l, &row) in self.rows[ch * c..(ch + 1) * c].iter().enumerate() {
@@ -688,9 +1027,9 @@ impl SellKernel {
     }
 
     /// Strided fallback for widths without a specialization.
-    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize) {
+    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize, lo: usize, hi: usize) {
         let c = self.c as usize;
-        for ch in 0..self.chunk_ptr.len() - 1 {
+        for ch in lo..hi {
             let base = self.chunk_ptr[ch] as usize;
             let w = (self.chunk_ptr[ch + 1] as usize - base) / c;
             for (l, &row) in self.rows[ch * c..(ch + 1) * c].iter().enumerate() {
@@ -760,6 +1099,9 @@ pub struct DenseSplitKernel {
     pub(crate) cols: Vec<u32>,
     /// Value per entry, in original task order.
     pub(crate) vals: Vec<f64>,
+    /// Take the AVX2 batch paths (resolved from [`KernelIsa`] at
+    /// lowering; bitwise-equivalent either way).
+    pub(crate) simd: bool,
 }
 
 impl DenseSplitKernel {
@@ -825,18 +1167,86 @@ impl DenseSplitKernel {
     /// See [`Kernel::run_batch`].
     #[inline]
     pub fn run_batch(&self, x: &[f64], y: &mut [f64], r: usize) {
+        self.run_range(x, y, r, 0, self.rows.len());
+    }
+
+    /// [`DenseSplitKernel::run_batch`] over segments `lo..hi` only.
+    #[inline]
+    pub(crate) fn run_range(&self, x: &[f64], y: &mut [f64], r: usize, lo: usize, hi: usize) {
         match r {
-            1 => self.run_fixed::<1>(x, y),
-            2 => self.run_fixed::<2>(x, y),
-            4 => self.run_fixed::<4>(x, y),
-            8 => self.run_fixed::<8>(x, y),
-            _ => self.run_dyn(x, y, r),
+            1 => self.run_fixed::<1>(x, y, lo, hi),
+            2 => self.run_fixed::<2>(x, y, lo, hi),
+            4 => {
+                #[cfg(target_arch = "x86_64")]
+                if self.simd {
+                    // SAFETY: `simd` is only set from `KernelIsa::simd`,
+                    // which requires a positive AVX2 feature probe.
+                    return unsafe { self.run_avx2::<1>(x, y, lo, hi) };
+                }
+                self.run_fixed::<4>(x, y, lo, hi)
+            }
+            8 => {
+                #[cfg(target_arch = "x86_64")]
+                if self.simd {
+                    // SAFETY: as above — AVX2 was detected at lowering.
+                    return unsafe { self.run_avx2::<2>(x, y, lo, hi) };
+                }
+                self.run_fixed::<8>(x, y, lo, hi)
+            }
+            _ => self.run_dyn(x, y, r, lo, hi),
+        }
+    }
+
+    /// AVX2 span loop for `r = 4·NV`: one set of `NV` vector
+    /// accumulators per segment, batch lanes in the vector lanes, the
+    /// exact [`DenseSplitKernel::run_fixed`] operation sequence (`mul`
+    /// then `add`, no FMA) for both dense and indexed spans — bitwise
+    /// identical results.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified that the running CPU supports
+    /// AVX2 (`KernelIsa::avx2_available`). All loads and stores go
+    /// through bounds-checked subslices.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2<const NV: usize>(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+        use std::arch::x86_64::*;
+        let r = NV * 4;
+        for s in lo..hi {
+            let row = self.rows[s] as usize * r;
+            let yy = &mut y[row..row + r];
+            let mut acc = [_mm256_setzero_pd(); NV];
+            for (n, a) in acc.iter_mut().enumerate() {
+                *a = _mm256_loadu_pd(yy.as_ptr().add(4 * n));
+            }
+            for sp in self.seg_ptr[s] as usize..self.seg_ptr[s + 1] as usize {
+                let start = self.span_start[sp] as usize;
+                let len = self.span_len[sp] as usize;
+                let c0 = self.span_col0[sp];
+                for i in 0..len {
+                    let v = _mm256_set1_pd(self.vals[start + i]);
+                    let col = if c0 != NO_LANE {
+                        (c0 as usize + i) * r
+                    } else {
+                        self.cols[start + i] as usize * r
+                    };
+                    let xs = &x[col..col + r];
+                    for (n, a) in acc.iter_mut().enumerate() {
+                        let xv = _mm256_loadu_pd(xs.as_ptr().add(4 * n));
+                        *a = _mm256_add_pd(*a, _mm256_mul_pd(v, xv));
+                    }
+                }
+            }
+            for (n, a) in acc.iter().enumerate() {
+                _mm256_storeu_pd(yy.as_mut_ptr().add(4 * n), *a);
+            }
         }
     }
 
     #[inline]
-    fn run_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64]) {
-        for s in 0..self.rows.len() {
+    fn run_fixed<const R: usize>(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+        for s in lo..hi {
             let row = self.rows[s] as usize * R;
             let mut acc = [0.0f64; R];
             acc.copy_from_slice(&y[row..row + R]);
@@ -867,8 +1277,8 @@ impl DenseSplitKernel {
         }
     }
 
-    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize) {
-        for s in 0..self.rows.len() {
+    fn run_dyn(&self, x: &[f64], y: &mut [f64], r: usize, lo: usize, hi: usize) {
+        for s in lo..hi {
             let row = self.rows[s] as usize * r;
             for sp in self.seg_ptr[s] as usize..self.seg_ptr[s + 1] as usize {
                 let start = self.span_start[sp] as usize;
@@ -988,6 +1398,75 @@ mod tests {
         for f in KernelFormat::all() {
             assert_eq!(f.to_string().parse::<KernelFormat>().unwrap(), f);
         }
+    }
+
+    #[test]
+    fn isa_parse_roundtrip() {
+        for (s, want) in
+            [("auto", KernelIsa::Auto), ("scalar", KernelIsa::Scalar), ("avx2", KernelIsa::Avx2)]
+        {
+            assert_eq!(s.parse::<KernelIsa>().unwrap(), want, "{s}");
+            assert_eq!(want.to_string(), s);
+        }
+        assert!("sse2".parse::<KernelIsa>().is_err());
+        assert!(!KernelIsa::Scalar.simd(), "scalar always pins the reference loops");
+    }
+
+    #[test]
+    fn simd_paths_match_scalar_bitwise() {
+        let (csr, nx, ny) = irregular(11);
+        for r in [1usize, 4, 8] {
+            let x = x_for(nx, r);
+            for format in KernelFormat::all() {
+                let scalar = Kernel::from_csr_isa(csr.clone(), format, KernelIsa::Scalar);
+                assert!(!scalar.simd());
+                let mut want = vec![0.1; ny * r];
+                scalar.run_batch(&x, &mut want, r);
+                for isa in [KernelIsa::Auto, KernelIsa::Avx2] {
+                    let k = Kernel::from_csr_isa(csr.clone(), format, isa);
+                    assert_eq!(k.simd(), KernelIsa::avx2_available(), "{format} {isa}");
+                    let mut got = vec![0.1; ny * r];
+                    k.run_batch(&x, &mut got, r);
+                    assert_eq!(got, want, "{format} {isa} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_ranges_compose_to_the_full_kernel() {
+        let (csr, nx, ny) = irregular(11);
+        for format in KernelFormat::all() {
+            let k = Kernel::from_csr(csr.clone(), format);
+            assert!(k.splittable(), "{format}: unique rows are splittable");
+            let units = k.units();
+            assert!(units > 0);
+            let total: usize = (0..units).map(|u| k.unit_ops(u)).sum();
+            assert!(total >= k.ops(), "{format}: stored work covers real work");
+            for r in [1usize, 4, 8] {
+                let x = x_for(nx, r);
+                let mut want = vec![0.2; ny * r];
+                k.run_batch(&x, &mut want, r);
+                // Any partition of the unit range, run in any order,
+                // must be bitwise identical to one full pass — this is
+                // the property the pool's chunked schedule rests on.
+                let (cut1, cut2) = (units / 3, 2 * units / 3);
+                let mut got = vec![0.2; ny * r];
+                k.run_batch_range(&x, &mut got, r, cut2, units);
+                k.run_batch_range(&x, &mut got, r, 0, cut1);
+                k.run_batch_range(&x, &mut got, r, cut1, cut2);
+                assert_eq!(got, want, "{format} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_rows_are_not_splittable() {
+        // Rows 0, 1, 0: two units share the row-0 accumulator, so the
+        // kernel must run as a single chunk.
+        let csr = csr_of(&[(0, 0, 1.0), (1, 0, 2.0), (0, 1, 4.0)]);
+        let k = Kernel::from_csr(csr, KernelFormat::CsrSlice);
+        assert!(!k.splittable());
     }
 
     #[test]

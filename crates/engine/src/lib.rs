@@ -83,12 +83,14 @@
 //! One batched iteration therefore walks the matrix values and the
 //! gather/scatter index lists **once** for all `r` columns, reusing
 //! each fetched `A` entry `r` times against `r` contiguous `x` words —
-//! the register/cache-blocking lever of the OSKI line, and the
-//! contiguous fixed-width inner loop (`r ∈ {1, 2, 4, 8}`
-//! specializations in [`Kernel::run_batch`]) the planned SIMD work
-//! will vectorize. Per column, results are bitwise identical to the
-//! single-RHS path: only the traversal is shared, never the
-//! accumulation order.
+//! the register/cache-blocking lever of the OSKI line. The fixed-width
+//! inner loops (`r ∈ {1, 2, 4, 8}` specializations in
+//! [`Kernel::run_batch`]) carry explicit AVX2 variants for `r ∈ {4,
+//! 8}`, selected by [`KernelIsa`] (`auto` probes the CPU once at
+//! compile time) — the vector lanes map to the batch dimension, so the
+//! SIMD paths are **bitwise identical** to the scalar reference. Per
+//! column, results are bitwise identical to the single-RHS path: only
+//! the traversal is shared, never the accumulation order.
 //!
 //! `s2d-solver`'s `RankCtx` runs its per-rank SpMV on the same compiled
 //! per-rank programs ([`RankProgram`]) — including the batched layout
@@ -123,7 +125,7 @@ pub use backend::{Backend, CompiledPoolOperator, CompiledSeqOperator, ObservedOp
 pub use compile::{CompiledMsg, CompiledPlan, RankProgram, RankStep, NO_SLOT};
 pub use exec::Workspace;
 pub use formats::{
-    CsrKernel, DenseSplitKernel, Kernel, KernelFormat, KernelStats, SellKernel, NO_LANE,
+    CsrKernel, DenseSplitKernel, Kernel, KernelFormat, KernelIsa, KernelStats, SellKernel, NO_LANE,
 };
-pub use pool::ParallelEngine;
+pub use pool::{ParallelEngine, PoolOptions, PoolSchedule};
 pub use telemetry::ExecTelemetry;

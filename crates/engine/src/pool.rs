@@ -14,22 +14,58 @@
 //! All mutable state lives in per-element [`UnsafeCell`]s (`ShBuf`).
 //! Soundness rests on two invariants:
 //!
-//! 1. **Spatial**: a rank's `x`/`y` buffers are touched only by the
-//!    worker that owns the rank; staging regions are written only by
-//!    the message's sender and read only by its receiver, and send
-//!    regions are pairwise disjoint. The compiler produces plans with
-//!    this shape, and because every `CompiledPlan` field is public (the
-//!    solver consumes the per-rank programs directly),
+//! 1. **Spatial**: every shared element has exactly one writer at any
+//!    program point. Under the legacy [`PoolSchedule::RankSplit`] the
+//!    unit is the buffer: a rank's `x`/`y` buffers are touched only by
+//!    the worker that owns the rank. Under the default
+//!    [`PoolSchedule::NnzChunked`] the unit is the element: a compute
+//!    phase is pre-split into kernel chunks whose `y` slots are
+//!    pairwise disjoint (the schedule only splits
+//!    [`Kernel::splittable`](crate::Kernel::splittable) kernels, whose
+//!    units never share a row), `x` is read-only during compute, and
+//!    seeding / staging / emitting stay with the owning worker.
+//!    Staging regions are written only by the message's sender and
+//!    read only by its receiver, and send regions are pairwise
+//!    disjoint. The compiler produces plans with this shape, and
+//!    because every `CompiledPlan` field is public (the solver
+//!    consumes the per-rank programs directly),
 //!    [`ParallelEngine::with_threads`] re-validates it instead of
 //!    trusting the caller — a hand-built plan that overlaps send
 //!    regions is rejected before any thread runs.
 //! 2. **Temporal**: every writer→reader handoff (staging, the gathered
-//!    global vector, the job descriptor) crosses a barrier with
-//!    release/acquire ordering, so there is no unsynchronized
-//!    cross-thread access to the same element. If a worker panics, the
-//!    barriers are *poisoned*: every waiter bails out immediately, no
-//!    further shared-buffer access happens, and the control thread
-//!    re-raises the failure instead of deadlocking.
+//!    global vector, the job descriptor, and — under the chunked
+//!    schedule — the seed→compute and compute→drain transitions of
+//!    every rank's buffers) crosses a barrier with release/acquire
+//!    ordering, so there is no unsynchronized cross-thread access to
+//!    the same element. If a worker panics, the barriers are
+//!    *poisoned*: every waiter bails out immediately, no further
+//!    shared-buffer access happens, and the control thread re-raises
+//!    the failure instead of deadlocking.
+//!
+//! # NNZ-chunked scheduling
+//!
+//! Rank-split scheduling serializes on the heaviest rank — exactly the
+//! skewed dense-row regime semi-2D partitions target. The default
+//! schedule therefore splits every splittable compute kernel at unit
+//! (row-segment / SELL-chunk) boundaries into chunks of at least a
+//! target multiply-add count and packs the chunks onto workers with a
+//! greedy LPT (heaviest-first, least-loaded-worker) pass at
+//! construction time. The chunk→worker map is **fixed** — no work
+//! stealing — so the hot loop stays allocation-free and results are
+//! bitwise reproducible across runs *and across worker counts*: each
+//! `y` slot is written by exactly one chunk, and a chunk's accumulation
+//! order is the kernel's own unit order regardless of which worker
+//! runs it.
+//!
+//! # NUMA placement
+//!
+//! Buffers are allocated zeroed (untouched pages) and each worker
+//! **first-touches** the `x`/`y` buffers of the ranks it owns before
+//! its first job, so on a first-touch NUMA system the pages land on
+//! the node of the worker that seeds, stages and emits them. Optional
+//! core pinning (`PoolOptions::pin`, CLI `pool:N@pin`) binds worker
+//! `w` to CPU `w` via `sched_setaffinity` on Linux (a no-op
+//! elsewhere), keeping those pages node-local for the pool's lifetime.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
@@ -56,7 +92,21 @@ unsafe impl Sync for ShBuf {}
 
 impl ShBuf {
     fn new(len: usize) -> ShBuf {
-        ShBuf((0..len).map(|_| UnsafeCell::new(0.0)).collect())
+        // `vec![0.0; n]` allocates through `alloc_zeroed`, leaving
+        // fresh pages untouched until a worker first-touches them (the
+        // NUMA placement lever); the obvious per-element
+        // `UnsafeCell::new` collect would fault every page on the
+        // control thread instead.
+        let raw = Box::into_raw(vec![0.0f64; len].into_boxed_slice());
+        // SAFETY: same allocation; UnsafeCell<f64> is repr(transparent)
+        // over f64, so `[f64]` and `[UnsafeCell<f64>]` have identical
+        // layout.
+        ShBuf(unsafe { Box::from_raw(raw as *mut [UnsafeCell<f64>]) })
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
     }
 
     #[inline]
@@ -86,10 +136,14 @@ impl ShBuf {
     /// Whole-buffer exclusive view.
     ///
     /// # Safety
-    /// The caller must be the unique accessor of this buffer for the
-    /// lifetime of the returned slice — true for a worker and the
-    /// `x`/`y` buffers of the ranks it owns (spatial invariant), with
-    /// barriers ordering every cross-thread handoff.
+    /// For every element the returned slice is actually used to access,
+    /// the caller must be the unique accessor for the slice's lifetime.
+    /// Under rank-split that holds buffer-wide (a worker and the
+    /// `x`/`y` buffers of the ranks it owns); under the chunked
+    /// schedule concurrent views of one `y` buffer exist, but each
+    /// chunk reads and writes only its own units' row slots, which are
+    /// pairwise disjoint across the phase's chunks (spatial invariant),
+    /// with barriers ordering every cross-thread handoff.
     #[inline]
     #[allow(clippy::mut_from_ref)]
     unsafe fn as_mut_slice(&self) -> &mut [f64] {
@@ -145,6 +199,189 @@ impl SpinBarrier {
     }
 }
 
+/// How a pool distributes compute-phase work over its workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolSchedule {
+    /// Contiguous rank blocks per worker (the pre-chunking behavior):
+    /// compute phases need no barrier, but the phase serializes on the
+    /// heaviest rank.
+    RankSplit,
+    /// NNZ-weighted greedy LPT packing of kernel chunks (see the module
+    /// docs): splittable kernels are cut at unit boundaries into runs
+    /// of at least `chunk_ops` stored multiply-adds and the runs are
+    /// packed heaviest-first onto the least-loaded worker. Bitwise
+    /// identical to rank-split at any worker count or chunk size.
+    NnzChunked {
+        /// Minimum stored multiply-adds per chunk; `0` picks a target
+        /// from the phase's total work and the worker count.
+        chunk_ops: usize,
+    },
+}
+
+impl Default for PoolSchedule {
+    fn default() -> PoolSchedule {
+        PoolSchedule::NnzChunked { chunk_ops: 0 }
+    }
+}
+
+impl PoolSchedule {
+    /// Stable short label for bench and profile output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoolSchedule::RankSplit => "rank-split",
+            PoolSchedule::NnzChunked { .. } => "nnz-chunked",
+        }
+    }
+}
+
+/// Construction knobs for [`ParallelEngine::with_options`]. The
+/// `Default` value reproduces [`ParallelEngine::new`]: default worker
+/// sizing, width 1, the chunked schedule, no pinning, no telemetry.
+#[derive(Clone, Default)]
+pub struct PoolOptions {
+    /// Worker count; `0` selects the default sizing
+    /// (`min(plan.k, available CPUs)`).
+    pub threads: usize,
+    /// Batch capacity the shared buffers are sized for (`0` is treated
+    /// as 1).
+    pub width: usize,
+    /// Compute-phase work distribution.
+    pub schedule: PoolSchedule,
+    /// Pin worker `w` to CPU `w` at startup (Linux `sched_setaffinity`;
+    /// a silent no-op elsewhere or on failure — affinity is a
+    /// performance hint, never a correctness requirement).
+    pub pin: bool,
+    /// Optional telemetry sink (see
+    /// [`ParallelEngine::with_telemetry`]).
+    pub sink: Option<Arc<TelemetrySink>>,
+}
+
+/// One contiguous run `lo..hi` of one compute kernel's units, executed
+/// by a fixed worker every iteration.
+#[derive(Clone, Copy, Debug)]
+struct ChunkRun {
+    rank: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// The baked chunk→worker map: for every phase index, per worker, the
+/// chunk list it executes (empty at comm phase indices), plus the
+/// per-worker planned stored multiply-adds per iteration.
+struct ChunkSchedule {
+    phases: Vec<Vec<Vec<ChunkRun>>>,
+    planned: Vec<u64>,
+}
+
+/// Floor on the automatic chunk target: below this, barrier and
+/// cache-line traffic beats any balance win from finer chunks.
+const MIN_CHUNK_OPS: usize = 2048;
+
+/// The automatic target aims for about this many chunks per worker per
+/// phase — enough granularity for LPT to balance a skewed rank, few
+/// enough to keep the per-chunk dispatch cost invisible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Builds the NNZ-chunked schedule for `plan` on `threads` workers.
+/// Fully deterministic: chunk boundaries follow kernel unit order and
+/// every LPT tie (equal weight, equal load) is broken by fixed
+/// `(rank, lo)` / lowest-worker-index orderings.
+fn chunk_schedule(plan: &CompiledPlan, threads: usize, chunk_ops: usize) -> ChunkSchedule {
+    let num_phases = plan.ranks.first().map_or(0, |rp| rp.steps.len());
+    let mut phases = Vec::with_capacity(num_phases);
+    let mut planned = vec![0u64; threads];
+    for p in 0..num_phases {
+        let mut buckets: Vec<Vec<ChunkRun>> = vec![Vec::new(); threads];
+        // Step kinds agree across ranks at a phase index (validated).
+        if matches!(plan.ranks.first().map(|rp| &rp.steps[p]), Some(RankStep::Compute(_))) {
+            let phase_ops: usize = plan
+                .ranks
+                .iter()
+                .map(|rp| match &rp.steps[p] {
+                    RankStep::Compute(k) => (0..k.units()).map(|u| k.unit_ops(u)).sum(),
+                    RankStep::Comm { .. } => 0,
+                })
+                .sum();
+            let target = if chunk_ops > 0 {
+                chunk_ops
+            } else {
+                (phase_ops / (threads * CHUNKS_PER_WORKER).max(1)).max(MIN_CHUNK_OPS)
+            };
+            let mut chunks: Vec<(u64, ChunkRun)> = Vec::new();
+            for (rk, rp) in plan.ranks.iter().enumerate() {
+                let RankStep::Compute(kernel) = &rp.steps[p] else { continue };
+                let units = kernel.units();
+                if units == 0 {
+                    continue;
+                }
+                if !kernel.splittable() {
+                    // Duplicate-row kernels would put one row's
+                    // accumulation chain in two chunks — keep them
+                    // whole so the spatial invariant holds.
+                    let ops: usize = (0..units).map(|u| kernel.unit_ops(u)).sum();
+                    chunks
+                        .push((ops as u64, ChunkRun { rank: rk as u32, lo: 0, hi: units as u32 }));
+                    continue;
+                }
+                let (mut lo, mut acc) = (0usize, 0usize);
+                for u in 0..units {
+                    acc += kernel.unit_ops(u);
+                    if acc >= target || u + 1 == units {
+                        chunks.push((
+                            acc as u64,
+                            ChunkRun { rank: rk as u32, lo: lo as u32, hi: (u + 1) as u32 },
+                        ));
+                        lo = u + 1;
+                        acc = 0;
+                    }
+                }
+            }
+            // Greedy LPT: heaviest chunk first onto the least-loaded
+            // (lowest-index on ties) worker.
+            chunks.sort_by(|a, b| {
+                b.0.cmp(&a.0).then(a.1.rank.cmp(&b.1.rank)).then(a.1.lo.cmp(&b.1.lo))
+            });
+            let mut load = vec![0u64; threads];
+            for &(ops, run) in &chunks {
+                let w = (0..threads).min_by_key(|&w| (load[w], w)).expect("at least one worker");
+                load[w] += ops;
+                buckets[w].push(run);
+            }
+            // The map is what balances; each worker still walks its
+            // chunks in storage order to stay cache-friendly.
+            for b in &mut buckets {
+                b.sort_unstable_by_key(|c| (c.rank, c.lo));
+            }
+            for (pl, ld) in planned.iter_mut().zip(&load) {
+                *pl += ld;
+            }
+        }
+        phases.push(buckets);
+    }
+    ChunkSchedule { phases, planned }
+}
+
+/// Best-effort bind of the calling thread to CPU `core` (modulo the
+/// machine size). Direct `sched_setaffinity` syscall wrapper — std
+/// already links libc, no new dependency.
+#[cfg(target_os = "linux")]
+fn pin_to_core(core: usize) {
+    const MASK_WORDS: usize = 16; // covers 1024 CPUs
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get()).min(MASK_WORDS * 64);
+    let core = core % cpus;
+    let mut mask = [0u64; MASK_WORDS];
+    mask[core / 64] |= 1u64 << (core % 64);
+    // SAFETY: pid 0 is the calling thread; the mask buffer is live and
+    // sized as declared. Failure (e.g. a restricted cpuset) is ignored.
+    let _ = unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_core(_core: usize) {}
+
 /// State shared between the control thread and the workers.
 struct Shared {
     plan: CompiledPlan,
@@ -162,8 +399,18 @@ struct Shared {
     /// first gather, so jobs of different batch widths never read a
     /// stale word written at another stride.
     zero_rows: Vec<Vec<u32>>,
-    /// Contiguous rank range per worker.
+    /// Contiguous rank range per worker (ownership: seeding, staging,
+    /// emitting — and all compute under rank-split).
     assign: Vec<std::ops::Range<usize>>,
+    /// The schedule knob the pool was built with.
+    schedule: PoolSchedule,
+    /// Baked chunk→worker compute map; `None` under rank-split.
+    chunks: Option<ChunkSchedule>,
+    /// Planned compute multiply-adds per worker per iteration (the
+    /// fixed map makes planned == achieved).
+    loads: Vec<u64>,
+    /// Pin worker `w` to CPU `w` at startup.
+    pin: bool,
     /// Job descriptor: input pointer + chained iteration count + batch
     /// width. Written by the control thread before the gate, read by
     /// workers after it.
@@ -321,7 +568,7 @@ impl ParallelEngine {
     /// batches of up to `width` right-hand sides (row-major blocks, see
     /// the `exec` module docs for the layout).
     pub fn with_threads_batch(plan: CompiledPlan, threads: usize, width: usize) -> ParallelEngine {
-        ParallelEngine::build(plan, threads, width, None)
+        ParallelEngine::with_options(plan, PoolOptions { threads, width, ..PoolOptions::default() })
     }
 
     /// A telemetry-recording pool: workers time their compute / gather
@@ -335,20 +582,32 @@ impl ParallelEngine {
         width: usize,
         sink: Arc<TelemetrySink>,
     ) -> ParallelEngine {
-        let threads = if threads == 0 {
+        ParallelEngine::with_options(
+            plan,
+            PoolOptions { threads, width, sink: Some(sink), ..PoolOptions::default() },
+        )
+    }
+
+    /// The fully-general constructor: every knob (worker count,
+    /// batch capacity, compute schedule, core pinning, telemetry) in
+    /// one [`PoolOptions`]. All other constructors delegate here.
+    pub fn with_options(plan: CompiledPlan, opts: PoolOptions) -> ParallelEngine {
+        let threads = if opts.threads == 0 {
             let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
             plan.k.min(cpus).max(1)
         } else {
-            threads
+            opts.threads
         };
-        let obs = ExecTelemetry::new(&plan, sink);
-        ParallelEngine::build(plan, threads, width, Some(obs))
+        let obs = opts.sink.map(|sink| ExecTelemetry::new(&plan, sink));
+        ParallelEngine::build(plan, threads, opts.width.max(1), opts.schedule, opts.pin, obs)
     }
 
     fn build(
         plan: CompiledPlan,
         threads: usize,
         width: usize,
+        schedule: PoolSchedule,
+        pin: bool,
         obs: Option<ExecTelemetry>,
     ) -> ParallelEngine {
         validate_for_pool(&plan);
@@ -375,6 +634,28 @@ impl ParallelEngine {
                 zero_rows[plan.y_part[i] as usize].push(i as u32);
             }
         }
+        let chunks = match schedule {
+            PoolSchedule::RankSplit => None,
+            PoolSchedule::NnzChunked { chunk_ops } => {
+                Some(chunk_schedule(&plan, threads, chunk_ops))
+            }
+        };
+        let loads = match &chunks {
+            Some(cs) => cs.planned.clone(),
+            None => assign
+                .iter()
+                .map(|rg| {
+                    plan.ranks[rg.clone()]
+                        .iter()
+                        .flat_map(|rp| &rp.steps)
+                        .map(|s| match s {
+                            RankStep::Compute(kernel) => kernel.ops() as u64,
+                            RankStep::Comm { .. } => 0,
+                        })
+                        .sum()
+                })
+                .collect(),
+        };
         let shared = Arc::new(Shared {
             width,
             zero_rows,
@@ -383,6 +664,10 @@ impl ParallelEngine {
             staging: plan.staging_words.iter().map(|&w| ShBuf::new(w * width)).collect(),
             global: ShBuf::new(plan.nrows * width),
             assign,
+            schedule,
+            chunks,
+            loads,
+            pin,
             job_x: AtomicPtr::new(std::ptr::null_mut()),
             job_iters: AtomicUsize::new(0),
             job_width: AtomicUsize::new(1),
@@ -425,6 +710,32 @@ impl ParallelEngine {
     /// inside the job descriptor, workers never re-decide it.
     pub fn kernel_format(&self) -> KernelFormat {
         self.shared.plan.format
+    }
+
+    /// The compute schedule this pool was built with.
+    pub fn schedule(&self) -> PoolSchedule {
+        self.shared.schedule
+    }
+
+    /// Planned compute multiply-adds per worker per iteration. The
+    /// chunk→worker map is fixed (no work stealing), so planned load is
+    /// also the achieved per-iteration load — multiply by iterations ×
+    /// batch width for executed madds.
+    pub fn worker_loads(&self) -> &[u64] {
+        &self.shared.loads
+    }
+
+    /// Compute imbalance: `max / mean` of
+    /// [`worker_loads`](ParallelEngine::worker_loads) (1.0 = perfectly
+    /// balanced; a pool with no compute work also reports 1.0).
+    pub fn load_imbalance(&self) -> f64 {
+        let loads = &self.shared.loads;
+        let total: u64 = loads.iter().sum();
+        if loads.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        *loads.iter().max().expect("nonempty") as f64 / mean
     }
 
     /// One SpMV: `y = A·x` on the pool.
@@ -568,9 +879,10 @@ fn obs_record(obs: &Option<ExecTelemetry>, rk: usize, ph: Phase, t: Option<Insta
 /// When `shared.obs` is attached, the worker also times its phase work
 /// per owned rank (barrier waits under `my.start`) — clock reads only,
 /// the numeric path is identical.
-fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *const f64, r: usize) {
+fn run_job(shared: &Shared, w: usize, iters: usize, xp: *const f64, r: usize) {
     let plan = &shared.plan;
     let obs = &shared.obs;
+    let my = &shared.assign[w];
     let num_phases = plan.ranks.first().map_or(0, |rp| rp.steps.len());
     for it in 0..iters {
         // Seed owned x entries (iteration 0 from the caller's input,
@@ -598,38 +910,84 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
             }
             obs_record(obs, rk, Phase::Gather, t);
         }
+        if shared.chunks.is_some() {
+            // Chunked compute reads x and writes y that *other* workers
+            // seeded — no chunk may start before every seed landed.
+            let t = obs_start(obs);
+            let poisoned = shared.sync.wait(&shared.poisoned);
+            obs_record(obs, my.start, Phase::BarrierWait, t);
+            if poisoned {
+                return;
+            }
+        }
         for p in 0..num_phases {
             // Step kinds agree across ranks at a given phase index
             // (checked by validate_for_pool).
             let is_comm = matches!(plan.ranks[my.start].steps[p], RankStep::Comm { .. });
-            for rk in my.clone() {
-                match &plan.ranks[rk].steps[p] {
-                    RankStep::Compute(kernel) => {
+            if !is_comm {
+                if let Some(cs) = &shared.chunks {
+                    for run in &cs.phases[p][w] {
+                        let rk = run.rank as usize;
                         let t = obs_start(obs);
-                        // SAFETY: rank rk belongs to this worker alone
-                        // (spatial invariant), x and y are distinct
-                        // buffers, and barriers order every handoff —
-                        // so these are the only live views. Running
-                        // through plain slices shares one kernel
-                        // implementation (every KernelFormat) with the
-                        // sequential executor instead of duplicating
-                        // the format dispatch over UnsafeCell access.
+                        let RankStep::Compute(kernel) = &plan.ranks[rk].steps[p] else {
+                            unreachable!("chunk schedule points at a compute step")
+                        };
+                        // SAFETY: a chunk reads and writes only the y
+                        // row slots of its own units, which are
+                        // pairwise disjoint across the phase's chunks
+                        // (only splittable kernels are split); x is
+                        // read-only for the whole phase; and the seed
+                        // barrier before / sync barrier after the
+                        // phase order every cross-worker handoff — so
+                        // per element these views are uniquely live,
+                        // the same discipline ShBuf::get/set rely on.
                         let (x, y) =
                             unsafe { (shared.x[rk].as_slice(), shared.y[rk].as_mut_slice()) };
-                        kernel.run_batch(x, y, r);
+                        kernel.run_batch_range(x, y, r, run.lo as usize, run.hi as usize);
                         obs_record(obs, rk, Phase::Compute, t);
                     }
-                    RankStep::Comm { phase, sends, .. } => {
-                        let t = obs_start(obs);
-                        let staging = &shared.staging[*phase as usize];
-                        for m in sends {
-                            stage_send(m, &shared.x[rk], &shared.y[rk], staging, r);
+                    // Every chunk of the phase lands before any later
+                    // reader (staging, a following phase, the emit)
+                    // touches the y buffers.
+                    let t = obs_start(obs);
+                    let poisoned = shared.sync.wait(&shared.poisoned);
+                    obs_record(obs, my.start, Phase::BarrierWait, t);
+                    if poisoned {
+                        return;
+                    }
+                } else {
+                    for rk in my.clone() {
+                        if let RankStep::Compute(kernel) = &plan.ranks[rk].steps[p] {
+                            let t = obs_start(obs);
+                            // SAFETY: rank rk belongs to this worker
+                            // alone (spatial invariant), x and y are
+                            // distinct buffers, and barriers order
+                            // every handoff — so these are the only
+                            // live views. Running through plain slices
+                            // shares one kernel implementation (every
+                            // KernelFormat) with the sequential
+                            // executor instead of duplicating the
+                            // format dispatch over UnsafeCell access.
+                            let (x, y) =
+                                unsafe { (shared.x[rk].as_slice(), shared.y[rk].as_mut_slice()) };
+                            kernel.run_batch(x, y, r);
+                            obs_record(obs, rk, Phase::Compute, t);
                         }
-                        obs_record(obs, rk, Phase::Gather, t);
                     }
                 }
+                continue;
             }
-            if is_comm {
+            for rk in my.clone() {
+                if let RankStep::Comm { phase, sends, .. } = &plan.ranks[rk].steps[p] {
+                    let t = obs_start(obs);
+                    let staging = &shared.staging[*phase as usize];
+                    for m in sends {
+                        stage_send(m, &shared.x[rk], &shared.y[rk], staging, r);
+                    }
+                    obs_record(obs, rk, Phase::Gather, t);
+                }
+            }
+            {
                 // Everyone staged (and drained) before anyone applies.
                 let t = obs_start(obs);
                 let poisoned = shared.sync.wait(&shared.poisoned);
@@ -659,11 +1017,16 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
         }
         // Before gathering: every worker's seeding for this iteration
         // must be done, since seeding reads `global` (it > 0) and the
-        // gather below writes it. With at least one comm phase the
-        // stage/apply barriers already order seed before gather
-        // transitively; a (hand-built) plan without comm phases needs
-        // an explicit barrier when iterations chain.
-        if iters > 1 && plan.staging_words.is_empty() && shared.sync.wait(&shared.poisoned) {
+        // gather below writes it. The chunked schedule's seed barrier
+        // already orders this; under rank-split, a comm phase's
+        // stage/apply barriers order it transitively, but a
+        // (hand-built) plan without comm phases needs an explicit
+        // barrier when iterations chain.
+        if iters > 1
+            && plan.staging_words.is_empty()
+            && shared.chunks.is_none()
+            && shared.sync.wait(&shared.poisoned)
+        {
             return;
         }
         // Gather owned results into the global block. Rows no rank
@@ -707,7 +1070,23 @@ fn run_job(shared: &Shared, my: &std::ops::Range<usize>, iters: usize, xp: *cons
 /// again. Lives until the engine drops. A panic in the job body poisons
 /// the engine instead of deadlocking it.
 fn worker_loop(shared: &Shared, w: usize) {
+    if shared.pin {
+        pin_to_core(w);
+    }
+    // First-touch the buffers this worker owns: allocation left the
+    // pages untouched (alloc_zeroed), so writing them here — strictly
+    // before the first job gate, hence with no concurrent accessor —
+    // places them on this worker's NUMA node under a first-touch
+    // policy.
     let my = shared.assign[w].clone();
+    for rk in my.clone() {
+        for i in 0..shared.x[rk].len() {
+            shared.x[rk].set(i, 0.0);
+        }
+        for i in 0..shared.y[rk].len() {
+            shared.y[rk].set(i, 0.0);
+        }
+    }
     loop {
         if shared.gate.wait(&shared.poisoned) {
             // Poisoned: the gate no longer synchronizes anything. Idle
@@ -724,7 +1103,7 @@ fn worker_loop(shared: &Shared, w: usize) {
         let xp = shared.job_x.load(Ordering::Relaxed) as *const f64;
         let r = shared.job_width.load(Ordering::Relaxed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(shared, &my, iters, xp, r)
+            run_job(shared, w, iters, xp, r)
         }));
         if outcome.is_err() {
             shared.poisoned.store(true, Ordering::Release);
@@ -896,6 +1275,77 @@ mod tests {
             engine.execute(&x, &mut y);
             assert_eq!(y, want, "{format}");
         }
+    }
+
+    #[test]
+    fn chunked_schedule_matches_rank_split_bitwise() {
+        // The acceptance bar for the NNZ-chunked schedule: bitwise
+        // equality with rank-split at every worker count and chunk
+        // size, including chained iterations.
+        let (a, plan) = crate::exec::tests::square_setup(24, 4);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64).sin() + 0.25).collect();
+        let cp = CompiledPlan::compile(&plan);
+        let mut want = vec![0.0; a.nrows()];
+        ParallelEngine::with_options(
+            cp.clone(),
+            PoolOptions { threads: 1, schedule: PoolSchedule::RankSplit, ..PoolOptions::default() },
+        )
+        .execute_iters(&x, &mut want, 3);
+        for threads in [1usize, 2, 3, 4] {
+            for chunk_ops in [0usize, 1, 7, 1 << 20] {
+                let mut engine = ParallelEngine::with_options(
+                    cp.clone(),
+                    PoolOptions {
+                        threads,
+                        schedule: PoolSchedule::NnzChunked { chunk_ops },
+                        ..PoolOptions::default()
+                    },
+                );
+                let mut y = vec![0.0; a.nrows()];
+                engine.execute_iters(&x, &mut y, 3);
+                assert_eq!(y, want, "threads={threads} chunk_ops={chunk_ops}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_loads_cover_every_planned_madd() {
+        let (_a, plan) = crate::exec::tests::square_setup(24, 4);
+        let cp = CompiledPlan::compile(&plan);
+        let total = cp.total_ops();
+        assert!(total > 0, "test matrix must have work");
+        for schedule in [PoolSchedule::RankSplit, PoolSchedule::NnzChunked { chunk_ops: 1 }] {
+            let engine = ParallelEngine::with_options(
+                cp.clone(),
+                PoolOptions { threads: 3, schedule, ..PoolOptions::default() },
+            );
+            assert_eq!(engine.schedule(), schedule);
+            assert_eq!(
+                engine.worker_loads().iter().sum::<u64>(),
+                total,
+                "{}: every madd is scheduled exactly once",
+                schedule.label()
+            );
+            assert!(engine.load_imbalance() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn pinned_pool_matches_unpinned() {
+        let a = fig1_matrix();
+        let p = fig1_partition();
+        let plan = SpmvPlan::mesh(&a, &p, 3, 1);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 0.5 * j as f64 - 1.0).collect();
+        let cp = CompiledPlan::compile(&plan);
+        let mut want = vec![0.0; a.nrows()];
+        ParallelEngine::with_threads(cp.clone(), 2).execute(&x, &mut want);
+        let mut pinned = ParallelEngine::with_options(
+            cp,
+            PoolOptions { threads: 2, pin: true, ..PoolOptions::default() },
+        );
+        let mut y = vec![0.0; a.nrows()];
+        pinned.execute(&x, &mut y);
+        assert_eq!(y, want, "pinning is placement-only, never numeric");
     }
 
     #[test]

@@ -175,7 +175,9 @@ fn every_kernel_format_conforms_on_every_plan_kind() {
             for kind in PlanKind::all() {
                 let plan = Arc::new(kind.build(&a, &p));
                 for format in KernelFormat::all() {
-                    for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 0 }] {
+                    for backend in
+                        [Backend::CompiledSeq, Backend::CompiledPool { threads: 0, pin: false }]
+                    {
                         let mut op = backend.build_with(&plan, MAX_R, format);
                         check_operator(
                             &mut *op,
@@ -217,7 +219,7 @@ fn explicit_pool_thread_counts_conform() {
     let p = partition_for(a, 4);
     let plan = Arc::new(PlanKind::SinglePhase.build(a, &p));
     for threads in 1..=4 {
-        let mut op = Backend::CompiledPool { threads }.build(&plan, MAX_R);
+        let mut op = Backend::CompiledPool { threads, pin: false }.build(&plan, MAX_R);
         check_operator(&mut *op, a, &format!("pool:{threads}"));
     }
 }
@@ -232,7 +234,9 @@ fn backends_agree_bitwise_where_promised() {
     let plan = Arc::new(PlanKind::SinglePhase.build(a, &p));
     let x = block_for(a.ncols(), 1, 9);
     let mut results = Vec::new();
-    for backend in [Backend::Mailbox, Backend::CompiledSeq, Backend::CompiledPool { threads: 0 }] {
+    for backend in
+        [Backend::Mailbox, Backend::CompiledSeq, Backend::CompiledPool { threads: 0, pin: false }]
+    {
         let mut op = backend.build(&plan, 1);
         let mut y = vec![0.0; a.nrows()];
         op.apply(&x, &mut y);

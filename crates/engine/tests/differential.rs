@@ -132,7 +132,11 @@ fn differential_check(
     }
     ops.push((
         "compiled-pool/auto".to_string(),
-        Backend::CompiledPool { threads: 0 }.build_with(&plan, MAX_R, KernelFormat::Auto),
+        Backend::CompiledPool { threads: 0, pin: false }.build_with(
+            &plan,
+            MAX_R,
+            KernelFormat::Auto,
+        ),
     ));
 
     // Single-RHS apply on x: every pair of backends must agree.

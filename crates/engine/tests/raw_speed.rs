@@ -1,0 +1,227 @@
+//! Raw-speed acceptance: the explicit-SIMD kernels and the NNZ-chunked
+//! intra-rank schedule are *pure speed* features — every test here pins
+//! that down with exact (bitwise) equality, not tolerances.
+//!
+//! * ISA differential: scalar / AVX2 / auto produce byte-identical
+//!   blocks for every kernel format and batch width, because the vector
+//!   lanes map to the batch dimension (lane `q` is RHS `q`) and no FMA
+//!   contraction is used — each column's accumulation chain is the
+//!   scalar chain.
+//! * Schedule differential: the chunked pool splits kernels only at row
+//!   boundaries, so any worker count × chunk size × repetition yields
+//!   the rank-split (and sequential) result exactly.
+//! * The per-worker load accounting is conserved: planned multiply-adds
+//!   sum to the plan's op count under both schedules.
+
+use std::sync::Arc;
+
+use s2d_core::optimal::s2d_optimal;
+use s2d_core::partition::SpmvPartition;
+use s2d_engine::{
+    CompiledPlan, CompiledPoolOperator, CompiledSeqOperator, KernelFormat, KernelIsa,
+    ParallelEngine, PoolOptions, PoolSchedule,
+};
+use s2d_gen::fem::fem_like;
+use s2d_gen::powerlaw::power_law;
+use s2d_gen::rmat::{rmat, RmatConfig};
+use s2d_sparse::Csr;
+use s2d_spmv::{SpmvOperator, SpmvPlan};
+
+const RS: [usize; 3] = [1, 4, 8];
+const MAX_R: usize = 8;
+
+/// The three matrix families the benches run: degree-skewed R-MAT,
+/// heavy-tailed power-law, and a regular FEM-like stencil.
+fn matrices() -> Vec<(&'static str, Csr)> {
+    vec![
+        ("rmat", rmat(&RmatConfig::graph500(6, 6), 7).to_csr()),
+        ("powerlaw", power_law(96, 6 * 96, 2.5, 48, 11)),
+        ("fem", fem_like(64, 7.0, 14, 13)),
+    ]
+}
+
+fn plan_for(a: &Csr, k: usize) -> SpmvPlan {
+    let n = a.nrows();
+    let per = n.div_ceil(k);
+    let parts: Vec<u32> = (0..n).map(|i| (i / per) as u32).collect();
+    let p: SpmvPartition = s2d_optimal(a, &parts, &parts, k);
+    SpmvPlan::single_phase(a, &p)
+}
+
+/// Row-major `n × r` block with genuinely distinct columns.
+fn block_for(n: usize, r: usize, seed: u64) -> Vec<f64> {
+    (0..n * r)
+        .map(|i| {
+            let (g, q) = (i / r, i % r);
+            ((g as u64).wrapping_mul(2654435761).wrapping_add(seed + q as u64) % 101) as f64 / 13.0
+                - 3.0
+        })
+        .collect()
+}
+
+/// Every ISA worth testing on this machine: the portable reference,
+/// the explicit AVX2 paths where the CPU has them, and the probe.
+fn isas() -> Vec<KernelIsa> {
+    let mut isas = vec![KernelIsa::Scalar, KernelIsa::Auto];
+    if KernelIsa::avx2_available() {
+        isas.push(KernelIsa::Avx2);
+    }
+    isas
+}
+
+/// Scalar vs AVX2 vs auto, across every kernel format and batch width,
+/// on the sequential compiled path: exact equality, column by column
+/// and word by word.
+#[test]
+fn isa_choice_is_bitwise_invisible_on_the_sequential_path() {
+    for (name, a) in matrices() {
+        let plan = Arc::new(plan_for(&a, 4));
+        for format in KernelFormat::all() {
+            let mut reference: Option<Vec<f64>> = None;
+            for isa in isas() {
+                let cp = CompiledPlan::compile_with_isa(&plan, format, isa);
+                assert_eq!(cp.isa, isa, "{name}/{format}: compiled plan must carry its ISA");
+                assert_eq!(
+                    cp.total_ops(),
+                    plan.total_ops(),
+                    "{name}/{format}/{isa}: ISA must not change op accounting"
+                );
+                let mut op = CompiledSeqOperator::new(cp, MAX_R);
+                let mut all = Vec::new();
+                for r in RS {
+                    let x = block_for(plan.ncols, r, 23);
+                    let mut y = vec![0.0; plan.nrows * r];
+                    op.apply_batch(&x, &mut y, r);
+                    all.extend(y);
+                }
+                match &reference {
+                    None => reference = Some(all),
+                    Some(want) => {
+                        assert_eq!(&all, want, "{name}/{format}/{isa}: ISA changed the bits")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The same exact-equality contract through the worker pool, where the
+/// SIMD kernels run on chunk sub-ranges rather than whole kernels.
+#[test]
+fn isa_choice_is_bitwise_invisible_on_the_pool_path() {
+    for (name, a) in matrices() {
+        let plan = Arc::new(plan_for(&a, 4));
+        let mut reference: Option<Vec<f64>> = None;
+        for isa in isas() {
+            let cp = CompiledPlan::compile_with_isa(&plan, KernelFormat::Auto, isa);
+            let mut op = CompiledPoolOperator::with_config(cp, 3, MAX_R, false, None);
+            let x = block_for(plan.ncols, MAX_R, 29);
+            let mut y = vec![0.0; plan.nrows * MAX_R];
+            op.apply_batch_iters(&x, &mut y, MAX_R, 3);
+            match &reference {
+                None => reference = Some(y),
+                Some(want) => assert_eq!(&y, want, "{name}/{isa}: pool ISA changed the bits"),
+            }
+        }
+    }
+}
+
+/// Chunked scheduling is bitwise-deterministic: every worker count ×
+/// chunk granularity × repetition reproduces the rank-split result
+/// exactly, on every matrix family and under chained iterations (which
+/// exercise the seed/sync barrier structure, not just one pass).
+#[test]
+fn chunked_pool_is_bitwise_across_threads_chunks_and_repeats() {
+    for (name, a) in matrices() {
+        let plan = Arc::new(plan_for(&a, 4));
+        let x = block_for(plan.ncols, 4, 31);
+        let want = {
+            let cp = CompiledPlan::compile_with(&plan, KernelFormat::Auto);
+            let mut engine = ParallelEngine::with_options(
+                cp,
+                PoolOptions {
+                    threads: 1,
+                    width: 4,
+                    schedule: PoolSchedule::RankSplit,
+                    ..PoolOptions::default()
+                },
+            );
+            let mut y = vec![0.0; plan.nrows * 4];
+            engine.execute_batch_iters(&x, &mut y, 4, 3);
+            y
+        };
+        for threads in [1, 2, 3, 4] {
+            for chunk_ops in [0, 1, 7, 1 << 20] {
+                let cp = CompiledPlan::compile_with(&plan, KernelFormat::Auto);
+                let mut engine = ParallelEngine::with_options(
+                    cp,
+                    PoolOptions {
+                        threads,
+                        width: 4,
+                        schedule: PoolSchedule::NnzChunked { chunk_ops },
+                        ..PoolOptions::default()
+                    },
+                );
+                assert_eq!(engine.schedule(), PoolSchedule::NnzChunked { chunk_ops });
+                for rep in 0..2 {
+                    let mut y = vec![0.0; plan.nrows * 4];
+                    engine.execute_batch_iters(&x, &mut y, 4, 3);
+                    assert_eq!(
+                        y, want,
+                        "{name}: t={threads} chunk={chunk_ops} rep={rep} diverged from rank-split"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The fixed chunk→worker map conserves work: planned per-worker
+/// multiply-adds sum to the compiled plan's total under both schedules,
+/// and the operator surfaces them through the `SpmvOperator` trait.
+#[test]
+fn worker_loads_are_conserved_and_surface_through_the_operator() {
+    let (_, a) = &matrices()[1];
+    let plan = Arc::new(plan_for(a, 4));
+    let cp = CompiledPlan::compile_with(&plan, KernelFormat::CsrSlice);
+    let total = cp.total_ops();
+    for schedule in [PoolSchedule::RankSplit, PoolSchedule::NnzChunked { chunk_ops: 0 }] {
+        let engine = ParallelEngine::with_options(
+            cp.clone(),
+            PoolOptions { threads: 3, width: 1, schedule, ..PoolOptions::default() },
+        );
+        assert_eq!(
+            engine.worker_loads().iter().sum::<u64>(),
+            total,
+            "{}: planned loads must cover every multiply-add exactly once",
+            schedule.label()
+        );
+        assert!(engine.load_imbalance() >= 1.0, "{}: max/mean is at least 1", schedule.label());
+    }
+    // And through the trait object, the way the profile report gets it.
+    let op = CompiledPoolOperator::with_config(cp, 3, 1, false, None);
+    let loads = (&op as &dyn SpmvOperator).worker_loads().expect("pool operators report loads");
+    assert_eq!(loads.iter().sum::<u64>(), total);
+    // The sequential path has no workers to report.
+    let cp_seq = CompiledPlan::compile(&plan);
+    let seq = CompiledSeqOperator::new(cp_seq, 1);
+    assert!((&seq as &dyn SpmvOperator).worker_loads().is_none());
+}
+
+/// A pinned pool (core affinity + first-touch placement) is still
+/// bitwise identical — placement must never change the numbers.
+#[test]
+fn pinned_pool_matches_unpinned_at_plan_level() {
+    let (_, a) = &matrices()[0];
+    let plan = Arc::new(plan_for(a, 4));
+    let x = block_for(plan.ncols, 4, 37);
+    let mut outs = Vec::new();
+    for pin in [false, true] {
+        let cp = CompiledPlan::compile_with(&plan, KernelFormat::Auto);
+        let mut op = CompiledPoolOperator::with_config(cp, 2, 4, pin, None);
+        let mut y = vec![0.0; plan.nrows * 4];
+        op.apply_batch_iters(&x, &mut y, 4, 2);
+        outs.push(y);
+    }
+    assert_eq!(outs[0], outs[1], "pinning changed the bits");
+}

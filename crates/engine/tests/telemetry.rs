@@ -132,7 +132,7 @@ fn counters_match_static_profile() {
     let cp = CompiledPlan::compile(&plan);
     let want_madds: u64 = cp.total_ops() as u64;
     let n = a.nrows();
-    for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2 }] {
+    for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2, pin: false }] {
         let sink = Arc::new(TelemetrySink::new(K));
         let mut op = backend.build_obs(&plan, 2, KernelFormat::CsrSlice, Some(Arc::clone(&sink)));
         let (r, iters) = (2usize, 3usize);

@@ -41,7 +41,9 @@
 mod report;
 mod serve;
 
-pub use report::{ExecutionReport, ModelComparison, ModelRef, PhaseTimes, RankReport};
+pub use report::{
+    ExecutionReport, ModelComparison, ModelRef, PhaseTimes, RankReport, WorkerLoadReport,
+};
 pub use serve::{ServeSnapshot, ServeStats};
 
 use std::sync::atomic::{AtomicU64, Ordering};

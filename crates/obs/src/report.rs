@@ -92,6 +92,57 @@ pub struct ExecutionReport {
     /// Serving-layer counters, when the run went through `s2d-serve`
     /// (attach with [`ExecutionReport::with_serve`]).
     pub serve: Option<ServeSnapshot>,
+    /// Per-worker loads, when the run executed on the worker pool
+    /// (attach with [`ExecutionReport::with_workers`]).
+    pub workers: Option<WorkerLoadReport>,
+}
+
+/// Per-worker multiply-add loads under the pool's intra-rank schedule.
+///
+/// The pool's chunk→worker map is fixed at build time and identical
+/// every iteration, so the planned loads *are* the achieved loads — no
+/// per-iteration counters needed. `madds[w]` is the stored work worker
+/// `w` executes per iteration (SELL padding included: it is work the
+/// core performs even though [`RankReport::madds`] never counts it).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerLoadReport {
+    /// Intra-rank schedule label (`"nnz-chunked"` or `"rank-split"`).
+    pub schedule: String,
+    /// Multiply-adds executed by each worker per iteration.
+    pub madds: Vec<u64>,
+}
+
+impl WorkerLoadReport {
+    /// Wraps a schedule label and the per-worker load vector.
+    pub fn new(schedule: impl Into<String>, madds: Vec<u64>) -> WorkerLoadReport {
+        WorkerLoadReport { schedule: schedule.into(), madds }
+    }
+
+    /// Planned load imbalance: max/mean worker multiply-adds (1.0 for
+    /// fewer than two workers or an all-zero plan).
+    pub fn imbalance(&self) -> f64 {
+        if self.madds.len() < 2 {
+            return 1.0;
+        }
+        let max = *self.madds.iter().max().expect("nonempty") as f64;
+        let mean = self.madds.iter().sum::<u64>() as f64 / self.madds.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// One JSON object, same hand-rolled style as the parent report.
+    pub fn to_json(&self) -> String {
+        let madds: Vec<String> = self.madds.iter().map(|m| m.to_string()).collect();
+        format!(
+            "{{\"schedule\":\"{}\",\"imbalance\":{:.4},\"madds\":[{}]}}",
+            self.schedule,
+            self.imbalance(),
+            madds.join(",")
+        )
+    }
 }
 
 fn ratio(observed: f64, modeled: f64) -> f64 {
@@ -164,6 +215,7 @@ impl ExecutionReport {
             comm_words_per_iter,
             model: None,
             serve: None,
+            workers: None,
         };
         let model = model.map(|m| ModelComparison {
             modeled_comm_words: m.comm_words,
@@ -181,6 +233,15 @@ impl ExecutionReport {
     /// Reports without one render and serialize exactly as before.
     pub fn with_serve(mut self, serve: ServeSnapshot) -> ExecutionReport {
         self.serve = Some(serve);
+        self
+    }
+
+    /// Attaches the pool's per-worker load vector: the workers line
+    /// then shows in [`ExecutionReport::render`] and the `workers` key
+    /// in [`ExecutionReport::to_json`]. Reports without one render and
+    /// serialize exactly as before.
+    pub fn with_workers(mut self, workers: WorkerLoadReport) -> ExecutionReport {
+        self.workers = Some(workers);
         self
     }
 
@@ -247,11 +308,16 @@ impl ExecutionReport {
             None => String::new(),
             Some(s) => format!(",\"serve\":{}", s.to_json()),
         };
+        // Same additive rule for the workers key.
+        let workers = match &self.workers {
+            None => String::new(),
+            Some(w) => format!(",\"workers\":{}", w.to_json()),
+        };
         format!(
             concat!(
                 "{{\"backend\":\"{}\",\"k\":{},\"iterations\":{},\"wall_ns\":{},",
                 "\"solver_iters\":{},\"solver_ns\":{},\"load_imbalance\":{:.4},",
-                "\"comm_words_per_iter\":{:.2},\"model\":{}{},\"ranks\":[{}]}}"
+                "\"comm_words_per_iter\":{:.2},\"model\":{}{}{},\"ranks\":[{}]}}"
             ),
             self.backend,
             self.k,
@@ -263,6 +329,7 @@ impl ExecutionReport {
             self.comm_words_per_iter,
             model,
             serve,
+            workers,
             ranks.join(",")
         )
     }
@@ -343,6 +410,14 @@ impl ExecutionReport {
                 s.cache_hits + s.cache_misses,
                 s.cache_hit_rate() * 100.0,
                 s.cache_evictions
+            ));
+        }
+        if let Some(w) = &self.workers {
+            out.push_str(&format!(
+                "workers ({}): {} threads, planned madd imbalance (max/mean): {:.3}\n",
+                w.schedule,
+                w.madds.len(),
+                w.imbalance()
             ));
         }
         out
@@ -504,6 +579,31 @@ mod tests {
         assert_eq!(text.lines().count(), bare_lines + 2, "serve adds exactly two lines");
         assert!(text.contains("coalescing 3.00x"));
         assert!(text.contains("cache 1/2 hits (50%)"));
+    }
+
+    #[test]
+    fn workers_section_is_additive() {
+        let bare = ExecutionReport::collect(&sample_sink(), "compiled-pool", None);
+        let bare_json = bare.to_json();
+        let bare_lines = bare.render().lines().count();
+        assert!(!bare_json.contains("\"workers\""), "absent, not null, off the pool path");
+
+        let w = WorkerLoadReport::new("nnz-chunked", vec![100, 120, 80, 100]);
+        assert!((w.imbalance() - 1.2).abs() < 1e-12, "max 120 over mean 100");
+        let rep = bare.clone().with_workers(w);
+        let json = rep.to_json();
+        assert_eq!(field(&json, "backend"), field(&bare_json, "backend"));
+        assert_eq!(field(&json, "schedule"), "\"nnz-chunked\"");
+        assert!(json.contains("\"madds\":[100,120,80,100]"));
+        assert!((field(&json, "imbalance").parse::<f64>().unwrap() - 1.2).abs() < 1e-3);
+        let text = rep.render();
+        assert_eq!(text.lines().count(), bare_lines + 1, "workers adds exactly one line");
+        assert!(text.contains("workers (nnz-chunked): 4 threads"));
+        assert!(text.contains("imbalance (max/mean): 1.200"));
+
+        // Degenerate shapes report 1.0, never NaN.
+        assert_eq!(WorkerLoadReport::new("rank-split", vec![7]).imbalance(), 1.0);
+        assert_eq!(WorkerLoadReport::new("rank-split", vec![0, 0]).imbalance(), 1.0);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use s2d::{ConfigKey, PlanKind, Prepared, Strategy};
-use s2d_engine::KernelFormat;
+use s2d_engine::{KernelFormat, KernelIsa};
 use s2d_obs::ServeStats;
 
 /// Everything that determines a [`Prepared`] artifact (plus the batch
@@ -38,6 +38,10 @@ pub struct PrepKey {
     pub plan_kind: Option<PlanKind>,
     /// Kernel format the plan compiles to.
     pub format: KernelFormat,
+    /// Kernel ISA the plan's batch paths select with (bitwise-neutral,
+    /// but a Scalar preparation must not satisfy an Auto lookup — the
+    /// compiled artifact differs).
+    pub isa: KernelIsa,
 }
 
 struct Entry {
@@ -120,6 +124,7 @@ mod tests {
             strategy: None,
             plan_kind: None,
             format: KernelFormat::CsrSlice,
+            isa: KernelIsa::Auto,
         }
     }
 

@@ -89,6 +89,14 @@ pub trait SpmvOperator {
     fn deterministic(&self) -> bool {
         true
     }
+
+    /// Planned compute multiply-adds per internal worker per iteration,
+    /// for backends with a fixed worker schedule (the compiled pool);
+    /// `None` for backends without one. `max/mean` of the returned
+    /// vector is the schedule's compute imbalance.
+    fn worker_loads(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 /// Forwarding impl so `&mut O` is itself an operator — lets callers
@@ -118,6 +126,10 @@ impl<O: SpmvOperator + ?Sized> SpmvOperator for &mut O {
     fn deterministic(&self) -> bool {
         (**self).deterministic()
     }
+
+    fn worker_loads(&self) -> Option<Vec<u64>> {
+        (**self).worker_loads()
+    }
 }
 
 impl<O: SpmvOperator + ?Sized> SpmvOperator for Box<O> {
@@ -143,6 +155,10 @@ impl<O: SpmvOperator + ?Sized> SpmvOperator for Box<O> {
 
     fn deterministic(&self) -> bool {
         (**self).deterministic()
+    }
+
+    fn worker_loads(&self) -> Option<Vec<u64>> {
+        (**self).worker_loads()
     }
 }
 

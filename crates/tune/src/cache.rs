@@ -25,7 +25,11 @@ use crate::tuner::TunedChoice;
 /// changes meaning — files carrying any other version are ignored
 /// wholesale, so stale measurements can never override a fresher
 /// model.
-pub const TUNER_VERSION: u32 = 1;
+///
+/// History: 1 = the original (strategy, plan, format, backend, width)
+/// space; 2 added the kernel-ISA axis and the pool thread-count
+/// shortlist.
+pub const TUNER_VERSION: u32 = 2;
 
 /// One measured verdict: for this (matrix, k, width), this
 /// configuration won at this per-application cost.
@@ -123,12 +127,13 @@ fn entry_json(e: &CacheEntry) -> String {
     format!(
         concat!(
             "{{{},\"strategy\":\"{}\",\"plan_kind\":\"{}\",\"format\":\"{}\",",
-            "\"backend\":\"{}\",\"choice_width\":{},\"secs\":{:e}}}"
+            "\"isa\":\"{}\",\"backend\":\"{}\",\"choice_width\":{},\"secs\":{:e}}}"
         ),
         e.key.json_fields(),
         e.choice.strategy,
         e.choice.plan_kind,
         e.choice.format,
+        e.choice.isa,
         e.choice.backend,
         e.choice.width,
         e.secs,
@@ -159,6 +164,7 @@ fn parse_entry(obj: &str) -> Option<CacheEntry> {
             strategy: str_field(obj, "strategy")?.parse().ok()?,
             plan_kind: str_field(obj, "plan_kind")?.parse().ok()?,
             format: str_field(obj, "format")?.parse().ok()?,
+            isa: str_field(obj, "isa")?.parse().ok()?,
             backend: str_field(obj, "backend")?.parse().ok()?,
             width: field(obj, "choice_width")?.parse().ok()?,
         },
@@ -218,7 +224,7 @@ fn objects(list: &str) -> Vec<&str> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use s2d::{Backend, KernelFormat, PlanKind, Strategy};
+    use s2d::{Backend, KernelFormat, KernelIsa, PlanKind, Strategy};
 
     fn entry(fp: u64, secs: f64) -> CacheEntry {
         CacheEntry {
@@ -227,7 +233,8 @@ mod tests {
                 strategy: Strategy::OneDRow,
                 plan_kind: PlanKind::TwoPhase,
                 format: KernelFormat::DEFAULT_SELL,
-                backend: Backend::CompiledPool { threads: 0 },
+                isa: KernelIsa::Scalar,
+                backend: Backend::CompiledPool { threads: 0, pin: false },
                 width: 1,
             },
             secs,

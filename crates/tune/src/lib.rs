@@ -5,7 +5,8 @@
 //! [`Backend::auto`](s2d::Backend::auto)) pick configurations from
 //! *static models*. This crate closes the loop empirically: the
 //! [`Tuner`] builds a model-driven shortlist of (strategy ×
-//! kernel-format × backend × batch-width) candidates, micro-benchmarks
+//! kernel-format × kernel-ISA × backend/thread-count × batch-width)
+//! candidates, micro-benchmarks
 //! each one through the real [`Session`] stack, and
 //! returns the measured winner as a [`TunedConfig`]. Verdicts persist
 //! in a versioned on-disk [`TuningCache`], so a matrix is tuned once
@@ -132,6 +133,7 @@ impl<'a> TunedBuilder<'a> {
             .partitioner_config(cfg)
             .plan_kind(w.plan_kind)
             .kernel_format(w.format)
+            .kernel_isa(w.isa)
             .backend(w.backend)
             .batch_width(width)
             .build();

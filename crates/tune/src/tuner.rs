@@ -27,7 +27,8 @@
 use std::path::PathBuf;
 
 use s2d::{
-    Backend, ConfigKey, KernelFormat, PartitionerConfig, PlanKind, Prepared, Session, Strategy,
+    Backend, ConfigKey, KernelFormat, KernelIsa, PartitionerConfig, PlanKind, Prepared, Session,
+    Strategy,
 };
 use s2d_engine::CompiledPlan;
 use s2d_obs::best_of;
@@ -86,7 +87,14 @@ pub struct TunedChoice {
     pub plan_kind: PlanKind,
     /// Kernel format the plan compiles to.
     pub format: KernelFormat,
-    /// Execution backend.
+    /// Kernel ISA the batch paths select with. Bitwise-neutral (the
+    /// SIMD lanes map to the batch dimension), so it is a pure speed
+    /// axis; `scalar` is only shortlisted where AVX2 exists to compare
+    /// against.
+    pub isa: KernelIsa,
+    /// Execution backend. The pool's thread count is part of this axis:
+    /// the shortlist tries the default worker count, half the machine,
+    /// and one-per-rank where those differ.
     pub backend: Backend,
     /// Batch width the candidate serves the workload at. Usually the
     /// workload width; a `1` here means "r separate single-RHS applies
@@ -98,8 +106,8 @@ impl std::fmt::Display for TunedChoice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/{}/{}/{}/w{}",
-            self.strategy, self.plan_kind, self.format, self.backend, self.width
+            "{}/{}/{}/{}/{}/w{}",
+            self.strategy, self.plan_kind, self.format, self.isa, self.backend, self.width
         )
     }
 }
@@ -109,9 +117,9 @@ impl TunedChoice {
         format!(
             concat!(
                 "{{\"strategy\":\"{}\",\"plan_kind\":\"{}\",\"format\":\"{}\",",
-                "\"backend\":\"{}\",\"width\":{}}}"
+                "\"isa\":\"{}\",\"backend\":\"{}\",\"width\":{}}}"
             ),
-            self.strategy, self.plan_kind, self.format, self.backend, self.width
+            self.strategy, self.plan_kind, self.format, self.isa, self.backend, self.width
         )
     }
 }
@@ -186,8 +194,8 @@ impl TunedConfig {
         let mut by_time: Vec<&Measurement> = self.measurements.iter().collect();
         by_time.sort_by(|x, y| x.secs.total_cmp(&y.secs));
         out.push_str(&format!(
-            "{:<44} {:>12} {:>10}\n",
-            "candidate (strategy/plan/format/backend/width)", "µs/apply", "vs winner"
+            "{:<50} {:>12} {:>10}\n",
+            "candidate (strategy/plan/format/isa/backend/width)", "µs/apply", "vs winner"
         ));
         for m in by_time {
             let mark = if m.choice == self.winner {
@@ -199,7 +207,7 @@ impl TunedConfig {
             };
             let ratio = if self.winner_secs > 0.0 { m.secs / self.winner_secs } else { 1.0 };
             out.push_str(&format!(
-                "{:<44} {:>12.3} {:>9.2}x{}\n",
+                "{:<50} {:>12.3} {:>9.2}x{}\n",
                 m.choice.to_string(),
                 m.secs * 1e6,
                 ratio,
@@ -295,7 +303,10 @@ impl<'a> Tuner<'a> {
     /// The deterministic candidate shortlist the search will measure
     /// (before the budget's cap): every strategy the cost model would
     /// consider × the formats the compile-time row statistics shortlist
-    /// × sequential/pooled execution × batched/unbatched service.
+    /// × the kernel ISAs worth comparing (auto vs. forced-scalar, on
+    /// AVX2 machines only) × sequential/pooled execution (the pool at
+    /// the deduplicated thread-count shortlist) × batched/unbatched
+    /// service.
     /// Exposed for inspection and tests; [`Tuner::run`] measures
     /// exactly these.
     pub fn candidates(&self) -> Vec<TunedChoice> {
@@ -339,6 +350,14 @@ impl<'a> Tuner<'a> {
         let mut preps: Vec<Prepared> = Vec::new();
         let mut cands: Vec<(TunedChoice, usize)> = Vec::new();
         let widths: Vec<usize> = if self.width > 1 { vec![self.width, 1] } else { vec![1] };
+        // The ISA axis only exists where there are two ISAs to compare:
+        // off-AVX2 machines Auto *is* scalar, so measuring both would
+        // time the same code twice.
+        let isas: Vec<KernelIsa> = if KernelIsa::avx2_available() {
+            vec![KernelIsa::Auto, KernelIsa::Scalar]
+        } else {
+            vec![KernelIsa::Auto]
+        };
         for s in Strategy::auto_candidates(self.a, self.k) {
             let base = self.prepare(s, KernelFormat::Auto);
             let kind = base.plan_kind();
@@ -347,19 +366,37 @@ impl<'a> Tuner<'a> {
             let base_idx = preps.len();
             preps.push(base);
             for f in formats {
-                let idx = if f == KernelFormat::Auto {
+                let fmt_idx = if f == KernelFormat::Auto {
                     base_idx
                 } else {
                     let lowered = preps[base_idx].with_format(f);
                     preps.push(lowered);
                     preps.len() - 1
                 };
-                for &backend in &backends {
-                    for &width in &widths {
-                        cands.push((
-                            TunedChoice { strategy: s, plan_kind: kind, format: f, backend, width },
-                            idx,
-                        ));
+                for &isa in &isas {
+                    let idx = if isa == KernelIsa::Auto {
+                        fmt_idx
+                    } else {
+                        // Re-lowering under another ISA is the cheap
+                        // leg, like `with_format`.
+                        let relowered = preps[fmt_idx].with_isa(isa);
+                        preps.push(relowered);
+                        preps.len() - 1
+                    };
+                    for &backend in &backends {
+                        for &width in &widths {
+                            cands.push((
+                                TunedChoice {
+                                    strategy: s,
+                                    plan_kind: kind,
+                                    format: f,
+                                    isa,
+                                    backend,
+                                    width,
+                                },
+                                idx,
+                            ));
+                        }
                     }
                 }
             }
@@ -392,6 +429,7 @@ impl<'a> Tuner<'a> {
             .position(|(c, idx)| {
                 c.strategy == model_strategy
                     && c.format == KernelFormat::Auto
+                    && c.isa == KernelIsa::Auto
                     && c.width == r
                     && c.backend == Backend::auto(preps[*idx].compiled())
             })
@@ -474,11 +512,30 @@ fn format_shortlist(cp: &CompiledPlan) -> Vec<KernelFormat> {
 
 /// Backends worth measuring: sequential always; the worker pool once
 /// there is parallelism to exploit (`k > 1` — with one rank the pool is
-/// pure overhead and [`Backend::auto`] can never pick it either).
+/// pure overhead and [`Backend::auto`] can never pick it either). The
+/// pool carries the thread-count axis: the default worker count (one
+/// per rank capped at cores), half the machine, and exactly one per
+/// rank — deduplicated by the worker count each would actually spawn,
+/// so a small machine contributes one pool candidate, not three
+/// identical ones.
 fn backend_shortlist(_cp: &CompiledPlan, k: usize) -> Vec<Backend> {
     let mut backends = vec![Backend::CompiledSeq];
     if k > 1 {
-        backends.push(Backend::CompiledPool { threads: 0 });
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let mut spawned: Vec<usize> = Vec::new();
+        // 0 is the default (one per rank capped at cores); `cores / 2`
+        // leaves the machine half free; `k` is one worker per rank
+        // uncapped (distinct from the default only when k > cores —
+        // oversubscription sometimes pays on SMT machines).
+        for t in [0, cores / 2, k] {
+            // Mirror `ParallelEngine::with_options`: 0 means "one per
+            // rank, capped at cores".
+            let eff = if t == 0 { k.min(cores).max(1) } else { t };
+            if !spawned.contains(&eff) {
+                spawned.push(eff);
+                backends.push(Backend::CompiledPool { threads: t, pin: false });
+            }
+        }
     }
     backends
 }

@@ -108,7 +108,7 @@ pub use s2d_sparse as sparse;
 pub use s2d_spmv as spmv;
 
 pub use key::ConfigKey;
-pub use s2d_engine::{Backend, KernelFormat};
+pub use s2d_engine::{Backend, KernelFormat, KernelIsa, PoolSchedule};
 pub use s2d_obs::{ExecutionReport, TelemetrySink};
 pub use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, S2dVariant, Strategy};
 pub use s2d_spmv::{PlanKind, SpmvOperator};

@@ -14,8 +14,8 @@ use std::sync::Arc;
 
 use s2d_core::comm::CommStats;
 use s2d_core::partition::SpmvPartition;
-use s2d_engine::{Backend, CompiledPlan, KernelFormat};
-use s2d_obs::{ExecutionReport, ModelRef, TelemetrySink};
+use s2d_engine::{Backend, CompiledPlan, KernelFormat, KernelIsa, PoolSchedule};
+use s2d_obs::{ExecutionReport, ModelRef, TelemetrySink, WorkerLoadReport};
 use s2d_partition::{PartitionQuality, Partitioner, PartitionerConfig, Strategy};
 use s2d_sparse::Csr;
 use s2d_spmv::{PlanKind, SpmvOperator, SpmvPlan};
@@ -30,6 +30,7 @@ pub struct SessionBuilder<'a> {
     plan_kind: Option<PlanKind>,
     backend: Backend,
     kernel_format: KernelFormat,
+    kernel_isa: KernelIsa,
     batch_width: usize,
     telemetry: bool,
 }
@@ -108,6 +109,17 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// The [`KernelIsa`] compiled kernels select batch paths with
+    /// (default [`KernelIsa::Auto`]: probe the CPU once at compile time
+    /// and use the AVX2 paths when available). Results are bitwise
+    /// identical across ISAs — the SIMD lanes map to the batch
+    /// dimension — so this knob only changes speed. The interpreting
+    /// backends ignore it.
+    pub fn kernel_isa(mut self, isa: KernelIsa) -> Self {
+        self.kernel_isa = isa;
+        self
+    }
+
     /// Widest multi-RHS batch the session will run (default 1).
     /// Buffers are sized for it up front; wider batches later still
     /// work but pay a one-time regrowth.
@@ -145,7 +157,7 @@ impl<'a> SessionBuilder<'a> {
         let (partition, strategy) = self.resolve_partition();
         let kind = self.plan_kind.unwrap_or_else(|| PlanKind::auto(self.a, &partition));
         let plan = Arc::new(kind.build(self.a, &partition));
-        let compiled = CompiledPlan::compile_with(&plan, self.kernel_format);
+        let compiled = CompiledPlan::compile_with_isa(&plan, self.kernel_format, self.kernel_isa);
         Prepared {
             fingerprint: self.a.fingerprint(),
             partition,
@@ -154,6 +166,7 @@ impl<'a> SessionBuilder<'a> {
             plan,
             compiled,
             kernel_format: self.kernel_format,
+            kernel_isa: self.kernel_isa,
         }
     }
 
@@ -187,15 +200,23 @@ impl<'a> SessionBuilder<'a> {
             let label =
                 self.strategy.map(|(s, _)| s.to_string()).unwrap_or_else(|| "explicit".to_string());
             let quality = PartitionQuality::measure_plan(self.a, &partition, kind, &plan, label);
-            let op = self.backend.build_obs(
+            let op = self.backend.build_cfg(
                 &plan,
                 self.batch_width,
                 self.kernel_format,
+                self.kernel_isa,
                 Some(Arc::clone(&sink)),
             );
             (op, Some((sink, quality)))
         } else {
-            (self.backend.build_with(&plan, self.batch_width, self.kernel_format), None)
+            let op = self.backend.build_cfg(
+                &plan,
+                self.batch_width,
+                self.kernel_format,
+                self.kernel_isa,
+                None,
+            );
+            (op, None)
         };
         Session {
             plan,
@@ -206,6 +227,7 @@ impl<'a> SessionBuilder<'a> {
             kind,
             backend: self.backend,
             kernel_format: self.kernel_format,
+            kernel_isa: self.kernel_isa,
             batch_width: self.batch_width,
             fingerprint: self.a.fingerprint(),
             telemetry,
@@ -227,6 +249,7 @@ pub struct Prepared {
     plan: Arc<SpmvPlan>,
     compiled: CompiledPlan,
     kernel_format: KernelFormat,
+    kernel_isa: KernelIsa,
 }
 
 impl Prepared {
@@ -256,6 +279,11 @@ impl Prepared {
         self.kernel_format
     }
 
+    /// The kernel ISA policy the plan was compiled with.
+    pub fn kernel_isa(&self) -> KernelIsa {
+        self.kernel_isa
+    }
+
     /// The compiled artifact itself — e.g. to read its
     /// [`kernel_stats`](CompiledPlan::kernel_stats) when shortlisting
     /// kernel formats, or its op count for [`Backend::auto`].
@@ -274,8 +302,26 @@ impl Prepared {
             strategy: self.strategy,
             kind: self.kind,
             plan: Arc::clone(&self.plan),
-            compiled: CompiledPlan::compile_with(&self.plan, format),
+            compiled: CompiledPlan::compile_with_isa(&self.plan, format, self.kernel_isa),
             kernel_format: format,
+            kernel_isa: self.kernel_isa,
+        }
+    }
+
+    /// Like [`Prepared::with_format`], but re-lowering to the same
+    /// format under a different [`KernelIsa`] — the other cheap leg of
+    /// a configuration search (results are bitwise identical across
+    /// ISAs, so only timing differs).
+    pub fn with_isa(&self, isa: KernelIsa) -> Prepared {
+        Prepared {
+            fingerprint: self.fingerprint,
+            partition: self.partition.clone(),
+            strategy: self.strategy,
+            kind: self.kind,
+            plan: Arc::clone(&self.plan),
+            compiled: CompiledPlan::compile_with_isa(&self.plan, self.kernel_format, isa),
+            kernel_format: self.kernel_format,
+            kernel_isa: isa,
         }
     }
 
@@ -296,6 +342,7 @@ impl Prepared {
             kind: self.kind,
             backend,
             kernel_format: self.kernel_format,
+            kernel_isa: self.kernel_isa,
             batch_width,
             fingerprint: self.fingerprint,
             telemetry: None,
@@ -314,6 +361,7 @@ pub struct Session {
     kind: PlanKind,
     backend: Backend,
     kernel_format: KernelFormat,
+    kernel_isa: KernelIsa,
     batch_width: usize,
     fingerprint: u64,
     /// Telemetry sink plus the partition's modeled quality, present
@@ -332,6 +380,7 @@ impl Session {
             plan_kind: None,
             backend: Backend::CompiledSeq,
             kernel_format: KernelFormat::CsrSlice,
+            kernel_isa: KernelIsa::Auto,
             batch_width: 1,
             telemetry: false,
         }
@@ -389,6 +438,12 @@ impl Session {
         self.kernel_format
     }
 
+    /// The kernel ISA policy the session's compiled kernels select
+    /// batch paths with (meaningful for the compiled backends only).
+    pub fn kernel_isa(&self) -> KernelIsa {
+        self.kernel_isa
+    }
+
     /// The batch width requested at build time (what the buffers were
     /// initially sized for — a wider `apply_batch` later grows the
     /// operator's buffers without updating this).
@@ -430,7 +485,16 @@ impl Session {
                 alpha_beta_secs: quality.alpha_beta_time,
                 loggp_secs: quality.loggp_time,
             };
-            ExecutionReport::collect(sink, self.backend.label(), Some(model))
+            let report = ExecutionReport::collect(sink, self.backend.label(), Some(model));
+            match self.operator.worker_loads() {
+                // The pool path: every constructor uses the default
+                // (NNZ-chunked) intra-rank schedule, so label it as
+                // such — the loads are the planned == achieved
+                // multiply-adds of the fixed chunk→worker map.
+                Some(madds) => report
+                    .with_workers(WorkerLoadReport::new(PoolSchedule::default().label(), madds)),
+                None => report,
+            }
         })
     }
 
@@ -554,7 +618,7 @@ mod tests {
         let p = SpmvPartition::rowwise(&a, part.clone(), part, 4);
         let mut s = Session::builder(&a)
             .partition(&p)
-            .backend(Backend::CompiledPool { threads: 2 })
+            .backend(Backend::CompiledPool { threads: 2, pin: false })
             .build();
         let b = vec![1.0; n];
         let res = cg_solve_with(&mut s, &b, &CgOptions::default());
@@ -612,7 +676,7 @@ mod tests {
         assert_eq!(prep.fingerprint(), a.fingerprint());
         assert_eq!(prep.plan_kind(), PlanKind::SinglePhase);
         // Stamp out several independent sessions from one preparation.
-        for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2 }] {
+        for backend in [Backend::CompiledSeq, Backend::CompiledPool { threads: 2, pin: false }] {
             let mut s = prep.session(backend, 1);
             assert_eq!(s.matrix_fingerprint(), a.fingerprint());
             assert_eq!(s.backend(), backend);
